@@ -1,0 +1,1 @@
+bench/main.ml: Analysis Analyze Appmodel Array Bechamel Benchmark Core Float Gen Hashtbl Instance List Measure Printf Sdf Staged Sys Tables Test Time

@@ -1,0 +1,1 @@
+bench/tables.ml: Analysis Appmodel Array Baseline Core Csdf Float Format Fun Gen Hashtbl List Platform Printf Sdf String Unix

@@ -1,0 +1,157 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (E1-E13, see DESIGN.md) and times the key analysis and
+   allocation kernels with Bechamel — one Test.make per table/figure group.
+
+   Usage:
+     dune exec bench/main.exe             # the paper's full 3 x 3 protocol
+     dune exec bench/main.exe -- --quick  # 1 sequence x 1 architecture
+     dune exec bench/main.exe -- --no-bechamel  # tables only *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+module Models = Appmodel.Models
+
+(* --------------------------- Bechamel timers ----------------------- *)
+
+(* One micro-benchmark per experiment group, measuring its computational
+   kernel on a fixed workload. *)
+let bechamel_tests () =
+  let example_app = Models.example_app () in
+  let example_arch = Models.example_platform () in
+  let binding = [| 0; 0; 1 |] in
+  let ba =
+    Core.Bind_aware.build ~app:example_app ~arch:example_arch ~binding
+      ~slices:[| 5; 5 |] ()
+  in
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  let h263 = Models.h263 () in
+  let h263_gamma = Appmodel.Appgraph.gamma h263 in
+  let h263_taus =
+    Array.init 4 (fun a -> Appmodel.Appgraph.max_exec_time h263 a)
+  in
+  let bench_app = List.hd (Gen.Benchsets.sequence ~set:4 ~seq:0 ~count:1) in
+  let bench_arch = Gen.Benchsets.architecture 0 in
+  [
+    (* E1: the two throughput-analysis routes. *)
+    Test.make ~name:"E1-selftimed-h263"
+      (Staged.stage (fun () ->
+           Analysis.Selftimed.analyze h263.Appmodel.Appgraph.graph h263_taus));
+    Test.make ~name:"E1-hsdf-convert-h263"
+      (Staged.stage (fun () ->
+           Sdf.Hsdf.convert h263.Appmodel.Appgraph.graph h263_gamma));
+    (* E5: the constrained state-space exploration. *)
+    Test.make ~name:"E5-constrained-example"
+      (Staged.stage (fun () -> Core.Constrained.analyze ba ~schedules));
+    (* E6: schedule construction. *)
+    Test.make ~name:"E6-list-scheduler"
+      (Staged.stage (fun () -> Core.List_scheduler.schedules ba));
+    (* E7: one binding step. *)
+    Test.make ~name:"E7-binding-step"
+      (Staged.stage (fun () ->
+           Core.Binding_step.bind
+             ~weights:(Core.Cost.weights 1. 1. 1.)
+             example_app example_arch));
+    (* E8: one full strategy run on a generated graph. *)
+    Test.make ~name:"E8-strategy-generated"
+      (Staged.stage (fun () ->
+           Core.Strategy.allocate ~max_states:200_000
+             ~weights:(Core.Cost.weights 0. 1. 2.)
+             bench_app bench_arch));
+    (* E9/E10 share E8's kernel; E11's kernel at example scale: *)
+    Test.make ~name:"E11-slice-allocation"
+      (Staged.stage (fun () ->
+           let scheds = Core.List_scheduler.schedules ba in
+           Core.Slice_alloc.allocate example_app example_arch binding scheds));
+    (* E12: MCR on a mid-size expansion. *)
+    Test.make ~name:"E12-mcr-expanded"
+      (Staged.stage
+         (let g =
+            Sdf.Sdfg.of_lists ~actors:[ "a"; "b"; "c" ]
+              ~channels:
+                [ ("a", "b", 50, 1, 0); ("b", "c", 1, 50, 0); ("c", "a", 1, 1, 1) ]
+          in
+          let gamma = Sdf.Repetition.vector_exn g in
+          let h = Sdf.Hsdf.convert g gamma in
+          let taus = Sdf.Hsdf.timing h [| 9; 2; 7 |] in
+          fun () -> Analysis.Mcr.max_cycle_ratio h.Sdf.Hsdf.graph taus));
+    (* E13: the inflation-model analysis. *)
+    Test.make ~name:"E13-tdma-inflation"
+      (Staged.stage (fun () -> Core.Tdma_inflation.throughput ba ~schedules));
+  ]
+
+let run_bechamel () =
+  Tables.section "TIMERS" "Bechamel micro-benchmarks (ns per run, OLS fit)";
+  let tests = Test.make_grouped ~name:"sdfalloc" (bechamel_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (v :: _) -> v
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-36s %16s\n" "benchmark" "time per run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-36s %16s\n" name human)
+    rows
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let with_bechamel = not (List.mem "--no-bechamel" argv) in
+  let seqs = if quick then [ 0 ] else [ 0; 1; 2 ] in
+  let archs = if quick then [ 0 ] else [ 0; 1; 2 ] in
+  Printf.printf
+    "Reproduction harness: Stuijk et al., 'Multiprocessor Resource \
+     Allocation\nfor Throughput-Constrained Synchronous Dataflow Graphs', \
+     DAC 2007.\nScale: %d sequence(s) x %d architecture(s)%s\n"
+    (List.length seqs) (List.length archs)
+    (if quick then " (--quick)" else " (the paper's full protocol)");
+  Tables.e2_e3_example_models ();
+  Tables.e4_binding_aware ();
+  Tables.e5_statespaces ();
+  Tables.e6_list_scheduler ();
+  Tables.e7_table3 ();
+  Tables.e1_h263_hsdf ();
+  Tables.e12_baseline_sweep ();
+  Tables.e21_hsdf_allocation ();
+  Tables.e13_tdma_ablation ();
+  Tables.e14_protocol_improvements ();
+  Tables.e15_buffer_tradeoff ();
+  Tables.e16_connection_models ();
+  Tables.e17_sync_models ();
+  Tables.e18_dimensioning ();
+  Tables.e19_csdf_lumping ();
+  Tables.e20_criticality_validation ();
+  Tables.e22_guarantee_validation ();
+  Tables.e23_composition ();
+  Tables.e11_multimedia ();
+  Tables.e8_e9_e10 ~seqs ~archs ();
+  if with_bechamel then run_bechamel ();
+  print_newline ()

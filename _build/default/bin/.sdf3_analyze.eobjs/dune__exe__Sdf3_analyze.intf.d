@@ -1,0 +1,1 @@
+bin/sdf3_analyze.mli:

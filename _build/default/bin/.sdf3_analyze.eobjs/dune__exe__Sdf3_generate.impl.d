@@ -1,0 +1,1 @@
+bin/sdf3_generate.ml: Appmodel Arg Array Cmd Cmdliner Filename Gen List Printf Sdf Term

@@ -1,0 +1,1 @@
+bin/sdf3_print.ml: Appmodel Arg Array Cmd Cmdliner Format Printf Sdf Term

@@ -1,0 +1,99 @@
+(* Design-space exploration around one application:
+   - the storage-space / throughput trade-off of its graph (the DAC'06
+     exploration the paper builds its Theta annotations on), and
+   - the cost of tightening the throughput constraint on a platform: how
+     much TDMA slice the allocation strategy must reserve as lambda grows. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+
+let model_of_name = function
+  | "example" -> (Appmodel.Models.example_app (), Appmodel.Models.example_platform ())
+  | "mp3" -> (Appmodel.Models.mp3 (), Appmodel.Models.multimedia_platform ())
+  | "h263" -> (Appmodel.Models.h263 (), Appmodel.Models.multimedia_platform ())
+  | s ->
+      Printf.eprintf "unknown model %S (try example, h263, mp3)\n" s;
+      exit 1
+
+let buffer_tradeoff app =
+  let g = app.Appgraph.graph in
+  let taus =
+    Array.init (Sdfg.num_actors g) (fun a -> Appgraph.max_exec_time app a)
+  in
+  print_endline "buffer-space / throughput trade-off (worst-case actor times):";
+  Printf.printf "  %12s %16s   distribution\n" "total slots" "throughput";
+  List.iter
+    (fun p ->
+      Printf.printf "  %12d %16s   [%s]\n" p.Analysis.Buffer_sizing.total_tokens
+        (Rat.to_string p.Analysis.Buffer_sizing.rate)
+        (String.concat ";"
+           (Array.to_list
+              (Array.map string_of_int p.Analysis.Buffer_sizing.distribution))))
+    (Analysis.Buffer_sizing.pareto ~max_states:500_000 g taus
+       ~output:app.Appgraph.output_actor)
+
+let lambda_sweep app arch =
+  print_endline
+    "\nconstraint tightness vs reserved TDMA slice (allocation strategy):";
+  Printf.printf "  %16s %16s %12s %8s\n" "lambda" "achieved" "slice total" "checks";
+  (* Sweep multiples of the model's own constraint. *)
+  List.iter
+    (fun (num, den) ->
+      let lambda = Rat.mul app.Appgraph.lambda (Rat.make num den) in
+      let app = Appgraph.with_lambda app lambda in
+      match Core.Strategy.allocate ~max_states:1_000_000 app arch with
+      | Ok alloc ->
+          Printf.printf "  %16s %16s %12d %8d\n" (Rat.to_string lambda)
+            (Rat.to_string alloc.Core.Strategy.throughput)
+            (Array.fold_left ( + ) 0 alloc.Core.Strategy.slices)
+            alloc.Core.Strategy.stats.Core.Strategy.throughput_checks
+      | Error f ->
+          Printf.printf "  %16s %s\n" (Rat.to_string lambda)
+            (Format.asprintf "%a" Core.Strategy.pp_failure f))
+    [ (1, 4); (1, 2); (3, 4); (1, 1); (5, 4); (3, 2); (2, 1) ]
+
+let latency_report app =
+  let g = app.Appgraph.graph in
+  let taus =
+    Array.init (Sdfg.num_actors g) (fun a -> Appgraph.max_exec_time app a)
+  in
+  Printf.printf "\nlatency (self-timed, worst-case actor times):\n";
+  (match
+     Analysis.Latency.first_output_completion ~max_states:500_000 g taus
+       ~output:app.Appgraph.output_actor
+   with
+  | t -> Printf.printf "  first output token after %d time units\n" t
+  | exception Not_found -> print_endline "  output actor starved");
+  Printf.printf "  first-iteration makespan: %d time units\n"
+    (Analysis.Latency.iteration_makespan ~max_states:500_000 g taus)
+
+let dse model skip_buffers =
+  let app, arch = model_of_name model in
+  Printf.printf "design-space exploration for %s (lambda %s)\n\n"
+    app.Appgraph.app_name
+    (Rat.to_string app.Appgraph.lambda);
+  if not skip_buffers then buffer_tradeoff app;
+  latency_report app;
+  lambda_sweep app arch
+
+open Cmdliner
+
+let model =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"MODEL" ~doc:"Model name: example, h263 or mp3")
+
+let skip_buffers =
+  Arg.(
+    value & flag
+    & info [ "no-buffers" ]
+        ~doc:"Skip the buffer trade-off (slow for strongly multirate graphs)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_dse" ~doc:"Design-space exploration for an application model")
+    Term.(const dse $ model $ skip_buffers)
+
+let () = exit (Cmd.eval cmd)

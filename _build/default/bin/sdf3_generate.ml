@@ -1,0 +1,48 @@
+(* Generate random benchmark application graphs (the paper's Section 10.1
+   benchmark sets) and write them as text files. *)
+
+module Appgraph = Appmodel.Appgraph
+
+let generate set seq count out =
+  if set < 1 || set > 4 then begin
+    Printf.eprintf "set must be 1..4\n";
+    exit 1
+  end;
+  let apps = Gen.Benchsets.sequence ~set ~seq ~count in
+  List.iteri
+    (fun i app ->
+      let g = app.Appgraph.graph in
+      let taus =
+        Array.init (Sdf.Sdfg.num_actors g) (fun a ->
+            Appgraph.max_exec_time app a)
+      in
+      let name = app.Appgraph.app_name in
+      match out with
+      | None -> print_string (Sdf.Textio.print ~exec_times:taus name g)
+      | Some dir ->
+          let path = Filename.concat dir (Printf.sprintf "%s.sdf" name) in
+          Sdf.Textio.write_file ~exec_times:taus path name g;
+          Printf.printf "wrote %s (%d actors, lambda=%s)\n" path
+            (Sdf.Sdfg.num_actors g)
+            (Sdf.Rat.to_string app.Appgraph.lambda);
+          ignore i)
+    apps
+
+open Cmdliner
+
+let set = Arg.(value & opt int 1 & info [ "set" ] ~doc:"Benchmark set (1..4)")
+let seq = Arg.(value & opt int 0 & info [ "seq" ] ~doc:"Sequence index (0..2)")
+let count = Arg.(value & opt int 5 & info [ "count"; "n" ] ~doc:"Number of graphs")
+
+let out =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Write one .sdf file per graph into $(docv)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_generate" ~doc:"Generate random benchmark SDFGs")
+    Term.(const generate $ set $ seq $ count $ out)
+
+let () = exit (Cmd.eval cmd)

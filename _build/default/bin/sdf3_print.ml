@@ -1,0 +1,55 @@
+(* Dump the built-in application models (the paper's running example, the
+   H.263 decoder of Fig. 1 and the Sec. 10.3 MP3 decoder) as text or DOT. *)
+
+module Appgraph = Appmodel.Appgraph
+
+let model_of_name = function
+  | "example" -> Appmodel.Models.example_app ()
+  | "h263" -> Appmodel.Models.h263 ()
+  | "mp3" -> Appmodel.Models.mp3 ()
+  | s ->
+      Printf.eprintf "unknown model %S (try example, h263, mp3)\n" s;
+      exit 1
+
+let print_model name fmt =
+  let app = model_of_name name in
+  let g = app.Appgraph.graph in
+  (* Render with the worst-case execution times, which is what Eqn. 1 uses. *)
+  let taus =
+    Array.init (Sdf.Sdfg.num_actors g) (fun a -> Appgraph.max_exec_time app a)
+  in
+  match fmt with
+  | `Text -> print_string (Sdf.Textio.print ~exec_times:taus name g)
+  | `Dot -> print_string (Sdf.Dot.to_dot ~name ~exec_times:taus g)
+  | `Xml -> print_string (Appmodel.Sdf3_xml.app_to_string app)
+  | `Info ->
+      Format.printf "%a@." Appgraph.pp app;
+      let gamma = Appgraph.gamma app in
+      Format.printf "repetition vector:";
+      Array.iteri
+        (fun a v -> Format.printf " %s=%d" (Sdf.Sdfg.actor_name g a) v)
+        gamma;
+      Format.printf "@.HSDF size: %d actors@."
+        (Sdf.Repetition.iteration_firings gamma)
+
+open Cmdliner
+
+let model =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"MODEL" ~doc:"Model name: example, h263 or mp3")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("dot", `Dot); ("info", `Info); ("xml", `Xml) ]) `Text
+    & info [ "format"; "f" ] ~docv:"FMT"
+        ~doc:"Output format: text, dot, info or xml (SDF3 style)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_print" ~doc:"Print a built-in application model")
+    Term.(const print_model $ model $ format)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/costfn_exploration.ml: Core Gen List Printf

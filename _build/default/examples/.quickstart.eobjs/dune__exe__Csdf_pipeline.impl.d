@@ -1,0 +1,1 @@
+examples/csdf_pipeline.ml: Analysis Appmodel Array Core Csdf Format Platform Printf Sdf

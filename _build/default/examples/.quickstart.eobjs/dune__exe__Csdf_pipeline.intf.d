@@ -1,0 +1,1 @@
+examples/csdf_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/dataflow_io.ml: Analysis Array Baseline Filename Printf Sdf

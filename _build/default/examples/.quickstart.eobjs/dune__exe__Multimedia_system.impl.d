@@ -1,0 +1,1 @@
+examples/multimedia_system.ml: Appmodel Array Core List Platform Printf Sdf String Unix

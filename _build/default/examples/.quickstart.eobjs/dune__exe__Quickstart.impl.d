@@ -1,0 +1,1 @@
+examples/quickstart.ml: Appmodel Array Core Format Platform Printf Sdf

@@ -1,0 +1,1 @@
+examples/statespace_demo.ml: Analysis Appmodel Array Core Format List Printf Sdf

@@ -1,0 +1,1 @@
+examples/statespace_demo.mli:

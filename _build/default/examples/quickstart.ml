@@ -1,0 +1,94 @@
+(* Quickstart: model a small application, describe a platform, and let the
+   allocation strategy bind, schedule and reserve TDMA slices for it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+let () =
+  (* 1. The application structure: a three-stage pipeline with a decimating
+     filter (consumes 4 samples, produces 1) and a feedback edge that bounds
+     the pipeline depth. Token counts on channels are initial tokens. *)
+  let graph =
+    Sdfg.of_lists
+      ~actors:[ "src"; "filter"; "sink" ]
+      ~channels:
+        [
+          ("src", "filter", 1, 4, 0); (* 4 samples per filter firing *)
+          ("filter", "sink", 1, 1, 0);
+          ("sink", "src", 4, 1, 4); (* feedback: 4 tokens in flight *)
+        ]
+  in
+  (* 2. Resource requirements: execution time and state size per processor
+     type (Gamma), and per channel the token size, buffer sizes and
+     bandwidth need (Theta). *)
+  let r t m = Appgraph.{ exec_time = t; memory = m } in
+  let reqs =
+    [|
+      [ ("risc", r 2 256) ];
+      [ ("risc", r 10 1024); ("dsp", r 4 1024) ]; (* faster on the DSP *)
+      [ ("risc", r 3 512) ];
+    |]
+  in
+  let chan ~sz ~buf ~bw =
+    Appgraph.
+      { token_size = sz; alpha_tile = buf; alpha_src = buf; alpha_dst = buf;
+        bandwidth = bw }
+  in
+  let creqs =
+    [| chan ~sz:32 ~buf:8 ~bw:16; chan ~sz:32 ~buf:2 ~bw:16;
+       chan ~sz:8 ~buf:8 ~bw:8 |]
+  in
+  (* 3. The throughput constraint: the sink must fire at least once every
+     40 time units. *)
+  let app =
+    Appgraph.make ~name:"quickstart" ~graph ~reqs ~creqs
+      ~lambda:(Rat.make 1 40) ~output_actor:2
+  in
+  (* 4. The platform: two tiles around a unit-latency interconnect. *)
+  let tile idx name proc_type =
+    Tile.make ~idx ~name ~proc_type ~wheel:20 ~mem:65_536 ~max_conns:4
+      ~in_bw:64 ~out_bw:64 ()
+  in
+  let arch =
+    Archgraph.make
+      [| tile 0 "risc0" "risc"; tile 1 "dsp0" "dsp" |]
+      [
+        { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 1 };
+        { Archgraph.k_idx = 1; from_tile = 1; to_tile = 0; latency = 1 };
+      ]
+  in
+  (* 5. Allocate: binding -> static-order schedules -> TDMA slices. *)
+  match Core.Strategy.allocate app arch with
+  | Error f ->
+      Format.printf "allocation failed: %a@." Core.Strategy.pp_failure f;
+      exit 1
+  | Ok alloc ->
+      Printf.printf "allocation found; guaranteed throughput %s (constraint %s)\n"
+        (Rat.to_string alloc.Core.Strategy.throughput)
+        (Rat.to_string app.Appgraph.lambda);
+      Array.iteri
+        (fun a t ->
+          Printf.printf "  actor %-6s -> tile %s\n" (Sdfg.actor_name graph a)
+            (Archgraph.tile arch t).Tile.t_name)
+        alloc.Core.Strategy.binding;
+      Array.iteri
+        (fun t omega ->
+          if omega > 0 then
+            match alloc.Core.Strategy.schedules.(t) with
+            | Some s ->
+                Printf.printf "  tile %s: TDMA slice %d of %d, order %s\n"
+                  (Archgraph.tile arch t).Tile.t_name omega
+                  (Archgraph.tile arch t).Tile.wheel
+                  (Format.asprintf "%a"
+                     (Core.Schedule.pp (fun ppf a ->
+                          Format.pp_print_string ppf (Sdfg.actor_name graph a)))
+                     s)
+            | None -> ())
+        alloc.Core.Strategy.slices;
+      Printf.printf "  throughput checks used: %d\n"
+        alloc.Core.Strategy.stats.Core.Strategy.throughput_checks

@@ -1,0 +1,1 @@
+lib/analysis/buffer_sizing.ml: Array List Printf Sdf Selftimed

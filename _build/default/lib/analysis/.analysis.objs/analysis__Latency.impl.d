@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Array Sdf Selftimed

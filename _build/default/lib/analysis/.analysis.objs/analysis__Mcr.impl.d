@@ -1,0 +1,1 @@
+lib/analysis/mcr.ml: Array Fun Hashtbl List Queue Sdf

@@ -1,0 +1,1 @@
+lib/analysis/mcr.mli: Sdf

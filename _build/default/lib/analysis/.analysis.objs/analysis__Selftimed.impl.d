@@ -1,0 +1,1 @@
+lib/analysis/selftimed.ml: Array Hashtbl List Marshal Printf Sdf

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Array Fun List Sdf Selftimed

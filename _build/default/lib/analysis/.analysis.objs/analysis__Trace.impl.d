@@ -1,0 +1,1 @@
+lib/analysis/trace.ml: Buffer Format List Printf Sdf Selftimed String

@@ -1,0 +1,1 @@
+lib/analysis/trace.mli: Format Sdf

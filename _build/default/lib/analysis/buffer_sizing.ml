@@ -1,0 +1,211 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+module Deadlock = Sdf.Deadlock
+
+type distribution = int array
+
+let sized g ci = not (Sdfg.is_self_loop g ci)
+
+let bounded_graph g dist =
+  if Array.length dist <> Sdfg.num_channels g then
+    invalid_arg "Buffer_sizing.bounded_graph: distribution length mismatch";
+  let b = Sdfg.Builder.create () in
+  for a = 0 to Sdfg.num_actors g - 1 do
+    ignore (Sdfg.Builder.add_actor b (Sdfg.actor_name g a))
+  done;
+  Array.iter
+    (fun c ->
+      ignore
+        (Sdfg.Builder.add_channel b ~name:c.Sdfg.c_name ~tokens:c.Sdfg.tokens
+           ~src:c.Sdfg.src ~dst:c.Sdfg.dst ~prod:c.Sdfg.prod ~cons:c.Sdfg.cons
+           ());
+      if sized g c.Sdfg.c_idx then begin
+        if dist.(c.Sdfg.c_idx) < c.Sdfg.tokens then
+          invalid_arg
+            "Buffer_sizing.bounded_graph: capacity below initial tokens";
+        ignore
+          (Sdfg.Builder.add_channel b
+             ~name:(Printf.sprintf "cap_%s" c.Sdfg.c_name)
+             ~tokens:(dist.(c.Sdfg.c_idx) - c.Sdfg.tokens)
+             ~src:c.Sdfg.dst ~dst:c.Sdfg.src ~prod:c.Sdfg.cons
+             ~cons:c.Sdfg.prod ())
+      end)
+    (Sdfg.channels g);
+  Sdfg.Builder.build b
+
+let is_live g dist =
+  let bg = bounded_graph g dist in
+  match Repetition.compute bg with
+  | Repetition.Consistent gamma -> Deadlock.check bg gamma = Deadlock.Deadlock_free
+  | Repetition.Inconsistent _ | Repetition.Disconnected -> false
+
+let iteration_bound g =
+  let gamma = Repetition.vector_exn g in
+  Array.map
+    (fun c ->
+      if sized g c.Sdfg.c_idx then (c.Sdfg.prod * gamma.(c.Sdfg.src)) + c.Sdfg.tokens
+      else c.Sdfg.tokens)
+    (Sdfg.channels g)
+
+let minimal_live g =
+  let dist = iteration_bound g in
+  (* Per-channel descent: shrink each channel as far as liveness allows.
+     Rescanning after any shrink keeps the result minimal (shrinking one
+     buffer can unlock shrinking another was already tried, but only in the
+     other direction: capacities only decrease, so one extra sweep without
+     progress certifies minimality). *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun c ->
+        let ci = c.Sdfg.c_idx in
+        if sized g ci then
+          while
+            dist.(ci) > c.Sdfg.tokens
+            &&
+            (dist.(ci) <- dist.(ci) - 1;
+             if is_live g dist then true
+             else begin
+               dist.(ci) <- dist.(ci) + 1;
+               false
+             end)
+          do
+            progress := true
+          done)
+      (Sdfg.channels g)
+  done;
+  dist
+
+let throughput ?max_states g exec_times dist ~output =
+  let bg = bounded_graph g dist in
+  match Selftimed.analyze ?max_states bg exec_times with
+  | r -> r.Selftimed.throughput.(output)
+  | exception Selftimed.Deadlocked -> Rat.zero
+  | exception Selftimed.State_space_exceeded _ -> Rat.zero
+
+type tradeoff_point = {
+  total_tokens : int;
+  distribution : distribution;
+  rate : Rat.t;
+}
+
+let total g dist =
+  let acc = ref 0 in
+  Array.iteri (fun ci v -> if sized g ci then acc := !acc + v) dist;
+  !acc
+
+let pareto ?max_states ?(max_steps = 64) g exec_times ~output =
+  let dist = minimal_live g in
+  let point d =
+    {
+      total_tokens = total g d;
+      distribution = Array.copy d;
+      rate = throughput ?max_states g exec_times d ~output;
+    }
+  in
+  let current = ref (point dist) in
+  let points = ref [ !current ] in
+  let steps = ref 0 in
+  let improving = ref true in
+  let nch = Sdfg.num_channels g in
+  while !improving && !steps < max_steps do
+    incr steps;
+    (* Try one extra slot on each channel; keep the best improvement.
+       Scanning from a rotating start index makes ties pick a different
+       channel every step, so plateau walks spread the extra slots instead
+       of growing one buffer forever (a throughput step may need slots on
+       several channels). *)
+    let best = ref None in
+    for k = 0 to nch - 1 do
+      let ci = (k + !steps) mod nch in
+      if sized g ci then begin
+        let d = Array.copy !current.distribution in
+        d.(ci) <- d.(ci) + 1;
+        let r = throughput ?max_states g exec_times d ~output in
+        match !best with
+        | Some (_, br) when Rat.compare br r >= 0 -> ()
+        | _ -> best := Some (d, r)
+      end
+    done;
+    match !best with
+    | Some (d, r) when Rat.compare r !current.rate > 0 ->
+        current := { total_tokens = total g d; distribution = d; rate = r };
+        points := !current :: !points
+    | Some (d, r) when Rat.compare r !current.rate = 0 ->
+        (* Plateau: a throughput step may need slots on several channels at
+           once. Walk along the best tie (without recording a point) so the
+           next sweep can find the joint improvement; max_steps bounds the
+           walk. *)
+        current := { total_tokens = total g d; distribution = d; rate = r }
+    | _ -> improving := false
+  done;
+  List.rev !points
+
+exception Node_limit
+
+let minimum_total_live ?(node_limit = 200_000) g =
+  let nch = Sdfg.num_channels g in
+  let greedy = minimal_live g in
+  (* Per-channel lower bounds: initial tokens and the single-channel
+     liveness requirement (prod + cons - gcd, tokens included). *)
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let lower =
+    Array.map
+      (fun c ->
+        if sized g c.Sdfg.c_idx then
+          max
+            (c.Sdfg.prod + c.Sdfg.cons - gcd c.Sdfg.prod c.Sdfg.cons)
+            c.Sdfg.tokens
+        else c.Sdfg.tokens)
+      (Sdfg.channels g)
+  in
+  (* The greedy result is live, so the optimum's total is at most its
+     total, and no channel ever needs more capacity than the greedy value
+     (capacities only relax constraints): the search box is finite. *)
+  let best_total = ref (total g greedy) in
+  let best = ref (Array.copy greedy) in
+  let nodes = ref 0 in
+  let current = Array.copy lower in
+  let remaining_lower =
+    (* remaining_lower.(ci) = sum of lower bounds of sized channels >= ci *)
+    let arr = Array.make (nch + 1) 0 in
+    for ci = nch - 1 downto 0 do
+      arr.(ci) <- arr.(ci + 1) + (if sized g ci then lower.(ci) else 0)
+    done;
+    arr
+  in
+  let rec assign ci acc =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    if ci = nch then begin
+      if acc < !best_total && is_live g current then begin
+        best_total := acc;
+        best := Array.copy current
+      end
+    end
+    else if not (sized g ci) then begin
+      current.(ci) <- lower.(ci);
+      assign (ci + 1) acc
+    end
+    else begin
+      let hi = max greedy.(ci) lower.(ci) in
+      for v = lower.(ci) to hi do
+        if acc + v + remaining_lower.(ci + 1) < !best_total then begin
+          current.(ci) <- v;
+          assign (ci + 1) (acc + v)
+        end
+      done;
+      current.(ci) <- lower.(ci)
+    end
+  in
+  match assign 0 0 with
+  | () -> Some !best
+  | exception Node_limit -> None
+
+let distribution_for_rate ?max_states ?max_steps g exec_times ~output ~target =
+  let points = pareto ?max_states ?max_steps g exec_times ~output in
+  List.find_map
+    (fun p -> if Rat.compare p.rate target >= 0 then Some p.distribution else None)
+    points

@@ -1,0 +1,82 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+(** Storage-space / throughput trade-off analysis (Stuijk, Geilen, Basten,
+    DAC'06 — the paper's reference [21] and the source of its Theta buffer
+    annotations).
+
+    Bounding a channel to [b] token slots is modelled by a reverse channel
+    carrying the free slots, exactly as in the binding-aware construction
+    (Section 8.1). Smaller buffers mean less memory but may throttle or
+    even deadlock the graph; this module computes live distributions and
+    explores the trade-off curve between total buffer space and self-timed
+    throughput.
+
+    A {e distribution} assigns a capacity (in tokens) to every channel.
+    Self-loop channels are not sized: consistency fixes their token
+    population, so their entry is pinned to their initial tokens. *)
+
+type distribution = int array
+(** Per channel, in tokens. *)
+
+val bounded_graph : Sdfg.t -> distribution -> Sdfg.t
+(** The graph with every non-self-loop channel [d] bounded to
+    [distribution.(d)] slots (reverse channel with [capacity - tokens]
+    initial tokens).
+    @raise Invalid_argument if a capacity is below the channel's initial
+    tokens or the array length mismatches. *)
+
+val is_live : Sdfg.t -> distribution -> bool
+(** Whether one iteration can execute under the bounded buffers. *)
+
+val iteration_bound : Sdfg.t -> distribution
+(** The distribution holding one full iteration of production per channel
+    ([prod * gamma src + tokens]): always live, and the starting point of
+    the searches below.
+    @raise Invalid_argument on inconsistent graphs. *)
+
+val minimal_live : Sdfg.t -> distribution
+(** A minimal live distribution: decreasing any single channel's capacity
+    deadlocks the graph. Computed by per-channel descent from
+    {!iteration_bound}; a minimal element, not necessarily the minimum
+    total (finding that is NP-hard, [21] explores it exactly with a
+    branch-and-bound search). *)
+
+val throughput :
+  ?max_states:int -> Sdfg.t -> int array -> distribution -> output:int -> Rat.t
+(** Self-timed throughput of the output actor under the bounded buffers;
+    0 when the distribution deadlocks. *)
+
+type tradeoff_point = {
+  total_tokens : int;  (** total capacity, in tokens, over sized channels *)
+  distribution : distribution;
+  rate : Rat.t;  (** throughput of the output actor *)
+}
+
+val pareto :
+  ?max_states:int -> ?max_steps:int -> Sdfg.t -> int array -> output:int ->
+  tradeoff_point list
+(** The buffer-space / throughput staircase: starting from
+    {!minimal_live}, greedily grow the single channel whose extra slot
+    helps throughput most, until no single increment improves it (or
+    [max_steps], default 64, increments were spent). Returns the visited
+    Pareto-improving points in increasing size; the greedy search matches
+    the shape (not necessarily every point) of the exact exploration in
+    [21]. *)
+
+val minimum_total_live : ?node_limit:int -> Sdfg.t -> distribution option
+(** The exact minimum-total live distribution, by branch and bound over
+    per-channel capacities between the single-channel liveness bound and
+    {!minimal_live}'s value (the greedy result is an upper bound, so the
+    optimum lies in that box). This is the reference computation behind
+    the heuristics — exponential in the channel count, usable for small
+    graphs; [None] when the search exceeds [node_limit] (default
+    [200_000]) nodes. *)
+
+val distribution_for_rate :
+  ?max_states:int -> ?max_steps:int -> Sdfg.t -> int array -> output:int ->
+  target:Rat.t -> distribution option
+(** The first point of {!pareto} whose rate reaches [target], or [None]
+    when even the explored staircase tops out below it — a cheap way to
+    derive Theta buffer sizes that support a given throughput constraint
+    before handing the application to the allocator. *)

@@ -1,0 +1,28 @@
+module Sdfg = Sdf.Sdfg
+module Repetition = Sdf.Repetition
+
+let first_output_completion ?max_states g exec_times ~output =
+  let first_start = ref None in
+  let observer time actor =
+    if actor = output && !first_start = None then first_start := Some time
+  in
+  ignore (Selftimed.analyze ~observer ?max_states g exec_times);
+  match !first_start with
+  | Some t -> t + exec_times.(output)
+  | None -> raise Not_found
+
+let iteration_makespan ?max_states g exec_times =
+  let gamma = Repetition.vector_exn g in
+  let remaining = Array.copy gamma in
+  let makespan = ref 0 in
+  let observer time actor =
+    if remaining.(actor) > 0 then begin
+      remaining.(actor) <- remaining.(actor) - 1;
+      makespan := max !makespan (time + exec_times.(actor))
+    end
+  in
+  ignore (Selftimed.analyze ~observer ?max_states g exec_times);
+  (* The exploration runs at least one full iteration past the transient,
+     so every counter reached zero. *)
+  assert (Array.for_all (fun r -> r = 0) remaining);
+  !makespan

@@ -1,0 +1,22 @@
+module Sdfg = Sdf.Sdfg
+
+(** Latency metrics derived from the self-timed execution.
+
+    Besides throughput, multimedia pipelines care about start-up latency
+    (how long until the first output token) and the iteration makespan
+    (how long one complete graph iteration occupies the pipeline). Both
+    fall out of the same deterministic execution that the throughput
+    analysis explores, observed via firing-start events. *)
+
+val first_output_completion :
+  ?max_states:int -> Sdfg.t -> int array -> output:int -> int
+(** Completion time of the output actor's first firing in the self-timed
+    execution — the start-up latency of the pipeline.
+    @raise Not_found if the output actor never fires before the state
+    space recurs (a starved output). Other exceptions as in
+    {!Selftimed.analyze}. *)
+
+val iteration_makespan : ?max_states:int -> Sdfg.t -> int array -> int
+(** The time by which every actor [a] has completed its first [gamma a]
+    firings — the makespan of the first graph iteration, a lower bound on
+    any schedule of one iteration on infinite resources. *)

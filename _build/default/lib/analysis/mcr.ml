@@ -1,0 +1,258 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+
+type outcome = Acyclic | Zero_token_cycle of int list | Ratio of Rat.t
+
+let neg_inf = min_int / 4
+
+(* Topological order of the token-free subgraph, or a witness cycle.
+   Kahn's algorithm on the actors, using only channels without tokens. *)
+let zero_subgraph_order g =
+  let n = Sdfg.num_actors g in
+  let indeg = Array.make n 0 in
+  let zero_out = Array.make n [] in
+  Array.iter
+    (fun c ->
+      if c.Sdfg.tokens = 0 then begin
+        indeg.(c.Sdfg.dst) <- indeg.(c.Sdfg.dst) + 1;
+        zero_out.(c.Sdfg.src) <- c.Sdfg.c_idx :: zero_out.(c.Sdfg.src)
+      end)
+    (Sdfg.channels g);
+  let queue = Queue.create () in
+  for a = 0 to n - 1 do
+    if indeg.(a) = 0 then Queue.add a queue
+  done;
+  let order = ref [] in
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    incr processed;
+    order := a :: !order;
+    List.iter
+      (fun ci ->
+        let d = (Sdfg.channel g ci).Sdfg.dst in
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      zero_out.(a)
+  done;
+  if !processed = n then Ok (List.rev !order, zero_out)
+  else begin
+    (* Extract a zero-token cycle among the unprocessed actors. *)
+    let in_cycle_region a = indeg.(a) > 0 in
+    let start = ref (-1) in
+    for a = n - 1 downto 0 do
+      if in_cycle_region a then start := a
+    done;
+    (* Walk forward along zero-token channels inside the region until an
+       actor repeats; the cycle is the suffix of the walk starting at the
+       repeated actor. Each path entry records the channel and the actor it
+       leaves from. *)
+    let rec walk a path_rev seen =
+      if List.mem a seen then begin
+        let rec drop = function
+          | (from, _) :: _ as l when from = a -> List.map snd l
+          | _ :: rest -> drop rest
+          | [] -> assert false
+        in
+        drop (List.rev path_rev)
+      end
+      else begin
+        let ci =
+          List.find
+            (fun ci -> in_cycle_region (Sdfg.channel g ci).Sdfg.dst)
+            zero_out.(a)
+        in
+        walk (Sdfg.channel g ci).Sdfg.dst ((a, ci) :: path_rev) (a :: seen)
+      end
+    in
+    Error (walk !start [] [])
+  end
+
+(* Karp's maximum cycle mean on an explicit digraph given as arc lists.
+   Returns None when the (sub)graph has no cycle reachable from node 0. *)
+let karp_mcm nodes arcs =
+  let m = nodes in
+  if m = 0 then None
+  else begin
+    let out = Array.make m [] in
+    List.iter (fun (u, v, w) -> out.(u) <- (v, w) :: out.(u)) arcs;
+    let d = Array.make_matrix (m + 1) m neg_inf in
+    d.(0).(0) <- 0;
+    for k = 0 to m - 1 do
+      for u = 0 to m - 1 do
+        if d.(k).(u) > neg_inf then
+          List.iter
+            (fun (v, w) ->
+              if d.(k).(u) + w > d.(k + 1).(v) then
+                d.(k + 1).(v) <- d.(k).(u) + w)
+            out.(u)
+      done
+    done;
+    let best = ref None in
+    for v = 0 to m - 1 do
+      if d.(m).(v) > neg_inf then begin
+        let worst = ref None in
+        for k = 0 to m - 1 do
+          if d.(k).(v) > neg_inf then begin
+            let r = Rat.make (d.(m).(v) - d.(k).(v)) (m - k) in
+            match !worst with
+            | Some w when Rat.compare w r <= 0 -> ()
+            | _ -> worst := Some r
+          end
+        done;
+        match (!best, !worst) with
+        | _, None -> ()
+        | Some b, Some w when Rat.compare b w >= 0 -> ()
+        | _, Some w -> best := Some w
+      end
+    done;
+    !best
+  end
+
+(* Strongly connected components of an explicit digraph (Tarjan, iterative). *)
+let explicit_sccs nodes arcs =
+  let out = Array.make nodes [] in
+  List.iter (fun (u, v, _) -> out.(u) <- v :: out.(u)) arcs;
+  let index = Array.make nodes (-1) in
+  let lowlink = Array.make nodes 0 in
+  let on_stack = Array.make nodes false in
+  let stack = ref [] in
+  let next = ref 0 in
+  let comp = Array.make nodes (-1) in
+  let ncomp = ref 0 in
+  for root = 0 to nodes - 1 do
+    if index.(root) = -1 then begin
+      let work = ref [] in
+      let push v =
+        index.(v) <- !next;
+        lowlink.(v) <- !next;
+        incr next;
+        stack := v :: !stack;
+        on_stack.(v) <- true;
+        work := (v, out.(v)) :: !work
+      in
+      push root;
+      let rec loop () =
+        match !work with
+        | [] -> ()
+        | (u, []) :: rest ->
+            work := rest;
+            (match rest with
+            | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(u)
+            | [] -> ());
+            if lowlink.(u) = index.(u) then begin
+              let rec pop () =
+                match !stack with
+                | w :: tl ->
+                    stack := tl;
+                    on_stack.(w) <- false;
+                    comp.(w) <- !ncomp;
+                    if w <> u then pop ()
+                | [] -> assert false
+              in
+              pop ();
+              incr ncomp
+            end;
+            loop ()
+        | (u, v :: vs) :: rest ->
+            work := (u, vs) :: rest;
+            if index.(v) = -1 then push v
+            else if on_stack.(v) then lowlink.(u) <- min lowlink.(u) index.(v);
+            loop ()
+      in
+      loop ()
+    end
+  done;
+  (comp, !ncomp)
+
+let max_cycle_ratio g exec_times =
+  match zero_subgraph_order g with
+  | Error cycle -> Zero_token_cycle cycle
+  | Ok (topo, zero_out) ->
+      let token_channels =
+        Array.to_list (Sdfg.channels g)
+        |> List.filter (fun c -> c.Sdfg.tokens > 0)
+      in
+      if token_channels = [] then Acyclic
+      else begin
+        (* Node numbering in the token graph: channel c with k tokens owns a
+           chain of k nodes; [first_node] maps the channel to the chain head. *)
+        let first_node = Hashtbl.create 16 in
+        let nodes = ref 0 in
+        List.iter
+          (fun c ->
+            Hashtbl.add first_node c.Sdfg.c_idx !nodes;
+            nodes := !nodes + c.Sdfg.tokens)
+          token_channels;
+        let arcs = ref [] in
+        List.iter
+          (fun c ->
+            let base = Hashtbl.find first_node c.Sdfg.c_idx in
+            for i = 0 to c.Sdfg.tokens - 2 do
+              arcs := (base + i, base + i + 1, 0) :: !arcs
+            done)
+          token_channels;
+        (* Longest actor-time path from dst(c1) through the token-free DAG;
+           L.(u) includes the execution times of both endpoints. *)
+        let n = Sdfg.num_actors g in
+        List.iter
+          (fun c1 ->
+            let l = Array.make n neg_inf in
+            let v0 = c1.Sdfg.dst in
+            l.(v0) <- exec_times.(v0);
+            List.iter
+              (fun u ->
+                if l.(u) > neg_inf then
+                  List.iter
+                    (fun ci ->
+                      let d = (Sdfg.channel g ci).Sdfg.dst in
+                      let cand = l.(u) + exec_times.(d) in
+                      if cand > l.(d) then l.(d) <- cand)
+                    zero_out.(u))
+              topo;
+            let tail = Hashtbl.find first_node c1.Sdfg.c_idx + c1.Sdfg.tokens - 1 in
+            List.iter
+              (fun c2 ->
+                if l.(c2.Sdfg.src) > neg_inf then
+                  arcs :=
+                    (tail, Hashtbl.find first_node c2.Sdfg.c_idx, l.(c2.Sdfg.src))
+                    :: !arcs)
+              token_channels)
+          token_channels;
+        let arcs = !arcs in
+        let comp, ncomp = explicit_sccs !nodes arcs in
+        (* Run Karp inside each SCC (renumbered); skip trivial ones. *)
+        let best = ref None in
+        for ci = 0 to ncomp - 1 do
+          let members =
+            List.filter (fun v -> comp.(v) = ci) (List.init !nodes Fun.id)
+          in
+          let local = Hashtbl.create 16 in
+          List.iteri (fun i v -> Hashtbl.add local v i) members;
+          let m = List.length members in
+          let local_arcs =
+            List.filter_map
+              (fun (u, v, w) ->
+                if comp.(u) = ci && comp.(v) = ci then
+                  Some (Hashtbl.find local u, Hashtbl.find local v, w)
+                else None)
+              arcs
+          in
+          if local_arcs <> [] then
+            match karp_mcm m local_arcs with
+            | None -> ()
+            | Some r -> (
+                match !best with
+                | Some b when Rat.compare b r >= 0 -> ()
+                | _ -> best := Some r)
+        done;
+        match !best with None -> Acyclic | Some r -> Ratio r
+      end
+
+let hsdf_throughput h exec_times =
+  match max_cycle_ratio h exec_times with
+  | Acyclic -> Rat.infinity
+  | Zero_token_cycle _ -> invalid_arg "Mcr.hsdf_throughput: graph deadlocks"
+  | Ratio r ->
+      if Rat.equal r Rat.zero then Rat.infinity else Rat.inv r

@@ -1,0 +1,39 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+
+(** Maximum cycle ratio (MCR) analysis.
+
+    The throughput of a homogeneous SDFG is limited by its critical cycle:
+    the cycle maximising (sum of actor execution times) / (number of tokens)
+    [Sriram & Bhattacharyya 2000]. The paper's Section 1 argument — that any
+    HSDF-based allocation strategy pays at least one expensive MCR run on the
+    expanded graph — is reproduced by running this analysis on the converted
+    graphs in the benchmarks; it also serves as an independent oracle for the
+    state-space analysis ([1 / MCR] equals the self-timed iteration
+    throughput on strongly connected graphs).
+
+    The implementation reduces the graph to its {e token graph} (one node
+    per initial token; arc weights are longest actor-time paths through the
+    token-free subgraph, which is acyclic for deadlock-free graphs) and runs
+    Karp's maximum cycle mean algorithm per strongly connected component.
+
+    MCR is defined on any SDFG structure, but its throughput interpretation
+    ([1/MCR] = firings per time unit of every actor) is only meaningful for
+    graphs whose actors all fire once per iteration (HSDFGs). *)
+
+type outcome =
+  | Acyclic  (** no cycle at all: no structural throughput bound *)
+  | Zero_token_cycle of int list
+      (** a cycle of channels without any initial token: the graph
+          deadlocks; the payload is the cycle's channel list *)
+  | Ratio of Rat.t  (** the maximum cycle ratio (time units per token) *)
+
+val max_cycle_ratio : Sdfg.t -> int array -> outcome
+(** [max_cycle_ratio g exec_times]. *)
+
+val hsdf_throughput : Sdfg.t -> int array -> Rat.t
+(** [hsdf_throughput h exec_times] is the steady-state firing rate of every
+    actor of the strongly-connected HSDFG [h]: [1 / MCR], or
+    {!Rat.infinity} for acyclic graphs.
+    @raise Invalid_argument on a zero-token cycle (deadlock). *)

@@ -1,0 +1,133 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+
+type result = {
+  throughput : Rat.t array;
+  period : int;
+  iterations_per_period : int;
+  transient : int;
+  states : int;
+}
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+(* Insert into an ascending sorted list. *)
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x <= y -> x :: l
+  | y :: rest -> y :: insert_sorted x rest
+
+let validate g exec_times =
+  let n = Sdfg.num_actors g in
+  if n = 0 then invalid_arg "Selftimed.analyze: empty graph";
+  if Array.length exec_times <> n then
+    invalid_arg "Selftimed.analyze: exec_times length mismatch";
+  Array.iter
+    (fun t -> if t < 0 then invalid_arg "Selftimed.analyze: negative execution time")
+    exec_times;
+  for a = 0 to n - 1 do
+    if Sdfg.in_channels g a = [] then
+      invalid_arg
+        (Printf.sprintf
+           "Selftimed.analyze: actor %s has no input channel (unbounded \
+            auto-concurrency)"
+           (Sdfg.actor_name g a))
+  done
+
+let analyze ?observer ?(max_states = 2_000_000) g exec_times =
+  validate g exec_times;
+  let gamma = Repetition.vector_exn g in
+  let n = Sdfg.num_actors g in
+  let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
+  let active = Array.make n [] in
+  let counts = Array.make n 0 in
+  let time = ref 0 in
+  let seen : (string, int * int array) Hashtbl.t = Hashtbl.create 4096 in
+  let enabled a =
+    List.for_all
+      (fun ci -> tokens.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
+      (Sdfg.in_channels g a)
+  in
+  let consume a =
+    List.iter
+      (fun ci -> tokens.(ci) <- tokens.(ci) - (Sdfg.channel g ci).Sdfg.cons)
+      (Sdfg.in_channels g a)
+  in
+  let produce a =
+    List.iter
+      (fun ci -> tokens.(ci) <- tokens.(ci) + (Sdfg.channel g ci).Sdfg.prod)
+      (Sdfg.out_channels g a)
+  in
+  (* Start every enabled firing; zero-time firings complete on the spot and
+     may enable more starts, hence the fixpoint. The guard protects against
+     zero-time livelock (a token-producing cycle of zero-time actors). *)
+  let start_fixpoint () =
+    let instant_guard = ref 0 in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for a = 0 to n - 1 do
+        while enabled a do
+          progress := true;
+          incr instant_guard;
+          if !instant_guard > 10_000_000 then
+            invalid_arg "Selftimed.analyze: zero-time livelock";
+          consume a;
+          counts.(a) <- counts.(a) + 1;
+          (match observer with Some f -> f !time a | None -> ());
+          if exec_times.(a) = 0 then produce a
+          else active.(a) <- insert_sorted exec_times.(a) active.(a)
+        done
+      done
+    done
+  in
+  let snapshot () =
+    Marshal.to_string (tokens, active) [ Marshal.No_sharing ]
+  in
+  let rec explore () =
+    start_fixpoint ();
+    let key = snapshot () in
+    match Hashtbl.find_opt seen key with
+    | Some (t0, counts0) ->
+        let period = !time - t0 in
+        let iterations = (counts.(0) - counts0.(0)) / gamma.(0) in
+        assert (counts.(0) - counts0.(0) = iterations * gamma.(0));
+        let throughput =
+          Array.init n (fun a -> Rat.make (iterations * gamma.(a)) period)
+        in
+        {
+          throughput;
+          period;
+          iterations_per_period = iterations;
+          transient = t0;
+          states = Hashtbl.length seen;
+        }
+    | None ->
+        if Hashtbl.length seen >= max_states then
+          raise (State_space_exceeded max_states);
+        Hashtbl.add seen key (!time, Array.copy counts);
+        (* Advance to the earliest completion. *)
+        let dt =
+          Array.fold_left
+            (fun acc l -> match l with [] -> acc | r :: _ -> min acc r)
+            max_int active
+        in
+        if dt = max_int then raise Deadlocked;
+        time := !time + dt;
+        for a = 0 to n - 1 do
+          let rec settle = function
+            | r :: rest when r = dt ->
+                produce a;
+                settle rest
+            | l -> List.map (fun r -> r - dt) l
+          in
+          active.(a) <- settle active.(a)
+        done;
+        explore ()
+  in
+  explore ()
+
+let throughput ?max_states g exec_times a =
+  (analyze ?max_states g exec_times).throughput.(a)

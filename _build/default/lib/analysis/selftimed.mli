@@ -1,0 +1,61 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+
+(** Self-timed state-space throughput analysis (paper Section 8.2, after
+    Ghamarian et al., ACSD'06 [10]).
+
+    In a self-timed execution an actor fires as soon as sufficient tokens are
+    present on all its inputs; the firing consumes the input tokens at its
+    start, lasts the actor's execution time and produces the output tokens at
+    its end. The state of the execution is the distribution of tokens over
+    the channels plus the remaining execution times of the active firings.
+    Because the execution is deterministic (maximal-progress), the visited
+    states eventually recur; the throughput of an actor is its number of
+    firings in the periodic phase divided by the period length.
+
+    Auto-concurrency is unbounded, as in [10]: an actor may have several
+    simultaneous firings unless a self-loop channel limits it. Consequently
+    every actor must have at least one input channel, otherwise it could
+    start infinitely many firings in a single instant.
+
+    Execution times may be 0; zero-time firings complete instantaneously. *)
+
+type result = {
+  throughput : Rat.t array;
+      (** per actor: firings per time unit in the periodic phase *)
+  period : int;  (** duration of the periodic phase (time units) *)
+  iterations_per_period : int;
+      (** how many graph iterations one period contains; the firing count of
+          actor [a] per period is [iterations_per_period * gamma a] *)
+  transient : int;  (** time at which the recurrent state is first visited *)
+  states : int;  (** states stored during exploration *)
+}
+
+exception Deadlocked
+(** The execution reached a state with no active firing and no enabled
+    actor. *)
+
+exception State_space_exceeded of int
+(** More states than the allowed maximum were visited; for consistent
+    strongly-connected graphs this indicates the cap is too small, for
+    non-strongly-connected graphs it may indicate unbounded token
+    accumulation. The payload is the cap. *)
+
+val analyze :
+  ?observer:(int -> int -> unit) -> ?max_states:int -> Sdfg.t -> int array ->
+  result
+(** [analyze g exec_times] explores the self-timed execution of [g].
+    [max_states] defaults to [2_000_000]. When given, [observer time actor]
+    is called at every firing start, in order — the execution is
+    deterministic, so this reconstructs the Fig.-5-style transition chain
+    (see {!Trace}).
+
+    @raise Deadlocked see {!Deadlocked}.
+    @raise State_space_exceeded see {!State_space_exceeded}.
+    @raise Invalid_argument if some actor has no input channel, if
+      [exec_times] has the wrong length or contains a negative entry, or if
+      the graph is empty or inconsistent. *)
+
+val throughput : ?max_states:int -> Sdfg.t -> int array -> int -> Rat.t
+(** [throughput g exec_times a] is the throughput of actor [a]. *)

@@ -1,0 +1,33 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+type report = {
+  base : Rat.t;
+  per_actor : Rat.t array;
+  sensitivity : float array;
+}
+
+let measure ?max_states ?(delta = 1) g taus ~output =
+  if delta <= 0 then invalid_arg "Sensitivity.measure: delta must be positive";
+  let base = (Selftimed.analyze ?max_states g taus).Selftimed.throughput.(output) in
+  let n = Sdfg.num_actors g in
+  let per_actor =
+    Array.init n (fun a ->
+        let taus' = Array.copy taus in
+        taus'.(a) <- taus'.(a) + delta;
+        (Selftimed.analyze ?max_states g taus').Selftimed.throughput.(output))
+  in
+  let base_f = Rat.to_float base in
+  let sensitivity =
+    Array.map
+      (fun p ->
+        if base_f <= 0. then 0.
+        else (base_f -. Rat.to_float p) /. (base_f *. float_of_int delta))
+      per_actor
+  in
+  { base; per_actor; sensitivity }
+
+let critical_actors r =
+  List.init (Array.length r.sensitivity) Fun.id
+  |> List.filter (fun a -> r.sensitivity.(a) > 1e-12)
+  |> List.sort (fun a b -> compare r.sensitivity.(b) r.sensitivity.(a))

@@ -1,0 +1,31 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+(** Execution-time sensitivity of throughput.
+
+    The binding step of the paper orders actors by the Eqn.-1 criticality
+    estimate — a per-cycle ratio computed structurally, without any state
+    space. This module measures the ground truth the estimate approximates:
+    how much the self-timed throughput degrades when an actor's execution
+    time grows. Actors on the critical cycle have positive sensitivity;
+    actors with slack have none. The E20 bench correlates estimate and
+    measurement, validating (and probing the limits of) the heuristic. *)
+
+type report = {
+  base : Rat.t;  (** throughput of the reference actor, unperturbed *)
+  per_actor : Rat.t array;
+      (** [per_actor.(a)] = throughput of the reference actor when [a]'s
+          execution time is increased by [delta] *)
+  sensitivity : float array;
+      (** normalised degradation per time unit:
+          [(base - perturbed) / (base * delta)]; 0 for actors with slack *)
+}
+
+val measure :
+  ?max_states:int -> ?delta:int -> Sdfg.t -> int array -> output:int -> report
+(** [measure g taus ~output] perturbs each actor in turn ([delta] defaults
+    to 1). Exceptions as in {!Selftimed.analyze}. *)
+
+val critical_actors : report -> int list
+(** Actors whose perturbation strictly lowered the throughput, most
+    sensitive first. *)

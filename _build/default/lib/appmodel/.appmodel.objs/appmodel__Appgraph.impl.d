@@ -1,0 +1,1 @@
+lib/appmodel/appgraph.ml: Array Format List Option Printf Sdf

@@ -1,0 +1,1 @@
+lib/appmodel/appgraph.mli: Format Sdf

@@ -1,0 +1,1 @@
+lib/appmodel/models.ml: Appgraph Array List Platform Sdf

@@ -1,0 +1,1 @@
+lib/appmodel/models.mli: Appgraph Platform Sdf

@@ -1,0 +1,1 @@
+lib/appmodel/sdf3_xml.ml: Appgraph Array Fun Hashtbl In_channel List Platform Printf Sdf String

@@ -1,0 +1,1 @@
+lib/appmodel/sdf3_xml.mli: Appgraph Platform Sdf

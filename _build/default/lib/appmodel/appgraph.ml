@@ -1,0 +1,90 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+module Deadlock = Sdf.Deadlock
+
+type actor_req = { exec_time : int; memory : int }
+
+type channel_req = {
+  token_size : int;
+  alpha_tile : int;
+  alpha_src : int;
+  alpha_dst : int;
+  bandwidth : int;
+}
+
+type t = {
+  app_name : string;
+  graph : Sdfg.t;
+  reqs : (string * actor_req) list array;
+  creqs : channel_req array;
+  lambda : Rat.t;
+  output_actor : int;
+  rep : int array;
+}
+
+let make ~name ~graph ~reqs ~creqs ~lambda ~output_actor =
+  let n = Sdfg.num_actors graph in
+  if Array.length reqs <> n then
+    invalid_arg "Appgraph.make: reqs length mismatch";
+  if Array.length creqs <> Sdfg.num_channels graph then
+    invalid_arg "Appgraph.make: creqs length mismatch";
+  if output_actor < 0 || output_actor >= n then
+    invalid_arg "Appgraph.make: output actor out of range";
+  if not (Sdfg.is_weakly_connected graph) then
+    invalid_arg "Appgraph.make: graph is not connected";
+  let rep =
+    match Repetition.compute graph with
+    | Repetition.Consistent gamma -> gamma
+    | Repetition.Inconsistent _ -> invalid_arg "Appgraph.make: inconsistent SDFG"
+    | Repetition.Disconnected -> invalid_arg "Appgraph.make: graph is not connected"
+  in
+  (match Deadlock.check graph rep with
+  | Deadlock.Deadlock_free -> ()
+  | Deadlock.Deadlocked _ -> invalid_arg "Appgraph.make: SDFG deadlocks");
+  Array.iteri
+    (fun a options ->
+      if options = [] then
+        invalid_arg
+          (Printf.sprintf "Appgraph.make: actor %s supports no processor type"
+             (Sdfg.actor_name graph a));
+      List.iter
+        (fun (_, r) ->
+          if r.exec_time <= 0 then
+            invalid_arg "Appgraph.make: execution times must be positive";
+          if r.memory < 0 then invalid_arg "Appgraph.make: negative actor memory")
+        options)
+    reqs;
+  Array.iter
+    (fun c ->
+      if c.token_size < 0 || c.alpha_tile < 0 || c.alpha_src < 0
+         || c.alpha_dst < 0 || c.bandwidth < 0
+      then invalid_arg "Appgraph.make: negative channel requirement")
+    creqs;
+  { app_name = name; graph; reqs; creqs; lambda; output_actor; rep }
+
+let exec_time app a pt =
+  Option.map (fun r -> r.exec_time) (List.assoc_opt pt app.reqs.(a))
+
+let memory app a pt =
+  Option.map (fun r -> r.memory) (List.assoc_opt pt app.reqs.(a))
+
+let max_exec_time app a =
+  List.fold_left (fun acc (_, r) -> max acc r.exec_time) 0 app.reqs.(a)
+
+let supports app a pt = List.mem_assoc pt app.reqs.(a)
+
+let gamma app = app.rep
+
+let with_lambda app lambda = { app with lambda }
+
+let total_work app =
+  let acc = ref 0 in
+  Array.iteri (fun a g -> acc := !acc + (g * max_exec_time app a)) app.rep;
+  !acc
+
+let pp ppf app =
+  Format.fprintf ppf "@[<v>application %s (lambda=%a, output=%s)@,%a@]"
+    app.app_name Rat.pp app.lambda
+    (Sdfg.actor_name app.graph app.output_actor)
+    Sdfg.pp app.graph

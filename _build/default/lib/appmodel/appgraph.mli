@@ -1,0 +1,71 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+(** Application graphs (paper Definition 5).
+
+    An application graph couples an SDFG with its resource requirements and
+    a throughput constraint:
+    - [Gamma] gives per actor and processor type the execution time [tau]
+      and memory requirement [mu], or nothing when the actor cannot run on
+      that processor type;
+    - [Theta] gives per channel the token size [sz], the buffer space (in
+      tokens) needed when mapped inside one tile ([alpha_tile]) or split
+      over two tiles ([alpha_src], [alpha_dst]), and the bandwidth [beta]
+      needed when split;
+    - [lambda] is the minimum required throughput of the designated output
+      actor (output tokens per time unit). *)
+
+type actor_req = { exec_time : int;  (** tau, > 0 *) memory : int  (** mu, bits *) }
+
+type channel_req = {
+  token_size : int;  (** sz (bits) *)
+  alpha_tile : int;  (** buffer (tokens) when src and dst share a tile *)
+  alpha_src : int;  (** source-side buffer (tokens) when split *)
+  alpha_dst : int;  (** destination-side buffer (tokens) when split *)
+  bandwidth : int;  (** beta (bits/time unit) when split *)
+}
+
+type t = {
+  app_name : string;
+  graph : Sdfg.t;
+  reqs : (string * actor_req) list array;
+      (** Gamma: per actor, (processor type, requirements) *)
+  creqs : channel_req array;  (** Theta: per channel *)
+  lambda : Rat.t;  (** throughput constraint *)
+  output_actor : int;  (** actor whose firing rate lambda constrains *)
+  rep : int array;  (** cached repetition vector *)
+}
+
+val make :
+  name:string ->
+  graph:Sdfg.t ->
+  reqs:(string * actor_req) list array ->
+  creqs:channel_req array ->
+  lambda:Rat.t ->
+  output_actor:int ->
+  t
+(** Validates: the SDFG is consistent, weakly connected and deadlock free;
+    every actor supports at least one processor type with positive execution
+    time; array lengths match; all Theta entries are non-negative.
+    @raise Invalid_argument when a check fails. *)
+
+val exec_time : t -> int -> string -> int option
+(** [exec_time app a pt] is [tau a pt], or [None] when [a] cannot run on
+    processor type [pt] (the paper's infinite entry). *)
+
+val memory : t -> int -> string -> int option
+
+val max_exec_time : t -> int -> int
+(** sup over the supported processor types of tau (used by Eqn. 1 and the
+    normalisation of the processing load l_p). *)
+
+val supports : t -> int -> string -> bool
+val gamma : t -> int array
+(** The repetition vector (cached at construction). *)
+
+val with_lambda : t -> Rat.t -> t
+
+val total_work : t -> int
+(** The denominator of l_p: sum over actors of gamma(a) * max exec time. *)
+
+val pp : Format.formatter -> t -> unit

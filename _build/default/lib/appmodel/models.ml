@@ -1,0 +1,282 @@
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+let proc = "proc"
+let acc = "acc"
+
+(* ---------------------------------------------------------------- *)
+(* Running example: Fig. 3 graph with Tab. 2 requirements.           *)
+(* ---------------------------------------------------------------- *)
+
+let example_app () =
+  let graph =
+    Sdfg.of_lists ~actors:[ "a1"; "a2"; "a3" ]
+      ~channels:
+        [
+          ("a1", "a2", 1, 1, 0); (* d1 *)
+          ("a2", "a3", 1, 2, 0); (* d2 *)
+          ("a1", "a1", 1, 1, 1); (* d3 *)
+        ]
+  in
+  let reqs =
+    [|
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 10 });
+        ("p2", Appgraph.{ exec_time = 4; memory = 15 }) ];
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 7 });
+        ("p2", Appgraph.{ exec_time = 7; memory = 19 }) ];
+      [ ("p1", Appgraph.{ exec_time = 3; memory = 13 });
+        ("p2", Appgraph.{ exec_time = 2; memory = 10 }) ];
+    |]
+  in
+  let creqs =
+    [|
+      Appgraph.
+        { token_size = 7; alpha_tile = 1; alpha_src = 2; alpha_dst = 2;
+          bandwidth = 100 };
+      Appgraph.
+        { token_size = 100; alpha_tile = 2; alpha_src = 2; alpha_dst = 2;
+          bandwidth = 10 };
+      Appgraph.
+        { token_size = 1; alpha_tile = 1; alpha_src = 0; alpha_dst = 0;
+          bandwidth = 0 };
+    |]
+  in
+  Appgraph.make ~name:"example" ~graph ~reqs ~creqs ~lambda:(Rat.make 1 30)
+    ~output_actor:2
+
+let example_platform () =
+  let t1 =
+    Tile.make ~idx:0 ~name:"t1" ~proc_type:"p1" ~wheel:10 ~mem:700 ~max_conns:5
+      ~in_bw:100 ~out_bw:100 ()
+  in
+  let t2 =
+    Tile.make ~idx:1 ~name:"t2" ~proc_type:"p2" ~wheel:10 ~mem:500 ~max_conns:7
+      ~in_bw:100 ~out_bw:100 ()
+  in
+  Archgraph.make [| t1; t2 |]
+    [
+      { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 1 };
+      { Archgraph.k_idx = 1; from_tile = 1; to_tile = 0; latency = 1 };
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* H.263 decoder (QCIF): 4 actors, repetition vector (1,2376,2376,1). *)
+(* ---------------------------------------------------------------- *)
+
+let h263 ?(name = "h263") ?(lambda = Rat.make 1 15_000_000) () =
+  let graph =
+    Sdfg.of_lists ~actors:[ "vld"; "iq"; "idct"; "mc" ]
+      ~channels:
+        [
+          ("vld", "iq", 2376, 1, 0);
+          ("iq", "idct", 1, 1, 0);
+          ("idct", "mc", 1, 2376, 0);
+          ("mc", "vld", 1, 1, 1); (* frame feedback *)
+        ]
+  in
+  (* Execution times are cycle budgets in the ballpark of published QCIF
+     H.263 profiles; the accelerator speeds up the block-level kernels. *)
+  let r t m = Appgraph.{ exec_time = t; memory = m } in
+  let reqs =
+    [|
+      [ (proc, r 26018 4096) ];
+      [ (proc, r 559 1024); (acc, r 280 1024) ];
+      [ (proc, r 486 2048); (acc, r 250 2048) ];
+      [ (proc, r 10958 38016); (acc, r 5479 38016) ];
+    |]
+  in
+  let c ~sz ~t ~s ~d ~b =
+    Appgraph.
+      { token_size = sz; alpha_tile = t; alpha_src = s; alpha_dst = d;
+        bandwidth = b }
+  in
+  let creqs =
+    [|
+      (* vld produces a frame's worth of coefficient blocks per firing, so
+         the buffer must hold one iteration (2376 blocks of 1024 bits). *)
+      c ~sz:1024 ~t:2376 ~s:2376 ~d:2 ~b:24; (* vld -> iq *)
+      c ~sz:1024 ~t:2 ~s:2 ~d:2 ~b:24; (* iq -> idct: block at a time *)
+      (* mc consumes a frame's worth of pixel blocks (512 bits each). *)
+      c ~sz:512 ~t:2376 ~s:2 ~d:2376 ~b:24; (* idct -> mc *)
+      c ~sz:304_128 ~t:2 ~s:1 ~d:1 ~b:32; (* mc -> vld: reference frame *)
+    |]
+  in
+  Appgraph.make ~name ~graph ~reqs ~creqs ~lambda ~output_actor:3
+
+(* ---------------------------------------------------------------- *)
+(* MP3 decoder: 13 single-rate actors (HSDFG = 13 actors, so the      *)
+(* Sec. 10.3 system totals 3*4754 + 13 = 14275 HSDF actors).          *)
+(* ---------------------------------------------------------------- *)
+
+let mp3 ?(name = "mp3") ?(lambda = Rat.make 1 400_000) () =
+  let actors =
+    [
+      "huffman"; "req_l"; "req_r"; "reorder_l"; "reorder_r"; "stereo";
+      "antialias_l"; "antialias_r"; "hybrid_l"; "hybrid_r"; "freqinv_l";
+      "freqinv_r"; "subband";
+    ]
+  in
+  let channels =
+    [
+      ("huffman", "req_l", 1, 1, 0);
+      ("huffman", "req_r", 1, 1, 0);
+      ("req_l", "reorder_l", 1, 1, 0);
+      ("req_r", "reorder_r", 1, 1, 0);
+      ("reorder_l", "stereo", 1, 1, 0);
+      ("reorder_r", "stereo", 1, 1, 0);
+      ("stereo", "antialias_l", 1, 1, 0);
+      ("stereo", "antialias_r", 1, 1, 0);
+      ("antialias_l", "hybrid_l", 1, 1, 0);
+      ("antialias_r", "hybrid_r", 1, 1, 0);
+      ("hybrid_l", "freqinv_l", 1, 1, 0);
+      ("hybrid_r", "freqinv_r", 1, 1, 0);
+      ("freqinv_l", "subband", 1, 1, 0);
+      ("freqinv_r", "subband", 1, 1, 0);
+      ("subband", "huffman", 1, 1, 2); (* pipeline-depth feedback *)
+    ]
+  in
+  let graph = Sdfg.of_lists ~actors ~channels in
+  let r t m = Appgraph.{ exec_time = t; memory = m } in
+  let both t m ta = [ (proc, r t m); (acc, r ta m) ] in
+  let reqs =
+    [|
+      [ (proc, r 25000 8192) ]; (* huffman: control heavy, cpu only *)
+      both 1600 1024 800; both 1600 1024 800; (* req *)
+      both 1100 1024 600; both 1100 1024 600; (* reorder *)
+      [ (proc, r 1900 2048) ]; (* stereo *)
+      both 900 1024 450; both 900 1024 450; (* antialias *)
+      both 7700 4096 3850; both 7700 4096 3850; (* hybrid (imdct) *)
+      both 500 512 250; both 500 512 250; (* freqinv *)
+      both 11000 8192 5500; (* subband synthesis *)
+    |]
+  in
+  let c ~sz =
+    Appgraph.
+      { token_size = sz; alpha_tile = 2; alpha_src = 2; alpha_dst = 2;
+        bandwidth = 16 }
+  in
+  let creqs = Array.make (List.length channels) (c ~sz:4608) in
+  creqs.(14) <- c ~sz:64;
+  Appgraph.make ~name ~graph ~reqs ~creqs ~lambda ~output_actor:12
+
+(* ---------------------------------------------------------------- *)
+(* JPEG decoder: block pipeline with 4:2:0 MCUs (6 blocks per MCU).    *)
+(* ---------------------------------------------------------------- *)
+
+let jpeg ?(name = "jpeg") ?(lambda = Rat.make 1 600_000) () =
+  let graph =
+    Sdfg.of_lists
+      ~actors:[ "parse"; "vld"; "izz"; "iq"; "idct"; "cc" ]
+      ~channels:
+        [
+          ("parse", "vld", 1, 1, 0);
+          ("vld", "izz", 6, 1, 0); (* one MCU = 6 blocks (4:2:0) *)
+          ("izz", "iq", 1, 1, 0);
+          ("iq", "idct", 1, 1, 0);
+          ("idct", "cc", 1, 6, 0); (* cc assembles a whole MCU *)
+          ("cc", "parse", 1, 1, 1); (* MCU feedback *)
+        ]
+  in
+  let r t m = Appgraph.{ exec_time = t; memory = m } in
+  let reqs =
+    [|
+      [ (proc, r 1200 4096) ]; (* header/stream parsing: cpu only *)
+      [ (proc, r 900 2048); (acc, r 450 2048) ];
+      [ (proc, r 120 256); (acc, r 60 256) ];
+      [ (proc, r 150 512); (acc, r 75 512) ];
+      [ (proc, r 620 2048); (acc, r 310 2048) ];
+      [ (proc, r 800 4096) ];
+    |]
+  in
+  let c ~sz ~t ~s ~d =
+    Appgraph.
+      { token_size = sz; alpha_tile = t; alpha_src = s; alpha_dst = d;
+        bandwidth = 24 }
+  in
+  let creqs =
+    [|
+      c ~sz:512 ~t:2 ~s:2 ~d:2;
+      c ~sz:1024 ~t:7 ~s:7 ~d:2; (* whole MCU buffered *)
+      c ~sz:1024 ~t:2 ~s:2 ~d:2;
+      c ~sz:1024 ~t:2 ~s:2 ~d:2;
+      c ~sz:512 ~t:7 ~s:2 ~d:7;
+      c ~sz:64 ~t:3 ~s:2 ~d:3;
+    |]
+  in
+  Appgraph.make ~name ~graph ~reqs ~creqs ~lambda ~output_actor:5
+
+(* ---------------------------------------------------------------- *)
+(* WLAN 802.11a receiver chain: OFDM symbol pipeline.                  *)
+(* ---------------------------------------------------------------- *)
+
+let wlan ?(name = "wlan") ?(lambda = Rat.make 1 160_000) () =
+  let graph =
+    Sdfg.of_lists
+      ~actors:
+        [ "adc"; "sync"; "fft"; "demap"; "deint"; "viterbi"; "descr"; "mac" ]
+      ~channels:
+        [
+          ("adc", "sync", 64, 64, 0); (* one OFDM symbol = 64 samples *)
+          ("sync", "fft", 64, 64, 0);
+          ("fft", "demap", 64, 64, 0);
+          ("demap", "deint", 48, 48, 0); (* 48 data carriers *)
+          ("deint", "viterbi", 48, 48, 0);
+          ("viterbi", "descr", 24, 24, 0); (* rate-1/2 code *)
+          ("descr", "mac", 24, 24, 0);
+          ("mac", "adc", 1, 1, 2); (* symbol-pacing feedback *)
+        ]
+  in
+  let r t m = Appgraph.{ exec_time = t; memory = m } in
+  let reqs =
+    [|
+      [ (proc, r 600 1024) ];
+      [ (proc, r 2200 2048); (acc, r 1100 2048) ];
+      [ (proc, r 4200 4096); (acc, r 1400 4096) ]; (* fft loves the acc *)
+      [ (proc, r 900 1024); (acc, r 450 1024) ];
+      [ (proc, r 700 1024); (acc, r 350 1024) ];
+      [ (proc, r 9800 8192); (acc, r 3266 8192) ]; (* viterbi dominates *)
+      [ (proc, r 500 512) ];
+      [ (proc, r 1500 4096) ];
+    |]
+  in
+  let c ~sz ~cap =
+    Appgraph.
+      { token_size = sz; alpha_tile = cap; alpha_src = cap; alpha_dst = cap;
+        bandwidth = 32 }
+  in
+  let creqs =
+    [|
+      c ~sz:32 ~cap:128; c ~sz:32 ~cap:128; c ~sz:32 ~cap:128;
+      c ~sz:16 ~cap:96; c ~sz:16 ~cap:96; c ~sz:8 ~cap:48; c ~sz:8 ~cap:48;
+      c ~sz:16 ~cap:4;
+    |]
+  in
+  Appgraph.make ~name ~graph ~reqs ~creqs ~lambda ~output_actor:7
+
+(* ---------------------------------------------------------------- *)
+(* 2x2 multimedia platform of Sec. 10.3.                              *)
+(* ---------------------------------------------------------------- *)
+
+let multimedia_platform () =
+  let tile idx name pt =
+    Tile.make ~idx ~name ~proc_type:pt ~wheel:100 ~mem:8_388_608 ~max_conns:16
+      ~in_bw:256 ~out_bw:256 ()
+  in
+  let tiles =
+    [|
+      tile 0 "proc0" proc; tile 1 "proc1" proc; tile 2 "acc0" acc;
+      tile 3 "acc1" acc;
+    |]
+  in
+  let conns = ref [] in
+  for u = 0 to 3 do
+    for v = 0 to 3 do
+      if u <> v then
+        conns :=
+          { Archgraph.k_idx = 0; from_tile = u; to_tile = v; latency = 2 }
+          :: !conns
+    done
+  done;
+  Archgraph.make tiles (List.rev !conns)

@@ -1,0 +1,71 @@
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+module Rat = Sdf.Rat
+
+(** Concrete application and platform models used by the paper.
+
+    - The running example: the SDFG of Fig. 3 with the requirements of
+      Tab. 2, and the two-tile platform of Fig. 2 / Tab. 1. The graph is
+      reconstructed from the constraints stated in the text (Sec. 8.2):
+      the plain graph must reach throughput 1/2 for a3, the binding-aware
+      graph 1/29 and the schedule/TDMA-constrained execution 1/30 — the
+      reconstruction below reproduces all three exactly (validated in the
+      test suite).
+    - The H.263 decoder of Fig. 1: 4 actors, repetition vector
+      (1, 2376, 2376, 1), so its HSDFG has the 4754 actors quoted in Sec. 1.
+    - A 13-actor MP3 decoder (Sec. 10.3); single-rate, so the multimedia
+      system of Sec. 10.3 (3 x H.263 + MP3) totals 14275 HSDF actors as the
+      paper states.
+    - The 2x2 multimedia platform of Sec. 10.3 (2 generic processors, 2
+      accelerators). *)
+
+(** {1 Running example (Figs. 2-5, Tabs. 1-3)} *)
+
+val example_app : unit -> Appgraph.t
+(** Actors a1, a2, a3; channels d1 = a1->a2 (1,1), d2 = a2->a3 (1,2),
+    d3 = a1->a1 (1,1) with one initial token. Gamma/Theta as in Tab. 2;
+    throughput constraint 1/30 on a3. *)
+
+val example_platform : unit -> Archgraph.t
+(** Tiles t1 (type p1) and t2 (type p2) with the resources of Tab. 1 and
+    unit-latency connections both ways. *)
+
+(** {1 H.263 decoder (Fig. 1, Sec. 10.3)} *)
+
+val h263 : ?name:string -> ?lambda:Rat.t -> unit -> Appgraph.t
+(** Actors vld -> iq -> idct -> mc with rates (2376,1), (1,1), (1,2376) and
+    a one-token feedback channel mc -> vld. Output actor: mc.
+    Default [lambda] suits the Sec. 10.3 platform. *)
+
+(** {1 MP3 decoder (Sec. 10.3)} *)
+
+val mp3 : ?name:string -> ?lambda:Rat.t -> unit -> Appgraph.t
+(** 13 single-rate actors: Huffman decoding, then per audio channel
+    requantisation, reordering, stereo processing, antialiasing, hybrid
+    (IMDCT) synthesis, frequency inversion, and a merged subband synthesis,
+    with a two-token feedback bounding the pipeline depth. *)
+
+(** {1 Further decoder models (extensions)} *)
+
+val jpeg : ?name:string -> ?lambda:Rat.t -> unit -> Appgraph.t
+(** A six-actor JPEG decoder: parse -> vld -> izz -> iq -> idct -> colour
+    conversion, with 6 blocks per MCU (4:2:0) and an MCU-pacing feedback;
+    repetition vector (1, 1, 6, 6, 6, 1). *)
+
+val wlan : ?name:string -> ?lambda:Rat.t -> unit -> Appgraph.t
+(** An eight-actor 802.11a receiver chain (adc, sync, fft, demap,
+    deinterleave, viterbi, descramble, mac) with OFDM-symbol-sized rates;
+    single-rate at iteration level (repetition vector all ones), the
+    Viterbi decoder dominating the work. *)
+
+(** {1 Multimedia platform (Sec. 10.3)} *)
+
+val multimedia_platform : unit -> Archgraph.t
+(** 2x2 mesh: tiles 0,1 are generic processors ("proc"), tiles 2,3 are
+    accelerators ("acc"). *)
+
+val proc : string
+(** Name of the generic processor type ("proc"). *)
+
+val acc : string
+(** Name of the accelerator processor type ("acc"). *)

@@ -1,0 +1,62 @@
+module Archgraph = Platform.Archgraph
+
+(** SDF3-style XML serialisation of application and architecture graphs.
+
+    The SDF3 tool set (the paper's [22]) exchanges models as XML documents
+    rooted at [<sdf3>]; this module reads and writes a faithful subset:
+
+    {v
+    <sdf3 type="sdf" version="1.0">
+      <applicationGraph name="...">
+        <sdf name="...">
+          <actor name="a1"> <port name="p0" type="out" rate="2"/> ... </actor>
+          <channel name="d0" srcActor="a1" srcPort="p0"
+                   dstActor="a2" dstPort="p1" initialTokens="1"/>
+        </sdf>
+        <sdfProperties>
+          <actorProperties actor="a1">
+            <processor type="p1">
+              <executionTime time="1"/> <memory stateSize="10"/>
+            </processor>
+          </actorProperties>
+          <channelProperties channel="d0" tokenSize="7" bufferTile="1"
+                             bufferSrc="2" bufferDst="2" bandwidth="100"/>
+          <graphProperties>
+            <timeConstraints throughput="1/30" outputActor="a3"/>
+          </graphProperties>
+        </sdfProperties>
+      </applicationGraph>
+    </sdf3>
+    v}
+
+    Deviation from SDF3: throughput constraints are written as exact
+    rationals (["1/30"]) rather than decimal fractions, preserving the
+    library's exact arithmetic across a round trip.
+
+    Architecture graphs use [<architectureGraph>] with [<tile>] and
+    [<connection>] elements carrying the Definition-3/4 attributes. *)
+
+exception Error of string
+(** Raised by the [of_*] functions on documents that parse as XML but do
+    not match the schema. *)
+
+(** {1 Application graphs} *)
+
+val app_to_xml : Appgraph.t -> Sdf.Xml.t
+val app_of_xml : Sdf.Xml.t -> Appgraph.t
+val app_to_string : Appgraph.t -> string
+
+val app_of_string : string -> Appgraph.t
+(** @raise Error or {!Sdf.Xml.Parse_error}. *)
+
+val write_app_file : string -> Appgraph.t -> unit
+val read_app_file : string -> Appgraph.t
+
+(** {1 Architecture graphs} *)
+
+val arch_to_xml : name:string -> Archgraph.t -> Sdf.Xml.t
+val arch_of_xml : Sdf.Xml.t -> string * Archgraph.t
+val arch_to_string : name:string -> Archgraph.t -> string
+val arch_of_string : string -> string * Archgraph.t
+val write_arch_file : string -> name:string -> Archgraph.t -> unit
+val read_arch_file : string -> string * Archgraph.t

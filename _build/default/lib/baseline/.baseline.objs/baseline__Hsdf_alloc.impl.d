@@ -1,0 +1,1 @@
+lib/baseline/hsdf_alloc.ml: Appmodel Array Core Result Sdf Unix

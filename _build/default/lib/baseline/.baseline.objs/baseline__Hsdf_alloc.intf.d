@@ -1,0 +1,1 @@
+lib/baseline/hsdf_alloc.mli: Appmodel Core Platform

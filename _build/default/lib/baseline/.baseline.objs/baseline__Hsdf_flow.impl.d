@@ -1,0 +1,1 @@
+lib/baseline/hsdf_flow.ml: Analysis Array Sdf Sys

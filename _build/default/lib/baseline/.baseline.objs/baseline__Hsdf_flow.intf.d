@@ -1,0 +1,1 @@
+lib/baseline/hsdf_flow.mli: Sdf

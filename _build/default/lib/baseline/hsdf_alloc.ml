@@ -1,0 +1,64 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Hsdf = Sdf.Hsdf
+module Appgraph = Appmodel.Appgraph
+
+let expand_app (app : Appgraph.t) =
+  let g = app.Appgraph.graph in
+  let gamma = Appgraph.gamma app in
+  let h = Hsdf.convert g gamma in
+  let hg = h.Hsdf.graph in
+  let reqs =
+    Array.map (fun (a, _) -> app.Appgraph.reqs.(a)) h.Hsdf.copy_of
+  in
+  let creqs =
+    Array.mapi
+      (fun hc origin ->
+        let cr = app.Appgraph.creqs.(origin) in
+        let tok = (Sdfg.channel hg hc).Sdfg.tokens in
+        (* Per-precedence-edge buffers: the HSDF route cannot share one
+           buffer across the expanded edges, so each edge needs room for
+           its own token plus one in flight. *)
+        Appgraph.
+          {
+            cr with
+            alpha_tile = max cr.Appgraph.alpha_tile (tok + 1);
+            alpha_src = max cr.Appgraph.alpha_src 1;
+            alpha_dst = max cr.Appgraph.alpha_dst (max tok 1);
+          })
+      h.Hsdf.channel_of
+  in
+  let output_actor = h.Hsdf.copies.(app.Appgraph.output_actor).(0) in
+  let lambda = Rat.div_int app.Appgraph.lambda gamma.(app.Appgraph.output_actor) in
+  Appgraph.make
+    ~name:(app.Appgraph.app_name ^ "_hsdf")
+    ~graph:hg ~reqs ~creqs ~lambda ~output_actor
+
+type comparison = {
+  direct_seconds : float;
+  direct_ok : bool;
+  hsdf_actors : int;
+  expand_seconds : float;
+  hsdf_flow_seconds : float;
+  hsdf_ok : bool;
+}
+
+let compare_allocation ?weights ?max_states ?(max_cycles = 10_000) app arch =
+  let clock = Unix.gettimeofday in
+  let t0 = clock () in
+  let direct = Core.Strategy.allocate ?weights ?max_states ~max_cycles app arch in
+  let t1 = clock () in
+  let expanded = expand_app app in
+  let t2 = clock () in
+  let via_hsdf =
+    Core.Strategy.allocate ?weights ?max_states ~max_cycles expanded arch
+  in
+  let t3 = clock () in
+  {
+    direct_seconds = t1 -. t0;
+    direct_ok = Result.is_ok direct;
+    hsdf_actors = Sdfg.num_actors expanded.Appgraph.graph;
+    expand_seconds = t2 -. t1;
+    hsdf_flow_seconds = t3 -. t2;
+    hsdf_ok = Result.is_ok via_hsdf;
+  }

@@ -1,0 +1,47 @@
+module Appgraph = Appmodel.Appgraph
+
+(** The full HSDF-route allocation baseline.
+
+    Pre-existing strategies (paper Section 2) operate on homogeneous graphs:
+    to allocate an SDFG they must first expand it. This module builds that
+    pipeline so the paper's run-time argument can be measured end to end:
+    the application graph is converted to its HSDF, every firing copy
+    inherits the original actor's resource requirements, the per-token
+    precedence channels inherit the original channel's Theta, and the
+    throughput constraint is rescaled to the output copy's firing rate.
+    The resulting application then runs through the very same
+    binding/scheduling/slice-allocation machinery — which is exactly what
+    makes the route expensive: every step now works on a graph that is
+    [sum gamma] actors large.
+
+    Caveats, faithful to what an HSDF-based tool would face: buffer
+    requirements are attributed per precedence channel (an over-count the
+    HSDF route cannot avoid without re-deriving channel groups), so memory
+    pressure is higher than in the direct route. *)
+
+val expand_app : Appgraph.t -> Appgraph.t
+(** The HSDF application graph. Actor copies are named ["a#k"]; the output
+    actor is the first copy of the original output actor, with the
+    throughput constraint divided by [gamma output] (each copy fires once
+    per iteration).
+    @raise Invalid_argument on inconsistent graphs. *)
+
+type comparison = {
+  direct_seconds : float;  (** our flow on the SDFG *)
+  direct_ok : bool;
+  hsdf_actors : int;
+  expand_seconds : float;  (** SDF -> HSDF application expansion *)
+  hsdf_flow_seconds : float;  (** the same flow on the expansion *)
+  hsdf_ok : bool;
+}
+
+val compare_allocation :
+  ?weights:Core.Cost.weights ->
+  ?max_states:int ->
+  ?max_cycles:int ->
+  Appgraph.t ->
+  Platform.Archgraph.t ->
+  comparison
+(** Run both routes on the same platform and report wall-clock times.
+    [max_cycles] (default 10_000) caps the Eqn.-1 cycle enumeration, which
+    explodes on expanded graphs — precisely the cost the paper avoids. *)

@@ -1,0 +1,41 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Repetition = Sdf.Repetition
+module Hsdf = Sdf.Hsdf
+
+type comparison = {
+  sdfg_actors : int;
+  hsdf_actors : int;
+  throughput_sdfg : Rat.t;
+  throughput_hsdf : Rat.t;
+  sdfg_seconds : float;
+  convert_seconds : float;
+  mcr_seconds : float;
+}
+
+let throughput_via_hsdf g exec_times ~output =
+  let gamma = Repetition.vector_exn g in
+  let h = Hsdf.convert g gamma in
+  let rate = Analysis.Mcr.hsdf_throughput h.Hsdf.graph (Hsdf.timing h exec_times) in
+  if Rat.is_infinite rate then Rat.infinity else Rat.mul_int rate gamma.(output)
+
+let compare_analysis ?max_states g exec_times ~output =
+  let clock = Sys.time in
+  let t0 = clock () in
+  let st = Analysis.Selftimed.analyze ?max_states g exec_times in
+  let t1 = clock () in
+  let gamma = Repetition.vector_exn g in
+  let h = Hsdf.convert g gamma in
+  let t2 = clock () in
+  let rate = Analysis.Mcr.hsdf_throughput h.Hsdf.graph (Hsdf.timing h exec_times) in
+  let t3 = clock () in
+  {
+    sdfg_actors = Sdfg.num_actors g;
+    hsdf_actors = Sdfg.num_actors h.Hsdf.graph;
+    throughput_sdfg = st.Analysis.Selftimed.throughput.(output);
+    throughput_hsdf =
+      (if Rat.is_infinite rate then Rat.infinity else Rat.mul_int rate gamma.(output));
+    sdfg_seconds = t1 -. t0;
+    convert_seconds = t2 -. t1;
+    mcr_seconds = t3 -. t2;
+  }

@@ -1,0 +1,35 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+(** The HSDF-based analysis baseline (paper Sections 1 and 10.3).
+
+    Every pre-existing resource-allocation strategy for time-constrained
+    dataflow works on the homogeneous expansion of the SDFG and computes
+    throughput with a maximum-cycle-ratio algorithm on it. This module
+    packages that pipeline — convert, lift the timing, run MCR — with
+    wall-clock instrumentation, so the benches can reproduce the paper's
+    run-time argument: the expansion blows the problem up by the repetition
+    vector sum (H.263: 4 actors to 4754), making each throughput check
+    orders of magnitude more expensive than the state-space check on the
+    original SDFG. *)
+
+type comparison = {
+  sdfg_actors : int;
+  hsdf_actors : int;
+  throughput_sdfg : Rat.t;  (** of the output actor, by state-space analysis *)
+  throughput_hsdf : Rat.t;
+      (** of the output actor, via [gamma output / MCR] on the expansion *)
+  sdfg_seconds : float;  (** state-space analysis time *)
+  convert_seconds : float;  (** SDF -> HSDF conversion time *)
+  mcr_seconds : float;  (** MCR on the expansion *)
+}
+
+val throughput_via_hsdf : Sdfg.t -> int array -> output:int -> Rat.t
+(** Convert and run MCR; the output actor's rate is [gamma output / MCR].
+    @raise Invalid_argument on inconsistent or deadlocked graphs. *)
+
+val compare_analysis :
+  ?max_states:int -> Sdfg.t -> int array -> output:int -> comparison
+(** Run both analyses on the same graph and timing; the two throughput
+    values must agree on strongly connected graphs (the test suite uses
+    this as a cross-validation oracle). *)

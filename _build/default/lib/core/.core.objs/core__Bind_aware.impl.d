@@ -1,0 +1,1 @@
+lib/core/bind_aware.ml: Appmodel Array Binding Format Platform Printf Sdf

@@ -1,0 +1,1 @@
+lib/core/bind_aware.mli: Appmodel Binding Platform Sdf

@@ -1,0 +1,1 @@
+lib/core/binding.ml: Appmodel Array Format Platform Sdf

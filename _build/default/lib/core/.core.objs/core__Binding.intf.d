@@ -1,0 +1,1 @@
+lib/core/binding.mli: Appmodel Format Platform Sdf

@@ -1,0 +1,1 @@
+lib/core/binding_step.ml: Appmodel Array Binding Cost Fun List Platform

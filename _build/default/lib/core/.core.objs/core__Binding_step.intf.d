@@ -1,0 +1,1 @@
+lib/core/binding_step.mli: Appmodel Binding Cost Platform

@@ -1,0 +1,1 @@
+lib/core/composition.ml: Appmodel Array Bind_aware Constrained Hashtbl List Marshal Platform Schedule Sdf Strategy

@@ -1,0 +1,1 @@
+lib/core/constrained.ml: Appmodel Array Bind_aware Fun Hashtbl List Marshal Platform Printf Schedule Sdf

@@ -1,0 +1,1 @@
+lib/core/constrained.mli: Bind_aware Schedule Sdf

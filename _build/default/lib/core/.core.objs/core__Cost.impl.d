@@ -1,0 +1,1 @@
+lib/core/cost.ml: Appmodel Array Binding Float Fun List Platform Sdf

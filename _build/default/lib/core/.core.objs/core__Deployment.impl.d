@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Appmodel Array Fun List Platform Printf Schedule Sdf Strategy String

@@ -1,0 +1,1 @@
+lib/core/dimensioning.ml: Appmodel List Multi_app Platform

@@ -1,0 +1,1 @@
+lib/core/dimensioning.mli: Appmodel Cost Multi_app Platform

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Appmodel Cost List Platform Strategy

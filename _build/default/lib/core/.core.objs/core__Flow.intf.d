@@ -1,0 +1,1 @@
+lib/core/flow.mli: Appmodel Bind_aware Cost Platform Strategy

@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Bind_aware Buffer Char Constrained List Platform Printf Sdf

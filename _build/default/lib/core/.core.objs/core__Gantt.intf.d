@@ -1,0 +1,1 @@
+lib/core/gantt.mli: Bind_aware Schedule Sdf

@@ -1,0 +1,1 @@
+lib/core/list_scheduler.ml: Array Bind_aware Constrained Fun Hashtbl List Marshal Option Platform Schedule Sdf

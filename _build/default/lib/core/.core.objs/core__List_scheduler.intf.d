@@ -1,0 +1,1 @@
+lib/core/list_scheduler.mli: Bind_aware Schedule

@@ -1,0 +1,1 @@
+lib/core/multi_app.ml: Appmodel Array Binding Flow List Platform Strategy

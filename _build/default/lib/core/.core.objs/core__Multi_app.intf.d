@@ -1,0 +1,1 @@
+lib/core/multi_app.mli: Appmodel Cost Platform Strategy

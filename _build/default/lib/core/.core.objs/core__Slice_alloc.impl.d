@@ -1,0 +1,1 @@
+lib/core/slice_alloc.ml: Appmodel Array Bind_aware Constrained Cost Float Fun List Logs Platform Sdf Stdlib String

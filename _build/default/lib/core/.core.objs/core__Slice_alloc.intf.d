@@ -1,0 +1,1 @@
+lib/core/slice_alloc.mli: Appmodel Bind_aware Binding Platform Schedule Sdf

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Appmodel Bind_aware Binding Binding_step Cost Format Platform Schedule Sdf Slice_alloc

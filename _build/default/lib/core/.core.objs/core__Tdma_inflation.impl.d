@@ -1,0 +1,1 @@
+lib/core/tdma_inflation.ml: Array Bind_aware Constrained Platform Sdf

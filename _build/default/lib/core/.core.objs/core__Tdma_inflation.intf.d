@@ -1,0 +1,1 @@
+lib/core/tdma_inflation.mli: Bind_aware Schedule Sdf

@@ -1,0 +1,211 @@
+module Sdfg = Sdf.Sdfg
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type actor_role = App of int | Conn of int | Sync of int
+
+type sync_model = Worst_case_arrival | Aligned_wheels
+
+type connection_model =
+  | Simple_connection
+  | Pipelined_connection of { stages : int }
+
+type t = {
+  graph : Sdfg.t;
+  exec_times : int array;
+  roles : actor_role array;
+  tile_of : int array;
+  app : Appgraph.t;
+  arch : Archgraph.t;
+  binding : Binding.t;
+  slices : int array;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let build ?(sync_model = Worst_case_arrival) ?(connection_model = Simple_connection)
+    ~app ~arch ~binding ~slices () =
+  if not (Binding.is_complete binding) then
+    invalid_arg "Bind_aware.build: incomplete binding";
+  (match connection_model with
+  | Pipelined_connection { stages } when stages < 1 ->
+      invalid_arg "Bind_aware.build: pipelined connection needs >= 1 stage"
+  | Pipelined_connection _ | Simple_connection -> ());
+  (match Binding.check app arch binding with
+  | Ok () -> ()
+  | Error v ->
+      invalid_arg
+        (Format.asprintf "Bind_aware.build: invalid binding: %a"
+           (Binding.pp_violation app arch) v));
+  Array.iteri
+    (fun t omega ->
+      let tile = Archgraph.tile arch t in
+      if omega < 0 || omega > Tile.available_wheel tile then
+        invalid_arg "Bind_aware.build: slice exceeds available wheel")
+    slices;
+  let g = app.Appgraph.graph in
+  let n = Sdfg.num_actors g in
+  let b = Sdfg.Builder.create () in
+  (* Application actors first, preserving indices. *)
+  for a = 0 to n - 1 do
+    ignore (Sdfg.Builder.add_actor b (Sdfg.actor_name g a))
+  done;
+  let exec_times = ref [] (* reversed *) in
+  let roles = ref [] in
+  let tile_of = ref [] in
+  for a = n - 1 downto 0 do
+    let tile = Archgraph.tile arch binding.(a) in
+    let tau =
+      match Appgraph.exec_time app a tile.Tile.proc_type with
+      | Some tau -> tau
+      | None -> assert false (* Binding.check rejects this *)
+    in
+    exec_times := tau :: !exec_times;
+    roles := App a :: !roles;
+    tile_of := binding.(a) :: !tile_of
+  done;
+  (* Self-loops bounding auto-concurrency (one per actor lacking one). *)
+  for a = 0 to n - 1 do
+    if not (Sdfg.has_unit_self_loop g a) then
+      ignore
+        (Sdfg.Builder.add_channel b
+           ~name:(Printf.sprintf "self_%s" (Sdfg.actor_name g a))
+           ~tokens:1 ~src:a ~dst:a ~prod:1 ~cons:1 ())
+  done;
+  let push_actor name tau role =
+    let idx = Sdfg.Builder.add_actor b name in
+    exec_times := !exec_times @ [ tau ];
+    roles := !roles @ [ role ];
+    tile_of := !tile_of @ [ -1 ];
+    idx
+  in
+  Array.iteri
+    (fun ci cr ->
+      let ch = Sdfg.channel g ci in
+      let cname = Sdfg.channel_name g ci in
+      match Binding.classify app binding ci with
+      | Binding.Dangling -> assert false
+      | Binding.Internal _ ->
+          (* The channel itself, with its bounded buffer modelled by a
+             reverse channel holding the free slots. A self-loop needs no
+             buffer edge: consistency forces equal rates on it, so its token
+             population is invariant and bounded by its initial tokens
+             (Fig. 4 adds no edge for d3). *)
+          ignore
+            (Sdfg.Builder.add_channel b ~name:cname ~tokens:ch.Sdfg.tokens
+               ~src:ch.Sdfg.src ~dst:ch.Sdfg.dst ~prod:ch.Sdfg.prod
+               ~cons:ch.Sdfg.cons ());
+          if ch.Sdfg.src <> ch.Sdfg.dst then
+            ignore
+              (Sdfg.Builder.add_channel b
+                 ~name:(Printf.sprintf "buf_%s" cname)
+                 ~tokens:(cr.Appgraph.alpha_tile - ch.Sdfg.tokens)
+                 ~src:ch.Sdfg.dst ~dst:ch.Sdfg.src ~prod:ch.Sdfg.cons
+                 ~cons:ch.Sdfg.prod ())
+      | Binding.Split { src_tile; dst_tile } ->
+          let conn =
+            match Archgraph.connection_between arch ~src:src_tile ~dst:dst_tile with
+            | Some c -> c
+            | None -> assert false (* Binding.check rejects this *)
+          in
+          let dst = Archgraph.tile arch dst_tile in
+          let transfer = ceil_div cr.Appgraph.token_size cr.Appgraph.bandwidth in
+          let tau_s =
+            match sync_model with
+            | Worst_case_arrival -> dst.Tile.wheel - slices.(dst_tile)
+            | Aligned_wheels -> 0
+          in
+          let serialised name tau =
+            (* A transport stage holding one token at a time. *)
+            let act = push_actor name tau (Conn ci) in
+            ignore
+              (Sdfg.Builder.add_channel b
+                 ~name:(Printf.sprintf "self_%s" name)
+                 ~tokens:1 ~src:act ~dst:act ~prod:1 ~cons:1 ());
+            act
+          in
+          (* The transport chain: either the paper's single actor c, or an
+             injection stage followed by pipelined hop stages. [head] claims
+             source buffer and destination buffer space, [tail] delivers to
+             the sync actor. *)
+          let head, tail =
+            match connection_model with
+            | Simple_connection ->
+                let c_act =
+                  serialised (Printf.sprintf "c_%s" cname)
+                    (conn.Archgraph.latency + transfer)
+                in
+                (c_act, c_act)
+            | Pipelined_connection { stages } ->
+                let inject =
+                  serialised (Printf.sprintf "i_%s" cname) transfer
+                in
+                let per_hop = ceil_div conn.Archgraph.latency stages in
+                let rec hops prev k =
+                  if k > stages then prev
+                  else begin
+                    let h =
+                      serialised (Printf.sprintf "h%d_%s" k cname) per_hop
+                    in
+                    ignore
+                      (Sdfg.Builder.add_channel b
+                         ~name:(Printf.sprintf "hop%d_%s" k cname)
+                         ~src:prev ~dst:h ~prod:1 ~cons:1 ());
+                    hops h (k + 1)
+                  end
+                in
+                (inject, hops inject 1)
+          in
+          let s_act = push_actor (Printf.sprintf "s_%s" cname) tau_s (Sync ci) in
+          (* a -> head: tokens leave the source buffer one at a time. *)
+          ignore
+            (Sdfg.Builder.add_channel b
+               ~name:(Printf.sprintf "snd_%s" cname)
+               ~src:ch.Sdfg.src ~dst:head ~prod:ch.Sdfg.prod ~cons:1 ());
+          (* Source buffer: alpha_src free slots, freed when transport picks
+             the token up. *)
+          ignore
+            (Sdfg.Builder.add_channel b
+               ~name:(Printf.sprintf "srcbuf_%s" cname)
+               ~tokens:cr.Appgraph.alpha_src ~src:head ~dst:ch.Sdfg.src
+               ~prod:1 ~cons:ch.Sdfg.prod ());
+          (* tail -> s: arrived tokens wait for the destination slice. *)
+          ignore
+            (Sdfg.Builder.add_channel b
+               ~name:(Printf.sprintf "arr_%s" cname)
+               ~src:tail ~dst:s_act ~prod:1 ~cons:1 ());
+          (* s -> b: the channel's initial tokens start here (already at the
+             destination). *)
+          ignore
+            (Sdfg.Builder.add_channel b
+               ~name:(Printf.sprintf "rcv_%s" cname)
+               ~tokens:ch.Sdfg.tokens ~src:s_act ~dst:ch.Sdfg.dst ~prod:1
+               ~cons:ch.Sdfg.cons ());
+          (* Destination buffer: claimed when the token enters the network,
+             freed when the consumer fires; initial tokens occupy slots. *)
+          ignore
+            (Sdfg.Builder.add_channel b
+               ~name:(Printf.sprintf "dstbuf_%s" cname)
+               ~tokens:(cr.Appgraph.alpha_dst - ch.Sdfg.tokens)
+               ~src:ch.Sdfg.dst ~dst:head ~prod:ch.Sdfg.cons ~cons:1 ()))
+    app.Appgraph.creqs;
+  {
+    graph = Sdfg.Builder.build b;
+    exec_times = Array.of_list !exec_times;
+    roles = Array.of_list !roles;
+    tile_of = Array.of_list !tile_of;
+    app;
+    arch;
+    binding;
+    slices;
+  }
+
+let half_wheel_slices app arch binding =
+  let used = Array.make (Archgraph.num_tiles arch) false in
+  Array.iter (fun t -> if t >= 0 then used.(t) <- true) binding;
+  ignore app;
+  Array.mapi
+    (fun t u ->
+      if u then max 1 (Tile.available_wheel (Archgraph.tile arch t) / 2) else 0)
+    used

@@ -1,0 +1,91 @@
+module Sdfg = Sdf.Sdfg
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** Binding-aware SDFG construction (paper Section 8.1).
+
+    Given a complete, valid binding and a time-slice allocation, the
+    application SDFG is rewritten so that a plain self-timed execution of
+    the result reflects the binding decisions:
+
+    - every actor gets the execution time of the processor it is bound to;
+    - actors without a unit self-loop get one (with one initial token): on a
+      tile only one instance of an actor executes at a time;
+    - a channel mapped inside a tile gets a reverse channel with
+      [alpha_tile - tokens] initial tokens, modelling its bounded buffer;
+    - a channel [d = (a, b, p, q)] mapped across tiles is replaced by the
+      chain [a -> c_d -> s_d -> b] where [c_d] models the connection
+      (execution time [L + ceil (sz / beta)], serialised by a self-loop)
+      and [s_d] models the conservative wait for the destination's TDMA
+      slice (execution time [w_dst - omega_dst], no self-loop: waiting
+      tokens do not exclude each other). Reverse channels [c_d -> a] and
+      [b -> c_d] bound the source and destination buffers
+      ([alpha_src], [alpha_dst] tokens); the channel's initial tokens start
+      on [s_d -> b] and occupy destination buffer space.
+
+    Application actors keep their indices; [c]/[s] actors are appended. *)
+
+type actor_role =
+  | App of int  (** original application actor (same index) *)
+  | Conn of int  (** connection actor for this application channel *)
+  | Sync of int  (** TDMA-synchronisation actor for this channel *)
+
+(** How a token's arrival at the destination tile relates to that tile's
+    TDMA wheel. The paper makes "no assumption on the position of two TDMA
+    time wheels wrt each other" and therefore charges every token the full
+    foreign part of the destination wheel (actor [s], tau = w - omega). If
+    the platform starts all wheels in phase (a single global TDMA clock,
+    as in e.g. AEthereal-based designs), that pessimism is unnecessary: the
+    constrained execution already gates the consumer's firings by its
+    slice, so the sync actor can collapse to zero time. *)
+type sync_model =
+  | Worst_case_arrival  (** the paper's conservative model (default) *)
+  | Aligned_wheels
+      (** wheels share one global phase; sync actors take zero time *)
+
+(** How a cross-tile channel's transport is modelled (Section 8.1 notes
+    that the single actor [c] "can be replaced with a more detailed model
+    if available, such as the network-on-chip connection model of [14]"). *)
+type connection_model =
+  | Simple_connection
+      (** the paper's actor [c]: latency plus serialised transfer,
+          [tau = L + ceil (sz / beta)] per token *)
+  | Pipelined_connection of { stages : int }
+      (** a [14]-style pipelined NoC path: an injection actor serialising
+          at the bandwidth ([ceil (sz / beta)] per token) followed by
+          [stages] hop actors of [ceil (L / stages)] each, every stage
+          holding one token at a time — successive tokens overlap across
+          stages, so long paths no longer serialise the whole transfer *)
+
+type t = {
+  graph : Sdfg.t;
+  exec_times : int array;
+  roles : actor_role array;
+  tile_of : int array;
+      (** per binding-aware actor: tile index for processor-bound (App)
+          actors, [-1] for [Conn]/[Sync] actors *)
+  app : Appgraph.t;
+  arch : Archgraph.t;
+  binding : Binding.t;
+  slices : int array;  (** omega per tile, as used for the sync actors *)
+}
+
+val build :
+  ?sync_model:sync_model ->
+  ?connection_model:connection_model ->
+  app:Appgraph.t ->
+  arch:Archgraph.t ->
+  binding:Binding.t ->
+  slices:int array ->
+  unit ->
+  t
+(** [connection_model] defaults to {!Simple_connection}; [sync_model] to
+    {!Worst_case_arrival}.
+    @raise Invalid_argument if the binding is incomplete or invalid
+    ({!Binding.check}), if a slice exceeds the available wheel of its
+    tile, or if a pipelined model has fewer than one stage. Tiles that
+    host no actor may have slice 0. *)
+
+val half_wheel_slices : Appgraph.t -> Archgraph.t -> Binding.t -> int array
+(** The 50%-of-remaining-wheel slice assumption used by the list scheduler
+    (paper Section 9.2), for tiles that host at least one actor. *)

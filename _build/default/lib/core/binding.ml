@@ -1,0 +1,172 @@
+module Sdfg = Sdf.Sdfg
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type t = int array
+
+let unbound app = Array.make (Sdfg.num_actors app.Appgraph.graph) (-1)
+let is_complete b = Array.for_all (fun t -> t >= 0) b
+let copy = Array.copy
+
+type channel_kind =
+  | Internal of int
+  | Split of { src_tile : int; dst_tile : int }
+  | Dangling
+
+let classify app binding ci =
+  let c = Sdfg.channel app.Appgraph.graph ci in
+  let ts = binding.(c.Sdfg.src) and td = binding.(c.Sdfg.dst) in
+  if ts < 0 || td < 0 then Dangling
+  else if ts = td then Internal ts
+  else Split { src_tile = ts; dst_tile = td }
+
+type tile_usage = { memory : int; conns : int; bw_in : int; bw_out : int }
+
+let usage app arch binding =
+  let nt = Platform.Archgraph.num_tiles arch in
+  let mem = Array.make nt 0
+  and conns = Array.make nt 0
+  and bw_in = Array.make nt 0
+  and bw_out = Array.make nt 0 in
+  Array.iteri
+    (fun a t ->
+      if t >= 0 then
+        match Appgraph.memory app a (Archgraph.tile arch t).Tile.proc_type with
+        | Some m -> mem.(t) <- mem.(t) + m
+        | None -> ())
+    binding;
+  Array.iteri
+    (fun ci cr ->
+      match classify app binding ci with
+      | Dangling -> ()
+      | Internal t ->
+          mem.(t) <- mem.(t) + (cr.Appgraph.alpha_tile * cr.Appgraph.token_size)
+      | Split { src_tile; dst_tile } ->
+          mem.(src_tile) <-
+            mem.(src_tile) + (cr.Appgraph.alpha_src * cr.Appgraph.token_size);
+          mem.(dst_tile) <-
+            mem.(dst_tile) + (cr.Appgraph.alpha_dst * cr.Appgraph.token_size);
+          conns.(src_tile) <- conns.(src_tile) + 1;
+          conns.(dst_tile) <- conns.(dst_tile) + 1;
+          bw_out.(src_tile) <- bw_out.(src_tile) + cr.Appgraph.bandwidth;
+          bw_in.(dst_tile) <- bw_in.(dst_tile) + cr.Appgraph.bandwidth)
+    app.Appgraph.creqs;
+  Array.init nt (fun t ->
+      { memory = mem.(t); conns = conns.(t); bw_in = bw_in.(t); bw_out = bw_out.(t) })
+
+type violation =
+  | Unsupported_processor of { actor : int; tile : int }
+  | No_wheel_time of { tile : int }
+  | Memory_exceeded of { tile : int; used : int; avail : int }
+  | Connections_exceeded of { tile : int; used : int; avail : int }
+  | Bandwidth_exceeded of { tile : int; direction : [ `In | `Out ] }
+  | No_connection of { channel : int; src_tile : int; dst_tile : int }
+  | Zero_bandwidth_split of { channel : int }
+  | Buffer_smaller_than_tokens of { channel : int }
+
+exception Bad of violation
+
+let check app arch binding =
+  try
+    Array.iteri
+      (fun a t ->
+        if t >= 0 then begin
+          if not (Appgraph.supports app a (Archgraph.tile arch t).Tile.proc_type)
+          then raise (Bad (Unsupported_processor { actor = a; tile = t }));
+          if Tile.available_wheel (Archgraph.tile arch t) < 1 then
+            raise (Bad (No_wheel_time { tile = t }))
+        end)
+      binding;
+    Array.iteri
+      (fun ci cr ->
+        let ch = Sdfg.channel app.Appgraph.graph ci in
+        match classify app binding ci with
+        | Dangling -> ()
+        | Internal _ ->
+            (* Per-channel liveness: a bounded buffer smaller than
+               prod + cons - gcd(prod, cons) (plus the resident initial
+               tokens) blocks the channel forever [Ade et al.]. Self-loops
+               hold their own tokens and need no slack. *)
+            let live_bound =
+              max
+                (ch.Sdfg.prod + ch.Sdfg.cons
+                - Sdf.Rat.gcd ch.Sdfg.prod ch.Sdfg.cons)
+                ch.Sdfg.tokens
+            in
+            if ch.Sdfg.src <> ch.Sdfg.dst && cr.Appgraph.alpha_tile < live_bound
+            then raise (Bad (Buffer_smaller_than_tokens { channel = ci }));
+            if cr.Appgraph.alpha_tile < ch.Sdfg.tokens then
+              raise (Bad (Buffer_smaller_than_tokens { channel = ci }))
+        | Split { src_tile; dst_tile } ->
+            if cr.Appgraph.bandwidth = 0 then
+              raise (Bad (Zero_bandwidth_split { channel = ci }));
+            if
+              cr.Appgraph.alpha_src < ch.Sdfg.prod
+              || cr.Appgraph.alpha_dst < max ch.Sdfg.cons ch.Sdfg.tokens
+            then raise (Bad (Buffer_smaller_than_tokens { channel = ci }));
+            if
+              Archgraph.connection_between arch ~src:src_tile ~dst:dst_tile
+              = None
+            then
+              raise
+                (Bad (No_connection { channel = ci; src_tile; dst_tile })))
+      app.Appgraph.creqs;
+    let per_tile = usage app arch binding in
+    Array.iteri
+      (fun t u ->
+        let tile = Archgraph.tile arch t in
+        if u.memory > tile.Tile.mem then
+          raise
+            (Bad (Memory_exceeded { tile = t; used = u.memory; avail = tile.Tile.mem }));
+        if u.conns > tile.Tile.max_conns then
+          raise
+            (Bad
+               (Connections_exceeded
+                  { tile = t; used = u.conns; avail = tile.Tile.max_conns }));
+        if u.bw_in > tile.Tile.in_bw then
+          raise (Bad (Bandwidth_exceeded { tile = t; direction = `In }));
+        if u.bw_out > tile.Tile.out_bw then
+          raise (Bad (Bandwidth_exceeded { tile = t; direction = `Out })))
+      per_tile;
+    Ok ()
+  with Bad v -> Error v
+
+let pp_violation app arch ppf v =
+  let tname t = (Archgraph.tile arch t).Tile.t_name in
+  match v with
+  | Unsupported_processor { actor; tile } ->
+      Format.fprintf ppf "actor %s cannot run on tile %s"
+        (Sdfg.actor_name app.Appgraph.graph actor)
+        (tname tile)
+  | No_wheel_time { tile } ->
+      Format.fprintf ppf "tile %s has no TDMA wheel time left" (tname tile)
+  | Memory_exceeded { tile; used; avail } ->
+      Format.fprintf ppf "memory exceeded on %s (%d > %d bits)" (tname tile)
+        used avail
+  | Connections_exceeded { tile; used; avail } ->
+      Format.fprintf ppf "connections exceeded on %s (%d > %d)" (tname tile)
+        used avail
+  | Bandwidth_exceeded { tile; direction } ->
+      Format.fprintf ppf "%s bandwidth exceeded on %s"
+        (match direction with `In -> "incoming" | `Out -> "outgoing")
+        (tname tile)
+  | No_connection { channel; src_tile; dst_tile } ->
+      Format.fprintf ppf "no connection %s -> %s for channel %s"
+        (tname src_tile) (tname dst_tile)
+        (Sdfg.channel_name app.Appgraph.graph channel)
+  | Zero_bandwidth_split { channel } ->
+      Format.fprintf ppf "channel %s has no bandwidth budget but was split"
+        (Sdfg.channel_name app.Appgraph.graph channel)
+  | Buffer_smaller_than_tokens { channel } ->
+      Format.fprintf ppf
+        "channel %s has fewer buffer slots than initial tokens"
+        (Sdfg.channel_name app.Appgraph.graph channel)
+
+let pp app arch ppf binding =
+  Array.iteri
+    (fun a t ->
+      Format.fprintf ppf "%s -> %s@ "
+        (Sdfg.actor_name app.Appgraph.graph a)
+        (if t < 0 then "?" else (Archgraph.tile arch t).Tile.t_name))
+    binding

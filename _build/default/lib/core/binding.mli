@@ -1,0 +1,62 @@
+module Sdfg = Sdf.Sdfg
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** Binding functions and the Section 7 resource accounting.
+
+    A binding maps every application actor to a tile ([Definition 6]); a
+    partial binding additionally allows "not yet bound". This module derives
+    the channel classification D_tile / D_src / D_dst, the per-tile resource
+    usage, and checks the Section 7 validity constraints 2-4 (constraint 1 —
+    the time slice — is checked by the slice-allocation step, which is when
+    slices exist). *)
+
+type t = int array
+(** Per actor: tile index, or [-1] when unbound (partial bindings). *)
+
+val unbound : Appgraph.t -> t
+val is_complete : t -> bool
+val copy : t -> t
+
+(** Channel classification with respect to a (partial) binding. *)
+type channel_kind =
+  | Internal of int  (** both endpoints on this tile (D_t_tile) *)
+  | Split of { src_tile : int; dst_tile : int }  (** cross-tile *)
+  | Dangling  (** at least one endpoint unbound *)
+
+val classify : Appgraph.t -> t -> int -> channel_kind
+
+type tile_usage = {
+  memory : int;
+      (** actor state plus channel buffers mapped to this tile (bits) *)
+  conns : int;  (** NI connections in use, |D_src| + |D_dst| *)
+  bw_in : int;  (** sum of beta over incoming split channels *)
+  bw_out : int;  (** sum of beta over outgoing split channels *)
+}
+
+val usage : Appgraph.t -> Archgraph.t -> t -> tile_usage array
+(** Resource usage per tile induced by the bound part of the binding.
+    Actors bound to a tile whose processor type they do not support
+    contribute no memory (such bindings are rejected by {!check} anyway). *)
+
+type violation =
+  | Unsupported_processor of { actor : int; tile : int }
+  | No_wheel_time of { tile : int }
+      (** an actor was bound to a tile whose TDMA wheel is fully occupied *)
+  | Memory_exceeded of { tile : int; used : int; avail : int }
+  | Connections_exceeded of { tile : int; used : int; avail : int }
+  | Bandwidth_exceeded of { tile : int; direction : [ `In | `Out ] }
+  | No_connection of { channel : int; src_tile : int; dst_tile : int }
+  | Zero_bandwidth_split of { channel : int }
+      (** a channel with beta = 0 was mapped across tiles: it can never be
+          transported *)
+  | Buffer_smaller_than_tokens of { channel : int }
+
+val check : Appgraph.t -> Archgraph.t -> t -> (unit, violation) result
+(** Validate constraints 2-4 of Section 7 plus structural requirements on
+    the bound part of a (partial) binding. *)
+
+val pp_violation :
+  Appgraph.t -> Archgraph.t -> Format.formatter -> violation -> unit
+
+val pp : Appgraph.t -> Archgraph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type failure = {
+  failed_actor : int;
+  last_violation : Binding.violation option;
+}
+
+(* Candidate tiles for an actor: those whose processor type it supports. *)
+let candidates app arch a =
+  List.filter
+    (fun t -> Appgraph.supports app a (Archgraph.tile arch t).Tile.proc_type)
+    (List.init (Archgraph.num_tiles arch) Fun.id)
+
+(* Sort candidate tiles by Eqn. 2; [score t] must evaluate the cost of
+   candidate [t]. Exact cost ties — common under single-objective weights,
+   e.g. (0,0,1) when no channel is split — are broken towards the tile with
+   the most available wheel time, so applications do not pile onto one tile
+   whose wheel then starves the slice allocator; the final tie-break is the
+   tile index, keeping results deterministic. *)
+let by_cost arch score tiles =
+  let avail t = Tile.available_wheel (Archgraph.tile arch t) in
+  let scored = List.map (fun t -> (score t, avail t, t)) tiles in
+  List.map
+    (fun (_, _, t) -> t)
+    (List.stable_sort
+       (fun (c1, a1, t1) (c2, a2, t2) ->
+         match compare (c1 : float) c2 with
+         | 0 -> ( match compare a2 a1 with 0 -> compare t1 t2 | c -> c)
+         | c -> c)
+       scored)
+
+let try_bind app arch binding a tiles =
+  let last = ref None in
+  let rec go = function
+    | [] -> Error { failed_actor = a; last_violation = !last }
+    | t :: rest -> (
+        binding.(a) <- t;
+        match Binding.check app arch binding with
+        | Ok () -> Ok ()
+        | Error v ->
+            last := Some v;
+            binding.(a) <- -1;
+            go rest)
+  in
+  go tiles
+
+let bind_greedy ?max_cycles ~weights app arch =
+  let order = Cost.binding_order ?max_cycles app in
+  let binding = Binding.unbound app in
+  let rec place = function
+    | [] -> Ok binding
+    | a :: rest -> (
+        (* Cost of tile t with a provisionally bound to it. *)
+        let score t =
+          binding.(a) <- t;
+          let c = Cost.tile_cost weights app arch binding t in
+          binding.(a) <- -1;
+          c
+        in
+        let tiles = by_cost arch score (candidates app arch a) in
+        match try_bind app arch binding a tiles with
+        | Ok () -> place rest
+        | Error e -> Error e)
+  in
+  place order
+
+let optimise ~weights app arch binding =
+  let order = List.rev (Cost.binding_order app) in
+  let binding = Binding.copy binding in
+  List.iter
+    (fun a ->
+      let original = binding.(a) in
+      binding.(a) <- -1;
+      (* Cost against the binding without a (paper Section 9.1, last par.). *)
+      let score t = Cost.tile_cost weights app arch binding t in
+      let tiles = by_cost arch score (candidates app arch a) in
+      match try_bind app arch binding a tiles with
+      | Ok () -> ()
+      | Error _ ->
+          (* The original tile is among the candidates, so this is
+             unreachable for a valid input binding; restore defensively. *)
+          binding.(a) <- original)
+    order;
+  binding
+
+let bind ?max_cycles ~weights app arch =
+  match bind_greedy ?max_cycles ~weights app arch with
+  | Error e -> Error e
+  | Ok binding -> Ok (optimise ~weights app arch binding)

@@ -1,0 +1,38 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** The resource-binding step (paper Section 9.1).
+
+    Actors are placed in decreasing criticality order; each actor goes to
+    the cheapest tile (Eqn. 2, evaluated with the actor provisionally on
+    that tile) whose resources admit it. A load-balancing optimisation then
+    revisits the actors in reverse order, re-placing each against the cost
+    of the binding with the actor removed; it can only keep or improve the
+    binding because the original tile remains a candidate. *)
+
+type failure = {
+  failed_actor : int;
+  last_violation : Binding.violation option;
+      (** why the final candidate tile rejected the actor (diagnostics) *)
+}
+
+val bind :
+  ?max_cycles:int ->
+  weights:Cost.weights ->
+  Appgraph.t ->
+  Archgraph.t ->
+  (Binding.t, failure) result
+(** Run placement plus the reverse-order optimisation. *)
+
+val bind_greedy :
+  ?max_cycles:int ->
+  weights:Cost.weights ->
+  Appgraph.t ->
+  Archgraph.t ->
+  (Binding.t, failure) result
+(** Placement only, without the optimisation pass (exposed for the
+    ablation benchmarks). *)
+
+val optimise :
+  weights:Cost.weights -> Appgraph.t -> Archgraph.t -> Binding.t -> Binding.t
+(** The reverse-order re-placement pass on an existing complete binding. *)

@@ -1,0 +1,294 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type member = {
+  ba : Bind_aware.t;
+  schedules : Schedule.t option array;
+  window_start : int array;
+}
+
+type result = { throughput : Rat.t array; period : int; states : int }
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+let idle = max_int
+
+let members_of_allocations allocs =
+  match allocs with
+  | [] -> []
+  | first :: _ ->
+      let arch = first.Strategy.arch in
+      let nt = Archgraph.num_tiles arch in
+      let next_start = Array.make nt 0 in
+      List.map
+        (fun (a : Strategy.allocation) ->
+          if Archgraph.num_tiles a.Strategy.arch <> nt then
+            invalid_arg "Composition.members_of_allocations: tile mismatch";
+          let window_start = Array.copy next_start in
+          Array.iteri
+            (fun t omega ->
+              next_start.(t) <- next_start.(t) + omega;
+              if next_start.(t) > (Archgraph.tile a.Strategy.arch t).Tile.wheel
+              then
+                invalid_arg
+                  "Composition.members_of_allocations: slices overflow a wheel")
+            a.Strategy.slices;
+          let ba =
+            Bind_aware.build ~app:a.Strategy.app ~arch:a.Strategy.arch
+              ~binding:a.Strategy.binding ~slices:a.Strategy.slices ()
+          in
+          { ba; schedules = a.Strategy.schedules; window_start })
+        allocs
+
+(* Completion of [tau] work started at [t], gated by the window
+   [lo, lo + omega) of a [w]-unit wheel (window contained in the wheel).
+   Shift the frame so the window starts at phase 0 and reuse the
+   single-window closed form. *)
+let window_finish ~t ~tau ~w ~lo ~omega =
+  let shift = ((w - (lo mod w)) mod w + w) mod w in
+  Constrained.tdma_finish ~t:(t + shift) ~tau ~w ~omega - shift
+
+(* The engine is shared between the exact exploration ([analyze], mode
+   [`Exact]) and the windowed measurement ([measure], mode [`Horizon]). *)
+let run mode members =
+  let members = Array.of_list members in
+  let nm = Array.length members in
+  if nm = 0 then invalid_arg "Composition.analyze: no members";
+  let arch = members.(0).ba.Bind_aware.arch in
+  let nt = Archgraph.num_tiles arch in
+  (* Windows of distinct members must not overlap on any tile. *)
+  for t = 0 to nt - 1 do
+    let w = (Archgraph.tile arch t).Tile.wheel in
+    let windows =
+      Array.to_list members
+      |> List.filter_map (fun m ->
+             let omega = m.ba.Bind_aware.slices.(t) in
+             if omega = 0 then None else Some (m.window_start.(t), omega))
+      |> List.sort compare
+    in
+    let rec check = function
+      | (lo, omega) :: rest ->
+          if lo + omega > w then
+            invalid_arg "Composition.analyze: window exceeds the wheel";
+          (match rest with
+          | (lo', _) :: _ when lo' < lo + omega ->
+              invalid_arg "Composition.analyze: overlapping windows"
+          | _ -> ());
+          check rest
+      | [] -> ()
+    in
+    check windows
+  done;
+  (* Per-member mutable state. *)
+  let tokens =
+    Array.map
+      (fun m ->
+        Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels m.ba.Bind_aware.graph))
+      members
+  in
+  let pending =
+    Array.map (fun m -> Array.make (Sdfg.num_actors m.ba.Bind_aware.graph) []) members
+  in
+  let busy = Array.map (fun _ -> Array.make nt idle) members in
+  let cur = Array.map (fun _ -> Array.make nt (-1)) members in
+  let wake = Array.map (fun _ -> Array.make nt idle) members in
+  let sched_pos = Array.map (fun _ -> Array.make nt 0) members in
+  let out_count = Array.make nm 0 in
+  let time = ref 0 in
+  let member_ops mi =
+    let m = members.(mi) in
+    let g = m.ba.Bind_aware.graph in
+    let tks = tokens.(mi) in
+    let enabled a =
+      List.for_all
+        (fun ci -> tks.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
+        (Sdfg.in_channels g a)
+    in
+    let consume a =
+      List.iter
+        (fun ci -> tks.(ci) <- tks.(ci) - (Sdfg.channel g ci).Sdfg.cons)
+        (Sdfg.in_channels g a)
+    in
+    let produce a =
+      List.iter
+        (fun ci -> tks.(ci) <- tks.(ci) + (Sdfg.channel g ci).Sdfg.prod)
+        (Sdfg.out_channels g a)
+    in
+    (enabled, consume, produce)
+  in
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: _ as l when x <= y -> x :: l
+    | y :: rest -> y :: insert_sorted x rest
+  in
+  let start_fixpoint () =
+    let guard = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for mi = 0 to nm - 1 do
+        let m = members.(mi) in
+        let g = m.ba.Bind_aware.graph in
+        let enabled, consume, produce = member_ops mi in
+        let output = m.ba.Bind_aware.app.Appmodel.Appgraph.output_actor in
+        (* Unbound (transport/sync) actors fire self-timed. *)
+        for a = 0 to Sdfg.num_actors g - 1 do
+          if m.ba.Bind_aware.tile_of.(a) < 0 then
+            while enabled a do
+              changed := true;
+              incr guard;
+              if !guard > 10_000_000 then
+                invalid_arg "Composition.analyze: zero-time livelock";
+              consume a;
+              if a = output then out_count.(mi) <- out_count.(mi) + 1;
+              let tau = m.ba.Bind_aware.exec_times.(a) in
+              if tau = 0 then produce a
+              else pending.(mi).(a) <- insert_sorted (!time + tau) pending.(mi).(a)
+            done
+        done;
+        (* Scheduled actors, gated by this member's window. *)
+        Array.iteri
+          (fun t sched ->
+            match sched with
+            | None -> ()
+            | Some s ->
+                if busy.(mi).(t) = idle then begin
+                  wake.(mi).(t) <- idle;
+                  let a = Schedule.actor_at s sched_pos.(mi).(t) in
+                  if enabled a then begin
+                    let tile = Archgraph.tile arch t in
+                    let w = tile.Tile.wheel in
+                    let omega = m.ba.Bind_aware.slices.(t) in
+                    let lo = m.window_start.(t) in
+                    let rel = ((!time mod w) - lo + w) mod w in
+                    if omega < w && rel >= omega then
+                      wake.(mi).(t) <- !time + (w - rel)
+                    else begin
+                      changed := true;
+                      consume a;
+                      if a = output then out_count.(mi) <- out_count.(mi) + 1;
+                      let fin =
+                        window_finish ~t:!time
+                          ~tau:m.ba.Bind_aware.exec_times.(a) ~w ~lo ~omega
+                      in
+                      if fin = !time then produce a
+                      else begin
+                        busy.(mi).(t) <- fin;
+                        cur.(mi).(t) <- a
+                      end;
+                      sched_pos.(mi).(t) <- Schedule.advance s sched_pos.(mi).(t)
+                    end
+                  end
+                end)
+          m.schedules
+      done
+    done
+  in
+  let snapshot () =
+    let rel l = List.map (fun c -> c - !time) l in
+    let per_member =
+      Array.mapi
+        (fun mi _ ->
+          ( Array.copy tokens.(mi),
+            Array.map rel pending.(mi),
+            Array.map (fun c -> if c = idle then -1 else c - !time) busy.(mi),
+            Array.copy cur.(mi),
+            Array.copy sched_pos.(mi) ))
+        members
+    in
+    let phases =
+      Array.init nt (fun t ->
+          let w = (Archgraph.tile arch t).Tile.wheel in
+          if w = 0 then 0 else !time mod w)
+    in
+    Marshal.to_string (per_member, phases) [ Marshal.No_sharing ]
+  in
+  let seen : (string, int * int array) Hashtbl.t = Hashtbl.create 4096 in
+  (* Windowed mode: counts at the half-way mark. *)
+  let half_mark : (int * int array) option ref = ref None in
+  let advance_and_continue explore =
+        let next = ref idle in
+        for mi = 0 to nm - 1 do
+          Array.iter (fun l -> match l with c :: _ -> if c < !next then next := c | [] -> ()) pending.(mi);
+          Array.iter (fun c -> if c < !next then next := c) busy.(mi);
+          Array.iter (fun c -> if c < !next then next := c) wake.(mi)
+        done;
+        if !next = idle then raise Deadlocked;
+        time := !next;
+        for mi = 0 to nm - 1 do
+          let _, _, produce = member_ops mi in
+          Array.iteri
+            (fun t c ->
+              if c = !time then begin
+                produce cur.(mi).(t);
+                busy.(mi).(t) <- idle;
+                cur.(mi).(t) <- -1
+              end)
+            busy.(mi);
+          Array.iteri
+            (fun a l ->
+              let rec settle = function
+                | c :: rest when c = !time ->
+                    produce a;
+                    settle rest
+                | l -> l
+              in
+              pending.(mi).(a) <- settle l)
+            pending.(mi)
+        done;
+        explore ()
+  in
+  let rec explore_exact max_states () =
+    start_fixpoint ();
+    let key = snapshot () in
+    match Hashtbl.find_opt seen key with
+    | Some (t0, counts0) ->
+        let period = !time - t0 in
+        {
+          throughput =
+            Array.init nm (fun mi ->
+                Rat.make (out_count.(mi) - counts0.(mi)) period);
+          period;
+          states = Hashtbl.length seen;
+        }
+    | None ->
+        if Hashtbl.length seen >= max_states then
+          raise (State_space_exceeded max_states);
+        Hashtbl.add seen key (!time, Array.copy out_count);
+        advance_and_continue (explore_exact max_states)
+  in
+  let rec explore_horizon horizon () =
+    start_fixpoint ();
+    if !time >= horizon / 2 && !half_mark = None then
+      half_mark := Some (!time, Array.copy out_count);
+    if !time >= horizon then begin
+      match !half_mark with
+      | Some (t0, counts0) when !time > t0 ->
+          let span = !time - t0 in
+          {
+            throughput =
+              Array.init nm (fun mi ->
+                  Rat.make (out_count.(mi) - counts0.(mi)) span);
+            period = span;
+            states = 0;
+          }
+      | _ ->
+          {
+            throughput = Array.init nm (fun mi -> Rat.make out_count.(mi) (max 1 !time));
+            period = !time;
+            states = 0;
+          }
+    end
+    else advance_and_continue (explore_horizon horizon)
+  in
+  match mode with
+  | `Exact max_states -> explore_exact max_states ()
+  | `Horizon horizon -> explore_horizon horizon ()
+
+let analyze ?(max_states = 2_000_000) members = run (`Exact max_states) members
+
+let measure ?(horizon = 1_000_000) members =
+  (run (`Horizon horizon) members).throughput

@@ -1,0 +1,253 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type result = { throughput : Rat.t; period : int; transient : int; states : int }
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+let idle = max_int
+
+(* Completion time of a firing of [tau] work started at absolute time [t] on
+   a wheel of size [w] whose slice occupies phases [0, omega): work advances
+   only inside the slice. Closed form — no per-time-unit stepping. *)
+let tdma_finish ~t ~tau ~w ~omega =
+  if tau = 0 then t
+  else if omega >= w then t + tau
+  else if omega <= 0 then raise Deadlocked
+  else begin
+    let phase = t mod w in
+    if phase < omega && tau <= omega - phase then t + tau
+    else begin
+      (* Work remaining at the start of the next slice. *)
+      let slice_start, remaining =
+        if phase < omega then (t + (omega - phase) + (w - omega), tau - (omega - phase))
+        else (t + (w - phase), tau)
+      in
+      slice_start + (((remaining - 1) / omega) * w) + ((remaining - 1) mod omega) + 1
+    end
+  end
+
+let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~schedules =
+  let g = ba.Bind_aware.graph in
+  let arch = ba.Bind_aware.arch in
+  let nt = Archgraph.num_tiles arch in
+  let n = Sdfg.num_actors g in
+  if Array.length schedules <> nt then
+    invalid_arg "Constrained.analyze: schedules length mismatch";
+  Array.iteri
+    (fun t sched ->
+      match sched with
+      | None -> ()
+      | Some s ->
+          let check a =
+            if a < 0 || a >= n || ba.Bind_aware.tile_of.(a) <> t then
+              invalid_arg
+                (Printf.sprintf
+                   "Constrained.analyze: schedule of tile %d lists actor %d \
+                    not bound to it"
+                   t a)
+          in
+          Array.iter check s.Schedule.prefix;
+          Array.iter check s.Schedule.period;
+          if (Archgraph.tile arch t).Tile.wheel <= 0 then
+            invalid_arg "Constrained.analyze: scheduled tile has no wheel")
+    schedules;
+  let offsets =
+    match offsets with
+    | None -> Array.make nt 0
+    | Some o ->
+        if Array.length o <> nt then
+          invalid_arg "Constrained.analyze: offsets length mismatch";
+        Array.map2
+          (fun off (tile : Tile.t) ->
+            if tile.Tile.wheel = 0 then 0
+            else ((off mod tile.Tile.wheel) + tile.Tile.wheel) mod tile.Tile.wheel)
+          o (Archgraph.tiles arch)
+  in
+  let output_actor = ba.Bind_aware.app.Appmodel.Appgraph.output_actor in
+  let unbound =
+    Array.to_list (Array.init n Fun.id)
+    |> List.filter (fun a -> ba.Bind_aware.tile_of.(a) < 0)
+  in
+  let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
+  let pending = Array.make n [] in
+  (* absolute completion times, ascending *)
+  let tile_busy = Array.make nt idle in
+  let tile_cur = Array.make nt (-1) in
+  (* Wake-up time for a tile whose scheduled actor is enabled but whose
+     wheel phase is outside the slice: the firing starts (and consumes its
+     tokens) only when the slice begins. Derived from the rest of the state,
+     so it is not part of the recurrence key. *)
+  let tile_wake = Array.make nt idle in
+  let sched_pos = Array.make nt 0 in
+  let time = ref 0 in
+  let out_count = ref 0 in
+  let enabled a =
+    List.for_all
+      (fun ci -> tokens.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
+      (Sdfg.in_channels g a)
+  in
+  let consume a =
+    List.iter
+      (fun ci -> tokens.(ci) <- tokens.(ci) - (Sdfg.channel g ci).Sdfg.cons)
+      (Sdfg.in_channels g a)
+  in
+  let produce a =
+    List.iter
+      (fun ci -> tokens.(ci) <- tokens.(ci) + (Sdfg.channel g ci).Sdfg.prod)
+      (Sdfg.out_channels g a)
+  in
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: _ as l when x <= y -> x :: l
+    | y :: rest -> y :: insert_sorted x rest
+  in
+  let count_start a =
+    (match observer with Some f -> f !time a | None -> ());
+    if a = output_actor then incr out_count
+  in
+  let start_fixpoint () =
+    let guard = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun a ->
+          while enabled a do
+            changed := true;
+            incr guard;
+            if !guard > 10_000_000 then
+              invalid_arg "Constrained.analyze: zero-time livelock";
+            consume a;
+            count_start a;
+            let tau = ba.Bind_aware.exec_times.(a) in
+            if tau = 0 then produce a
+            else pending.(a) <- insert_sorted (!time + tau) pending.(a)
+          done)
+        unbound;
+      Array.iteri
+        (fun t sched ->
+          match sched with
+          | None -> ()
+          | Some s ->
+              if tile_busy.(t) = idle then begin
+                tile_wake.(t) <- idle;
+                let a = Schedule.actor_at s sched_pos.(t) in
+                if enabled a then begin
+                  let tile = Archgraph.tile arch t in
+                  let w = tile.Tile.wheel and omega = ba.Bind_aware.slices.(t) in
+                  let phase = (!time + offsets.(t)) mod w in
+                  if omega < w && phase >= omega then
+                    (* Outside the slice: postpone the start (paper: the
+                       firing is postponed; Fig. 5(c) boxes). *)
+                    tile_wake.(t) <- !time + (w - phase)
+                  else begin
+                    changed := true;
+                    consume a;
+                    count_start a;
+                    let fin =
+                      (* Gate in the tile's shifted time frame. *)
+                      tdma_finish
+                        ~t:(!time + offsets.(t))
+                        ~tau:ba.Bind_aware.exec_times.(a) ~w ~omega
+                      - offsets.(t)
+                    in
+                    if fin = !time then produce a
+                    else begin
+                      tile_busy.(t) <- fin;
+                      tile_cur.(t) <- a
+                    end;
+                    sched_pos.(t) <- Schedule.advance s sched_pos.(t)
+                  end
+                end
+              end)
+        schedules
+    done
+  in
+  let snapshot () =
+    let rel = Array.map (List.map (fun c -> c - !time)) pending in
+    let busy_rel =
+      Array.map (fun c -> if c = idle then -1 else c - !time) tile_busy
+    in
+    (* The wheel phase matters only where gating can stall work: a tile
+       whose slice covers the whole wheel (or hosting nothing) evolves
+       phase-independently, and keying on its phase would only delay the
+       recurrence (by up to a factor w). *)
+    let phases =
+      Array.mapi
+        (fun t sched ->
+          match sched with
+          | None -> 0
+          | Some _ ->
+              let w = (Archgraph.tile arch t).Tile.wheel in
+              if ba.Bind_aware.slices.(t) >= w then 0
+              else (!time + offsets.(t)) mod w)
+        schedules
+    in
+    Marshal.to_string
+      ( Array.copy tokens,
+        rel,
+        busy_rel,
+        Array.copy tile_cur,
+        Array.copy sched_pos,
+        phases )
+      [ Marshal.No_sharing ]
+  in
+  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec explore () =
+    start_fixpoint ();
+    let key = snapshot () in
+    match Hashtbl.find_opt seen key with
+    | Some (t0, out0) ->
+        let period = !time - t0 in
+        let fired = !out_count - out0 in
+        {
+          throughput = Rat.make fired period;
+          period;
+          transient = t0;
+          states = Hashtbl.length seen;
+        }
+    | None ->
+        if Hashtbl.length seen >= max_states then
+          raise (State_space_exceeded max_states);
+        Hashtbl.add seen key (!time, !out_count);
+        let next =
+          Array.fold_left
+            (fun acc l -> match l with [] -> acc | c :: _ -> min acc c)
+            (min
+               (Array.fold_left min idle tile_busy)
+               (Array.fold_left min idle tile_wake))
+            pending
+        in
+        if next = idle then raise Deadlocked;
+        time := next;
+        Array.iteri
+          (fun t c ->
+            if c = !time then begin
+              produce tile_cur.(t);
+              tile_busy.(t) <- idle;
+              tile_cur.(t) <- -1
+            end)
+          tile_busy;
+        Array.iteri
+          (fun a l ->
+            let rec settle = function
+              | c :: rest when c = !time ->
+                  produce a;
+                  settle rest
+              | l -> l
+            in
+            pending.(a) <- settle l)
+          pending;
+        explore ()
+  in
+  explore ()
+
+let throughput_or_zero ?max_states ba ~schedules =
+  match analyze ?max_states ba ~schedules with
+  | r -> r.throughput
+  | exception Deadlocked -> Rat.zero
+  | exception State_space_exceeded _ -> Rat.zero

@@ -1,0 +1,78 @@
+module Rat = Sdf.Rat
+
+(** Schedule- and TDMA-constrained execution of a binding-aware SDFG
+    (paper Section 8.2).
+
+    Rather than encoding static-order schedules and TDMA wheels into the
+    graph (which would force the HSDF conversion), they constrain the
+    state-space exploration:
+
+    - a processor-bound actor may only start firing when it is at the
+      current position of its tile's static-order schedule and the tile's
+      processor is idle (static order implies sequential execution);
+    - the remaining execution time of a bound firing only decreases while
+      the TDMA wheel of its tile is inside the slice reserved for this
+      application. Wheels all start at phase 0; the phase relation between
+      tiles is irrelevant because the sync actors of the binding-aware
+      graph already assume worst-case arrival (Section 8.1).
+    - connection and sync actors are not processor-bound: they fire
+      self-timed, as in {!Analysis.Selftimed}.
+
+    The execution is event driven: the completion time of a gated firing is
+    computed in closed form from the wheel phase, so large execution times
+    (H.263-scale) do not enlarge the state space. The state — token
+    distribution, remaining execution times, schedule positions and wheel
+    phases — eventually recurs; throughput is read off the periodic phase. *)
+
+val tdma_finish : t:int -> tau:int -> w:int -> omega:int -> int
+(** Completion time of [tau] units of work started at absolute time [t] on
+    a wheel of [w] time units whose slice occupies phases [0, omega): work
+    only progresses inside the slice. Closed form; shared with the list
+    scheduler.
+    @raise Deadlocked when [omega <= 0 < tau] (the work can never finish). *)
+
+type result = {
+  throughput : Rat.t;  (** of the application's output actor *)
+  period : int;
+  transient : int;
+  states : int;
+}
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+val analyze :
+  ?observer:(int -> int -> unit) ->
+  ?offsets:int array ->
+  ?max_states:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  result
+(** [analyze ba ~schedules] explores the constrained execution. When
+    given, [observer time actor] is called at every firing start, in order
+    (the execution is deterministic), which reconstructs the Fig.-5(c)
+    transition chain.
+    [schedules.(t)] orders the actors bound to tile [t] (it must mention
+    exactly those actors); [None] for tiles hosting no actor. The slice
+    sizes are taken from the binding-aware graph ([ba.slices]); a used tile
+    with slice 0 can make no progress and yields {!Deadlocked}.
+
+    [offsets] gives each tile's TDMA wheel a start phase (default all 0);
+    the paper's conservative model makes no offset assumption, so this knob
+    exists to {e simulate implementations}: build the binding-aware graph
+    with {!Bind_aware.Aligned_wheels} (zero sync wait, real arrivals) and
+    sweep offsets — the guaranteed throughput must lower-bound every such
+    run (tested as a property; see the E22 bench).
+
+    [max_states] defaults to [500_000].
+    @raise Invalid_argument if a schedule mentions an actor not bound to
+    its tile, or if [offsets] has the wrong length. *)
+
+val throughput_or_zero :
+  ?max_states:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  Rat.t
+(** Like {!analyze} but mapping {!Deadlocked} and {!State_space_exceeded}
+    to throughput 0 — the shape the slice-allocation binary search wants
+    ("this allocation does not meet any constraint"). *)

@@ -1,0 +1,110 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Cycles = Sdf.Cycles
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type weights = { c1 : float; c2 : float; c3 : float }
+
+let weights c1 c2 c3 = { c1; c2; c3 }
+
+type criticality = { per_actor : Rat.t array; truncated : bool }
+
+let cycle_value app cyc =
+  let g = app.Appgraph.graph in
+  let gamma = Appgraph.gamma app in
+  let work =
+    List.fold_left
+      (fun acc ci ->
+        let a = (Sdfg.channel g ci).Sdfg.src in
+        acc + (gamma.(a) * Appgraph.max_exec_time app a))
+      0 cyc
+  in
+  let tokens =
+    List.fold_left
+      (fun acc ci ->
+        let c = Sdfg.channel g ci in
+        Rat.add acc (Rat.make c.Sdfg.tokens c.Sdfg.cons))
+      Rat.zero cyc
+  in
+  if Rat.equal tokens Rat.zero then Rat.infinity
+  else Rat.div (Rat.of_int work) tokens
+
+let actor_criticality ?max_cycles app =
+  let g = app.Appgraph.graph in
+  let n = Sdfg.num_actors g in
+  let enumeration = Cycles.simple_cycles ?max_cycles g in
+  let per_actor = Array.make n Rat.zero in
+  List.iter
+    (fun cyc ->
+      let v = cycle_value app cyc in
+      List.iter
+        (fun ci ->
+          let a = (Sdfg.channel g ci).Sdfg.src in
+          if Rat.compare v per_actor.(a) > 0 then per_actor.(a) <- v)
+        cyc)
+    enumeration.Cycles.cycles;
+  { per_actor; truncated = enumeration.Cycles.truncated }
+
+let binding_order ?max_cycles app =
+  let crit = (actor_criticality ?max_cycles app).per_actor in
+  let gamma = Appgraph.gamma app in
+  let work a = gamma.(a) * Appgraph.max_exec_time app a in
+  let cmp a b =
+    match Rat.compare crit.(b) crit.(a) with
+    | 0 -> ( match compare (work b) (work a) with 0 -> compare a b | c -> c)
+    | c -> c
+  in
+  List.sort cmp (List.init (Array.length crit) Fun.id)
+
+let processing_load app arch binding t =
+  let tile = Archgraph.tile arch t in
+  let gamma = Appgraph.gamma app in
+  let bound_work = ref 0 in
+  Array.iteri
+    (fun a bt ->
+      if bt = t then
+        match Appgraph.exec_time app a tile.Tile.proc_type with
+        | Some tau -> bound_work := !bound_work + (gamma.(a) * tau)
+        | None -> ())
+    binding;
+  let total = Appgraph.total_work app in
+  if total = 0 then 0. else float_of_int !bound_work /. float_of_int total
+
+let memory_load app arch binding t =
+  let tile = Archgraph.tile arch t in
+  let u = (Binding.usage app arch binding).(t) in
+  if tile.Tile.mem = 0 then if u.Binding.memory > 0 then Float.infinity else 0.
+  else float_of_int u.Binding.memory /. float_of_int tile.Tile.mem
+
+let communication_load app arch binding t =
+  let tile = Archgraph.tile arch t in
+  let u = (Binding.usage app arch binding).(t) in
+  let frac used avail =
+    if avail = 0 then if used > 0 then Float.infinity else 0.
+    else float_of_int used /. float_of_int avail
+  in
+  (frac u.Binding.bw_out tile.Tile.out_bw
+  +. frac u.Binding.bw_in tile.Tile.in_bw
+  +. frac u.Binding.conns tile.Tile.max_conns)
+  /. 3.
+
+let tile_cost w app arch binding t =
+  (* Compute the per-tile usage once; the three load functions above are the
+     public fine-grained API, this is the hot path. *)
+  let tile = Archgraph.tile arch t in
+  let u = (Binding.usage app arch binding).(t) in
+  let frac used avail =
+    if avail = 0 then if used > 0 then Float.infinity else 0.
+    else float_of_int used /. float_of_int avail
+  in
+  let lp = processing_load app arch binding t in
+  let lm = frac u.Binding.memory tile.Tile.mem in
+  let lc =
+    (frac u.Binding.bw_out tile.Tile.out_bw
+    +. frac u.Binding.bw_in tile.Tile.in_bw
+    +. frac u.Binding.conns tile.Tile.max_conns)
+    /. 3.
+  in
+  (w.c1 *. lp) +. (w.c2 *. lm) +. (w.c3 *. lc)

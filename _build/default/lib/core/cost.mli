@@ -1,0 +1,50 @@
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** The two cost functions steering the binding step (paper Section 9.1).
+
+    {b Actor criticality} (Eqn. 1) estimates how strongly an actor's
+    execution time limits throughput, directly on the SDFG: the maximum over
+    all simple cycles through the actor of
+
+    [sum_{b in c} gamma b * sup_pt tau(b, pt)  /  sum_{d=(u,v,p,q) in c} Tok d / q]
+
+    {b Tile cost} (Eqn. 2) scores a candidate tile under a (partial)
+    binding as [c1 * l_p + c2 * l_m + c3 * l_c], where [l_p] is the tile's
+    share of the application's total work, [l_m] its memory fill fraction
+    and [l_c] the average of its bandwidth and connection fill fractions. *)
+
+type weights = { c1 : float; c2 : float; c3 : float }
+
+val weights : float -> float -> float -> weights
+
+type criticality = {
+  per_actor : Rat.t array;
+  truncated : bool;
+      (** cycle enumeration hit its cap; the values are lower bounds *)
+}
+
+val actor_criticality : ?max_cycles:int -> Appgraph.t -> criticality
+(** Actors on no cycle get criticality 0 (they never limit throughput
+    structurally); the binding order breaks such ties by total work
+    [gamma a * sup tau]. *)
+
+val binding_order : ?max_cycles:int -> Appgraph.t -> int list
+(** Actor indices in decreasing criticality (Eqn.-1 value, then total work,
+    then index) — the order in which the binding step places actors. *)
+
+val processing_load : Appgraph.t -> Archgraph.t -> Binding.t -> int -> float
+(** [l_p t]: work bound to [t] (with [t]'s processor type) over the
+    application's total work (with worst-case processor types). *)
+
+val memory_load : Appgraph.t -> Archgraph.t -> Binding.t -> int -> float
+(** [l_m t]. *)
+
+val communication_load : Appgraph.t -> Archgraph.t -> Binding.t -> int -> float
+(** [l_c t]: mean of output-bandwidth, input-bandwidth and connection fill
+    fractions. *)
+
+val tile_cost :
+  weights -> Appgraph.t -> Archgraph.t -> Binding.t -> int -> float
+(** Eqn. 2 for one tile under the given (partial) binding. *)

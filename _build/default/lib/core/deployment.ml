@@ -1,0 +1,106 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Xml = Sdf.Xml
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+module Appgraph = Appmodel.Appgraph
+
+let to_xml (alloc : Strategy.allocation) =
+  let app = alloc.Strategy.app in
+  let g = app.Appgraph.graph in
+  let arch = alloc.Strategy.arch in
+  let tile_name t = (Archgraph.tile arch t).Tile.t_name in
+  let bindings =
+    Array.to_list
+      (Array.mapi
+         (fun a t ->
+           Xml.Element
+             ( "binding",
+               [ ("actor", Sdfg.actor_name g a); ("tile", tile_name t) ],
+               [] ))
+         alloc.Strategy.binding)
+  in
+  let order s =
+    String.concat " "
+      (Array.to_list (Array.map (Sdfg.actor_name g) s))
+  in
+  let tiles =
+    Array.to_list alloc.Strategy.slices
+    |> List.mapi (fun t omega -> (t, omega))
+    |> List.filter_map (fun (t, omega) ->
+           if omega = 0 then None
+           else
+             let sched_elem =
+               match alloc.Strategy.schedules.(t) with
+               | Some s ->
+                   [
+                     Xml.Element
+                       ( "schedule",
+                         [
+                           ("prefix", order s.Schedule.prefix);
+                           ("period", order s.Schedule.period);
+                         ],
+                         [] );
+                   ]
+               | None -> []
+             in
+             Some
+               (Xml.Element
+                  ( "tile",
+                    [
+                      ("name", tile_name t);
+                      ("slice", string_of_int omega);
+                      ( "wheel",
+                        string_of_int (Archgraph.tile arch t).Tile.wheel );
+                    ],
+                    sched_elem )))
+  in
+  Xml.Element
+    ( "deployment",
+      [
+        ("application", app.Appgraph.app_name);
+        ("throughput", Rat.to_string alloc.Strategy.throughput);
+      ],
+      bindings @ tiles )
+
+let to_string alloc = Xml.to_string (to_xml alloc)
+
+let write_file path alloc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string alloc))
+
+type summary = {
+  application : string;
+  throughput : Rat.t;
+  bindings : (string * string) list;
+  slices : (string * int) list;
+}
+
+let summary_of_xml root =
+  let fail m = failwith ("Deployment.summary_of_xml: " ^ m) in
+  if Xml.tag root <> "deployment" then fail "expected <deployment>";
+  let attr node name =
+    match Xml.attr_opt node name with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "missing attribute %s" name)
+  in
+  let throughput =
+    match String.split_on_char '/' (attr root "throughput") with
+    | [ n ] -> Rat.of_int (int_of_string n)
+    | [ n; d ] -> Rat.make (int_of_string n) (int_of_string d)
+    | _ -> fail "bad throughput"
+  in
+  {
+    application = attr root "application";
+    throughput;
+    bindings =
+      List.map
+        (fun b -> (attr b "actor", attr b "tile"))
+        (Xml.children root "binding");
+    slices =
+      List.map
+        (fun t -> (attr t "name", int_of_string (attr t "slice")))
+        (Xml.children root "tile");
+  }

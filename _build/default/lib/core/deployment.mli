@@ -1,0 +1,34 @@
+(** Deployment descriptors: the allocation result as a document.
+
+    What a runtime or code generator needs to set the platform up: per
+    actor its tile, per tile the TDMA slice and the static-order schedule,
+    plus the guaranteed throughput. Written in the same SDF3-style XML
+    dialect as the model files, so a flow can archive
+    (application, architecture, deployment) triples together. *)
+
+val to_xml : Strategy.allocation -> Sdf.Xml.t
+(** {v
+    <deployment application="..." throughput="13/220">
+      <binding actor="a1" tile="t1"/>
+      ...
+      <tile name="t1" slice="5" wheel="10">
+        <schedule prefix="" period="a1 a2"/>
+      </tile>
+      ...
+    </deployment>
+    v} *)
+
+val to_string : Strategy.allocation -> string
+
+val write_file : string -> Strategy.allocation -> unit
+
+type summary = {
+  application : string;
+  throughput : Sdf.Rat.t;
+  bindings : (string * string) list;  (** actor name, tile name *)
+  slices : (string * int) list;  (** tile name, slice (used tiles only) *)
+}
+
+val summary_of_xml : Sdf.Xml.t -> summary
+(** Read back the descriptor's summary (for tooling round trips).
+    @raise Failure on documents that do not match the schema. *)

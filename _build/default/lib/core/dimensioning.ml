@@ -1,0 +1,67 @@
+module Appgraph = Appmodel.Appgraph
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type tile_template = {
+  proc_types : string array;
+  wheel : int;
+  mem : int;
+  max_conns : int;
+  in_bw : int;
+  out_bw : int;
+  hop_latency : int;
+}
+
+let template_of_tile ~proc_types ~hop_latency (t : Tile.t) =
+  {
+    proc_types;
+    wheel = t.Tile.wheel;
+    mem = t.Tile.mem;
+    max_conns = t.Tile.max_conns;
+    in_bw = t.Tile.in_bw;
+    out_bw = t.Tile.out_bw;
+    hop_latency;
+  }
+
+type result = {
+  rows : int;
+  cols : int;
+  arch : Archgraph.t;
+  report : Multi_app.report;
+  rejected_shapes : (int * int) list;
+}
+
+(* Candidate shapes ordered by tile count, then by squareness (so 2x2 is
+   preferred over 1x4 at equal count). *)
+let shapes max_tiles =
+  let all = ref [] in
+  for r = 1 to max_tiles do
+    for c = r to max_tiles do
+      if r * c <= max_tiles then all := (r, c) :: !all
+    done
+  done;
+  List.sort
+    (fun (r1, c1) (r2, c2) ->
+      match compare (r1 * c1) (r2 * c2) with
+      | 0 -> compare (c1 - r1) (c2 - r2)
+      | n -> n)
+    !all
+
+let build_mesh tpl rows cols =
+  Archgraph.mesh ~rows ~cols ~proc_types:tpl.proc_types ~wheel:tpl.wheel
+    ~mem:tpl.mem ~max_conns:tpl.max_conns ~in_bw:tpl.in_bw ~out_bw:tpl.out_bw
+    ~hop_latency:tpl.hop_latency ()
+
+let smallest_mesh ?weights ?max_states ?(max_tiles = 16) tpl apps =
+  let rec try_shapes rejected = function
+    | [] -> None
+    | (rows, cols) :: rest ->
+        let arch = build_mesh tpl rows cols in
+        let report =
+          Multi_app.allocate_until_failure ?weights ?max_states apps arch
+        in
+        if List.length report.Multi_app.allocations = List.length apps then
+          Some { rows; cols; arch; report; rejected_shapes = List.rev rejected }
+        else try_shapes ((rows, cols) :: rejected) rest
+  in
+  try_shapes [] (shapes max_tiles)

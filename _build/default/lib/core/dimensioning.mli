@@ -1,0 +1,47 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** Platform dimensioning (an improvement the paper names in Section 10.2:
+    "resource utilisation can be increased when doing system
+    dimensioning").
+
+    Given a set of applications and a tile template, find the smallest
+    mesh — fewest tiles, breaking ties towards square shapes — on which the
+    allocation strategy places every application with its throughput
+    guarantee. This inverts the paper's experiment: instead of counting how
+    many applications a fixed platform carries, size the platform for a
+    fixed application set. *)
+
+type tile_template = {
+  proc_types : string array;  (** assigned round robin across the mesh *)
+  wheel : int;
+  mem : int;
+  max_conns : int;
+  in_bw : int;
+  out_bw : int;
+  hop_latency : int;
+}
+
+val template_of_tile : proc_types:string array -> hop_latency:int ->
+  Platform.Tile.t -> tile_template
+(** Use an existing tile's resources as the template. *)
+
+type result = {
+  rows : int;
+  cols : int;
+  arch : Archgraph.t;  (** the dimensioned platform, unoccupied *)
+  report : Multi_app.report;  (** the successful allocation of all apps *)
+  rejected_shapes : (int * int) list;
+      (** shapes tried and found too small, in order *)
+}
+
+val smallest_mesh :
+  ?weights:Cost.weights ->
+  ?max_states:int ->
+  ?max_tiles:int ->
+  tile_template ->
+  Appgraph.t list ->
+  result option
+(** Try meshes in increasing tile count (1x1, 1x2, 2x2, 2x3, ...) up to
+    [max_tiles] (default 16) and return the first that fits all
+    applications, or [None] if none does. *)

@@ -1,0 +1,36 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+type attempt = {
+  weights : Cost.weights;
+  outcome : (Strategy.allocation, Strategy.failure) result;
+}
+
+type result = {
+  allocation : Strategy.allocation option;
+  attempts : attempt list;
+}
+
+let default_weight_ladder =
+  [
+    Cost.weights 0. 1. 2.;
+    Cost.weights 0. 0. 1.;
+    Cost.weights 0. 1. 0.;
+    Cost.weights 1. 1. 1.;
+    Cost.weights 1. 0. 0.;
+  ]
+
+let allocate_with_retry ?(weight_ladder = default_weight_ladder)
+    ?connection_model ?max_states app arch =
+  let rec go attempts = function
+    | [] -> { allocation = None; attempts = List.rev attempts }
+    | weights :: rest -> (
+        let outcome =
+          Strategy.allocate ~weights ?connection_model ?max_states app arch
+        in
+        let attempts = { weights; outcome } :: attempts in
+        match outcome with
+        | Ok alloc -> { allocation = Some alloc; attempts = List.rev attempts }
+        | Error _ -> go attempts rest)
+  in
+  go [] weight_ladder

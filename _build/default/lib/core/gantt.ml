@@ -1,0 +1,98 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+type firing = { actor : int; start : int; finish : int }
+
+type t = {
+  ba : Bind_aware.t;
+  horizon : int;
+  firings : firing list;
+  thr : Rat.t;
+}
+
+let capture ?max_states ?(horizon = 80) (ba : Bind_aware.t) ~schedules =
+  let arch = ba.Bind_aware.arch in
+  let firings = ref [] in
+  let observer start actor =
+    let tau = ba.Bind_aware.exec_times.(actor) in
+    let finish =
+      let t = ba.Bind_aware.tile_of.(actor) in
+      if t < 0 then start + tau
+      else
+        Constrained.tdma_finish ~t:start ~tau
+          ~w:(Archgraph.tile arch t).Tile.wheel
+          ~omega:ba.Bind_aware.slices.(t)
+    in
+    firings := { actor; start; finish } :: !firings
+  in
+  let r = Constrained.analyze ~observer ?max_states ba ~schedules in
+  {
+    ba;
+    horizon;
+    firings = List.rev !firings;
+    thr = r.Constrained.throughput;
+  }
+
+let symbol idx = Char.chr (Char.code 'A' + (idx mod 26))
+
+let render t =
+  let ba = t.ba in
+  let g = ba.Bind_aware.graph in
+  let arch = ba.Bind_aware.arch in
+  let n = Sdfg.num_actors g in
+  let buf = Buffer.create 1024 in
+  (* Header: a time ruler marking every tenth unit. *)
+  Buffer.add_string buf (Printf.sprintf "%-10s " "time");
+  for u = 0 to t.horizon - 1 do
+    Buffer.add_char buf (if u mod 10 = 0 then '|' else if u mod 5 = 0 then '+' else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  let lane name fill =
+    Buffer.add_string buf (Printf.sprintf "%-10s " name);
+    for u = 0 to t.horizon - 1 do
+      Buffer.add_char buf (fill u)
+    done;
+    Buffer.add_char buf '\n'
+  in
+  (* One lane per tile hosting actors. *)
+  Array.iter
+    (fun (tile : Tile.t) ->
+      let ti = tile.Tile.t_idx in
+      let hosts = Array.exists (fun bt -> bt = ti) ba.Bind_aware.tile_of in
+      if hosts then begin
+        let w = tile.Tile.wheel and omega = ba.Bind_aware.slices.(ti) in
+        lane tile.Tile.t_name (fun u ->
+            match
+              List.find_opt
+                (fun f ->
+                  ba.Bind_aware.tile_of.(f.actor) = ti
+                  && u >= f.start && u < f.finish)
+                t.firings
+            with
+            | Some f ->
+                if omega >= w || u mod w < omega then symbol f.actor else '.'
+            | None -> ' ')
+      end)
+    (Archgraph.tiles arch);
+  (* One lane per transport/sync actor. *)
+  for a = 0 to n - 1 do
+    if ba.Bind_aware.tile_of.(a) < 0 then
+      lane (Sdfg.actor_name g a) (fun u ->
+          if
+            List.exists (fun f -> f.actor = a && u >= f.start && u < f.finish)
+              t.firings
+          then symbol a
+          else ' ')
+  done;
+  (* Legend. *)
+  Buffer.add_string buf "legend: ";
+  for a = 0 to n - 1 do
+    if a > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "%c=%s" (symbol a) (Sdfg.actor_name g a))
+  done;
+  Buffer.add_string buf "  ('.' = firing stalled outside the TDMA slice)\n";
+  Buffer.contents buf
+
+let throughput t = t.thr

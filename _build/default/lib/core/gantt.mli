@@ -1,0 +1,35 @@
+(** ASCII Gantt rendering of a constrained execution.
+
+    A designer-facing view of what the allocation actually does: one lane
+    per tile showing which actor occupies the processor at each time unit
+    (TDMA stalls visible as gaps), plus lanes for the connection/sync
+    actors. Rendered from the same deterministic execution the throughput
+    analysis explores. *)
+
+type t
+
+val capture :
+  ?max_states:int ->
+  ?horizon:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  t
+(** Execute and record the first [horizon] (default 80) time units.
+    Exceptions as in {!Constrained.analyze}. *)
+
+val render : t -> string
+(** Lines like
+
+    {v
+    t1     |a1|a2|a1|a2|a1|.....|a2|...
+    t2     |.....a3 a3|......
+    c_d1   |ccccccccccc|
+    v}
+
+    one character per time unit: the actor's short id while its firing is
+    in progress (TDMA-gated waits shown as ['.']), ['|'] at slice
+    boundaries omitted for clarity — see the header row for the scale. *)
+
+val throughput : t -> Sdf.Rat.t
+(** The throughput of the underlying run (same as
+    {!Constrained.analyze}). *)

@@ -1,0 +1,72 @@
+type t = { prefix : int array; period : int array }
+
+let make ~prefix ~period =
+  if period = [] then invalid_arg "Schedule.make: empty period";
+  { prefix = Array.of_list prefix; period = Array.of_list period }
+
+let actor_at s pos =
+  let plen = Array.length s.prefix in
+  if pos < plen then s.prefix.(pos)
+  else s.period.((pos - plen) mod Array.length s.period)
+
+let normalise_pos s pos =
+  let plen = Array.length s.prefix in
+  if pos < plen then pos else plen + ((pos - plen) mod Array.length s.period)
+
+let advance s pos = normalise_pos s (pos + 1)
+
+(* Smallest u such that the array is u repeated; classic primitive-root
+   reduction via divisor check. *)
+let primitive_root a =
+  let n = Array.length a in
+  let divides d =
+    n mod d = 0
+    &&
+    let ok = ref true in
+    for i = d to n - 1 do
+      if a.(i) <> a.(i mod d) then ok := false
+    done;
+    !ok
+  in
+  let rec find d = if divides d then Array.sub a 0 d else find (d + 1) in
+  find 1
+
+let compact s =
+  let period = primitive_root s.period in
+  (* Absorb the prefix: while the prefix's last firing equals the period's
+     last firing, the boundary can be shifted one step left (rotating the
+     period right) without changing the infinite sequence. *)
+  let prefix = ref (Array.to_list s.prefix |> List.rev) in
+  let period = ref period in
+  let continue = ref true in
+  while !continue do
+    match !prefix with
+    | last :: rest when Array.length !period > 0
+                        && last = !period.(Array.length !period - 1) ->
+        let m = Array.length !period in
+        let rotated = Array.make m 0 in
+        rotated.(0) <- !period.(m - 1);
+        Array.blit !period 0 rotated 1 (m - 1);
+        period := rotated;
+        prefix := rest
+    | _ -> continue := false
+  done;
+  let period = primitive_root !period in
+  { prefix = Array.of_list (List.rev !prefix); period }
+
+let firing_counts s ~n_actors =
+  let counts = Array.make n_actors 0 in
+  Array.iter (fun a -> counts.(a) <- counts.(a) + 1) s.period;
+  counts
+
+let pp pp_actor ppf s =
+  Array.iter (fun a -> Format.fprintf ppf "%a " pp_actor a) s.prefix;
+  Format.pp_print_string ppf "(";
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.pp_print_string ppf " ";
+      pp_actor ppf a)
+    s.period;
+  Format.pp_print_string ppf ")*"
+
+let equal a b = a.prefix = b.prefix && a.period = b.period

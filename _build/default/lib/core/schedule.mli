@@ -1,0 +1,37 @@
+(** Static-order schedules (paper Section 4).
+
+    A practical static-order schedule is a finite prefix seen once followed
+    by a finite sequence repeated forever: [prefix (period)*]. Entries are
+    actor indices (of whichever graph the schedule orders — the allocation
+    flow uses binding-aware actor indices, which coincide with application
+    actor indices for application actors). *)
+
+type t = { prefix : int array; period : int array }
+
+val make : prefix:int list -> period:int list -> t
+(** @raise Invalid_argument if the period is empty. *)
+
+val actor_at : t -> int -> int
+(** [actor_at s pos] is the actor at (0-based) position [pos] of the
+    infinite sequence. *)
+
+val advance : t -> int -> int
+(** Next position, normalised so that positions inside the periodic part
+    stay within [length prefix + length period] (states of the constrained
+    execution must recur). *)
+
+val normalise_pos : t -> int -> int
+
+val compact : t -> t
+(** Remove recurrences (paper Section 9.2): reduce the periodic part to its
+    primitive root (e.g. [(a b a b)* -> (a b)*]) and absorb the prefix into
+    the period where possible by rotating (e.g.
+    [a b a (b a)* -> (a b)*]). The infinite firing sequence is unchanged. *)
+
+val firing_counts : t -> n_actors:int -> int array
+(** How often each actor occurs in the periodic part. *)
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** [pp pp_actor ppf s] prints e.g. ["a1 a2 (a3 a1)*"]. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,98 @@
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+module Appgraph = Appmodel.Appgraph
+
+let log_src = Logs.Src.create "sdfalloc.slices" ~doc:"TDMA slice allocation"
+
+module Log = (val Logs.src_log log_src)
+
+type outcome = { slices : int array; throughput : Rat.t; checks : int }
+type failure = { max_throughput : Rat.t; checks : int }
+
+let allocate ?connection_model ?max_states app arch binding schedules =
+  let nt = Archgraph.num_tiles arch in
+  let used = Array.make nt false in
+  Array.iter (fun t -> if t >= 0 then used.(t) <- true) binding;
+  let avail t = Tile.available_wheel (Archgraph.tile arch t) in
+  let checks = ref 0 in
+  let throughput slices =
+    incr checks;
+    let ba = Bind_aware.build ?connection_model ~app ~arch ~binding ~slices () in
+    let thr = Constrained.throughput_or_zero ?max_states ba ~schedules in
+    Log.debug (fun m ->
+        m "probe #%d slices [%s] -> %s" !checks
+          (String.concat ";" (Array.to_list (Array.map string_of_int slices)))
+          (Rat.to_string thr));
+    thr
+  in
+  let lambda = app.Appgraph.lambda in
+  (* 10% above the constraint: lambda * 11/10. *)
+  let close_enough thr = Rat.compare thr (Rat.mul lambda (Rat.make 11 10)) <= 0 in
+  let slices_for s =
+    Array.init nt (fun t -> if used.(t) then min s (avail t) else 0)
+  in
+  let max_slice =
+    Array.to_list (Array.init nt Fun.id)
+    |> List.filter (fun t -> used.(t))
+    |> List.fold_left (fun acc t -> max acc (avail t)) 0
+  in
+  let thr_max = throughput (slices_for max_slice) in
+  if Rat.compare thr_max lambda < 0 then
+    Error { max_throughput = thr_max; checks = !checks }
+  else begin
+    (* Phase 1: smallest common slice meeting lambda, early-exit at 10%. *)
+    let best = ref max_slice in
+    let best_thr = ref thr_max in
+    (if not (close_enough thr_max) then begin
+       let lo = ref 1 and hi = ref (max_slice - 1) in
+       let early = ref false in
+       while (not !early) && !lo <= !hi do
+         let mid = (!lo + !hi) / 2 in
+         let thr = throughput (slices_for mid) in
+         if Rat.compare thr lambda >= 0 then begin
+           best := mid;
+           best_thr := thr;
+           if close_enough thr then early := true else hi := mid - 1
+         end
+         else lo := mid + 1
+       done
+     end);
+    let slices = slices_for !best in
+    let thr = ref !best_thr in
+    (* Phase 2: shrink per-tile slices towards their relative load. *)
+    let lp t = Cost.processing_load app arch binding t in
+    let max_lp =
+      Array.to_list (Array.init nt Fun.id)
+      |> List.filter (fun t -> used.(t))
+      |> List.fold_left (fun acc t -> Float.max acc (lp t)) 0.
+    in
+    for t = 0 to nt - 1 do
+      if used.(t) && slices.(t) > 1 then begin
+        let lower =
+          if max_lp <= 0. then 1
+          else
+            Stdlib.max 1
+              (int_of_float (Float.of_int slices.(t) *. lp t /. max_lp))
+        in
+        let lo = ref lower and hi = ref slices.(t) in
+        (* Invariant: slices with slices.(t) = !hi are feasible. *)
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let saved = slices.(t) in
+          slices.(t) <- mid;
+          let probe = throughput slices in
+          if Rat.compare probe lambda >= 0 then begin
+            hi := mid;
+            thr := probe
+          end
+          else begin
+            slices.(t) <- saved;
+            lo := mid + 1
+          end
+        done;
+        slices.(t) <- !hi
+      end
+    done;
+    Ok { slices; throughput = !thr; checks = !checks }
+  end

@@ -1,0 +1,39 @@
+module Rat = Sdf.Rat
+
+(** TDMA time-slice allocation (paper Section 9.3).
+
+    Phase 1 binary-searches one common slice size for all tiles that host
+    actors (bounds: 1 time unit to the entire remaining wheel), probing the
+    throughput of the binding-aware SDFG constrained by the schedules and
+    the candidate slices. The search stops as soon as a slice allocation
+    whose throughput is within 10% above the constraint is found (the
+    paper's early-exit rule), or when the interval closes on the minimal
+    feasible slice. It fails when even the entire remaining wheels are
+    insufficient.
+
+    Phase 2 exploits load imbalance: per tile, a second binary search
+    shrinks the slice between [floor (l_p t * omega / max_t' l_p t')] and
+    the phase-1 slice, keeping the throughput constraint satisfied. *)
+
+type outcome = {
+  slices : int array;  (** omega per tile (0 for unused tiles) *)
+  throughput : Rat.t;  (** with the final slices *)
+  checks : int;  (** number of throughput computations performed *)
+}
+
+type failure = {
+  max_throughput : Rat.t;
+      (** throughput with the entire remaining wheels allocated *)
+  checks : int;
+}
+
+val allocate :
+  ?connection_model:Bind_aware.connection_model ->
+  ?max_states:int ->
+  Appmodel.Appgraph.t ->
+  Platform.Archgraph.t ->
+  Binding.t ->
+  Schedule.t option array ->
+  (outcome, failure) result
+(** [allocate app arch binding schedules]. The schedules must order exactly
+    the actors bound to each tile (from {!List_scheduler.schedules}). *)

@@ -1,0 +1,111 @@
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+let log_src = Logs.Src.create "sdfalloc.strategy" ~doc:"Resource allocation strategy"
+
+module Log = (val Logs.src_log log_src)
+
+type stats = {
+  throughput_checks : int;
+  bind_seconds : float;
+  schedule_seconds : float;
+  slice_seconds : float;
+}
+
+type allocation = {
+  app : Appgraph.t;
+  arch : Archgraph.t;
+  binding : Binding.t;
+  schedules : Schedule.t option array;
+  slices : int array;
+  throughput : Rat.t;
+  stats : stats;
+}
+
+type failure =
+  | Bind_failed of Binding_step.failure
+  | Schedule_failed
+  | Slice_failed of Slice_alloc.failure
+
+let pp_failure ppf = function
+  | Bind_failed f ->
+      Format.fprintf ppf "binding failed at actor %d" f.Binding_step.failed_actor
+  | Schedule_failed -> Format.fprintf ppf "schedule construction deadlocked"
+  | Slice_failed f ->
+      Format.fprintf ppf
+        "slice allocation failed (best achievable throughput %a)" Rat.pp
+        f.Slice_alloc.max_throughput
+
+let default_weights = Cost.weights 1. 1. 1.
+
+let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cycles app arch =
+  let clock = Sys.time in
+  let t0 = clock () in
+  Log.debug (fun m ->
+      m "allocating %s (lambda %s)" app.Appgraph.app_name
+        (Rat.to_string app.Appgraph.lambda));
+  match Binding_step.bind ?max_cycles ~weights app arch with
+  | Error e ->
+      Log.info (fun m ->
+          m "%s: binding failed at actor %d" app.Appgraph.app_name
+            e.Binding_step.failed_actor);
+      Error (Bind_failed e)
+  | Ok binding -> (
+      let t1 = clock () in
+      let half = Bind_aware.half_wheel_slices app arch binding in
+      let ba50 = Bind_aware.build ?connection_model ~app ~arch ~binding ~slices:half () in
+      match List_scheduler.schedules ?max_states ba50 with
+      | exception List_scheduler.Deadlocked -> Error Schedule_failed
+      | exception List_scheduler.State_space_exceeded _ -> Error Schedule_failed
+      | schedules -> (
+          let t2 = clock () in
+          match Slice_alloc.allocate ?connection_model ?max_states app arch binding schedules with
+          | Error f -> Error (Slice_failed f)
+          | Ok outcome ->
+              let t3 = clock () in
+              Log.info (fun m ->
+                  m "%s: allocated, throughput %s after %d checks"
+                    app.Appgraph.app_name
+                    (Rat.to_string outcome.Slice_alloc.throughput)
+                    outcome.Slice_alloc.checks);
+              Ok
+                {
+                  app;
+                  arch;
+                  binding;
+                  schedules;
+                  slices = outcome.Slice_alloc.slices;
+                  throughput = outcome.Slice_alloc.throughput;
+                  stats =
+                    {
+                      throughput_checks = outcome.Slice_alloc.checks;
+                      bind_seconds = t1 -. t0;
+                      schedule_seconds = t2 -. t1;
+                      slice_seconds = t3 -. t2;
+                    };
+                }))
+
+let is_valid alloc arch =
+  let app = alloc.app in
+  let resources_ok =
+    match Binding.check app arch alloc.binding with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let slices_ok =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun t omega ->
+           omega >= 0 && omega <= Tile.available_wheel (Archgraph.tile arch t))
+         alloc.slices)
+  in
+  let throughput_ok = Rat.compare alloc.throughput app.Appgraph.lambda >= 0 in
+  (* Re-measure to guard against stale stored values. *)
+  let remeasured =
+    let ba = Bind_aware.build ~app ~arch ~binding:alloc.binding ~slices:alloc.slices () in
+    Constrained.throughput_or_zero ba ~schedules:alloc.schedules
+  in
+  resources_ok && slices_ok && throughput_ok
+  && Rat.compare remeasured app.Appgraph.lambda >= 0

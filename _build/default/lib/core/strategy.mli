@@ -1,0 +1,51 @@
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** The complete resource-allocation strategy (paper Section 9): binding,
+    static-order scheduling, then time-slice allocation, each executed
+    once. *)
+
+type stats = {
+  throughput_checks : int;
+      (** state-space throughput computations performed (the paper reports
+          16.1 on average per application, 8 for the H.263 run) *)
+  bind_seconds : float;
+  schedule_seconds : float;
+  slice_seconds : float;
+}
+
+type allocation = {
+  app : Appgraph.t;
+  arch : Archgraph.t;  (** the architecture state the app was allocated on *)
+  binding : Binding.t;
+  schedules : Schedule.t option array;
+  slices : int array;
+  throughput : Rat.t;  (** achieved by the allocation; [>= app.lambda] *)
+  stats : stats;
+}
+
+type failure =
+  | Bind_failed of Binding_step.failure
+  | Schedule_failed  (** the binding-aware execution deadlocks *)
+  | Slice_failed of Slice_alloc.failure
+      (** even the entire remaining wheels miss the constraint *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val allocate :
+  ?weights:Cost.weights ->
+  ?connection_model:Bind_aware.connection_model ->
+  ?max_states:int ->
+  ?max_cycles:int ->
+  Appgraph.t ->
+  Archgraph.t ->
+  (allocation, failure) result
+(** [allocate app arch] runs the three steps. [weights] defaults to the
+    paper's balanced setting (1, 1, 1); [connection_model] to the paper's
+    single-actor model. *)
+
+val is_valid : allocation -> Archgraph.t -> bool
+(** Re-verify an allocation against Section 7: resource constraints 1-4
+    hold and the measured throughput meets the constraint. Used by tests
+    and the property suite. *)

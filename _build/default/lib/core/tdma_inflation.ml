@@ -1,0 +1,32 @@
+module Rat = Sdf.Rat
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+let inflate ~tau ~w ~omega =
+  if tau = 0 then 0
+  else if omega <= 0 then max_int / 2
+  else if omega >= w then tau
+  else tau + (((tau + omega - 1) / omega) * (w - omega))
+
+let throughput ?max_states (ba : Bind_aware.t) ~schedules =
+  let arch = ba.Bind_aware.arch in
+  let exec_times =
+    Array.mapi
+      (fun a tau ->
+        let t = ba.Bind_aware.tile_of.(a) in
+        if t < 0 then tau
+        else
+          inflate ~tau ~w:(Archgraph.tile arch t).Tile.wheel
+            ~omega:ba.Bind_aware.slices.(t))
+      ba.Bind_aware.exec_times
+  in
+  (* Full-wheel slices disable gating; the sync actors keep their original
+     waiting times (they model the cross-tile wheel offset in both models). *)
+  let slices =
+    Array.mapi
+      (fun t omega ->
+        if omega > 0 then (Archgraph.tile arch t).Tile.wheel else 0)
+      ba.Bind_aware.slices
+  in
+  let ba' = { ba with Bind_aware.exec_times; slices } in
+  Constrained.throughput_or_zero ?max_states ba' ~schedules

@@ -1,0 +1,31 @@
+module Rat = Sdf.Rat
+
+(** The execution-time-inflation TDMA model of Bekooij et al. [4] — the
+    paper's point of comparison in Section 8.2.
+
+    Instead of gating the progress of a firing by the wheel position, [4]
+    conservatively charges every firing the worst-case wheel interference
+    up front: a firing of [tau] time units on a tile with wheel [w] and
+    slice [omega] is modelled as an ungated firing of
+    [tau + ceil (tau / omega) * (w - omega)] time units (each slice window
+    the firing occupies may be preceded by the full foreign part of the
+    wheel; for [tau <= omega] this is the paper's "+ (w - omega)", e.g.
+    +5 for actor a3 in the running example).
+
+    Because the constrained execution postpones a firing by at most
+    [w - omega] and usually less (Fig. 5(c)), its throughput dominates the
+    inflation model's. The E13 ablation bench measures the gap. *)
+
+val inflate : tau:int -> w:int -> omega:int -> int
+(** The inflated execution time. [omega = 0] yields [max_int / 2] (never
+    completes within any horizon). *)
+
+val throughput :
+  ?max_states:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  Rat.t
+(** Throughput of the binding-aware graph under the same static-order
+    schedules but with inflated, ungated execution times (slices are set to
+    the full wheel so the engine never gates). Deadlock and state-space
+    overflow map to 0, as in {!Constrained.throughput_or_zero}. *)

@@ -1,0 +1,1 @@
+lib/csdf/graph.ml: Array Format Fun Hashtbl List Printf Sdf String

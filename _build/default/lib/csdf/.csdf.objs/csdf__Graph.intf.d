@@ -1,0 +1,1 @@
+lib/csdf/graph.mli: Format Sdf

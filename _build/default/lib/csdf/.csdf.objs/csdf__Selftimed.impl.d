@@ -1,0 +1,1 @@
+lib/csdf/selftimed.ml: Array Graph Hashtbl List Marshal Sdf

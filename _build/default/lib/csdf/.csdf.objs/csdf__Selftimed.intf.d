@@ -1,0 +1,1 @@
+lib/csdf/selftimed.mli: Graph Sdf

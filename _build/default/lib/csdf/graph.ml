@@ -1,0 +1,244 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+
+type actor = { a_idx : int; a_name : string; phases : int }
+
+type channel = {
+  c_idx : int;
+  c_name : string;
+  src : int;
+  dst : int;
+  prod_seq : int array;
+  cons_seq : int array;
+  tokens : int;
+}
+
+type t = {
+  g_actors : actor array;
+  g_channels : channel array;
+  g_out : int list array;
+  g_in : int list array;
+  g_by_name : (string, int) Hashtbl.t;
+}
+
+let of_lists ~actors ~channels =
+  let by_name = Hashtbl.create 16 in
+  let g_actors =
+    Array.of_list
+      (List.mapi
+         (fun i (name, phases) ->
+           if phases < 1 then
+             invalid_arg "Csdf.of_lists: an actor needs at least one phase";
+           if Hashtbl.mem by_name name then
+             invalid_arg (Printf.sprintf "Csdf.of_lists: duplicate actor %S" name);
+           Hashtbl.add by_name name i;
+           { a_idx = i; a_name = name; phases })
+         actors)
+  in
+  let idx name =
+    match Hashtbl.find_opt by_name name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Csdf.of_lists: unknown actor %S" name)
+  in
+  let g_channels =
+    Array.of_list
+      (List.mapi
+         (fun i (src, dst, prod_seq, cons_seq, tokens) ->
+           let src = idx src and dst = idx dst in
+           let prod_seq = Array.of_list prod_seq in
+           let cons_seq = Array.of_list cons_seq in
+           if Array.length prod_seq <> g_actors.(src).phases then
+             invalid_arg "Csdf.of_lists: production sequence length mismatch";
+           if Array.length cons_seq <> g_actors.(dst).phases then
+             invalid_arg "Csdf.of_lists: consumption sequence length mismatch";
+           if Array.exists (fun r -> r < 0) prod_seq
+              || Array.exists (fun r -> r < 0) cons_seq
+           then invalid_arg "Csdf.of_lists: negative rate";
+           if Array.for_all (fun r -> r = 0) prod_seq then
+             invalid_arg "Csdf.of_lists: channel never produced to";
+           if Array.for_all (fun r -> r = 0) cons_seq then
+             invalid_arg "Csdf.of_lists: channel never consumed from";
+           if tokens < 0 then invalid_arg "Csdf.of_lists: negative tokens";
+           {
+             c_idx = i;
+             c_name = Printf.sprintf "d%d" i;
+             src;
+             dst;
+             prod_seq;
+             cons_seq;
+             tokens;
+           })
+         channels)
+  in
+  let n = Array.length g_actors in
+  let g_out = Array.make n [] and g_in = Array.make n [] in
+  for i = Array.length g_channels - 1 downto 0 do
+    let c = g_channels.(i) in
+    g_out.(c.src) <- c.c_idx :: g_out.(c.src);
+    g_in.(c.dst) <- c.c_idx :: g_in.(c.dst)
+  done;
+  { g_actors; g_channels; g_out; g_in; g_by_name = by_name }
+
+let num_actors g = Array.length g.g_actors
+let num_channels g = Array.length g.g_channels
+let actor g i = g.g_actors.(i)
+let channel g i = g.g_channels.(i)
+
+let actor_index g name =
+  match Hashtbl.find_opt g.g_by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let actor_name g i = g.g_actors.(i).a_name
+let out_channels g a = g.g_out.(a)
+let in_channels g a = g.g_in.(a)
+
+let cycle_production c = Array.fold_left ( + ) 0 c.prod_seq
+let cycle_consumption c = Array.fold_left ( + ) 0 c.cons_seq
+
+type repetition =
+  | Consistent of int array
+  | Inconsistent of { channel : int }
+  | Disconnected
+
+exception Conflict of int
+
+(* Propagate full-cycle rates (cycles per iteration) rationally, exactly as
+   for SDF but over the cycle sums; phase firings = cycles * phases. *)
+let repetition g =
+  let n = num_actors g in
+  if n = 0 then Consistent [||]
+  else begin
+    let rate = Array.make n Rat.zero in
+    let seen = Array.make n false in
+    let rec visit a =
+      List.iter
+        (fun ci ->
+          let c = g.g_channels.(ci) in
+          let r =
+            Rat.mul_int
+              (Rat.div_int rate.(a) (cycle_consumption c))
+              (cycle_production c)
+          in
+          step c.dst r ci)
+        g.g_out.(a);
+      List.iter
+        (fun ci ->
+          let c = g.g_channels.(ci) in
+          let r =
+            Rat.mul_int
+              (Rat.div_int rate.(a) (cycle_production c))
+              (cycle_consumption c)
+          in
+          step c.src r ci)
+        g.g_in.(a)
+    and step b r ci =
+      if seen.(b) then begin
+        if not (Rat.equal rate.(b) r) then raise (Conflict ci)
+      end
+      else begin
+        seen.(b) <- true;
+        rate.(b) <- r;
+        visit b
+      end
+    in
+    seen.(0) <- true;
+    rate.(0) <- Rat.one;
+    match visit 0 with
+    | () ->
+        if not (Array.for_all Fun.id seen) then Disconnected
+        else begin
+          let l = Array.fold_left (fun acc r -> Rat.lcm acc (Rat.den r)) 1 rate in
+          let cycles = Array.map (fun r -> Rat.num r * (l / Rat.den r)) rate in
+          let gc = Array.fold_left Rat.gcd 0 cycles in
+          Consistent
+            (Array.mapi
+               (fun a c -> c / gc * g.g_actors.(a).phases)
+               cycles)
+        end
+    | exception Conflict ci -> Inconsistent { channel = ci }
+  end
+
+let is_deadlock_free g =
+  match repetition g with
+  | Inconsistent _ | Disconnected -> false
+  | Consistent gamma ->
+      let n = num_actors g in
+      let remaining = Array.copy gamma in
+      let phase = Array.make n 0 in
+      let tokens = Array.map (fun c -> c.tokens) g.g_channels in
+      let can_fire a =
+        remaining.(a) > 0
+        && List.for_all
+             (fun ci ->
+               let c = g.g_channels.(ci) in
+               tokens.(ci) >= c.cons_seq.(phase.(a) mod g.g_actors.(a).phases))
+             g.g_in.(a)
+      in
+      let fire a =
+        let p = phase.(a) mod g.g_actors.(a).phases in
+        remaining.(a) <- remaining.(a) - 1;
+        List.iter
+          (fun ci -> tokens.(ci) <- tokens.(ci) - (g.g_channels.(ci)).cons_seq.(p))
+          g.g_in.(a);
+        List.iter
+          (fun ci -> tokens.(ci) <- tokens.(ci) + (g.g_channels.(ci)).prod_seq.(p))
+          g.g_out.(a);
+        phase.(a) <- phase.(a) + 1
+      in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for a = 0 to n - 1 do
+          while can_fire a do
+            fire a;
+            progress := true
+          done
+        done
+      done;
+      Array.for_all (fun r -> r = 0) remaining
+
+let lump ?(serialized = false) g =
+  let b = Sdfg.Builder.create () in
+  Array.iter (fun a -> ignore (Sdfg.Builder.add_actor b a.a_name)) g.g_actors;
+  Array.iter
+    (fun c ->
+      ignore
+        (Sdfg.Builder.add_channel b ~name:c.c_name ~tokens:c.tokens ~src:c.src
+           ~dst:c.dst ~prod:(cycle_production c) ~cons:(cycle_consumption c)
+           ()))
+    g.g_channels;
+  if serialized then
+    Array.iter
+      (fun a ->
+        ignore
+          (Sdfg.Builder.add_channel b
+             ~name:(Printf.sprintf "self_%s" a.a_name)
+             ~tokens:1 ~src:a.a_idx ~dst:a.a_idx ~prod:1 ~cons:1 ()))
+      g.g_actors;
+  Sdfg.Builder.build b
+
+let lump_exec_times g taus =
+  Array.mapi
+    (fun a per_phase ->
+      if Array.length per_phase <> g.g_actors.(a).phases then
+        invalid_arg "Csdf.lump_exec_times: phase count mismatch";
+      Array.fold_left ( + ) 0 per_phase)
+    taus
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>CSDF: %d actors, %d channels@," (num_actors g)
+    (num_channels g);
+  Array.iter
+    (fun a -> Format.fprintf ppf "  actor %s (%d phases)@," a.a_name a.phases)
+    g.g_actors;
+  Array.iter
+    (fun c ->
+      let seq s =
+        String.concat "," (Array.to_list (Array.map string_of_int s))
+      in
+      Format.fprintf ppf "  %s: %s -(%s)-> (%s)- %s, tokens=%d@," c.c_name
+        (actor_name g c.src) (seq c.prod_seq) (seq c.cons_seq)
+        (actor_name g c.dst) c.tokens)
+    g.g_channels;
+  Format.fprintf ppf "@]"

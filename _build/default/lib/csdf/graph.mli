@@ -1,0 +1,96 @@
+module Sdfg = Sdf.Sdfg
+
+(** Cyclo-Static Dataflow graphs (Bilsen et al., 1996 — the model of the
+    paper's [6] comparison, also supported by the SDF3 tool set).
+
+    A CSDF actor cycles through a fixed sequence of {e phases}; each phase
+    firing consumes and produces a phase-dependent number of tokens. SDF is
+    the special case with one phase. CSDF expresses, e.g., deinterleavers
+    (produce to two outputs alternately) and filters with periodically
+    varying work, with far fewer tokens in flight than an SDF encoding.
+
+    This library provides the graph structure, consistency/liveness checks,
+    and a conservative {e lumping} into plain SDF ({!lump}) so cyclo-static
+    applications can ride the paper's allocation flow: the lumped actor
+    consumes a whole cycle's tokens at its start and produces them at its
+    end, so every lumped execution maps to a valid phase-wise execution —
+    guarantees derived on the lumped graph transfer to the CSDF
+    ({!Csdf_selftimed} measures how much throughput that conservatism
+    costs). *)
+
+type actor = {
+  a_idx : int;
+  a_name : string;
+  phases : int;  (** length of the actor's phase cycle, >= 1 *)
+}
+
+type channel = {
+  c_idx : int;
+  c_name : string;
+  src : int;
+  dst : int;
+  prod_seq : int array;  (** per source phase; length = phases of [src] *)
+  cons_seq : int array;  (** per destination phase *)
+  tokens : int;
+}
+
+type t
+
+val of_lists :
+  actors:(string * int) list ->
+  channels:(string * string * int list * int list * int) list ->
+  t
+(** [of_lists ~actors ~channels] with actors as [(name, phases)] and
+    channels as [(src, dst, prod_seq, cons_seq, tokens)]. Rate sequences
+    must match the endpoint's phase count and contain no negative entries
+    (zeros are allowed — skipping a phase is the point of CSDF).
+    @raise Invalid_argument on malformed input. *)
+
+val num_actors : t -> int
+val num_channels : t -> int
+val actor : t -> int -> actor
+val channel : t -> int -> channel
+val actor_index : t -> string -> int
+val actor_name : t -> int -> string
+val out_channels : t -> int -> int list
+val in_channels : t -> int -> int list
+
+val cycle_production : channel -> int
+(** Tokens produced over one full cycle of the source actor. *)
+
+val cycle_consumption : channel -> int
+
+(** {1 Analysis} *)
+
+type repetition =
+  | Consistent of int array
+      (** per actor: {e phase} firings per iteration (always a multiple of
+          the actor's phase count) *)
+  | Inconsistent of { channel : int }
+  | Disconnected
+
+val repetition : t -> repetition
+
+val is_deadlock_free : t -> bool
+(** Simulates one iteration phase-by-phase (demand driven). Inconsistent
+    or disconnected graphs report [false]. *)
+
+(** {1 Lumping to SDF} *)
+
+val lump : ?serialized:bool -> t -> Sdfg.t
+(** The SDF graph with one actor per CSDF actor and rates summed over a
+    cycle. Structure-preserving: actor and channel indices coincide.
+
+    With [serialized] (default false), every actor additionally receives a
+    unit self-loop with one token, matching the sequential-actor semantics
+    of {!Selftimed} — required when comparing throughputs: without it the
+    plain SDF analysis lets a lumped actor overlap its own firings, which
+    the phase-wise execution never does, and the lumped rate could then
+    exceed the cyclo-static one. The allocation flow needs no flag: the
+    binding-aware construction serialises every actor anyway. *)
+
+val lump_exec_times : t -> int array array -> int array
+(** Sum per-phase execution times ([taus.(a).(p)]) into per-cycle times for
+    the lumped graph. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+module Rat = Sdf.Rat
+
+type result = {
+  throughput : Rat.t array;
+  period : int;
+  transient : int;
+  states : int;
+}
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+let idle = max_int
+
+let analyze ?(max_states = 1_000_000) g taus =
+  let n = Graph.num_actors g in
+  if n = 0 then invalid_arg "Csdf_selftimed.analyze: empty graph";
+  if Array.length taus <> n then
+    invalid_arg "Csdf_selftimed.analyze: taus length mismatch";
+  Array.iteri
+    (fun a per_phase ->
+      if Array.length per_phase <> (Graph.actor g a).Graph.phases then
+        invalid_arg "Csdf_selftimed.analyze: phase count mismatch";
+      Array.iter
+        (fun t ->
+          if t < 0 then invalid_arg "Csdf_selftimed.analyze: negative time")
+        per_phase)
+    taus;
+  let gamma =
+    match Graph.repetition g with
+    | Graph.Consistent gamma -> gamma
+    | Graph.Inconsistent _ -> invalid_arg "Csdf_selftimed.analyze: inconsistent"
+    | Graph.Disconnected -> invalid_arg "Csdf_selftimed.analyze: not connected"
+  in
+  let tokens = Array.init (Graph.num_channels g) (fun ci -> (Graph.channel g ci).Graph.tokens) in
+  let phase = Array.make n 0 in
+  (* One firing at a time per actor: completion time or idle. *)
+  let busy = Array.make n idle in
+  let counts = Array.make n 0 in
+  let time = ref 0 in
+  let phases a = (Graph.actor g a).Graph.phases in
+  let enabled a =
+    busy.(a) = idle
+    && List.for_all
+         (fun ci ->
+           let c = Graph.channel g ci in
+           tokens.(ci) >= c.Graph.cons_seq.(phase.(a)))
+         (Graph.in_channels g a)
+  in
+  let consume a =
+    List.iter
+      (fun ci ->
+        let c = Graph.channel g ci in
+        tokens.(ci) <- tokens.(ci) - c.Graph.cons_seq.(phase.(a)))
+      (Graph.in_channels g a)
+  in
+  (* Production uses the phase the firing started in, recorded per actor. *)
+  let firing_phase = Array.make n 0 in
+  let produce a =
+    List.iter
+      (fun ci ->
+        let c = Graph.channel g ci in
+        tokens.(ci) <- tokens.(ci) + c.Graph.prod_seq.(firing_phase.(a)))
+      (Graph.out_channels g a)
+  in
+  let start_fixpoint () =
+    let guard = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for a = 0 to n - 1 do
+        while enabled a do
+          changed := true;
+          incr guard;
+          if !guard > 10_000_000 then
+            invalid_arg "Csdf_selftimed.analyze: zero-time livelock";
+          consume a;
+          counts.(a) <- counts.(a) + 1;
+          firing_phase.(a) <- phase.(a);
+          let tau = taus.(a).(phase.(a)) in
+          phase.(a) <- (phase.(a) + 1) mod phases a;
+          if tau = 0 then produce a else busy.(a) <- !time + tau
+        done
+      done
+    done
+  in
+  let snapshot () =
+    let rel = Array.map (fun c -> if c = idle then -1 else c - !time) busy in
+    Marshal.to_string (tokens, phase, rel) [ Marshal.No_sharing ]
+  in
+  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec explore () =
+    start_fixpoint ();
+    let key = snapshot () in
+    match Hashtbl.find_opt seen key with
+    | Some (t0, c0) ->
+        let period = !time - t0 in
+        let iterations = (counts.(0) - c0) / gamma.(0) in
+        let throughput =
+          Array.init n (fun a -> Rat.make (iterations * gamma.(a)) period)
+        in
+        {
+          throughput;
+          period;
+          transient = t0;
+          states = Hashtbl.length seen;
+        }
+    | None ->
+        if Hashtbl.length seen >= max_states then
+          raise (State_space_exceeded max_states);
+        Hashtbl.add seen key (!time, counts.(0));
+        let next = Array.fold_left min idle busy in
+        if next = idle then raise Deadlocked;
+        time := next;
+        Array.iteri
+          (fun a c ->
+            if c = !time then begin
+              busy.(a) <- idle;
+              produce a
+            end)
+          busy;
+        explore ()
+  in
+  explore ()
+
+let throughput ?max_states g taus a =
+  let r = analyze ?max_states g taus in
+  Rat.div_int r.throughput.(a) (Graph.actor g a).Graph.phases

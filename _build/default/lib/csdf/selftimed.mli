@@ -1,0 +1,34 @@
+module Rat = Sdf.Rat
+
+(** Self-timed state-space throughput analysis for CSDF graphs.
+
+    The same exploration as {!Analysis.Selftimed}, with phase-wise rates
+    and per-phase execution times. Phases of one actor execute strictly in
+    order and without self-overlap (the sequential-actor semantics the
+    allocation flow assumes anyway), which also keeps the state space
+    finite for connected, consistent graphs with bounded feedback.
+
+    Together with {!Graph.lump} this quantifies the price of lumping: the
+    lumped SDF's throughput never exceeds the phase-accurate result
+    (tested as a property; see the E19 bench). *)
+
+type result = {
+  throughput : Rat.t array;
+      (** per actor: {e phase} firings per time unit in the steady state;
+          divide by the phase count for full-cycle rates *)
+  period : int;
+  transient : int;
+  states : int;
+}
+
+exception Deadlocked
+exception State_space_exceeded of int
+
+val analyze : ?max_states:int -> Graph.t -> int array array -> result
+(** [analyze g taus] with [taus.(a).(p)] the execution time of actor [a]'s
+    phase [p]. [max_states] defaults to [1_000_000].
+    @raise Invalid_argument on inconsistent graphs, phase-count mismatches
+    or negative times. *)
+
+val throughput : ?max_states:int -> Graph.t -> int array array -> int -> Rat.t
+(** Full-cycle rate of one actor (phase rate / phase count). *)

@@ -1,0 +1,1 @@
+lib/gen/benchsets.ml: Appmodel List Platform Printf Rng Sdfgen

@@ -1,0 +1,1 @@
+lib/gen/benchsets.mli: Appmodel Platform Sdfgen

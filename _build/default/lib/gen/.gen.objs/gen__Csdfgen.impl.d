@@ -1,0 +1,1 @@
+lib/gen/csdfgen.ml: Array Csdf List Printf Rng

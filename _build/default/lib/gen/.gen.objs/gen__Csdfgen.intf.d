@@ -1,0 +1,1 @@
+lib/gen/csdfgen.mli: Csdf Rng

@@ -1,0 +1,1 @@
+lib/gen/sdfgen.ml: Appmodel Array List Printf Rng Sdf

@@ -1,0 +1,1 @@
+lib/gen/sdfgen.mli: Appmodel Rng Sdf

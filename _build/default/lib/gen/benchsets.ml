@@ -1,0 +1,98 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+let proc_types = [| "risc"; "dsp"; "vliw" |]
+
+let base_profile =
+  Sdfgen.
+    {
+      p_name = "balanced";
+      n_actors = (4, 7);
+      max_rep = 4;
+      multirate_prob = 0.3;
+      extra_edge_prob = 0.15;
+      self_loop_prob = 0.2;
+      tau = (4, 12);
+      tau_spread = 0.6;
+      mu = (2_000, 6_000);
+      sz = (200, 800);
+      alpha = (1, 2);
+      beta = (80, 200);
+      lambda_divisor = 10;
+    }
+
+(* Set 1: "processing intensive graphs that have large execution times, do
+   not communicate too often and have small token sizes and states". *)
+let set1 =
+  {
+    base_profile with
+    Sdfgen.p_name = "processing";
+    tau = (10, 24);
+    mu = (500, 1_500);
+    sz = (50, 200);
+    beta = (20, 60);
+    lambda_divisor = 12;
+    extra_edge_prob = 0.08;
+  }
+
+(* Set 2: memory intensive — big actor state and big tokens. *)
+let set2 =
+  {
+    base_profile with
+    Sdfgen.p_name = "memory";
+    tau = (3, 8);
+    mu = (20_000, 60_000);
+    sz = (4_000, 12_000);
+    alpha = (2, 3);
+    beta = (200, 600);
+    lambda_divisor = 12;
+  }
+
+(* Set 3: communication intensive — high bandwidth and denser graphs. *)
+let set3 =
+  {
+    base_profile with
+    Sdfgen.p_name = "communication";
+    tau = (3, 8);
+    mu = (500, 1_500);
+    sz = (500, 1_500);
+    beta = (200, 500);
+    extra_edge_prob = 0.35;
+    lambda_divisor = 10;
+  }
+
+let set_profile = function
+  | 1 -> set1
+  | 2 -> set2
+  | 3 -> set3
+  | k -> invalid_arg (Printf.sprintf "Benchsets.set_profile: set %d" k)
+
+let sequence ~set ~seq ~count =
+  if set < 1 || set > 4 then invalid_arg "Benchsets.sequence: set out of range";
+  if seq < 0 || seq > 2 then invalid_arg "Benchsets.sequence: seq out of range";
+  let rng = Rng.create ~seed:(1_000_003 + (set * 7919) + (seq * 104729)) in
+  List.init count (fun i ->
+      let profile =
+        if set <= 3 then set_profile set
+        else
+          (* Set 4 mixes the three stressed profiles with balanced graphs. *)
+          match i mod 4 with
+          | 0 -> set1
+          | 1 -> set2
+          | 2 -> set3
+          | _ -> base_profile
+      in
+      let grng = Rng.split rng in
+      Sdfgen.generate grng profile ~proc_types
+        ~name:(Printf.sprintf "s%dq%dg%d" set seq i))
+
+let architecture v =
+  let mem, max_conns =
+    match v with
+    | 0 -> (600_000, 32)
+    | 1 -> (400_000, 24)
+    | 2 -> (250_000, 16)
+    | _ -> invalid_arg "Benchsets.architecture: variant out of range"
+  in
+  Archgraph.mesh ~rows:3 ~cols:3 ~proc_types ~wheel:60 ~mem ~max_conns
+    ~in_bw:3_000 ~out_bw:3_000 ~hop_latency:1 ()

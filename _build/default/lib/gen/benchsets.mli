@@ -1,0 +1,31 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+
+(** The benchmark of Section 10.1: four ordered sets of application graphs
+    (processing-, memory-, communication-intensive, and mixed), three
+    random sequences per set, and three 3x3 mesh architectures with three
+    processor types that differ in memory size and NI connection count.
+
+    The absolute parameter scales are dimensioned for this reproduction's
+    platform (small TDMA wheels keep the constrained state spaces small);
+    the {e relative} stress of each set follows the paper: set 1 has large
+    execution times and cheap communication, set 2 large state and token
+    sizes, set 3 high bandwidth demand and denser graphs, set 4 mixes all
+    three plus balanced graphs. *)
+
+val proc_types : string array
+(** Three processor types: "risc", "dsp", "vliw". *)
+
+val set_profile : int -> Sdfgen.profile
+(** [set_profile k] for [k] in 1..3 (set 4 mixes these).
+    @raise Invalid_argument otherwise. *)
+
+val sequence : set:int -> seq:int -> count:int -> Appgraph.t list
+(** [sequence ~set ~seq ~count] generates the [seq]-th (0..2) sequence of
+    [count] application graphs of set [set] (1..4). Deterministic in
+    [(set, seq)]. *)
+
+val architecture : int -> Archgraph.t
+(** [architecture v] for [v] in 0..2: 3x3 mesh, wheel 60, with memory and
+    connection capacities shrinking across variants.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,45 @@
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let generate rng ?(actors = (2, 5)) ?(phases = (1, 3)) ?(cycles = (1, 3)) () =
+  let n = Rng.range rng (fst actors) (snd actors) in
+  let cyc = Array.init n (fun _ -> Rng.range rng (fst cycles) (snd cycles)) in
+  let ph = Array.init n (fun _ -> Rng.range rng (fst phases) (snd phases)) in
+  (* Split a cycle total over k phases; zero phases allowed, all-zero not
+     (a channel must be produced/consumed somewhere in the cycle). *)
+  let split total k =
+    let parts = Array.make k 0 in
+    for _ = 1 to total do
+      let i = Rng.int rng k in
+      parts.(i) <- parts.(i) + 1
+    done;
+    Array.to_list parts
+  in
+  let channels = ref [] in
+  for i = 0 to n - 2 do
+    let g = gcd cyc.(i) cyc.(i + 1) in
+    channels :=
+      ( Printf.sprintf "a%d" i,
+        Printf.sprintf "a%d" (i + 1),
+        split (cyc.(i + 1) / g) ph.(i),
+        split (cyc.(i) / g) ph.(i + 1),
+        0 )
+      :: !channels
+  done;
+  let g0 = gcd cyc.(n - 1) cyc.(0) in
+  let cons_total = cyc.(n - 1) / g0 in
+  channels :=
+    ( Printf.sprintf "a%d" (n - 1),
+      "a0",
+      split (cyc.(0) / g0) ph.(n - 1),
+      split cons_total ph.(0),
+      cons_total * cyc.(0) * 2 )
+    :: !channels;
+  let graph =
+    Csdf.Graph.of_lists
+      ~actors:(List.init n (fun i -> (Printf.sprintf "a%d" i, ph.(i))))
+      ~channels:(List.rev !channels)
+  in
+  let taus =
+    Array.init n (fun a -> Array.init ph.(a) (fun _ -> 1 + Rng.int rng 5))
+  in
+  (graph, taus)

@@ -1,0 +1,19 @@
+(** Random cyclo-static dataflow generation.
+
+    Companion to {!Sdfgen} for the CSDF front-end: chains of actors with
+    random phase counts whose rate sequences are split uniformly over the
+    phases of cycle-sum-consistent totals, closed by a token-carrying
+    feedback channel — consistent by construction and live (enough feedback
+    tokens for two full iterations). Used by the CSDF property tests
+    (lumping conservativity, SDF-agreement). *)
+
+val generate :
+  Rng.t ->
+  ?actors:int * int ->
+  ?phases:int * int ->
+  ?cycles:int * int ->
+  unit ->
+  Csdf.Graph.t * int array array
+(** [generate rng ()] returns a graph and matching per-phase execution
+    times (1..5 per phase). Ranges: [actors] (default (2, 5)), [phases]
+    per actor (default (1, 3)), [cycles] per iteration (default (1, 3)). *)

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): one 64-bit mixing step per draw. *)
+let next g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = next g }
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value is non-negative as a 63-bit native int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  v mod n
+
+let range g lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g p =
+  let v = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  v /. 9007199254740992. < p (* 2^53 *)
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    The benchmark generator must be reproducible across runs and platforms —
+    the paper's experiment design ("3 different sequences of graphs ... to
+    eliminate effects from the random generator") relies on re-runnable
+    sequences. This PRNG is self-contained and seed-stable, unlike
+    [Stdlib.Random] whose sequence may change between compiler releases. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent generator derived from the current state; used to give
+    every graph of a sequence its own stream. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> float -> bool
+(** [bool g p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

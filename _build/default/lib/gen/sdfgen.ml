@@ -1,0 +1,132 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+
+type profile = {
+  p_name : string;
+  n_actors : int * int;
+  max_rep : int;
+  multirate_prob : float;
+  extra_edge_prob : float;
+  self_loop_prob : float;
+  tau : int * int;
+  tau_spread : float;
+  mu : int * int;
+  sz : int * int;
+  alpha : int * int;
+  beta : int * int;
+  lambda_divisor : int;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let generate rng p ~proc_types ~name =
+  let n = Rng.range rng (fst p.n_actors) (snd p.n_actors) in
+  let gamma =
+    Array.init n (fun _ ->
+        if Rng.bool rng p.multirate_prob then Rng.range rng 2 p.max_rep else 1)
+  in
+  let b = Sdfg.Builder.create () in
+  for i = 0 to n - 1 do
+    ignore (Sdfg.Builder.add_actor b (Printf.sprintf "%s_a%d" name i))
+  done;
+  (* Consistent rates for a channel src -> dst follow from the repetition
+     vector: prod * gamma src = cons * gamma dst. *)
+  let rates src dst =
+    let g = gcd gamma.(src) gamma.(dst) in
+    (gamma.(dst) / g, gamma.(src) / g)
+  in
+  let add_channel ?(tokens = 0) src dst =
+    let prod, cons = rates src dst in
+    ignore (Sdfg.Builder.add_channel b ~tokens ~src ~dst ~prod ~cons ())
+  in
+  (* Random tree rooted at actor 0: connectivity plus a path 0 ~> i for all
+     i, so the feedback below closes a cycle through the whole pipeline. *)
+  for i = 1 to n - 1 do
+    add_channel (Rng.int rng i) i
+  done;
+  (* Extra forward channels increase communication pressure. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      if Rng.bool rng p.extra_edge_prob then add_channel j i
+    done
+  done;
+  (* Feedback sized for one full iteration of the head actor: bounds
+     pipelining and makes the graph deadlock free but live. *)
+  let prod, cons = rates (n - 1) 0 in
+  let fb_tokens = cons * gamma.(0) in
+  ignore
+    (Sdfg.Builder.add_channel b ~tokens:fb_tokens ~src:(n - 1) ~dst:0 ~prod
+       ~cons ());
+  (* Occasional stateful actors. *)
+  for i = 0 to n - 1 do
+    if Rng.bool rng p.self_loop_prob then
+      ignore
+        (Sdfg.Builder.add_channel b ~tokens:1 ~src:i ~dst:i ~prod:1 ~cons:1 ())
+  done;
+  let graph = Sdfg.Builder.build b in
+  (* Gamma: 1-3 supported processor types with spread execution times. *)
+  let reqs =
+    Array.init n (fun _ ->
+        let types = Array.copy proc_types in
+        Rng.shuffle rng types;
+        let k =
+          if Rng.bool rng 0.7 then Array.length types
+          else min (Array.length types) 2
+        in
+        let tau_base = Rng.range rng (fst p.tau) (snd p.tau) in
+        let mu = Rng.range rng (fst p.mu) (snd p.mu) in
+        List.init k (fun i ->
+            let spread =
+              1. +. (p.tau_spread *. float_of_int (Rng.int rng 100) /. 100.)
+            in
+            let tau =
+              max 1 (int_of_float (float_of_int tau_base *. spread))
+            in
+            (types.(i), Appgraph.{ exec_time = tau; memory = mu })))
+  in
+  let creqs =
+    Array.map
+      (fun c ->
+        (* Buffers sized for one full iteration of production: per-channel
+           occupancy within an iteration never exceeds the initial tokens
+           plus prod * gamma(src), so a demand-driven iteration never blocks
+           on space and the bound graph stays live for ANY binding. Tighter
+           storage distributions exist (Stuijk et al., DAC'06) but can
+           deadlock under parallel bounded paths; an iteration's worth is
+           the simple sound choice, and it is what makes the memory-heavy
+           benchmark sets genuinely memory-hungry. The profile's alpha range
+           adds pipelining slack on top. *)
+        let base = Rng.range rng (fst p.alpha) (snd p.alpha) in
+        let iteration = c.Sdfg.prod * gamma.(c.Sdfg.src) in
+        Appgraph.
+          {
+            token_size = Rng.range rng (fst p.sz) (snd p.sz);
+            alpha_tile = iteration + c.Sdfg.tokens + base - 1;
+            alpha_src = iteration + base - 1;
+            alpha_dst = iteration + c.Sdfg.tokens + base - 1;
+            bandwidth = Rng.range rng (fst p.beta) (snd p.beta);
+          })
+      (Sdfg.channels graph)
+  in
+  (* The constraint is a fraction of the sequential-iteration bound: one
+     full iteration on a single ideal processor (fastest type per actor,
+     full wheel, no communication) takes [sum gamma a * tau_min a] time
+     units and produces gamma(output) output tokens. This is achievable up
+     to scheduling overheads by a one-tile binding, so dividing it by
+     [lambda_divisor] leaves room for TDMA sharing across applications. *)
+  let optimistic =
+    Array.init n (fun a ->
+        List.fold_left (fun acc (_, r) -> min acc r.Appgraph.exec_time) max_int
+          reqs.(a))
+  in
+  let output_actor = n - 1 in
+  let sequential_iteration =
+    Array.fold_left ( + ) 0 (Array.mapi (fun a g -> g * optimistic.(a)) gamma)
+  in
+  let lambda =
+    Rat.div_int
+      (Rat.make gamma.(output_actor) sequential_iteration)
+      p.lambda_divisor
+  in
+  Appgraph.make ~name ~graph ~reqs ~creqs ~lambda ~output_actor

@@ -1,0 +1,39 @@
+module Appgraph = Appmodel.Appgraph
+module Rat = Sdf.Rat
+
+(** Random application-graph generation in the spirit of SDF3's
+    [sdf3generate] (paper Section 10.1).
+
+    Generated graphs are consistent by construction (edge rates are derived
+    from a chosen repetition vector), weakly connected (a random tree plus
+    extra forward edges), deadlock free (cycles are closed through a
+    token-carrying feedback edge sized for one full iteration), and every
+    actor has an input (so self-timed analysis is well defined). Resource
+    annotations (Gamma, Theta) and the throughput constraint are drawn from
+    a {!profile}, which is how the four benchmark sets stress different
+    resources. *)
+
+type profile = {
+  p_name : string;
+  n_actors : int * int;  (** inclusive range *)
+  max_rep : int;  (** repetition-vector entries are drawn from [1, max_rep] *)
+  multirate_prob : float;  (** probability an actor gets a rate above 1 *)
+  extra_edge_prob : float;  (** per candidate pair, extra forward channels *)
+  self_loop_prob : float;  (** extra stateful actors (self-loop channels) *)
+  tau : int * int;  (** execution-time range (time units) *)
+  tau_spread : float;
+      (** heterogeneity: per processor type, tau is scaled by a factor drawn
+          from [1, 1 + tau_spread] *)
+  mu : int * int;  (** actor state size range (bits) *)
+  sz : int * int;  (** token size range (bits) *)
+  alpha : int * int;  (** buffer size range (tokens) *)
+  beta : int * int;  (** bandwidth requirement range (bits/time unit) *)
+  lambda_divisor : int;
+      (** the throughput constraint is the graph's unconstrained self-timed
+          throughput (with fastest processor types) divided by this *)
+}
+
+val generate :
+  Rng.t -> profile -> proc_types:string array -> name:string -> Appgraph.t
+(** Generate one application graph. The output actor is the feedback
+    source (the "sink" of the forward structure). *)

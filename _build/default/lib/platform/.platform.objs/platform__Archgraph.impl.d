@@ -1,0 +1,1 @@
+lib/platform/archgraph.ml: Array Format Hashtbl List Option Printf String Tile

@@ -1,0 +1,1 @@
+lib/platform/archgraph.mli: Format Tile

@@ -1,0 +1,1 @@
+lib/platform/tile.ml: Format

@@ -1,0 +1,92 @@
+type connection = {
+  k_idx : int;
+  from_tile : int;
+  to_tile : int;
+  latency : int;
+}
+
+type t = {
+  g_tiles : Tile.t array;
+  g_conns : connection array;
+  g_conn_idx : (int * int, int) Hashtbl.t;
+}
+
+let make tiles conns =
+  Array.iteri
+    (fun i t ->
+      if t.Tile.t_idx <> i then
+        invalid_arg "Archgraph.make: tile indices must be dense and ordered")
+    tiles;
+  let n = Array.length tiles in
+  let g_conn_idx = Hashtbl.create 16 in
+  let g_conns =
+    Array.of_list
+      (List.mapi
+         (fun i c ->
+           if c.from_tile < 0 || c.from_tile >= n || c.to_tile < 0
+              || c.to_tile >= n
+           then invalid_arg "Archgraph.make: connection tile out of range";
+           if c.latency <= 0 then
+             invalid_arg "Archgraph.make: latency must be positive";
+           if Hashtbl.mem g_conn_idx (c.from_tile, c.to_tile) then
+             invalid_arg "Archgraph.make: duplicate connection";
+           Hashtbl.add g_conn_idx (c.from_tile, c.to_tile) i;
+           { c with k_idx = i })
+         conns)
+  in
+  { g_tiles = tiles; g_conns; g_conn_idx }
+
+let num_tiles g = Array.length g.g_tiles
+let tile g i = g.g_tiles.(i)
+let tiles g = g.g_tiles
+let connections g = g.g_conns
+
+let connection_between g ~src ~dst =
+  Option.map (fun i -> g.g_conns.(i)) (Hashtbl.find_opt g.g_conn_idx (src, dst))
+
+let tile_index g name =
+  match
+    Array.find_opt (fun t -> String.equal t.Tile.t_name name) g.g_tiles
+  with
+  | Some t -> t.Tile.t_idx
+  | None -> raise Not_found
+
+let with_tiles g tiles =
+  if Array.length tiles <> Array.length g.g_tiles then
+    invalid_arg "Archgraph.with_tiles: tile count mismatch";
+  { g with g_tiles = tiles }
+
+let mesh ?(wheel = 100_000) ?(mem = 1_048_576) ?(max_conns = 8) ?(in_bw = 96)
+    ?(out_bw = 96) ?(hop_latency = 2) ~rows ~cols ~proc_types () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Archgraph.mesh: empty mesh";
+  if Array.length proc_types = 0 then
+    invalid_arg "Archgraph.mesh: no processor types";
+  let n = rows * cols in
+  let tiles =
+    Array.init n (fun i ->
+        Tile.make ~idx:i
+          ~name:(Printf.sprintf "t%d_%d" (i / cols) (i mod cols))
+          ~proc_type:proc_types.(i mod Array.length proc_types)
+          ~wheel ~mem ~max_conns ~in_bw ~out_bw ())
+  in
+  let conns = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let dist =
+          abs ((u / cols) - (v / cols)) + abs ((u mod cols) - (v mod cols))
+        in
+        conns :=
+          { k_idx = 0; from_tile = u; to_tile = v; latency = hop_latency * dist }
+          :: !conns
+      end
+    done
+  done;
+  make tiles (List.rev !conns)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>architecture: %d tiles, %d connections@,"
+    (num_tiles g)
+    (Array.length g.g_conns);
+  Array.iter (fun t -> Format.fprintf ppf "  %a@," Tile.pp t) g.g_tiles;
+  Format.fprintf ppf "@]"

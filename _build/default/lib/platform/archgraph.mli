@@ -1,0 +1,58 @@
+(** Architecture graphs (paper Definition 4).
+
+    A set of tiles plus directed point-to-point connections, each with a
+    fixed latency. The experiments of the paper use mesh-based platforms
+    whose tiles communicate through a guaranteed-throughput NoC; a connection
+    between any two tiles then exists logically, with a latency scaling with
+    the hop distance — {!mesh} builds exactly that. *)
+
+type connection = {
+  k_idx : int;
+  from_tile : int;
+  to_tile : int;
+  latency : int;  (** [L c >= 1], time units *)
+}
+
+type t
+
+val make : Tile.t array -> connection list -> t
+(** @raise Invalid_argument if tile indices are not dense/ordered, a
+    connection references an unknown tile, a latency is not positive, or two
+    connections share the same ordered tile pair. *)
+
+val num_tiles : t -> int
+val tile : t -> int -> Tile.t
+val tiles : t -> Tile.t array
+val connections : t -> connection array
+
+val connection_between : t -> src:int -> dst:int -> connection option
+(** The unique connection from one tile to another, if any. *)
+
+val tile_index : t -> string -> int
+(** @raise Not_found *)
+
+val with_tiles : t -> Tile.t array -> t
+(** Replace the tile array (same length/indices), keeping connections; used
+    by the multi-application driver to account committed resources. *)
+
+val mesh :
+  ?wheel:int ->
+  ?mem:int ->
+  ?max_conns:int ->
+  ?in_bw:int ->
+  ?out_bw:int ->
+  ?hop_latency:int ->
+  rows:int ->
+  cols:int ->
+  proc_types:string array ->
+  unit ->
+  t
+(** [mesh ~rows ~cols ~proc_types ()] builds a rows x cols platform with
+    full logical connectivity; the connection latency between two tiles is
+    [hop_latency * manhattan_distance]. Processor types are assigned round
+    robin from [proc_types]. Defaults: [wheel = 100_000], [mem = 1_048_576],
+    [max_conns = 8], [in_bw = out_bw = 96], [hop_latency = 2] — a platform in
+    the spirit of the paper's 3x3 NoC-based MP-SoC, where connection latency
+    is small compared to actor execution times. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  t_idx : int;
+  t_name : string;
+  proc_type : string;
+  wheel : int;
+  mem : int;
+  max_conns : int;
+  in_bw : int;
+  out_bw : int;
+  occupied : int;
+}
+
+let make ?(occupied = 0) ~idx ~name ~proc_type ~wheel ~mem ~max_conns ~in_bw
+    ~out_bw () =
+  if wheel < 0 || mem < 0 || max_conns < 0 || in_bw < 0 || out_bw < 0 then
+    invalid_arg "Tile.make: negative resource size";
+  if occupied < 0 || occupied > wheel then
+    invalid_arg "Tile.make: occupied wheel time out of range";
+  {
+    t_idx = idx;
+    t_name = name;
+    proc_type;
+    wheel;
+    mem;
+    max_conns;
+    in_bw;
+    out_bw;
+    occupied;
+  }
+
+let available_wheel t = t.wheel - t.occupied
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tile %s: pt=%s wheel=%d(-%d) mem=%d conns=%d in=%d out=%d" t.t_name
+    t.proc_type t.wheel t.occupied t.mem t.max_conns t.in_bw t.out_bw

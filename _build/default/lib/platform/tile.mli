@@ -1,0 +1,39 @@
+(** Processing tiles (paper Definition 3).
+
+    A tile bundles one processor with a local memory and a network interface.
+    The processor runs a TDMA wheel of [wheel] time units of which [occupied]
+    are already reserved by other applications (the paper's Omega function);
+    the remainder is available to the application(s) being mapped. The NI
+    supports at most [max_conns] simultaneous connections and bounds the
+    aggregate incoming/outgoing bandwidth. *)
+
+type t = {
+  t_idx : int;
+  t_name : string;
+  proc_type : string;  (** processor type, matched against Gamma *)
+  wheel : int;  (** TDMA wheel size [w] (time units) *)
+  mem : int;  (** memory size [m] (bits) *)
+  max_conns : int;  (** NI connection count bound [c] *)
+  in_bw : int;  (** max incoming bandwidth [i] (bits/time unit) *)
+  out_bw : int;  (** max outgoing bandwidth [o] (bits/time unit) *)
+  occupied : int;  (** already-occupied wheel time [Omega t] *)
+}
+
+val make :
+  ?occupied:int ->
+  idx:int ->
+  name:string ->
+  proc_type:string ->
+  wheel:int ->
+  mem:int ->
+  max_conns:int ->
+  in_bw:int ->
+  out_bw:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on negative sizes or [occupied > wheel]. *)
+
+val available_wheel : t -> int
+(** [wheel - occupied]: the largest time slice an application can get. *)
+
+val pp : Format.formatter -> t -> unit

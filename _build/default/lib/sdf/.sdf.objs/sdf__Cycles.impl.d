@@ -1,0 +1,1 @@
+lib/sdf/cycles.ml: Array List Sdfg

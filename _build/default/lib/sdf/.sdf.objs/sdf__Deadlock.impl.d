@@ -1,0 +1,1 @@
+lib/sdf/deadlock.ml: Array Fun List Repetition Sdfg

@@ -1,0 +1,1 @@
+lib/sdf/deadlock.mli: Sdfg

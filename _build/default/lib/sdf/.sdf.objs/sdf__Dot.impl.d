@@ -1,0 +1,1 @@
+lib/sdf/dot.ml: Array Buffer Fun Printf Sdfg

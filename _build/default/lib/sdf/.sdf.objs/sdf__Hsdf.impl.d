@@ -1,0 +1,1 @@
+lib/sdf/hsdf.ml: Array Hashtbl List Printf Sdfg

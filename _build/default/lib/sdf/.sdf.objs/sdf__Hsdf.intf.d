@@ -1,0 +1,1 @@
+lib/sdf/hsdf.mli: Sdfg

@@ -1,0 +1,1 @@
+lib/sdf/rat.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/rat.mli: Format

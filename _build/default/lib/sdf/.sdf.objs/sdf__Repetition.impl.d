@@ -1,0 +1,1 @@
+lib/sdf/repetition.ml: Array Fun List Printf Rat Sdfg

@@ -1,0 +1,1 @@
+lib/sdf/sdfg.ml: Array Format Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sdf/sdfg.mli: Format

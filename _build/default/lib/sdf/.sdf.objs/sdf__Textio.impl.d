@@ -1,0 +1,1 @@
+lib/sdf/textio.ml: Array Buffer Fun Hashtbl In_channel List Printf Sdfg String

@@ -1,0 +1,1 @@
+lib/sdf/textio.mli: Sdfg

@@ -1,0 +1,1 @@
+lib/sdf/xml.ml: Buffer List Printf String

@@ -1,0 +1,33 @@
+(** Strongly connected components and simple-cycle enumeration.
+
+    The actor-criticality estimate of the allocation strategy (paper Eqn. 1)
+    maximises a ratio over all simple cycles through an actor, directly on
+    the SDFG. Application graphs are small (a handful to a few tens of
+    actors), so explicit enumeration is the intended implementation; a cap
+    protects against pathological inputs, in which case the caller falls
+    back to a per-SCC approximation. *)
+
+val sccs : Sdfg.t -> int list list
+(** Tarjan's strongly connected components, as lists of actor indices, in
+    reverse topological order of the component DAG. Singleton components
+    without a self-loop are included. *)
+
+val scc_of : Sdfg.t -> int array
+(** Per-actor component id (dense, [0 ..]), consistent with {!sccs}. *)
+
+type enumeration = {
+  cycles : int list list;
+      (** Each cycle is the list of channel indices traversed, in order;
+          a self-loop channel forms a 1-element cycle. Every simple cycle
+          of the multigraph appears exactly once (up to rotation). *)
+  truncated : bool;
+      (** True when enumeration stopped at [max_cycles]; the list then holds
+          only the first [max_cycles] cycles found. *)
+}
+
+val simple_cycles : ?max_cycles:int -> Sdfg.t -> enumeration
+(** Enumerate simple cycles (distinct actors, arbitrary channels between
+    them). [max_cycles] defaults to [100_000]. *)
+
+val cycles_through : enumeration -> Sdfg.t -> int -> int list list
+(** Cycles of the enumeration that pass through the given actor. *)

@@ -1,0 +1,20 @@
+(** Deadlock detection for consistent SDFGs.
+
+    A consistent SDFG deadlocks iff one complete iteration (every actor [a]
+    firing [gamma a] times) cannot be executed from the initial token
+    distribution [Lee & Messerschmitt 1987]. This check simulates one
+    iteration abstractly — untimed, demand-driven — which is sufficient and
+    runs in O(total firings * channels). *)
+
+type result =
+  | Deadlock_free
+  | Deadlocked of { blocked : int list }
+      (** Actor indices that still had pending firings when execution got
+          stuck. A zero-token cycle always shows up here. *)
+
+val check : Sdfg.t -> int array -> result
+(** [check g gamma] with [gamma] the repetition vector of [g]. *)
+
+val is_deadlock_free : Sdfg.t -> bool
+(** Convenience: computes the repetition vector and checks; inconsistent or
+    disconnected graphs are reported as not deadlock free. *)

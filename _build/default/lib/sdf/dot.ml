@@ -1,0 +1,29 @@
+let to_dot ?(name = "sdfg") ?exec_times g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  Array.iter
+    (fun a ->
+      let label =
+        match exec_times with
+        | Some taus -> Printf.sprintf "%s\\n%d" a.Sdfg.a_name taus.(a.Sdfg.a_idx)
+        | None -> a.Sdfg.a_name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" a.Sdfg.a_idx label))
+    (Sdfg.actors g);
+  Array.iter
+    (fun c ->
+      let tok = if c.Sdfg.tokens > 0 then Printf.sprintf " [%d]" c.Sdfg.tokens else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d,%d%s\", taillabel=\"%d\", headlabel=\"%d\"];\n"
+           c.Sdfg.src c.Sdfg.dst c.Sdfg.prod c.Sdfg.cons tok c.Sdfg.prod c.Sdfg.cons))
+    (Sdfg.channels g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?exec_times path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?exec_times g))

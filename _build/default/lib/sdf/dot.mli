@@ -1,0 +1,17 @@
+(** Graphviz DOT export for SDFGs.
+
+    Visualisation aid for the examples and CLI tools. Channels are drawn with
+    their production/consumption rates; initial tokens are shown as a bullet
+    count on the edge label, matching the usual SDFG drawing style. *)
+
+val to_dot :
+  ?name:string ->
+  ?exec_times:int array ->
+  Sdfg.t ->
+  string
+(** [to_dot g] renders the graph. When [exec_times] is given, each actor
+    label includes its execution time. *)
+
+val write_file :
+  ?name:string -> ?exec_times:int array -> string -> Sdfg.t -> unit
+(** [write_file path g] writes the DOT rendering to [path]. *)

@@ -1,0 +1,72 @@
+type t = {
+  graph : Sdfg.t;
+  copy_of : (int * int) array;
+  copies : int array array;
+  channel_of : int array;
+}
+
+let ceil_div a b =
+  (* ceil(a / b) for b > 0, correct for negative a. *)
+  if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+let convert ?(dedupe = true) g gamma =
+  let n = Sdfg.num_actors g in
+  let b = Sdfg.Builder.create () in
+  let copies =
+    Array.init n (fun a ->
+        Array.init gamma.(a) (fun k ->
+            Sdfg.Builder.add_actor b
+              (Printf.sprintf "%s#%d" (Sdfg.actor_name g a) k)))
+  in
+  let total = Array.fold_left ( + ) 0 gamma in
+  let copy_of = Array.make total (0, 0) in
+  Array.iteri
+    (fun a per_firing ->
+      Array.iteri (fun k idx -> copy_of.(idx) <- (a, k)) per_firing)
+    copies;
+  let edges : (int * int, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  let origins = ref [] in
+  let add_edge src dst tokens origin =
+    if dedupe then begin
+      match Hashtbl.find_opt edges (src, dst) with
+      | Some (t, _) when t <= tokens -> ()
+      | _ -> Hashtbl.replace edges (src, dst) (tokens, origin)
+    end
+    else begin
+      ignore (Sdfg.Builder.add_channel b ~tokens ~src ~dst ~prod:1 ~cons:1 ());
+      origins := origin :: !origins
+    end
+  in
+  Array.iter
+    (fun c ->
+      let a = c.Sdfg.src and b_act = c.Sdfg.dst in
+      let p = c.Sdfg.prod and q = c.Sdfg.cons and tok = c.Sdfg.tokens in
+      let ga = gamma.(a) in
+      for l = 1 to gamma.(b_act) do
+        for k = 1 to q do
+          let token_index = ((l - 1) * q) + k in
+          (* Producing firing in the infinite firing sequence of [a];
+             non-positive j means the token existed initially, i.e. it is
+             produced by a firing of a previous iteration. *)
+          let j = ceil_div (token_index - tok) p in
+          let wraps = if j >= 1 then 0 else ceil_div (1 - j) ga in
+          let j' = j + (wraps * ga) in
+          add_edge copies.(a).(j' - 1) copies.(b_act).(l - 1) wraps c.Sdfg.c_idx
+        done
+      done)
+    (Sdfg.channels g);
+  if dedupe then
+    Hashtbl.iter
+      (fun (src, dst) (tokens, origin) ->
+        ignore (Sdfg.Builder.add_channel b ~tokens ~src ~dst ~prod:1 ~cons:1 ());
+        origins := origin :: !origins)
+      edges;
+  {
+    graph = Sdfg.Builder.build b;
+    copy_of;
+    copies;
+    channel_of = Array.of_list (List.rev !origins);
+  }
+
+let timing h taus =
+  Array.map (fun (a, _) -> taus.(a)) h.copy_of

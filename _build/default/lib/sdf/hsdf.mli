@@ -1,0 +1,39 @@
+(** SDF to homogeneous-SDF (HSDF) conversion.
+
+    The classic transformation [Sriram & Bhattacharyya 2000]: each actor [a]
+    is replaced by [gamma a] copies (one per firing in an iteration) and each
+    channel is expanded into per-token precedence edges between the producing
+    and consuming firings, with initial tokens becoming inter-iteration edges
+    carrying one token per iteration boundary crossed.
+
+    The paper uses this conversion only as the thing to {e avoid}: the H.263
+    decoder SDFG of Fig. 1 has 4 actors but its HSDFG has 4754 (which this
+    module reproduces exactly), and every HSDF-based allocation pays that
+    blow-up in analysis time. We implement it faithfully to serve as the
+    baseline comparator and as a cross-validation oracle for the SDFG
+    state-space throughput analysis. *)
+
+type t = {
+  graph : Sdfg.t;  (** the HSDFG; all rates are 1 *)
+  copy_of : (int * int) array;
+      (** for each HSDF actor index, the originating [(actor, firing)] pair
+          with [firing] in [0 .. gamma actor - 1] *)
+  copies : int array array;
+      (** for each original actor, its HSDF copy indices in firing order *)
+  channel_of : int array;
+      (** for each HSDF channel, the originating channel of the source
+          graph (under [dedupe], a merged edge keeps the origin of its
+          tightest token count) *)
+}
+
+val convert : ?dedupe:bool -> Sdfg.t -> int array -> t
+(** [convert g gamma] expands [g]. With [dedupe] (default [true]), parallel
+    precedence edges between the same pair of firings are merged keeping the
+    smallest token count; this preserves the precedence semantics (and hence
+    the maximum cycle ratio) and substantially shrinks the result.
+
+    HSDF actor naming: copy [k] of actor ["a"] is named ["a#k"]. *)
+
+val timing : t -> int array -> int array
+(** Lift a per-actor execution-time vector of the original graph to the
+    HSDF copies. *)

@@ -1,0 +1,72 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let make n d =
+  if d = 0 then raise Division_by_zero
+  else begin
+    let sign = if d < 0 then -1 else 1 in
+    let n = sign * n and d = sign * d in
+    let g = gcd n d in
+    if g = 0 then { num = 0; den = 1 } else { num = n / g; den = d / g }
+  end
+
+let of_int n = { num = n; den = 1 }
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let infinity = { num = 1; den = 0 }
+
+let is_infinite r = r.den = 0
+
+let num r = r.num
+let den r = r.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+let div a b = make (a.num * b.den) (a.den * b.num)
+let neg a = { a with num = -a.num }
+let inv a = make a.den a.num
+let mul_int a k = make (a.num * k) a.den
+let div_int a k = make a.num (a.den * k)
+
+let compare a b =
+  match (a.den, b.den) with
+  | 0, 0 -> 0
+  | 0, _ -> 1
+  | _, 0 -> -1
+  | _ -> Stdlib.compare (a.num * b.den) (b.num * a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) a b = compare a b = 0
+
+let to_float r =
+  if Stdlib.( = ) r.den 0 then Float.infinity
+  else float_of_int r.num /. float_of_int r.den
+
+let floor r =
+  if Stdlib.( = ) r.den 0 then invalid_arg "Rat.floor: infinite"
+  else if Stdlib.( >= ) r.num 0 then r.num / r.den
+  else -((-r.num + r.den - 1) / r.den)
+
+let ceil r =
+  if Stdlib.( = ) r.den 0 then invalid_arg "Rat.ceil: infinite"
+  else if Stdlib.( >= ) r.num 0 then (r.num + r.den - 1) / r.den
+  else -(-r.num / r.den)
+
+let pp ppf r =
+  if Stdlib.( = ) r.den 0 then Format.pp_print_string ppf "inf"
+  else if Stdlib.( = ) r.den 1 then Format.fprintf ppf "%d" r.num
+  else Format.fprintf ppf "%d/%d" r.num r.den
+
+let to_string r = Format.asprintf "%a" pp r

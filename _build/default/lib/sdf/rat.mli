@@ -1,0 +1,71 @@
+(** Exact rational arithmetic over native integers.
+
+    Repetition vectors, cycle ratios and throughput values in SDFG analysis
+    are rationals. Floating point is not acceptable here: the resource
+    allocation flow compares throughput values against constraints and the
+    paper's running example is validated exactly (1/2, 1/29, 1/30). All
+    values are kept normalised (gcd 1, positive denominator), which keeps the
+    magnitudes produced by the algorithms in this library far away from the
+    63-bit overflow boundary. *)
+
+type t = private { num : int; den : int }
+(** A normalised rational [num/den] with [den > 0] and [gcd |num| den = 1]. *)
+
+val make : int -> int -> t
+(** [make n d] is the normalised rational [n/d].
+    @raise Division_by_zero if [d = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val infinity : t
+(** Conventional value for "unbounded"; represented as [1/0] and only
+    produced or consumed by {!is_infinite}, comparisons and printing.
+    Arithmetic on infinity raises [Division_by_zero]. *)
+
+val is_infinite : t -> bool
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by {!zero}. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+(** Total order; {!infinity} is greater than every finite value. *)
+
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+
+val to_float : t -> float
+val floor : t -> int
+val ceil : t -> int
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["n/d"], or ["n"] when the denominator is 1, or ["inf"]. *)
+
+val to_string : t -> string

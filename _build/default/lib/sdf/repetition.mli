@@ -1,0 +1,33 @@
+(** Repetition vectors and consistency (paper, Definition 2).
+
+    A repetition vector assigns to every actor a firing count such that the
+    token distribution is unchanged after each actor [a] fires [gamma a]
+    times: [p * gamma a = q * gamma b] for every channel [(a, b, p, q)].
+    An SDFG is consistent iff a non-trivial (everywhere positive) repetition
+    vector exists; the smallest one is {e the} repetition vector. *)
+
+type result =
+  | Consistent of int array
+      (** The smallest non-trivial repetition vector, indexed by actor. *)
+  | Inconsistent of { channel : int }
+      (** Rate equations conflict on this channel (witness). *)
+  | Disconnected
+      (** The graph is not weakly connected; a single smallest repetition
+          vector is not well defined across components, and such graphs are
+          rejected by the allocation flow. *)
+
+val compute : Sdfg.t -> result
+
+val vector_exn : Sdfg.t -> int array
+(** Like {!compute} but raising.
+    @raise Invalid_argument if the graph is inconsistent or disconnected. *)
+
+val is_consistent : Sdfg.t -> bool
+
+val check : Sdfg.t -> int array -> bool
+(** [check g gamma] verifies the balance equation on every channel and that
+    all entries are positive. *)
+
+val iteration_firings : int array -> int
+(** Total number of firings in one graph iteration (sum of the vector); the
+    actor count of the corresponding HSDFG. *)

@@ -1,0 +1,128 @@
+exception Parse_error of { line : int; message : string }
+
+type document = {
+  doc_name : string;
+  graph : Sdfg.t;
+  exec_times : int array option;
+}
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let int_of ln what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail ln "expected integer for %s, got %S" what s
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let b = Sdfg.Builder.create () in
+  let name = ref None in
+  let actor_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let taus = ref [] (* (actor idx, tau), reversed *) in
+  let add_actor ln n tau =
+    if Hashtbl.mem actor_ids n then fail ln "duplicate actor %S" n
+    else begin
+      let idx = Sdfg.Builder.add_actor b n in
+      Hashtbl.add actor_ids n idx;
+      match tau with
+      | None -> ()
+      | Some t ->
+          if t < 0 then fail ln "negative execution time"
+          else taus := (idx, t) :: !taus
+    end
+  in
+  let actor_id ln s =
+    match Hashtbl.find_opt actor_ids s with
+    | Some i -> i
+    | None -> fail ln "unknown actor %S" s
+  in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      match tokens_of_line (strip_comment raw) with
+      | [] -> ()
+      | [ "sdfg"; n ] ->
+          if !name <> None then fail ln "duplicate sdfg header" else name := Some n
+      | "sdfg" :: _ -> fail ln "sdfg header takes exactly one name"
+      | [ "actor"; n ] -> add_actor ln n None
+      | [ "actor"; n; tau ] -> add_actor ln n (Some (int_of ln "execution time" tau))
+      | "actor" :: _ -> fail ln "actor declaration: actor <name> [<exec-time>]"
+      | "channel" :: cname :: src :: "->" :: dst :: "rates" :: prod :: cons :: rest ->
+          let tokens =
+            match rest with
+            | [] -> 0
+            | [ "tokens"; t ] -> int_of ln "tokens" t
+            | _ -> fail ln "trailing junk after channel declaration"
+          in
+          let prod = int_of ln "prod rate" prod in
+          let cons = int_of ln "cons rate" cons in
+          if prod <= 0 || cons <= 0 then fail ln "rates must be positive";
+          if tokens < 0 then fail ln "tokens must be non-negative";
+          ignore
+            (Sdfg.Builder.add_channel b ~name:cname ~tokens ~src:(actor_id ln src)
+               ~dst:(actor_id ln dst) ~prod ~cons ())
+      | "channel" :: _ ->
+          fail ln "expected: channel <name> <src> -> <dst> rates <p> <q> [tokens <n>]"
+      | kw :: _ -> fail ln "unknown keyword %S" kw)
+    lines;
+  match !name with
+  | None -> fail 1 "missing sdfg header"
+  | Some doc_name ->
+      let graph = Sdfg.Builder.build b in
+      let n = Sdfg.num_actors graph in
+      let taus = !taus in
+      let exec_times =
+        if taus = [] then None
+        else if List.length taus <> n then
+          fail 1 "execution times must be given for all actors or none"
+        else begin
+          let arr = Array.make n 0 in
+          List.iter (fun (idx, t) -> arr.(idx) <- t) taus;
+          Some arr
+        end
+      in
+      { doc_name; graph; exec_times }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let print ?exec_times name g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "sdfg %s\n" name);
+  Array.iter
+    (fun a ->
+      match exec_times with
+      | Some taus ->
+          Buffer.add_string buf
+            (Printf.sprintf "actor %s %d\n" a.Sdfg.a_name taus.(a.Sdfg.a_idx))
+      | None -> Buffer.add_string buf (Printf.sprintf "actor %s\n" a.Sdfg.a_name))
+    (Sdfg.actors g);
+  Array.iter
+    (fun c ->
+      let tok = if c.Sdfg.tokens > 0 then Printf.sprintf " tokens %d" c.Sdfg.tokens else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "channel %s %s -> %s rates %d %d%s\n" c.Sdfg.c_name
+           (Sdfg.actor_name g c.Sdfg.src) (Sdfg.actor_name g c.Sdfg.dst)
+           c.Sdfg.prod c.Sdfg.cons tok))
+    (Sdfg.channels g);
+  Buffer.contents buf
+
+let write_file ?exec_times path name g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print ?exec_times name g))

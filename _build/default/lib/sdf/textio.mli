@@ -1,0 +1,37 @@
+(** Plain-text SDFG serialisation.
+
+    A small line-based format used by the CLI tools (the SDF3 tool set uses
+    XML; a dependency-free text format plays the same role here):
+
+    {v
+    sdfg <name>
+    actor <name> [<exec-time>]
+    channel <name> <src> -> <dst> rates <prod> <cons> [tokens <n>]
+    # comment
+    v}
+
+    Blank lines and [#] comments are ignored. Actor declarations must precede
+    the channels that use them. Execution times are optional but must be
+    given either for all actors or for none. *)
+
+exception Parse_error of { line : int; message : string }
+
+type document = {
+  doc_name : string;
+  graph : Sdfg.t;
+  exec_times : int array option;
+      (** per-actor execution times, when every actor declared one *)
+}
+
+val parse : string -> document
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> document
+(** @raise Parse_error or [Sys_error]. *)
+
+val print : ?exec_times:int array -> string -> Sdfg.t -> string
+(** [print name g] renders the graph in the format accepted by {!parse};
+    parsing the result reproduces the graph (and timing) exactly. *)
+
+val write_file : ?exec_times:int array -> string -> string -> Sdfg.t -> unit
+(** [write_file path name g]. *)

@@ -1,0 +1,256 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+exception Parse_error of { position : int; message : string }
+
+let fail pos fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position = pos; message })) fmt
+
+(* ------------------------------- parsing --------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let looking_at c prefix =
+  let n = String.length prefix in
+  c.pos + n <= String.length c.s && String.sub c.s c.pos n = prefix
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance c
+  done
+
+let expect c prefix =
+  if looking_at c prefix then c.pos <- c.pos + String.length prefix
+  else fail c.pos "expected %S" prefix
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = ':' || ch = '.'
+
+let parse_name c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_name_char ch | None -> false) do
+    advance c
+  done;
+  if c.pos = start then fail c.pos "expected a name";
+  String.sub c.s start (c.pos - start)
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '&' then begin
+      let entity code skip =
+        Buffer.add_string buf code;
+        go (i + skip)
+      in
+      if i + 4 <= n && String.sub s i 4 = "&lt;" then entity "<" 4
+      else if i + 4 <= n && String.sub s i 4 = "&gt;" then entity ">" 4
+      else if i + 5 <= n && String.sub s i 5 = "&amp;" then entity "&" 5
+      else if i + 6 <= n && String.sub s i 6 = "&quot;" then entity "\"" 6
+      else if i + 6 <= n && String.sub s i 6 = "&apos;" then entity "'" 6
+      else begin
+        Buffer.add_char buf '&';
+        go (i + 1)
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let parse_attr_value c =
+  let quote =
+    match peek c with
+    | Some (('"' | '\'') as q) -> advance c; q
+    | _ -> fail c.pos "expected a quoted attribute value"
+  in
+  let start = c.pos in
+  while (match peek c with Some ch -> ch <> quote | None -> false) do
+    advance c
+  done;
+  if peek c = None then fail c.pos "unterminated attribute value";
+  let v = String.sub c.s start (c.pos - start) in
+  advance c;
+  unescape v
+
+let skip_comment c =
+  expect c "<!--";
+  let rec go () =
+    if looking_at c "-->" then c.pos <- c.pos + 3
+    else if c.pos >= String.length c.s then fail c.pos "unterminated comment"
+    else (advance c; go ())
+  in
+  go ()
+
+let skip_declaration c =
+  expect c "<?";
+  let rec go () =
+    if looking_at c "?>" then c.pos <- c.pos + 2
+    else if c.pos >= String.length c.s then fail c.pos "unterminated declaration"
+    else (advance c; go ())
+  in
+  go ()
+
+let rec parse_element c =
+  expect c "<";
+  let name = parse_name c in
+  let rec attrs acc =
+    skip_ws c;
+    if looking_at c "/>" then begin
+      c.pos <- c.pos + 2;
+      Element (name, List.rev acc, [])
+    end
+    else if looking_at c ">" then begin
+      advance c;
+      let children = parse_children c name in
+      Element (name, List.rev acc, children)
+    end
+    else begin
+      let attr_name = parse_name c in
+      skip_ws c;
+      expect c "=";
+      skip_ws c;
+      let value = parse_attr_value c in
+      attrs ((attr_name, value) :: acc)
+    end
+  in
+  attrs []
+
+and parse_children c parent =
+  let items = ref [] in
+  let rec go () =
+    if looking_at c "</" then begin
+      c.pos <- c.pos + 2;
+      let closing = parse_name c in
+      skip_ws c;
+      expect c ">";
+      if closing <> parent then
+        fail c.pos "mismatched closing tag %S for %S" closing parent;
+      List.rev !items
+    end
+    else if looking_at c "<!--" then (skip_comment c; go ())
+    else if looking_at c "<" then begin
+      items := parse_element c :: !items;
+      go ()
+    end
+    else if c.pos >= String.length c.s then
+      fail c.pos "unterminated element %S" parent
+    else begin
+      let start = c.pos in
+      while
+        (match peek c with Some '<' -> false | Some _ -> true | None -> false)
+      do
+        advance c
+      done;
+      let txt = unescape (String.sub c.s start (c.pos - start)) in
+      if String.trim txt <> "" then items := Text txt :: !items;
+      go ()
+    end
+  in
+  go ()
+
+let parse s =
+  let c = { s; pos = 0 } in
+  skip_ws c;
+  while looking_at c "<?" || looking_at c "<!--" do
+    if looking_at c "<?" then skip_declaration c else skip_comment c;
+    skip_ws c
+  done;
+  let root = parse_element c in
+  skip_ws c;
+  if c.pos <> String.length c.s then fail c.pos "trailing content after root";
+  root
+
+(* ------------------------------ printing --------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let to_string ?(declaration = true) root =
+  let buf = Buffer.create 1024 in
+  if declaration then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  let rec go indent = function
+    | Text s -> Buffer.add_string buf (escape s)
+    | Element (name, attrs, children) ->
+        Buffer.add_string buf indent;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+          attrs;
+        if children = [] then Buffer.add_string buf "/>\n"
+        else begin
+          let only_text = List.for_all (function Text _ -> true | _ -> false) children in
+          if only_text then begin
+            Buffer.add_char buf '>';
+            List.iter (go "") children;
+            Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+          end
+          else begin
+            Buffer.add_string buf ">\n";
+            List.iter (go (indent ^ "  ")) children;
+            Buffer.add_string buf indent;
+            Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+          end
+        end
+  in
+  go "" root;
+  Buffer.contents buf
+
+(* ----------------------------- navigation -------------------------- *)
+
+let tag = function
+  | Element (name, _, _) -> name
+  | Text _ -> invalid_arg "Xml.tag: text node"
+
+let attr_opt node name =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let attr node name =
+  match attr_opt node name with Some v -> v | None -> raise Not_found
+
+let children node name =
+  match node with
+  | Element (_, _, kids) ->
+      List.filter
+        (function Element (n, _, _) -> n = name | Text _ -> false)
+        kids
+  | Text _ -> []
+
+let child_opt node name =
+  match children node name with [] -> None | c :: _ -> Some c
+
+let child node name =
+  match child_opt node name with Some c -> c | None -> raise Not_found
+
+let text = function
+  | Element (_, _, kids) ->
+      String.concat ""
+        (List.filter_map (function Text s -> Some s | Element _ -> None) kids)
+  | Text s -> s

@@ -1,0 +1,41 @@
+(** A minimal XML subset: elements, attributes and text.
+
+    Enough to read and write the SDF3-style XML documents used by
+    {!Appmodel.Sdf3_xml}, without external dependencies. Supports
+    comments and an XML declaration on input; no namespaces, CDATA or
+    entities beyond [&amp; &lt; &gt; &quot; &apos;]. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** tag, attributes (in document order), children *)
+  | Text of string
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> t
+(** Parse a document and return its root element (the XML declaration,
+    comments and inter-element whitespace are dropped).
+    @raise Parse_error on malformed input. *)
+
+val to_string : ?declaration:bool -> t -> string
+(** Render with two-space indentation. [declaration] (default true) emits
+    the [<?xml ...?>] header. *)
+
+(** {1 Navigation helpers} *)
+
+val tag : t -> string
+(** @raise Invalid_argument on [Text]. *)
+
+val attr : t -> string -> string
+(** @raise Not_found when the attribute is absent (or on [Text]). *)
+
+val attr_opt : t -> string -> string option
+
+val child : t -> string -> t
+(** First child element with the given tag. @raise Not_found. *)
+
+val child_opt : t -> string -> t option
+val children : t -> string -> t list
+
+val text : t -> string
+(** Concatenated text content of the element's immediate children. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array QCheck2 QCheck_alcotest Sdf

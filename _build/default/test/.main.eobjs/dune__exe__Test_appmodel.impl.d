@@ -1,0 +1,1 @@
+test/test_appmodel.ml: Alcotest Appmodel Array Helpers List Platform Sdf

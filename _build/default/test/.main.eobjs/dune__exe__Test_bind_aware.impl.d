@@ -1,0 +1,1 @@
+test/test_bind_aware.ml: Alcotest Appmodel Array Core List Sdf

@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Appmodel Array Core Helpers Platform Sdf

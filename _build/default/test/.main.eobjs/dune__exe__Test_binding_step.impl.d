@@ -1,0 +1,1 @@
+test/test_binding_step.ml: Alcotest Appmodel Array Core Helpers List Platform Sdf

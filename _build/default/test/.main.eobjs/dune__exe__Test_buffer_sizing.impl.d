@@ -1,0 +1,1 @@
+test/test_buffer_sizing.ml: Alcotest Analysis Array Helpers List Printf Sdf

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Appmodel Array Core Helpers List Printf Sdf

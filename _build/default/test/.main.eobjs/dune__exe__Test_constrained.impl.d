@@ -1,0 +1,1 @@
+test/test_constrained.ml: Alcotest Analysis Appmodel Array Core Helpers Printf Sdf

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Appmodel Array Core Helpers Sdf

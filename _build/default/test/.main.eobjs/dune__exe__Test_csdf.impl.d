@@ -1,0 +1,1 @@
+test/test_csdf.ml: Alcotest Analysis Array Csdf Fun Gen Helpers List Printf QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Appmodel Array Gen Helpers List QCheck2 Sdf

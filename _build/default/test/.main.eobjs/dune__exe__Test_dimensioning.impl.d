@@ -1,0 +1,1 @@
+test/test_dimensioning.ml: Alcotest Analysis Appmodel Array Core Gen Helpers List Printf Sdf

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Filename Fun Helpers In_channel Sdf String Sys

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Appmodel Array Core Helpers List Platform Sdf String

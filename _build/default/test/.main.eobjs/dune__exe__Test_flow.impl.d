@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Appmodel Core Gen List Printf Sdf

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Appmodel Array Fun Gen Helpers List Platform Sdf

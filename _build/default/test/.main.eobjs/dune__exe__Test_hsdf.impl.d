@@ -1,0 +1,1 @@
+test/test_hsdf.ml: Alcotest Appmodel Array Gen Helpers List Printf QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_list_scheduler.ml: Alcotest Appmodel Array Core Gen Helpers Printf Sdf

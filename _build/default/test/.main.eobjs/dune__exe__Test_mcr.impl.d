@@ -1,0 +1,1 @@
+test/test_mcr.ml: Alcotest Analysis Helpers List Sdf

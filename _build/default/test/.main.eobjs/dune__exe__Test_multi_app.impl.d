@@ -1,0 +1,1 @@
+test/test_multi_app.ml: Alcotest Appmodel Core Gen List Printf

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Analysis Appmodel Array Core Helpers List Sdf

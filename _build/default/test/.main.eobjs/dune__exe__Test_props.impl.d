@@ -1,0 +1,1 @@
+test/test_props.ml: Analysis Appmodel Array Core Fun Gen Helpers List Platform Printf QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Helpers QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Analysis Appmodel Array Core Float Gen Helpers List Platform Sdf String

@@ -1,0 +1,1 @@
+test/test_repetition.ml: Alcotest Appmodel Array Helpers Printf QCheck2 Sdf

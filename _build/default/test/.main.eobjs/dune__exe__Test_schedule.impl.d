@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Core Format Helpers QCheck2

@@ -1,0 +1,1 @@
+test/test_sdf3_xml.ml: Alcotest Appmodel Array Filename Fun Gen Helpers List Platform Printf Sdf Sys

@@ -1,0 +1,1 @@
+test/test_selftimed.ml: Alcotest Analysis Array Baseline Gen Helpers Printf QCheck2 Sdf

@@ -1,0 +1,1 @@
+test/test_slice_alloc.ml: Alcotest Appmodel Array Core Helpers Platform Printf Sdf

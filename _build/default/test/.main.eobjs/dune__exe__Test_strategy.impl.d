@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Appmodel Array Core Gen List Platform Printf Sdf

@@ -1,0 +1,1 @@
+test/test_textio.ml: Alcotest Appmodel Filename Fun Gen Helpers QCheck2 Sdf Sys

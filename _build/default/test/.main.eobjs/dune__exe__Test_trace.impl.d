@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Analysis Appmodel Array Core Format Helpers List Sdf String

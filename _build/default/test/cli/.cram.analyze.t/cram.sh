@@ -1,0 +1,14 @@
+  $ cat > example.sdf <<'SDF'
+  > sdfg example
+  > actor a1 1
+  > actor a2 1
+  > actor a3 2
+  > channel d1 a1 -> a2 rates 1 1
+  > channel d2 a2 -> a3 rates 1 2
+  > channel d3 a1 -> a1 rates 1 1 tokens 1
+  > SDF
+  $ sdf3_analyze example.sdf --hsdf
+  $ printf 'sdfg x\nactor a\nchannel d a -> b rates 1 1\n' > bad.sdf
+  $ sdf3_analyze bad.sdf
+  $ printf 'sdfg x\nactor a\nactor b\nchannel d1 a -> b rates 2 1\nchannel d2 b -> a rates 1 1 tokens 1\n' > inc.sdf
+  $ sdf3_analyze inc.sdf

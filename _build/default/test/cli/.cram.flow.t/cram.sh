@@ -1,0 +1,2 @@
+  $ sdf3_flow --apps example --platform example --weights 1,1,1
+  $ sdf3_generate --set 1 --seq 0 --count 1 | head -n 2

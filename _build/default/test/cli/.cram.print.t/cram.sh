@@ -1,0 +1,3 @@
+  $ sdf3_print example
+  $ sdf3_print h263 -f info | tail -n 2
+  $ sdf3_print nonsense

@@ -1,0 +1,37 @@
+Analysing the running example (written by the printer) reproduces the
+Fig. 5(a) throughput of 1/2 for a3 with the binding's execution times:
+
+  $ cat > example.sdf <<'SDF'
+  > sdfg example
+  > actor a1 1
+  > actor a2 1
+  > actor a3 2
+  > channel d1 a1 -> a2 rates 1 1
+  > channel d2 a2 -> a3 rates 1 2
+  > channel d3 a1 -> a1 rates 1 1 tokens 1
+  > SDF
+  $ sdf3_analyze example.sdf --hsdf
+  graph example: 3 actors, 3 channels
+  repetition vector: a1=2 a2=2 a3=1
+  deadlock free
+  hsdf: 5 actors, 6 channels
+  throughput a1 = 1
+  throughput a2 = 1
+  throughput a3 = 1/2
+  state space: 5 states, transient 3, period 2
+  hsdf max cycle ratio = 2
+
+Parse errors carry the file and line:
+
+  $ printf 'sdfg x\nactor a\nchannel d a -> b rates 1 1\n' > bad.sdf
+  $ sdf3_analyze bad.sdf
+  bad.sdf:3: unknown actor "b"
+  [1]
+
+Inconsistent graphs are detected:
+
+  $ printf 'sdfg x\nactor a\nactor b\nchannel d1 a -> b rates 2 1\nchannel d2 b -> a rates 1 1 tokens 1\n' > inc.sdf
+  $ sdf3_analyze inc.sdf
+  graph x: 2 actors, 2 channels
+  INCONSISTENT (witness channel d2)
+  [2]

@@ -1,0 +1,21 @@
+The allocation flow on the running example meets the paper's 1/30
+constraint:
+
+  $ sdf3_flow --apps example --platform example --weights 1,1,1
+  1 of 1 applications allocated
+  
+  == example (lambda 1/30) ==
+  throughput 1/30 after 4 throughput checks
+    a1 -> t1
+    a2 -> t1
+    a3 -> t2
+    t1: slice 5/10
+    t2: slice 4/10
+  
+  resources committed: wheel 9, memory 435 bits, 2 connections, bw in 10 out 10
+
+The generator is deterministic:
+
+  $ sdf3_generate --set 1 --seq 0 --count 1 | head -n 2
+  sdfg s1q0g0
+  actor s1q0g0_a0 30

@@ -1,0 +1,22 @@
+The model printer renders the paper's running example in the text format:
+
+  $ sdf3_print example
+  sdfg example
+  actor a1 4
+  actor a2 7
+  actor a3 3
+  channel d0 a1 -> a2 rates 1 1
+  channel d1 a2 -> a3 rates 1 2
+  channel d2 a1 -> a1 rates 1 1 tokens 1
+
+Info mode reports the repetition vector and the HSDF size:
+
+  $ sdf3_print h263 -f info | tail -n 2
+  repetition vector: vld=1 iq=2376 idct=2376 mc=1
+  HSDF size: 4754 actors
+
+Unknown models are rejected:
+
+  $ sdf3_print nonsense
+  unknown model "nonsense" (try example, h263, mp3)
+  [1]

@@ -1,0 +1,41 @@
+(* Test entry point: one alcotest run over all suites. *)
+
+let () =
+  Alcotest.run "sdfalloc"
+    [
+      ("rat", Test_rat.suite);
+      ("sdfg", Test_sdfg.suite);
+      ("repetition", Test_repetition.suite);
+      ("cycles", Test_cycles.suite);
+      ("hsdf", Test_hsdf.suite);
+      ("textio", Test_textio.suite);
+      ("xml", Test_xml.suite);
+      ("sdf3_xml", Test_sdf3_xml.suite);
+      ("dot", Test_dot.suite);
+      ("selftimed", Test_selftimed.suite);
+      ("trace", Test_trace.suite);
+      ("buffer_sizing", Test_buffer_sizing.suite);
+      ("mcr", Test_mcr.suite);
+      ("platform", Test_platform.suite);
+      ("appmodel", Test_appmodel.suite);
+      ("schedule", Test_schedule.suite);
+      ("binding", Test_binding.suite);
+      ("bind_aware", Test_bind_aware.suite);
+      ("constrained", Test_constrained.suite);
+      ("list_scheduler", Test_list_scheduler.suite);
+      ("cost", Test_cost.suite);
+      ("binding_step", Test_binding_step.suite);
+      ("slice_alloc", Test_slice_alloc.suite);
+      ("strategy", Test_strategy.suite);
+      ("multi_app", Test_multi_app.suite);
+      ("flow", Test_flow.suite);
+      ("dimensioning", Test_dimensioning.suite);
+      ("gen", Test_gen.suite);
+      ("baseline", Test_baseline.suite);
+      ("csdf", Test_csdf.suite);
+      ("extensions", Test_extensions.suite);
+      ("regressions", Test_regressions.suite);
+      ("composition", Test_composition.suite);
+      ("props", Test_props.suite);
+      ("paper", Test_paper.suite);
+    ]

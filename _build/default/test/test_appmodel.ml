@@ -1,0 +1,135 @@
+(* Application graphs (paper Definition 5) and the concrete models. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+open Helpers
+
+let test_example_model () =
+  let app = Models.example_app () in
+  Alcotest.(check (array int)) "gamma" [| 2; 2; 1 |] (Appgraph.gamma app);
+  Alcotest.(check (option int)) "tau(a1, p1)" (Some 1)
+    (Appgraph.exec_time app 0 "p1");
+  Alcotest.(check (option int)) "tau(a3, p2)" (Some 2)
+    (Appgraph.exec_time app 2 "p2");
+  Alcotest.(check (option int)) "mu(a2, p2)" (Some 19) (Appgraph.memory app 1 "p2");
+  Alcotest.(check (option int)) "unknown type" None (Appgraph.exec_time app 0 "xx");
+  Alcotest.(check int) "max tau a1" 4 (Appgraph.max_exec_time app 0);
+  Alcotest.(check bool) "supports" true (Appgraph.supports app 1 "p1");
+  (* Total work: 2*4 + 2*7 + 1*3 (worst-case processor types). *)
+  Alcotest.(check int) "total work" 25 (Appgraph.total_work app);
+  check_rat "lambda" (Rat.make 1 30) app.Appgraph.lambda
+
+let test_with_lambda () =
+  let app = Models.example_app () in
+  let app2 = Appgraph.with_lambda app (Rat.make 1 50) in
+  check_rat "changed" (Rat.make 1 50) app2.Appgraph.lambda;
+  check_rat "original" (Rat.make 1 30) app.Appgraph.lambda
+
+let bad_make f =
+  match f () with
+  | (_ : Appgraph.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_validation () =
+  let graph = example_graph () in
+  let ok_reqs =
+    Array.make 3 [ ("p", Appgraph.{ exec_time = 1; memory = 0 }) ]
+  in
+  let ok_creqs =
+    Array.make 3
+      Appgraph.
+        { token_size = 1; alpha_tile = 1; alpha_src = 1; alpha_dst = 1;
+          bandwidth = 1 }
+  in
+  let make ?(graph = graph) ?(reqs = ok_reqs) ?(creqs = ok_creqs)
+      ?(lambda = Rat.one) ?(output_actor = 0) () =
+    Appgraph.make ~name:"t" ~graph ~reqs ~creqs ~lambda ~output_actor
+  in
+  (* The baseline configuration is accepted. *)
+  ignore (make ());
+  bad_make (fun () -> make ~reqs:(Array.make 2 ok_reqs.(0)) ());
+  bad_make (fun () -> make ~creqs:(Array.make 2 ok_creqs.(0)) ());
+  bad_make (fun () -> make ~output_actor:7 ());
+  bad_make (fun () ->
+      let reqs = Array.copy ok_reqs in
+      reqs.(1) <- [];
+      make ~reqs ());
+  bad_make (fun () ->
+      let reqs = Array.copy ok_reqs in
+      reqs.(1) <- [ ("p", Appgraph.{ exec_time = 0; memory = 0 }) ];
+      make ~reqs ());
+  bad_make (fun () ->
+      let creqs = Array.copy ok_creqs in
+      creqs.(0) <- { creqs.(0) with Appgraph.token_size = -1 };
+      make ~creqs ());
+  (* Inconsistent graphs are rejected. *)
+  bad_make (fun () ->
+      let g =
+        Sdfg.of_lists ~actors:[ "a"; "b" ]
+          ~channels:[ ("a", "b", 2, 1, 0); ("b", "a", 1, 1, 1) ]
+      in
+      make ~graph:g
+        ~reqs:(Array.make 2 ok_reqs.(0))
+        ~creqs:(Array.make 2 ok_creqs.(0))
+        ());
+  (* Deadlocked graphs are rejected. *)
+  bad_make (fun () ->
+      let g =
+        Sdfg.of_lists ~actors:[ "a"; "b" ]
+          ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 0) ]
+      in
+      make ~graph:g
+        ~reqs:(Array.make 2 ok_reqs.(0))
+        ~creqs:(Array.make 2 ok_creqs.(0))
+        ())
+
+let test_h263 () =
+  let app = Models.h263 () in
+  Alcotest.(check int) "4 actors" 4 (Sdfg.num_actors app.Appgraph.graph);
+  Alcotest.(check int) "output is mc" 3 app.Appgraph.output_actor;
+  (* vld only runs on the generic processor. *)
+  Alcotest.(check bool) "vld not on acc" false (Appgraph.supports app 0 Models.acc);
+  Alcotest.(check bool) "iq on acc" true (Appgraph.supports app 1 Models.acc)
+
+let test_mp3 () =
+  let app = Models.mp3 () in
+  Alcotest.(check int) "13 actors (paper Sec 10.3)" 13
+    (Sdfg.num_actors app.Appgraph.graph);
+  Alcotest.(check bool) "single rate" true
+    (Array.for_all (fun v -> v = 1) (Appgraph.gamma app))
+
+let test_system_hsdf_size () =
+  (* Paper Sec. 10.3: the whole system as an HSDFG has 14275 actors. *)
+  let total =
+    List.fold_left
+      (fun acc (app : Appgraph.t) ->
+        acc + Sdf.Repetition.iteration_firings (Appgraph.gamma app))
+      0
+      [ Models.h263 (); Models.h263 (); Models.h263 (); Models.mp3 () ]
+  in
+  Alcotest.(check int) "14275 actors" 14275 total
+
+let test_platforms () =
+  let ep = Models.example_platform () in
+  Alcotest.(check int) "example tiles" 2 (Platform.Archgraph.num_tiles ep);
+  let t1 = Platform.Archgraph.tile ep 0 in
+  Alcotest.(check int) "t1 wheel (Tab 1)" 10 t1.Platform.Tile.wheel;
+  Alcotest.(check int) "t1 mem (Tab 1)" 700 t1.Platform.Tile.mem;
+  Alcotest.(check int) "t1 conns (Tab 1)" 5 t1.Platform.Tile.max_conns;
+  let mm = Models.multimedia_platform () in
+  Alcotest.(check int) "multimedia tiles" 4 (Platform.Archgraph.num_tiles mm);
+  Alcotest.(check string) "two accelerators" Models.acc
+    (Platform.Archgraph.tile mm 3).Platform.Tile.proc_type
+
+let suite =
+  [
+    Alcotest.test_case "example model" `Quick test_example_model;
+    Alcotest.test_case "with_lambda" `Quick test_with_lambda;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "h263" `Quick test_h263;
+    Alcotest.test_case "mp3" `Quick test_mp3;
+    Alcotest.test_case "system HSDF size" `Quick test_system_hsdf_size;
+    Alcotest.test_case "platforms" `Quick test_platforms;
+  ]

@@ -1,0 +1,94 @@
+(* The HSDF-based analysis baseline and its agreement with the SDFG
+   state-space analysis. *)
+
+module Rat = Sdf.Rat
+module Hsdf_flow = Baseline.Hsdf_flow
+open Helpers
+
+let test_agreement_on_example () =
+  let c = Hsdf_flow.compare_analysis (example_graph ()) [| 1; 1; 2 |] ~output:2 in
+  check_rat "both 1/2" (Rat.make 1 2) c.Hsdf_flow.throughput_sdfg;
+  check_rat "hsdf agrees" c.Hsdf_flow.throughput_sdfg c.Hsdf_flow.throughput_hsdf;
+  Alcotest.(check int) "sdfg size" 3 c.Hsdf_flow.sdfg_actors;
+  Alcotest.(check int) "hsdf size" 5 c.Hsdf_flow.hsdf_actors
+
+let test_agreement_on_ring () =
+  let c = Hsdf_flow.compare_analysis (ring3 ()) [| 2; 3; 4 |] ~output:1 in
+  check_rat "1/9" (Rat.make 1 9) c.Hsdf_flow.throughput_hsdf;
+  check_rat "agree" c.Hsdf_flow.throughput_sdfg c.Hsdf_flow.throughput_hsdf
+
+let test_agreement_on_prodcons () =
+  let c = Hsdf_flow.compare_analysis (prodcons ()) [| 2; 5 |] ~output:0 in
+  check_rat "agree" c.Hsdf_flow.throughput_sdfg c.Hsdf_flow.throughput_hsdf
+
+let test_output_scaling () =
+  (* The two output actors' rates differ by their repetition-vector
+     entries: thr(p)/3 = thr(c)/2. *)
+  let g = prodcons () in
+  let p = Hsdf_flow.throughput_via_hsdf g [| 2; 5 |] ~output:0 in
+  let c = Hsdf_flow.throughput_via_hsdf g [| 2; 5 |] ~output:1 in
+  check_rat "3:2 ratio" (Rat.mul_int c 3) (Rat.mul_int p 2)
+
+let test_h263_expansion_cost () =
+  (* The paper's problem-size argument in numbers: the H.263 HSDF has 4754
+     actors, three orders of magnitude more than the SDFG. *)
+  let app = Appmodel.Models.h263 () in
+  let g = app.Appmodel.Appgraph.graph in
+  let taus =
+    Array.init (Sdf.Sdfg.num_actors g) (fun a ->
+        Appmodel.Appgraph.max_exec_time app a)
+  in
+  let c = Hsdf_flow.compare_analysis g taus ~output:3 in
+  Alcotest.(check int) "4 SDFG actors" 4 c.Hsdf_flow.sdfg_actors;
+  Alcotest.(check int) "4754 HSDF actors" 4754 c.Hsdf_flow.hsdf_actors;
+  check_rat "analyses agree on H.263" c.Hsdf_flow.throughput_sdfg
+    c.Hsdf_flow.throughput_hsdf
+
+(* --- the full HSDF-route allocation --- *)
+
+let test_expand_app () =
+  let app = Appmodel.Models.example_app () in
+  let e = Baseline.Hsdf_alloc.expand_app app in
+  Alcotest.(check int) "5 copies" 5 (Sdf.Sdfg.num_actors e.Appmodel.Appgraph.graph);
+  Alcotest.(check bool) "all single rate" true
+    (Array.for_all (fun v -> v = 1) (Appmodel.Appgraph.gamma e));
+  (* lambda rescaled by gamma(output) = 1 here, so unchanged. *)
+  check_rat "lambda" app.Appmodel.Appgraph.lambda e.Appmodel.Appgraph.lambda;
+  (* Copies inherit their original's processor options. *)
+  Alcotest.(check bool) "copy inherits Gamma" true
+    (e.Appmodel.Appgraph.reqs.(0) = app.Appmodel.Appgraph.reqs.(0))
+
+let test_expand_lambda_rescaled () =
+  let app = Appmodel.Models.h263 () in
+  let e = Baseline.Hsdf_alloc.expand_app app in
+  Alcotest.(check int) "4754 copies" 4754
+    (Sdf.Sdfg.num_actors e.Appmodel.Appgraph.graph);
+  (* gamma(mc) = 1: unchanged; but check a multirate output instead. *)
+  let app' = { app with Appmodel.Appgraph.output_actor = 1 (* iq *) } in
+  let e' = Baseline.Hsdf_alloc.expand_app app' in
+  check_rat "divided by gamma(iq) = 2376"
+    (Sdf.Rat.div_int app.Appmodel.Appgraph.lambda 2376)
+    e'.Appmodel.Appgraph.lambda
+
+let test_compare_allocation_routes () =
+  (* Both routes must succeed on the running example's platform, and the
+     expansion must not be free. *)
+  let app = Appmodel.Models.example_app () in
+  let arch = Appmodel.Models.example_platform () in
+  let c = Baseline.Hsdf_alloc.compare_allocation app arch in
+  Alcotest.(check bool) "direct ok" true c.Baseline.Hsdf_alloc.direct_ok;
+  Alcotest.(check bool) "hsdf ok" true c.Baseline.Hsdf_alloc.hsdf_ok;
+  Alcotest.(check int) "expanded size" 5 c.Baseline.Hsdf_alloc.hsdf_actors
+
+let suite =
+  [
+    Alcotest.test_case "agreement (example)" `Quick test_agreement_on_example;
+    Alcotest.test_case "agreement (ring)" `Quick test_agreement_on_ring;
+    Alcotest.test_case "agreement (prodcons)" `Quick test_agreement_on_prodcons;
+    Alcotest.test_case "output scaling" `Quick test_output_scaling;
+    Alcotest.test_case "h263 expansion cost" `Slow test_h263_expansion_cost;
+    Alcotest.test_case "expand_app" `Quick test_expand_app;
+    Alcotest.test_case "expand lambda rescaled" `Quick test_expand_lambda_rescaled;
+    Alcotest.test_case "allocation route comparison" `Quick
+      test_compare_allocation_routes;
+  ]

@@ -1,0 +1,190 @@
+(* Binding-aware SDFG construction (paper Section 8.1 / Fig. 4). *)
+
+module Sdfg = Sdf.Sdfg
+module Bind_aware = Core.Bind_aware
+module Models = Appmodel.Models
+
+let build ?(slices = [| 5; 5 |]) ?(binding = [| 0; 0; 1 |]) () =
+  Bind_aware.build ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+    ~binding ~slices ()
+
+let test_structure_fig4 () =
+  let ba = build () in
+  let g = ba.Bind_aware.graph in
+  (* a1 a2 a3 plus one connection and one sync actor for the split d2. *)
+  Alcotest.(check int) "5 actors" 5 (Sdfg.num_actors g);
+  Alcotest.(check int) "11 channels" 11 (Sdfg.num_channels g);
+  (* a1 keeps its own self-loop (d3); a2 and a3 get new ones (paper). *)
+  Alcotest.(check bool) "a1 self loop" true (Sdfg.has_unit_self_loop g 0);
+  Alcotest.(check bool) "a2 self loop" true (Sdfg.has_unit_self_loop g 1);
+  Alcotest.(check bool) "a3 self loop" true (Sdfg.has_unit_self_loop g 2);
+  let self_loops =
+    Array.to_list (Sdfg.channels g)
+    |> List.filter (fun c -> c.Sdfg.src = c.Sdfg.dst)
+  in
+  (* d3 + added self_a2, self_a3, self on the connection actor. *)
+  Alcotest.(check int) "4 self loops" 4 (List.length self_loops)
+
+let test_exec_times_fig4 () =
+  let ba = build () in
+  let tau name = ba.Bind_aware.exec_times.(Sdfg.actor_index ba.Bind_aware.graph name) in
+  Alcotest.(check int) "tau a1 on t1" 1 (tau "a1");
+  Alcotest.(check int) "tau a2 on t1" 1 (tau "a2");
+  Alcotest.(check int) "tau a3 on t2" 2 (tau "a3");
+  (* Paper: Upsilon(c) = L(c1) + ceil(sz/beta) = 1 + 100/10 = 11. *)
+  Alcotest.(check int) "tau c" 11 (tau "c_d1");
+  (* Paper: Upsilon(s) = w_t2 - omega_t2 = 10 - 5 = 5. *)
+  Alcotest.(check int) "tau s" 5 (tau "s_d1")
+
+let test_roles_and_tiles () =
+  let ba = build () in
+  Alcotest.(check bool) "a1 role" true (ba.Bind_aware.roles.(0) = Bind_aware.App 0);
+  Alcotest.(check bool) "c role" true (ba.Bind_aware.roles.(3) = Bind_aware.Conn 1);
+  Alcotest.(check bool) "s role" true (ba.Bind_aware.roles.(4) = Bind_aware.Sync 1);
+  Alcotest.(check (array int)) "tiles" [| 0; 0; 1; -1; -1 |] ba.Bind_aware.tile_of
+
+let test_buffer_edge () =
+  let ba = build () in
+  let g = ba.Bind_aware.graph in
+  (* Internal d1 gets a reverse edge a2 -> a1 with alpha_tile = 1 token. *)
+  let buf =
+    Array.to_list (Sdfg.channels g)
+    |> List.find (fun c -> c.Sdfg.c_name = "buf_d0")
+  in
+  Alcotest.(check int) "from a2" 1 buf.Sdfg.src;
+  Alcotest.(check int) "to a1" 0 buf.Sdfg.dst;
+  Alcotest.(check int) "free slots" 1 buf.Sdfg.tokens
+
+let test_sync_time_follows_slice () =
+  let ba = build ~slices:[| 5; 8 |] () in
+  let tau = ba.Bind_aware.exec_times.(Sdfg.actor_index ba.Bind_aware.graph "s_d1") in
+  Alcotest.(check int) "w - omega" 2 tau
+
+let test_all_on_one_tile () =
+  (* No split channels: no connection or sync actors at all. *)
+  let ba = build ~binding:[| 0; 0; 0 |] ~slices:[| 5; 0 |] () in
+  Alcotest.(check int) "3 actors" 3 (Sdfg.num_actors ba.Bind_aware.graph);
+  Alcotest.(check bool) "only app roles" true
+    (Array.for_all
+       (function Bind_aware.App _ -> true | _ -> false)
+       ba.Bind_aware.roles)
+
+let test_validation () =
+  Alcotest.check_raises "incomplete binding"
+    (Invalid_argument "Bind_aware.build: incomplete binding") (fun () ->
+      ignore (build ~binding:[| 0; -1; 1 |] ()));
+  Alcotest.check_raises "oversized slice"
+    (Invalid_argument "Bind_aware.build: slice exceeds available wheel")
+    (fun () -> ignore (build ~slices:[| 5; 11 |] ()))
+
+let test_half_wheel_slices () =
+  let app = Models.example_app () and arch = Models.example_platform () in
+  Alcotest.(check (array int)) "both used" [| 5; 5 |]
+    (Bind_aware.half_wheel_slices app arch [| 0; 0; 1 |]);
+  Alcotest.(check (array int)) "t2 unused" [| 5; 0 |]
+    (Bind_aware.half_wheel_slices app arch [| 0; 0; 0 |])
+
+let test_initial_tokens_cross_tile () =
+  (* Initial tokens of a split channel start at the destination and occupy
+     destination buffer space. *)
+  let graph =
+    Sdf.Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 2); ("b", "a", 1, 1, 1) ]
+  in
+  let r = Appmodel.Appgraph.{ exec_time = 1; memory = 0 } in
+  let reqs = [| [ ("p1", r) ]; [ ("p2", r) ] |] in
+  let creq =
+    Appmodel.Appgraph.
+      { token_size = 10; alpha_tile = 4; alpha_src = 3; alpha_dst = 4;
+        bandwidth = 5 }
+  in
+  let app =
+    Appmodel.Appgraph.make ~name:"x" ~graph ~reqs ~creqs:[| creq; creq |]
+      ~lambda:Sdf.Rat.one ~output_actor:1
+  in
+  let ba =
+    Bind_aware.build ~app ~arch:(Models.example_platform ())
+      ~binding:[| 0; 1 |] ~slices:[| 5; 5 |] ()
+  in
+  let g = ba.Bind_aware.graph in
+  let channel name =
+    Array.to_list (Sdfg.channels g) |> List.find (fun c -> c.Sdfg.c_name = name)
+  in
+  Alcotest.(check int) "tokens delivered at destination" 2
+    (channel "rcv_d0").Sdfg.tokens;
+  Alcotest.(check int) "destination buffer minus resident tokens" 2
+    (channel "dstbuf_d0").Sdfg.tokens;
+  Alcotest.(check int) "source buffer full" 3 (channel "srcbuf_d0").Sdfg.tokens;
+  Alcotest.(check int) "nothing in flight" 0 (channel "snd_d0").Sdfg.tokens
+
+let test_pipelined_connection () =
+  let ba =
+    Bind_aware.build
+      ~connection_model:(Bind_aware.Pipelined_connection { stages = 3 })
+      ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+      ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+  in
+  let g = ba.Bind_aware.graph in
+  (* a1 a2 a3 + inject + 3 hops + sync. *)
+  Alcotest.(check int) "8 actors" 8 (Sdfg.num_actors g);
+  let tau name = ba.Bind_aware.exec_times.(Sdfg.actor_index g name) in
+  (* Injection runs at the bandwidth: ceil(100/10) = 10. *)
+  Alcotest.(check int) "inject time" 10 (tau "i_d1");
+  (* Hops split the latency 1 over 3 stages, at least 1 each. *)
+  Alcotest.(check int) "hop time" 1 (tau "h1_d1");
+  Alcotest.(check int) "sync unchanged" 5 (tau "s_d1");
+  (* All transport stages carry the channel's Conn role. *)
+  let conn_actors =
+    Array.to_list ba.Bind_aware.roles
+    |> List.filter (function Bind_aware.Conn _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "4 transport stages" 4 (List.length conn_actors)
+
+let test_pipelined_no_slower () =
+  (* Same binding and slices: the pipelined model may only help. *)
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  let thr model =
+    let ba =
+      Bind_aware.build ~connection_model:model ~app:(Models.example_app ())
+        ~arch:(Models.example_platform ()) ~binding:[| 0; 0; 1 |]
+        ~slices:[| 5; 5 |] ()
+    in
+    Core.Constrained.throughput_or_zero ba ~schedules
+  in
+  Alcotest.(check bool) "pipelined >= simple" true
+    (Sdf.Rat.compare
+       (thr (Bind_aware.Pipelined_connection { stages = 2 }))
+       (thr Bind_aware.Simple_connection)
+    >= 0)
+
+let test_pipelined_validation () =
+  match
+    Bind_aware.build
+      ~connection_model:(Bind_aware.Pipelined_connection { stages = 0 })
+      ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+      ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+  with
+  | (_ : Bind_aware.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "structure (Fig 4)" `Quick test_structure_fig4;
+    Alcotest.test_case "execution times (Fig 4)" `Quick test_exec_times_fig4;
+    Alcotest.test_case "roles and tiles" `Quick test_roles_and_tiles;
+    Alcotest.test_case "buffer edge" `Quick test_buffer_edge;
+    Alcotest.test_case "sync time follows slice" `Quick test_sync_time_follows_slice;
+    Alcotest.test_case "all on one tile" `Quick test_all_on_one_tile;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "half-wheel slices" `Quick test_half_wheel_slices;
+    Alcotest.test_case "cross-tile initial tokens" `Quick
+      test_initial_tokens_cross_tile;
+    Alcotest.test_case "pipelined connection" `Quick test_pipelined_connection;
+    Alcotest.test_case "pipelined no slower" `Quick test_pipelined_no_slower;
+    Alcotest.test_case "pipelined validation" `Quick test_pipelined_validation;
+  ]

@@ -1,0 +1,178 @@
+(* Binding functions and the Section 7 resource accounting. *)
+
+module Binding = Core.Binding
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+
+let app () = Models.example_app ()
+let arch () = Models.example_platform ()
+
+let test_unbound () =
+  let b = Binding.unbound (app ()) in
+  Alcotest.(check (array int)) "all unbound" [| -1; -1; -1 |] b;
+  Alcotest.(check bool) "not complete" false (Binding.is_complete b);
+  Alcotest.(check bool) "complete" true (Binding.is_complete [| 0; 0; 1 |])
+
+let test_classify () =
+  let app = app () in
+  Alcotest.(check bool) "internal" true
+    (Binding.classify app [| 0; 0; 1 |] 0 = Binding.Internal 0);
+  (match Binding.classify app [| 0; 0; 1 |] 1 with
+  | Binding.Split { src_tile; dst_tile } ->
+      Alcotest.(check (pair int int)) "split tiles" (0, 1) (src_tile, dst_tile)
+  | _ -> Alcotest.fail "expected split");
+  Alcotest.(check bool) "dangling" true
+    (Binding.classify app [| 0; -1; 1 |] 0 = Binding.Dangling);
+  Alcotest.(check bool) "self loop internal" true
+    (Binding.classify app [| 0; 0; 1 |] 2 = Binding.Internal 0)
+
+let test_usage_colocated () =
+  let app = app () in
+  let u = Binding.usage app (arch ()) [| 0; 0; 0 |] in
+  (* t1: mu(a1)+mu(a2)+mu(a3 on p1) + d1 (1*7) + d2 (2*100) + d3 (1*1). *)
+  Alcotest.(check int) "t1 memory" (10 + 7 + 13 + 7 + 200 + 1) u.(0).Binding.memory;
+  Alcotest.(check int) "t1 conns" 0 u.(0).Binding.conns;
+  Alcotest.(check int) "t2 empty" 0 u.(1).Binding.memory
+
+let test_usage_split () =
+  let app = app () in
+  let u = Binding.usage app (arch ()) [| 0; 0; 1 |] in
+  (* d2 split: alpha_src*sz on t1, alpha_dst*sz on t2, bandwidth 10. *)
+  Alcotest.(check int) "t1 memory" (10 + 7 + 7 + 200 + 1) u.(0).Binding.memory;
+  Alcotest.(check int) "t2 memory" (10 + 200) u.(1).Binding.memory;
+  Alcotest.(check int) "t1 out bw" 10 u.(0).Binding.bw_out;
+  Alcotest.(check int) "t2 in bw" 10 u.(1).Binding.bw_in;
+  Alcotest.(check int) "t1 conns" 1 u.(0).Binding.conns;
+  Alcotest.(check int) "t2 conns" 1 u.(1).Binding.conns
+
+let test_check_valid () =
+  Alcotest.(check bool) "paper binding valid" true
+    (Binding.check (app ()) (arch ()) [| 0; 0; 1 |] = Ok ());
+  Alcotest.(check bool) "partial binding valid" true
+    (Binding.check (app ()) (arch ()) [| 0; -1; -1 |] = Ok ())
+
+let test_check_memory () =
+  (* Everything on t2 (500 bits) with d2's 200-bit buffer and actor state
+     still fits; shrink the tile to force a violation. *)
+  let app = app () in
+  let arch = arch () in
+  let tiles = Platform.Archgraph.tiles arch in
+  let small =
+    Platform.Archgraph.with_tiles arch
+      [| tiles.(0); { tiles.(1) with Platform.Tile.mem = 100 } |]
+  in
+  match Binding.check app small [| 1; 1; 1 |] with
+  | Error (Binding.Memory_exceeded { tile = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected memory violation on t2"
+
+let test_check_unsupported () =
+  (* An actor bound to a tile whose type it does not support. *)
+  let graph = Helpers.example_graph () in
+  let reqs =
+    [|
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 0 }) ];
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 0 }) ];
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 0 }) ];
+    |]
+  in
+  let creqs = (app ()).Appgraph.creqs in
+  let app =
+    Appgraph.make ~name:"t" ~graph ~reqs ~creqs ~lambda:Sdf.Rat.one
+      ~output_actor:2
+  in
+  match Binding.check app (arch ()) [| 0; 0; 1 |] with
+  | Error (Binding.Unsupported_processor { actor = 2; tile = 1 }) -> ()
+  | _ -> Alcotest.fail "expected unsupported-processor violation"
+
+let test_check_connections () =
+  let app = app () in
+  let arch = arch () in
+  let tiles = Platform.Archgraph.tiles arch in
+  let no_conns =
+    Platform.Archgraph.with_tiles arch
+      [| { tiles.(0) with Platform.Tile.max_conns = 0 }; tiles.(1) |]
+  in
+  match Binding.check app no_conns [| 0; 0; 1 |] with
+  | Error (Binding.Connections_exceeded { tile = 0; _ }) -> ()
+  | _ -> Alcotest.fail "expected connections violation"
+
+let test_check_bandwidth () =
+  let app = app () in
+  let arch = arch () in
+  let tiles = Platform.Archgraph.tiles arch in
+  let thin =
+    Platform.Archgraph.with_tiles arch
+      [| { tiles.(0) with Platform.Tile.out_bw = 5 }; tiles.(1) |]
+  in
+  match Binding.check app thin [| 0; 0; 1 |] with
+  | Error (Binding.Bandwidth_exceeded { tile = 0; direction = `Out }) -> ()
+  | _ -> Alcotest.fail "expected bandwidth violation"
+
+let test_check_no_connection () =
+  let app = app () in
+  let arch =
+    Platform.Archgraph.make
+      (Platform.Archgraph.tiles (arch ()))
+      [ { Platform.Archgraph.k_idx = 0; from_tile = 1; to_tile = 0; latency = 1 } ]
+  in
+  match Binding.check app arch [| 0; 0; 1 |] with
+  | Error (Binding.No_connection { channel = 1; src_tile = 0; dst_tile = 1 }) -> ()
+  | _ -> Alcotest.fail "expected no-connection violation"
+
+let test_check_zero_bw_split () =
+  (* Binding a1 and a1's self-loop... the zero-bandwidth channel d3 is a
+     self-loop so it can never split; force a split on a fresh graph. *)
+  let graph =
+    Sdf.Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 2) ]
+  in
+  let reqs =
+    Array.make 2
+      [ ("p1", Appgraph.{ exec_time = 1; memory = 0 });
+        ("p2", Appgraph.{ exec_time = 1; memory = 0 }) ]
+  in
+  let creqs =
+    [|
+      Appgraph.
+        { token_size = 4; alpha_tile = 2; alpha_src = 2; alpha_dst = 2;
+          bandwidth = 0 };
+      Appgraph.
+        { token_size = 4; alpha_tile = 3; alpha_src = 2; alpha_dst = 2;
+          bandwidth = 5 };
+    |]
+  in
+  let app =
+    Appgraph.make ~name:"t" ~graph ~reqs ~creqs ~lambda:Sdf.Rat.one
+      ~output_actor:1
+  in
+  match Binding.check app (arch ()) [| 0; 1 |] with
+  | Error (Binding.Zero_bandwidth_split { channel = 0 }) -> ()
+  | _ -> Alcotest.fail "expected zero-bandwidth violation"
+
+let test_check_no_wheel_time () =
+  let app = app () in
+  let arch = arch () in
+  let tiles = Platform.Archgraph.tiles arch in
+  let full =
+    Platform.Archgraph.with_tiles arch
+      [| { tiles.(0) with Platform.Tile.occupied = 10 }; tiles.(1) |]
+  in
+  match Binding.check app full [| 0; 0; 1 |] with
+  | Error (Binding.No_wheel_time { tile = 0 }) -> ()
+  | _ -> Alcotest.fail "expected no-wheel-time violation"
+
+let suite =
+  [
+    Alcotest.test_case "unbound" `Quick test_unbound;
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "usage colocated" `Quick test_usage_colocated;
+    Alcotest.test_case "usage split" `Quick test_usage_split;
+    Alcotest.test_case "check valid" `Quick test_check_valid;
+    Alcotest.test_case "memory violation" `Quick test_check_memory;
+    Alcotest.test_case "unsupported processor" `Quick test_check_unsupported;
+    Alcotest.test_case "connections violation" `Quick test_check_connections;
+    Alcotest.test_case "bandwidth violation" `Quick test_check_bandwidth;
+    Alcotest.test_case "no connection" `Quick test_check_no_connection;
+    Alcotest.test_case "zero-bandwidth split" `Quick test_check_zero_bw_split;
+    Alcotest.test_case "no wheel time" `Quick test_check_no_wheel_time;
+  ]

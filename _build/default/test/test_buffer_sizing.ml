@@ -1,0 +1,180 @@
+(* Storage-space / throughput trade-off analysis ([21] substrate). *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module B = Analysis.Buffer_sizing
+open Helpers
+
+let example = example_graph
+let taus = [| 1; 1; 2 |]
+
+let test_bounded_graph_structure () =
+  let g = example () in
+  let bg = B.bounded_graph g [| 2; 3; 1 |] in
+  (* One capacity channel per non-self-loop channel. *)
+  Alcotest.(check int) "channels" 5 (Sdfg.num_channels bg);
+  let cap =
+    Array.to_list (Sdfg.channels bg)
+    |> List.find (fun c -> c.Sdfg.c_name = "cap_d0")
+  in
+  Alcotest.(check int) "reverse direction" 1 cap.Sdfg.src;
+  Alcotest.(check int) "free slots" 2 cap.Sdfg.tokens
+
+let test_bounded_graph_validation () =
+  let g = example () in
+  Alcotest.check_raises "capacity below tokens"
+    (Invalid_argument "Buffer_sizing.bounded_graph: capacity below initial tokens")
+    (fun () ->
+      (* d2 is a self-loop (unsized); bound d0 below zero is impossible,
+         instead bound a channel below its initial tokens. *)
+      let g2 =
+        Sdfg.of_lists ~actors:[ "a"; "b" ]
+          ~channels:[ ("a", "b", 1, 1, 3); ("b", "a", 1, 1, 0) ]
+      in
+      ignore (B.bounded_graph g2 [| 2; 1 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Buffer_sizing.bounded_graph: distribution length mismatch")
+    (fun () -> ignore (B.bounded_graph g [| 1 |]))
+
+let test_iteration_bound_live () =
+  let g = example () in
+  let d = B.iteration_bound g in
+  (* gamma = (2,2,1): d0 carries 2 tokens per iteration, d1 carries 2. *)
+  Alcotest.(check (array int)) "bound" [| 2; 2; 1 |] d;
+  Alcotest.(check bool) "live" true (B.is_live g d)
+
+let test_minimal_live () =
+  let g = example () in
+  let d = B.minimal_live g in
+  Alcotest.(check bool) "live" true (B.is_live g d);
+  (* Any single decrement deadlocks. *)
+  Array.iteri
+    (fun ci v ->
+      if not (Sdfg.is_self_loop g ci) && v > (Sdfg.channel g ci).Sdfg.tokens
+      then begin
+        let d' = Array.copy d in
+        d'.(ci) <- d'.(ci) - 1;
+        Alcotest.(check bool)
+          (Printf.sprintf "decrementing channel %d deadlocks" ci)
+          false (B.is_live g d')
+      end)
+    d
+
+let test_throughput_monotone () =
+  let g = example () in
+  let d1 = B.minimal_live g in
+  let d2 = B.iteration_bound g in
+  let t1 = B.throughput g taus d1 ~output:2 in
+  let t2 = B.throughput g taus d2 ~output:2 in
+  Alcotest.(check bool) "more buffer, no less throughput" true
+    (Rat.compare t2 t1 >= 0)
+
+let test_deadlocked_distribution_zero () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 2, 3, 0); ("b", "a", 3, 2, 6) ]
+  in
+  (* Capacity 2 on the forward channel blocks the consumer forever. *)
+  check_rat "deadlock maps to 0" Rat.zero
+    (B.throughput g [| 1; 1 |] [| 2; 6 |] ~output:1)
+
+let test_pareto_staircase () =
+  let g = example () in
+  let points = B.pareto g taus ~output:2 in
+  Alcotest.(check bool) "at least two points" true (List.length points >= 2);
+  (* Strictly increasing in both coordinates. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "size grows" true
+          (b.B.total_tokens > a.B.total_tokens);
+        Alcotest.(check bool) "rate grows" true (Rat.compare b.B.rate a.B.rate > 0);
+        check rest
+    | _ -> ()
+  in
+  check points;
+  (* The staircase tops out at the unbounded structural rate 1/2. *)
+  let last = List.nth points (List.length points - 1) in
+  check_rat "reaches the structural bound" (Rat.make 1 2) last.B.rate
+
+let test_pareto_first_point_is_minimal () =
+  let g = example () in
+  match B.pareto g taus ~output:2 with
+  | first :: _ ->
+      Alcotest.(check (array int)) "starts from the minimal distribution"
+        (B.minimal_live g) first.B.distribution
+  | [] -> Alcotest.fail "empty pareto"
+
+let test_exact_minimum () =
+  let g = example () in
+  match B.minimum_total_live g with
+  | None -> Alcotest.fail "node limit on a 3-channel graph"
+  | Some d ->
+      Alcotest.(check bool) "live" true (B.is_live g d);
+      (* Greedy is an upper bound on the exact optimum. *)
+      let total dist =
+        Array.to_list dist
+        |> List.mapi (fun ci v -> if Sdfg.is_self_loop g ci then 0 else v)
+        |> List.fold_left ( + ) 0
+      in
+      Alcotest.(check bool) "exact <= greedy" true
+        (total d <= total (B.minimal_live g))
+
+let test_exact_matches_brute_force () =
+  (* Oracle: enumerate every distribution inside the iteration-bound box
+     and take the minimum live total. *)
+  let check g =
+    let ub = B.iteration_bound g in
+    let nch = Sdfg.num_channels g in
+    let lower =
+      Array.init nch (fun ci -> (Sdfg.channel g ci).Sdfg.tokens)
+    in
+    let best = ref max_int in
+    let current = Array.copy lower in
+    let total d =
+      let s = ref 0 in
+      Array.iteri (fun ci v -> if not (Sdfg.is_self_loop g ci) then s := !s + v) d;
+      !s
+    in
+    let rec go ci =
+      if ci = nch then begin
+        if B.is_live g current then best := min !best (total current)
+      end
+      else if Sdfg.is_self_loop g ci then (current.(ci) <- ub.(ci); go (ci + 1))
+      else
+        for v = lower.(ci) to ub.(ci) do
+          current.(ci) <- v;
+          go (ci + 1)
+        done
+    in
+    go 0;
+    match B.minimum_total_live g with
+    | Some d -> Alcotest.(check int) "matches brute force" !best (total d)
+    | None -> Alcotest.fail "node limit"
+  in
+  check (example ());
+  check
+    (Sdfg.of_lists ~actors:[ "a"; "b" ]
+       ~channels:[ ("a", "b", 2, 3, 0); ("b", "a", 3, 2, 6) ]);
+  check
+    (Sdfg.of_lists ~actors:[ "x"; "y"; "z" ]
+       ~channels:
+         [ ("x", "y", 1, 2, 0); ("y", "z", 3, 1, 0); ("z", "x", 2, 3, 6);
+           ("x", "x", 1, 1, 1) ])
+
+let suite =
+  [
+    Alcotest.test_case "bounded graph structure" `Quick test_bounded_graph_structure;
+    Alcotest.test_case "bounded graph validation" `Quick
+      test_bounded_graph_validation;
+    Alcotest.test_case "iteration bound live" `Quick test_iteration_bound_live;
+    Alcotest.test_case "minimal live" `Quick test_minimal_live;
+    Alcotest.test_case "throughput monotone" `Quick test_throughput_monotone;
+    Alcotest.test_case "deadlocked distribution" `Quick
+      test_deadlocked_distribution_zero;
+    Alcotest.test_case "pareto staircase" `Quick test_pareto_staircase;
+    Alcotest.test_case "pareto starts minimal" `Quick
+      test_pareto_first_point_is_minimal;
+    Alcotest.test_case "exact minimum" `Quick test_exact_minimum;
+    Alcotest.test_case "exact matches brute force" `Quick
+      test_exact_matches_brute_force;
+  ]

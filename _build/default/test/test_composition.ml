@@ -1,0 +1,118 @@
+(* Joint execution of allocated applications (the isolation property). *)
+
+module Rat = Sdf.Rat
+module Composition = Core.Composition
+module Multi_app = Core.Multi_app
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+open Helpers
+
+let two_examples () =
+  Multi_app.allocate_until_failure
+    ~weights:(Core.Cost.weights 1. 1. 1.)
+    [
+      Models.example_app ();
+      Appgraph.with_lambda (Models.example_app ()) (Rat.make 1 60);
+    ]
+    (Models.example_platform ())
+
+let test_two_examples_exact () =
+  let report = two_examples () in
+  Alcotest.(check int) "both allocated" 2 (List.length report.Multi_app.allocations);
+  let members = Composition.members_of_allocations report.Multi_app.allocations in
+  let r = Composition.analyze members in
+  List.iteri
+    (fun i (a : Core.Strategy.allocation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "app %d keeps its guarantee" i)
+        true
+        (Rat.compare r.Composition.throughput.(i) a.Core.Strategy.throughput >= 0))
+    report.Multi_app.allocations;
+  (* Tight: both applications run exactly at their guaranteed rates. *)
+  check_rat "app 0 exact" (Rat.make 1 30) r.Composition.throughput.(0);
+  check_rat "app 1 exact" (Rat.make 1 50) r.Composition.throughput.(1)
+
+let test_windows_are_stacked () =
+  let report = two_examples () in
+  match Composition.members_of_allocations report.Multi_app.allocations with
+  | [ m0; m1 ] ->
+      Array.iteri
+        (fun t lo0 ->
+          Alcotest.(check int) "first app starts at 0" 0 lo0;
+          Alcotest.(check int) "second app after the first"
+            m0.Composition.ba.Core.Bind_aware.slices.(t)
+            m1.Composition.window_start.(t))
+        m0.Composition.window_start
+  | _ -> Alcotest.fail "expected two members"
+
+let test_overlapping_windows_rejected () =
+  let report = two_examples () in
+  match Composition.members_of_allocations report.Multi_app.allocations with
+  | [ m0; m1 ] -> (
+      let clash = { m1 with Composition.window_start = Array.map (fun _ -> 0) m1.Composition.window_start } in
+      match Composition.analyze [ m0; clash ] with
+      | (_ : Composition.result) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+  | _ -> Alcotest.fail "expected two members"
+
+let test_single_member_matches_constrained () =
+  (* With one member starting at window 0, the composition degenerates to
+     the constrained analysis. *)
+  match Core.Strategy.allocate (Models.example_app ()) (Models.example_platform ()) with
+  | Error _ -> Alcotest.fail "allocation failed"
+  | Ok a ->
+      let members = Composition.members_of_allocations [ a ] in
+      let r = Composition.analyze members in
+      check_rat "same throughput" a.Core.Strategy.throughput
+        r.Composition.throughput.(0)
+
+let test_measure_approximates () =
+  (* The windowed estimate of the two-example composition lands within one
+     output token of the exact rates. *)
+  let report = two_examples () in
+  let members = Composition.members_of_allocations report.Multi_app.allocations in
+  let exact = (Composition.analyze members).Composition.throughput in
+  let horizon = 60_000 in
+  let measured = Composition.measure ~horizon members in
+  Array.iteri
+    (fun i m ->
+      let slack = Rat.make 2 (horizon / 2) in
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d within slack" i)
+        true
+        (Rat.compare (Rat.add m slack) exact.(i) >= 0
+        && Rat.compare m exact.(i) <= 0))
+    measured
+
+let test_heterogeneous_mix_holds () =
+  let arch = Models.multimedia_platform () in
+  let report =
+    Multi_app.allocate_until_failure
+      ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000
+      [ Models.jpeg (); Models.mp3 () ]
+      arch
+  in
+  Alcotest.(check int) "both allocated" 2 (List.length report.Multi_app.allocations);
+  let members = Composition.members_of_allocations report.Multi_app.allocations in
+  let horizon = 20_000_000 in
+  let rates = Composition.measure ~horizon members in
+  List.iteri
+    (fun i (a : Core.Strategy.allocation) ->
+      let slack = Rat.make 2 (horizon / 2) in
+      Alcotest.(check bool)
+        (a.Core.Strategy.app.Appgraph.app_name ^ " holds with slack")
+        true
+        (Rat.compare (Rat.add rates.(i) slack) a.Core.Strategy.throughput >= 0))
+    report.Multi_app.allocations
+
+let suite =
+  [
+    Alcotest.test_case "two examples, exact" `Quick test_two_examples_exact;
+    Alcotest.test_case "windows stacked" `Quick test_windows_are_stacked;
+    Alcotest.test_case "overlap rejected" `Quick test_overlapping_windows_rejected;
+    Alcotest.test_case "single member = constrained" `Quick
+      test_single_member_matches_constrained;
+    Alcotest.test_case "measure approximates" `Quick test_measure_approximates;
+    Alcotest.test_case "heterogeneous mix" `Slow test_heterogeneous_mix_holds;
+  ]

@@ -1,0 +1,178 @@
+(* Schedule- and TDMA-constrained execution (paper Section 8.2). *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Constrained = Core.Constrained
+module Schedule = Core.Schedule
+module Bind_aware = Core.Bind_aware
+module Models = Appmodel.Models
+open Helpers
+
+let example_ba ?(slices = [| 5; 5 |]) () =
+  Bind_aware.build ~app:(Models.example_app ())
+    ~arch:(Models.example_platform ()) ~binding:[| 0; 0; 1 |] ~slices ()
+
+let example_schedules () =
+  [|
+    Some (Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+    Some (Schedule.make ~prefix:[] ~period:[ 2 ]);
+  |]
+
+(* --- tdma_finish: the closed-form gated completion time --- *)
+
+let fin t tau omega = Constrained.tdma_finish ~t ~tau ~w:10 ~omega
+
+let test_tdma_finish_inside_slice () =
+  Alcotest.(check int) "fits in slice" 3 (fin 0 3 5);
+  Alcotest.(check int) "fits exactly" 5 (fin 0 5 5);
+  Alcotest.(check int) "mid-slice" 5 (fin 4 1 5)
+
+let test_tdma_finish_spill () =
+  (* 3 units starting at phase 4 with slice [0,5): 1 unit now, wait 5,
+     2 more units -> ends at 12. *)
+  Alcotest.(check int) "spills over" 12 (fin 4 3 5);
+  (* Start outside the slice: wait for phase 0. *)
+  Alcotest.(check int) "starts outside" 12 (fin 7 2 5);
+  (* Full wheels of work. *)
+  Alcotest.(check int) "two full slices" 15 (fin 0 10 5);
+  Alcotest.(check int) "2.5 slices" 22 (fin 0 12 5)
+
+let test_tdma_finish_ungated () =
+  Alcotest.(check int) "full slice = no gating" 17 (fin 3 14 10);
+  Alcotest.(check int) "zero work" 3 (fin 3 0 0)
+
+let test_tdma_finish_zero_slice () =
+  Alcotest.check_raises "never finishes" Constrained.Deadlocked (fun () ->
+      ignore (fin 0 1 0))
+
+let test_tdma_finish_paper_trace () =
+  (* Points from the Fig. 5(c) walkthrough: a3's firing arriving at t=29
+     (phase 9) is postponed to 30 and ends at 32. *)
+  Alcotest.(check int) "a3 postponed firing" 32 (fin 29 2 5)
+
+(* --- full analysis on the running example --- *)
+
+let test_fig5c () =
+  let r = Constrained.analyze (example_ba ()) ~schedules:(example_schedules ()) in
+  check_rat "throughput 1/30 (paper Fig 5c)" (Rat.make 1 30)
+    r.Constrained.throughput;
+  Alcotest.(check int) "period" 30 r.Constrained.period
+
+let test_full_wheel_matches_selftimed () =
+  (* With the whole wheel allocated, the sync actor waits 0 time units and
+     gating is off, so the constrained result must equal the self-timed
+     throughput of the same binding-aware graph (the schedules agree with
+     the self-timed order, and t1's firings never overlapped anyway). *)
+  let ba = example_ba ~slices:[| 10; 10 |] () in
+  let st =
+    Analysis.Selftimed.analyze ba.Bind_aware.graph ba.Bind_aware.exec_times
+  in
+  let r = Constrained.analyze ba ~schedules:(example_schedules ()) in
+  check_rat "matches self-timed of the full-wheel graph"
+    st.Analysis.Selftimed.throughput.(2) r.Constrained.throughput;
+  (* Removing the 5-unit sync wait shortens the 29-cycle to 24. *)
+  check_rat "1/24" (Rat.make 1 24) r.Constrained.throughput
+
+let test_monotone_in_slice () =
+  let thr slices =
+    Constrained.throughput_or_zero (example_ba ~slices ())
+      ~schedules:(example_schedules ())
+  in
+  let prev = ref Rat.zero in
+  for s = 1 to 10 do
+    let t = thr [| s; s |] in
+    Alcotest.(check bool)
+      (Printf.sprintf "thr(%d) >= thr(%d)" s (s - 1))
+      true
+      (Rat.compare t !prev >= 0);
+    prev := t
+  done
+
+let test_bad_schedule_rejected () =
+  let ba = example_ba () in
+  let schedules =
+    [| Some (Schedule.make ~prefix:[] ~period:[ 2 ]) (* a3 is not on t1 *);
+       Some (Schedule.make ~prefix:[] ~period:[ 2 ]) |]
+  in
+  match Constrained.analyze ba ~schedules with
+  | (_ : Constrained.result) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_starving_schedule_deadlocks () =
+  (* Order a2 before a1 on t1: a2 needs a token that only a1 can produce,
+     and the schedule never lets a1 go first. *)
+  let ba = example_ba () in
+  let schedules =
+    [| Some (Schedule.make ~prefix:[] ~period:[ 1; 0 ]);
+       Some (Schedule.make ~prefix:[] ~period:[ 2 ]) |]
+  in
+  Alcotest.check_raises "deadlock" Constrained.Deadlocked (fun () ->
+      ignore (Constrained.analyze ba ~schedules));
+  check_rat "throughput_or_zero maps to 0" Rat.zero
+    (Constrained.throughput_or_zero ba ~schedules)
+
+let test_zero_slice_throughput_zero () =
+  (* A used tile with slice 0 can never progress: throughput 0, not a
+     crash (the state space recurs over the idle wheel). *)
+  let ba = example_ba ~slices:[| 5; 0 |] () in
+  check_rat "zero" Rat.zero
+    (Constrained.throughput_or_zero ba ~schedules:(example_schedules ()))
+
+let test_state_cap () =
+  let ba = example_ba () in
+  match Constrained.analyze ~max_states:2 ba ~schedules:(example_schedules ()) with
+  | (_ : Constrained.result) -> Alcotest.fail "expected cap"
+  | exception Constrained.State_space_exceeded 2 -> ()
+
+let test_prefix_schedule () =
+  (* A schedule with a transient prefix must execute correctly: prefix
+     a1, then (a2 a1)*. Same infinite sequence as (a1 a2)*, so 1/30. *)
+  let ba = example_ba () in
+  let schedules =
+    [| Some (Schedule.make ~prefix:[ 0 ] ~period:[ 1; 0 ]);
+       Some (Schedule.make ~prefix:[] ~period:[ 2 ]) |]
+  in
+  let r = Constrained.analyze ba ~schedules in
+  check_rat "same steady state" (Rat.make 1 30) r.Constrained.throughput
+
+let test_inflation_is_conservative () =
+  (* Paper Sec. 8.2: the [4]-style inflation model never reports a higher
+     throughput than the constrained execution. *)
+  let ba = example_ba () in
+  let schedules = example_schedules () in
+  let ours = (Constrained.analyze ba ~schedules).Constrained.throughput in
+  let theirs = Core.Tdma_inflation.throughput ba ~schedules in
+  Alcotest.(check bool) "inflated <= constrained" true
+    (Rat.compare theirs ours <= 0);
+  check_rat "inflated value" (Rat.make 1 34) theirs
+
+let test_inflate_formula () =
+  Alcotest.(check int) "tau <= omega: + (w - omega)" 7
+    (Core.Tdma_inflation.inflate ~tau:2 ~w:10 ~omega:5);
+  Alcotest.(check int) "two windows" 20
+    (Core.Tdma_inflation.inflate ~tau:10 ~w:10 ~omega:5);
+  Alcotest.(check int) "full wheel unchanged" 7
+    (Core.Tdma_inflation.inflate ~tau:7 ~w:10 ~omega:10);
+  Alcotest.(check int) "zero work" 0
+    (Core.Tdma_inflation.inflate ~tau:0 ~w:10 ~omega:5)
+
+let suite =
+  [
+    Alcotest.test_case "tdma_finish inside slice" `Quick test_tdma_finish_inside_slice;
+    Alcotest.test_case "tdma_finish spill" `Quick test_tdma_finish_spill;
+    Alcotest.test_case "tdma_finish ungated" `Quick test_tdma_finish_ungated;
+    Alcotest.test_case "tdma_finish zero slice" `Quick test_tdma_finish_zero_slice;
+    Alcotest.test_case "tdma_finish paper trace" `Quick test_tdma_finish_paper_trace;
+    Alcotest.test_case "Fig 5(c): 1/30" `Quick test_fig5c;
+    Alcotest.test_case "full wheel = 1/29" `Quick test_full_wheel_matches_selftimed;
+    Alcotest.test_case "monotone in slice" `Quick test_monotone_in_slice;
+    Alcotest.test_case "bad schedule rejected" `Quick test_bad_schedule_rejected;
+    Alcotest.test_case "starving schedule deadlocks" `Quick
+      test_starving_schedule_deadlocks;
+    Alcotest.test_case "zero slice" `Quick test_zero_slice_throughput_zero;
+    Alcotest.test_case "state cap" `Quick test_state_cap;
+    Alcotest.test_case "prefix schedule" `Quick test_prefix_schedule;
+    Alcotest.test_case "inflation is conservative" `Quick
+      test_inflation_is_conservative;
+    Alcotest.test_case "inflation formula" `Quick test_inflate_formula;
+  ]

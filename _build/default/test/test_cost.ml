@@ -1,0 +1,121 @@
+(* The cost functions of Section 9.1 (Eqns. 1 and 2). *)
+
+module Rat = Sdf.Rat
+module Cost = Core.Cost
+module Models = Appmodel.Models
+open Helpers
+
+let app () = Models.example_app ()
+let arch () = Models.example_platform ()
+
+let test_criticality_example () =
+  let crit = Cost.actor_criticality (app ()) in
+  Alcotest.(check bool) "not truncated" false crit.Cost.truncated;
+  (* Only cycle: the self-loop d3. Eqn. 1: gamma(a1)*sup tau(a1) / (1/1). *)
+  check_rat "cost(a1)" (Rat.make 8 1) crit.Cost.per_actor.(0);
+  check_rat "cost(a2): no cycle" Rat.zero crit.Cost.per_actor.(1);
+  check_rat "cost(a3): no cycle" Rat.zero crit.Cost.per_actor.(2)
+
+let test_criticality_ring () =
+  (* A multirate ring: one cycle through all actors. *)
+  let graph =
+    Sdf.Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 2, 3, 0); ("b", "a", 3, 2, 6) ]
+  in
+  let r t = Appmodel.Appgraph.{ exec_time = t; memory = 0 } in
+  let reqs = [| [ ("p1", r 4) ]; [ ("p1", r 6) ] |] in
+  let creq =
+    Appmodel.Appgraph.
+      { token_size = 1; alpha_tile = 9; alpha_src = 4; alpha_dst = 6;
+        bandwidth = 1 }
+  in
+  let app =
+    Appmodel.Appgraph.make ~name:"ring" ~graph ~reqs ~creqs:[| creq; creq |]
+      ~lambda:Rat.one ~output_actor:1
+  in
+  let crit = Cost.actor_criticality app in
+  (* gamma = (3,2); work = 3*4 + 2*6 = 24; tokens: 6/2 on the feedback
+     channel = 3. Cost = 24 / 3 = 8 for both actors. *)
+  check_rat "cost(a)" (Rat.make 8 1) crit.Cost.per_actor.(0);
+  check_rat "cost(b)" (Rat.make 8 1) crit.Cost.per_actor.(1)
+
+let test_zero_token_cycle_is_infinite () =
+  (* Structurally dead cycles rank infinitely critical; Appgraph.make
+     rejects them, so drive Cost through a raw graph + synthetic app is
+     not possible — instead check cycle_value indirectly via a graph with
+     a zero-token cycle plus enough tokens elsewhere to stay live. This
+     cannot exist (zero-token cycle = deadlock), so we simply check that
+     the criticality of a one-token two-cycle doubles when the token is
+     halved... i.e. tokens in the denominator. *)
+  let make tokens =
+    let graph =
+      Sdf.Sdfg.of_lists ~actors:[ "a"; "b" ]
+        ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, tokens) ]
+    in
+    let r t = Appmodel.Appgraph.{ exec_time = t; memory = 0 } in
+    let reqs = [| [ ("p1", r 3) ]; [ ("p1", r 5) ] |] in
+    let creq =
+      Appmodel.Appgraph.
+        { token_size = 1; alpha_tile = tokens + 2; alpha_src = 2;
+          alpha_dst = tokens + 1; bandwidth = 1 }
+    in
+    Appmodel.Appgraph.make ~name:"two" ~graph ~reqs ~creqs:[| creq; creq |]
+      ~lambda:Rat.one ~output_actor:1
+  in
+  let c1 = (Cost.actor_criticality (make 1)).Cost.per_actor.(0) in
+  let c2 = (Cost.actor_criticality (make 2)).Cost.per_actor.(0) in
+  check_rat "tokens divide criticality" c1 (Rat.mul_int c2 2)
+
+let test_binding_order () =
+  (* a1 is the only cyclic actor; a2 outranks a3 on total work (14 vs 3). *)
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Cost.binding_order (app ()))
+
+let test_processing_load () =
+  let app = app () and arch = arch () in
+  (* a1, a2 on t1: (2*1 + 2*1) / 25. *)
+  Alcotest.(check (float 1e-9)) "lp t1" (4. /. 25.)
+    (Cost.processing_load app arch [| 0; 0; -1 |] 0);
+  Alcotest.(check (float 1e-9)) "lp t2 empty" 0.
+    (Cost.processing_load app arch [| 0; 0; -1 |] 1);
+  (* a3 on t2 runs at tau = 2 there. *)
+  Alcotest.(check (float 1e-9)) "lp t2 with a3" (2. /. 25.)
+    (Cost.processing_load app arch [| 0; 0; 1 |] 1)
+
+let test_memory_load () =
+  let app = app () and arch = arch () in
+  (* t1 with a1 alone: mu 10 + self-loop buffer 1*1, over 700. *)
+  Alcotest.(check (float 1e-9)) "lm t1" (11. /. 700.)
+    (Cost.memory_load app arch [| 0; -1; -1 |] 0)
+
+let test_communication_load () =
+  let app = app () and arch = arch () in
+  (* Binding of the paper: d2 split with beta 10; t2 has i = 100, c = 7. *)
+  let lc = Cost.communication_load app arch [| 0; 0; 1 |] 1 in
+  Alcotest.(check (float 1e-9)) "lc t2" ((0.1 +. 0. +. (1. /. 7.)) /. 3.) lc;
+  Alcotest.(check (float 1e-9)) "lc colocated" 0.
+    (Cost.communication_load app arch [| 0; 0; 0 |] 0)
+
+let test_tile_cost_combines () =
+  let app = app () and arch = arch () in
+  let binding = [| 0; 0; 1 |] in
+  let w = Cost.weights 2. 3. 5. in
+  let expected =
+    (2. *. Cost.processing_load app arch binding 1)
+    +. (3. *. Cost.memory_load app arch binding 1)
+    +. (5. *. Cost.communication_load app arch binding 1)
+  in
+  Alcotest.(check (float 1e-9)) "weighted sum" expected
+    (Cost.tile_cost w app arch binding 1)
+
+let suite =
+  [
+    Alcotest.test_case "criticality (example)" `Quick test_criticality_example;
+    Alcotest.test_case "criticality (ring)" `Quick test_criticality_ring;
+    Alcotest.test_case "tokens divide criticality" `Quick
+      test_zero_token_cycle_is_infinite;
+    Alcotest.test_case "binding order" `Quick test_binding_order;
+    Alcotest.test_case "processing load" `Quick test_processing_load;
+    Alcotest.test_case "memory load" `Quick test_memory_load;
+    Alcotest.test_case "communication load" `Quick test_communication_load;
+    Alcotest.test_case "tile cost combines" `Quick test_tile_cost_combines;
+  ]

@@ -1,0 +1,236 @@
+(* Cyclo-static dataflow: structure, analysis and the lumping bridge. *)
+
+module Graph = Csdf.Graph
+module Cst = Csdf.Selftimed
+module Rat = Sdf.Rat
+open Helpers
+
+(* A deinterleaver: src feeds deint, which forwards tokens alternately to
+   outA and outB; a feedback channel bounds the pipeline. *)
+let deinterleaver () =
+  Graph.of_lists
+    ~actors:[ ("src", 1); ("deint", 2); ("outA", 1); ("outB", 1) ]
+    ~channels:
+      [
+        ("src", "deint", [ 1 ], [ 1; 1 ], 0);
+        ("deint", "outA", [ 1; 0 ], [ 1 ], 0);
+        ("deint", "outB", [ 0; 1 ], [ 1 ], 0);
+        ("outA", "src", [ 2 ], [ 1 ], 4);
+      ]
+
+let deint_taus = [| [| 2 |]; [| 1; 3 |]; [| 2 |]; [| 2 |] |]
+
+let test_structure () =
+  let g = deinterleaver () in
+  Alcotest.(check int) "actors" 4 (Graph.num_actors g);
+  Alcotest.(check int) "channels" 4 (Graph.num_channels g);
+  Alcotest.(check int) "deint phases" 2 (Graph.actor g 1).Graph.phases;
+  Alcotest.(check int) "index" 1 (Graph.actor_index g "deint");
+  let c = Graph.channel g 1 in
+  Alcotest.(check int) "cycle production" 1 (Graph.cycle_production c);
+  Alcotest.(check int) "cycle consumption" 1 (Graph.cycle_consumption c)
+
+let test_validation () =
+  let bad f = match f () with
+    | (_ : Graph.t) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun () -> Graph.of_lists ~actors:[ ("a", 0) ] ~channels:[]);
+  bad (fun () ->
+      Graph.of_lists ~actors:[ ("a", 2) ]
+        ~channels:[ ("a", "a", [ 1 ], [ 1; 0 ], 1) ]);
+  (* sequence length mismatch *)
+  bad (fun () ->
+      Graph.of_lists ~actors:[ ("a", 1) ]
+        ~channels:[ ("a", "a", [ -1 ], [ 1 ], 1) ]);
+  bad (fun () ->
+      Graph.of_lists ~actors:[ ("a", 2) ]
+        ~channels:[ ("a", "a", [ 0; 0 ], [ 1; 0 ], 1) ])
+(* never produced *)
+
+let test_repetition () =
+  match Graph.repetition (deinterleaver ()) with
+  | Graph.Consistent gamma ->
+      Alcotest.(check (array int)) "phase firings" [| 2; 2; 1; 1 |] gamma
+  | _ -> Alcotest.fail "expected consistency"
+
+let test_inconsistent () =
+  let g =
+    Graph.of_lists ~actors:[ ("a", 1); ("b", 1) ]
+      ~channels:[ ("a", "b", [ 2 ], [ 1 ], 0); ("b", "a", [ 1 ], [ 1 ], 1) ]
+  in
+  match Graph.repetition g with
+  | Graph.Inconsistent { channel } ->
+      Alcotest.(check bool) "witness" true (channel >= 0 && channel < 2)
+  | _ -> Alcotest.fail "expected inconsistency"
+
+let test_liveness () =
+  Alcotest.(check bool) "deinterleaver live" true
+    (Graph.is_deadlock_free (deinterleaver ()));
+  (* Token-free cycle: dead. *)
+  let dead =
+    Graph.of_lists ~actors:[ ("a", 1); ("b", 1) ]
+      ~channels:[ ("a", "b", [ 1 ], [ 1 ], 0); ("b", "a", [ 1 ], [ 1 ], 0) ]
+  in
+  Alcotest.(check bool) "dead" false (Graph.is_deadlock_free dead)
+
+let test_phase_order_matters () =
+  (* The consumer waits for the phase that actually produces: with seq
+     [0;1] the token appears only after the second phase. *)
+  let early =
+    Graph.of_lists ~actors:[ ("p", 2); ("c", 1) ]
+      ~channels:
+        [ ("p", "c", [ 1; 0 ], [ 1 ], 0); ("c", "p", [ 2 ], [ 1; 1 ], 2) ]
+  in
+  let late =
+    Graph.of_lists ~actors:[ ("p", 2); ("c", 1) ]
+      ~channels:
+        [ ("p", "c", [ 0; 1 ], [ 1 ], 0); ("c", "p", [ 2 ], [ 1; 1 ], 2) ]
+  in
+  let taus = [| [| 4; 4 |]; [| 1 |] |] in
+  let thr g = Cst.throughput g taus 1 in
+  Alcotest.(check bool) "early production is at least as fast" true
+    (Rat.compare (thr early) (thr late) >= 0)
+
+let test_selftimed_deinterleaver () =
+  let g = deinterleaver () in
+  let r = Cst.analyze g deint_taus in
+  (* outA fires once per iteration; measured by the smoke analysis: 1/4. *)
+  check_rat "thr(outA)" (Rat.make 1 4) r.Cst.throughput.(2);
+  check_rat "full-cycle helper" (Rat.make 1 4) (Cst.throughput g deint_taus 2);
+  (* deint has 2 phase firings per iteration: phase rate double outA's. *)
+  check_rat "deint phase rate" (Rat.make 2 4) r.Cst.throughput.(1)
+
+let test_sdf_special_case_agrees () =
+  (* A CSDF with all single-phase actors must agree with the SDF engine. *)
+  let csdf =
+    Graph.of_lists ~actors:[ ("x", 1); ("y", 1); ("z", 1) ]
+      ~channels:
+        [
+          ("x", "y", [ 1 ], [ 1 ], 1); ("y", "z", [ 1 ], [ 1 ], 0);
+          ("z", "x", [ 1 ], [ 1 ], 0);
+        ]
+  in
+  let r = Cst.analyze csdf [| [| 2 |]; [| 3 |]; [| 4 |] |] in
+  let sdf = Analysis.Selftimed.analyze (ring3 ()) [| 2; 3; 4 |] in
+  check_rat "same ring, same throughput" sdf.Analysis.Selftimed.throughput.(0)
+    r.Cst.throughput.(0)
+
+let test_lump_structure () =
+  let g = deinterleaver () in
+  let l = Graph.lump g in
+  Alcotest.(check int) "same actors" 4 (Sdf.Sdfg.num_actors l);
+  Alcotest.(check int) "same channels" 4 (Sdf.Sdfg.num_channels l);
+  let c = Sdf.Sdfg.channel l 0 in
+  (* src -> deint: per-cycle rates 1 and 2. *)
+  Alcotest.(check (pair int int)) "summed rates" (1, 2) (c.Sdf.Sdfg.prod, c.Sdf.Sdfg.cons);
+  Alcotest.(check bool) "lumped graph consistent" true
+    (Sdf.Repetition.is_consistent l);
+  Alcotest.(check (array int)) "lumped exec times" [| 2; 4; 2; 2 |]
+    (Graph.lump_exec_times g deint_taus)
+
+let test_lump_is_conservative () =
+  (* The lumped SDF consumes a whole cycle's tokens at its start and
+     produces at its end, so its throughput never exceeds the CSDF's. *)
+  let check_case name g taus outputs =
+    let l = Graph.lump ~serialized:true g in
+    let ltaus = Graph.lump_exec_times g taus in
+    match Analysis.Selftimed.analyze l ltaus with
+    | exception Analysis.Selftimed.Deadlocked -> () (* lumping may deadlock *)
+    | lr ->
+        List.iter
+          (fun out ->
+            let csdf_rate = Cst.throughput g taus out in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: lumped <= csdf at actor %d" name out)
+              true
+              (Rat.compare lr.Analysis.Selftimed.throughput.(out) csdf_rate <= 0))
+          outputs
+  in
+  check_case "deinterleaver" (deinterleaver ()) deint_taus [ 0; 2; 3 ];
+  (* A case where lumping strictly loses: a 2-phase producer whose first
+     phase already feeds the consumer. *)
+  let early =
+    Graph.of_lists ~actors:[ ("p", 2); ("c", 1) ]
+      ~channels:
+        [ ("p", "c", [ 1; 1 ], [ 1 ], 0); ("c", "p", [ 1 ], [ 1; 1 ], 2) ]
+  in
+  let taus = [| [| 5; 5 |]; [| 5 |] |] in
+  check_case "early-producer" early taus [ 1 ];
+  let lumped_rate =
+    (Analysis.Selftimed.analyze
+       (Graph.lump ~serialized:true early)
+       (Graph.lump_exec_times early taus)).Analysis.Selftimed.throughput.(1)
+  in
+  Alcotest.(check bool) "strict gap exists" true
+    (Rat.compare (Cst.throughput early taus 1) lumped_rate > 0)
+
+let test_deadlock_exception () =
+  let g =
+    Graph.of_lists ~actors:[ ("a", 1); ("b", 1) ]
+      ~channels:[ ("a", "b", [ 1 ], [ 1 ], 0); ("b", "a", [ 1 ], [ 1 ], 0) ]
+  in
+  Alcotest.check_raises "deadlocks" Cst.Deadlocked (fun () ->
+      ignore (Cst.analyze g [| [| 1 |]; [| 1 |] |]))
+
+(* Random consistent CSDF chains from the generator library. *)
+let gen_random_csdf seed =
+  Gen.Csdfgen.generate (Gen.Rng.create ~seed) ()
+
+let prop_random_consistent =
+  qcheck ~count:60 "random CSDF chains are consistent and live"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, _ = gen_random_csdf seed in
+      match Graph.repetition g with
+      | Graph.Consistent gamma ->
+          Array.to_list gamma
+          |> List.mapi (fun a v -> v mod (Graph.actor g a).Graph.phases = 0)
+          |> List.for_all Fun.id
+      | _ -> false)
+
+let prop_lump_conservative =
+  qcheck ~count:40 "lumping never overstates throughput"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, taus = gen_random_csdf seed in
+      if not (Graph.is_deadlock_free g) then true
+      else begin
+        match Cst.analyze ~max_states:100_000 g taus with
+        | exception Cst.State_space_exceeded _ -> true
+        | _ -> (
+            let lumped = Graph.lump ~serialized:true g in
+            let ltaus = Graph.lump_exec_times g taus in
+            match Analysis.Selftimed.analyze ~max_states:100_000 lumped ltaus with
+            | exception Analysis.Selftimed.Deadlocked -> true
+            | exception Analysis.Selftimed.State_space_exceeded _ -> true
+            | lr ->
+                let ok = ref true in
+                for a = 0 to Graph.num_actors g - 1 do
+                  let exact = Cst.throughput ~max_states:100_000 g taus a in
+                  let cycles_rate =
+                    Sdf.Rat.div_int lr.Analysis.Selftimed.throughput.(a)
+                      1
+                  in
+                  if Sdf.Rat.compare cycles_rate exact > 0 then ok := false
+                done;
+                !ok)
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "repetition" `Quick test_repetition;
+    Alcotest.test_case "inconsistent" `Quick test_inconsistent;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "phase order matters" `Quick test_phase_order_matters;
+    Alcotest.test_case "deinterleaver throughput" `Quick
+      test_selftimed_deinterleaver;
+    Alcotest.test_case "SDF special case" `Quick test_sdf_special_case_agrees;
+    Alcotest.test_case "lump structure" `Quick test_lump_structure;
+    Alcotest.test_case "lump conservative" `Quick test_lump_is_conservative;
+    Alcotest.test_case "deadlock" `Quick test_deadlock_exception;
+    prop_random_consistent;
+    prop_lump_conservative;
+  ]

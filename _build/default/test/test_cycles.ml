@@ -1,0 +1,137 @@
+(* Strongly connected components and simple-cycle enumeration. *)
+
+module Sdfg = Sdf.Sdfg
+module Cycles = Sdf.Cycles
+open Helpers
+
+let test_scc_ring () =
+  let comps = Cycles.sccs (ring3 ()) in
+  Alcotest.(check int) "one component" 1 (List.length comps);
+  Alcotest.(check int) "holds all actors" 3 (List.length (List.hd comps))
+
+let test_scc_chain () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b"; "c" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "c", 1, 1, 0) ]
+  in
+  let comps = Cycles.sccs g in
+  Alcotest.(check int) "three singletons" 3 (List.length comps);
+  (* Reverse topological order: a's component must come after c's. *)
+  let ids = Cycles.scc_of g in
+  Alcotest.(check bool) "c before a in order" true (ids.(2) < ids.(0))
+
+let test_scc_mixed () =
+  (* Two 2-cycles joined by a one-way bridge. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b"; "c"; "d" ]
+      ~channels:
+        [
+          ("a", "b", 1, 1, 1); ("b", "a", 1, 1, 0); ("b", "c", 1, 1, 0);
+          ("c", "d", 1, 1, 1); ("d", "c", 1, 1, 0);
+        ]
+  in
+  let ids = Cycles.scc_of g in
+  Alcotest.(check bool) "a,b together" true (ids.(0) = ids.(1));
+  Alcotest.(check bool) "c,d together" true (ids.(2) = ids.(3));
+  Alcotest.(check bool) "separate components" true (ids.(0) <> ids.(2))
+
+let test_cycles_example () =
+  let g = example_graph () in
+  let e = Cycles.simple_cycles g in
+  Alcotest.(check bool) "not truncated" false e.Cycles.truncated;
+  (* Only the self-loop d3 forms a cycle. *)
+  Alcotest.(check (list (list int))) "one cycle" [ [ 2 ] ] e.Cycles.cycles
+
+let test_cycles_ring () =
+  let e = Cycles.simple_cycles (ring3 ()) in
+  Alcotest.(check int) "one ring cycle" 1 (List.length e.Cycles.cycles);
+  Alcotest.(check int) "length three" 3 (List.length (List.hd e.Cycles.cycles))
+
+let test_cycles_parallel_channels () =
+  (* Parallel channels yield distinct cycles (they can carry different
+     token counts, which Eqn. 1 must distinguish). *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:
+        [ ("a", "b", 1, 1, 0); ("a", "b", 1, 1, 3); ("b", "a", 1, 1, 1) ]
+  in
+  let e = Cycles.simple_cycles g in
+  Alcotest.(check int) "two cycles through parallel channels" 2
+    (List.length e.Cycles.cycles)
+
+let test_cycles_complete_graph () =
+  (* K4 has 20 simple cycles (6 of length 2, 8 of length 3, 6 of length 4). *)
+  let names = [ "a"; "b"; "c"; "d" ] in
+  let channels =
+    List.concat_map
+      (fun x -> List.filter_map (fun y -> if x <> y then Some (x, y, 1, 1, 1) else None) names)
+      names
+  in
+  let g = Sdfg.of_lists ~actors:names ~channels in
+  let e = Cycles.simple_cycles g in
+  Alcotest.(check int) "K4 cycle count" 20 (List.length e.Cycles.cycles)
+
+let test_truncation () =
+  let names = [ "a"; "b"; "c"; "d" ] in
+  let channels =
+    List.concat_map
+      (fun x -> List.filter_map (fun y -> if x <> y then Some (x, y, 1, 1, 1) else None) names)
+      names
+  in
+  let g = Sdfg.of_lists ~actors:names ~channels in
+  let e = Cycles.simple_cycles ~max_cycles:5 g in
+  Alcotest.(check bool) "truncated" true e.Cycles.truncated;
+  Alcotest.(check int) "capped" 5 (List.length e.Cycles.cycles)
+
+let test_cycles_through () =
+  let g = example_graph () in
+  let e = Cycles.simple_cycles g in
+  Alcotest.(check int) "through a1" 1 (List.length (Cycles.cycles_through e g 0));
+  Alcotest.(check int) "through a2" 0 (List.length (Cycles.cycles_through e g 1))
+
+let prop_cycles_are_closed =
+  qcheck "every reported cycle is closed and simple"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Gen.Rng.create ~seed in
+      let profile = Gen.Benchsets.set_profile 3 in
+      let app =
+        Gen.Sdfgen.generate rng profile ~proc_types:Gen.Benchsets.proc_types
+          ~name:"cyc"
+      in
+      let g = app.Appmodel.Appgraph.graph in
+      let e = Cycles.simple_cycles g in
+      List.for_all
+        (fun cyc ->
+          match cyc with
+          | [] -> false
+          | first :: _ ->
+              let closed =
+                let rec walk expected = function
+                  | [] -> expected = (Sdfg.channel g first).Sdfg.src
+                  | ci :: rest ->
+                      let c = Sdfg.channel g ci in
+                      c.Sdfg.src = expected && walk c.Sdfg.dst rest
+                in
+                walk (Sdfg.channel g first).Sdfg.src cyc
+              in
+              let actors = List.map (fun ci -> (Sdfg.channel g ci).Sdfg.src) cyc in
+              let distinct =
+                List.length actors = List.length (List.sort_uniq compare actors)
+              in
+              closed && distinct)
+        e.Cycles.cycles)
+
+let suite =
+  [
+    Alcotest.test_case "scc ring" `Quick test_scc_ring;
+    Alcotest.test_case "scc chain" `Quick test_scc_chain;
+    Alcotest.test_case "scc mixed" `Quick test_scc_mixed;
+    Alcotest.test_case "cycles in example" `Quick test_cycles_example;
+    Alcotest.test_case "cycles in ring" `Quick test_cycles_ring;
+    Alcotest.test_case "parallel channels" `Quick test_cycles_parallel_channels;
+    Alcotest.test_case "complete graph K4" `Quick test_cycles_complete_graph;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    Alcotest.test_case "cycles_through" `Quick test_cycles_through;
+    prop_cycles_are_closed;
+  ]

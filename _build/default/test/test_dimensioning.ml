@@ -1,0 +1,131 @@
+(* Platform dimensioning and the sync-model/buffer-target extensions. *)
+
+module Rat = Sdf.Rat
+module Dimensioning = Core.Dimensioning
+module Bind_aware = Core.Bind_aware
+module Models = Appmodel.Models
+open Helpers
+
+let template =
+  {
+    Dimensioning.proc_types = Gen.Benchsets.proc_types;
+    wheel = 60;
+    mem = 600_000;
+    max_conns = 32;
+    in_bw = 3_000;
+    out_bw = 3_000;
+    hop_latency = 1;
+  }
+
+let test_single_app_fits_one_tile () =
+  let apps = Gen.Benchsets.sequence ~set:4 ~seq:0 ~count:1 in
+  match Dimensioning.smallest_mesh ~max_states:200_000 template apps with
+  | Some r ->
+      Alcotest.(check (pair int int)) "1x1" (1, 1)
+        (r.Dimensioning.rows, r.Dimensioning.cols);
+      Alcotest.(check int) "all allocated" 1
+        (List.length r.Dimensioning.report.Core.Multi_app.allocations);
+      Alcotest.(check (list (pair int int))) "nothing rejected" []
+        r.Dimensioning.rejected_shapes
+  | None -> Alcotest.fail "expected a fit"
+
+let test_mesh_grows_with_workload () =
+  let size n =
+    let apps = Gen.Benchsets.sequence ~set:4 ~seq:0 ~count:n in
+    match Dimensioning.smallest_mesh ~max_states:200_000 template apps with
+    | Some r -> r.Dimensioning.rows * r.Dimensioning.cols
+    | None -> max_int
+  in
+  let s2 = size 2 and s6 = size 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "6 apps (%d tiles) need at least as much as 2 (%d)" s6 s2)
+    true (s6 >= s2)
+
+let test_impossible_workload () =
+  (* A tiny template cannot host the H.263 decoder (vld needs "proc"). *)
+  let tpl = { template with Dimensioning.proc_types = [| "weird" |] } in
+  Alcotest.(check bool) "no fit" true
+    (Dimensioning.smallest_mesh ~max_tiles:4 tpl [ Models.h263 () ] = None)
+
+let test_shapes_prefer_square () =
+  (* At equal tile count, squarer shapes are tried first: the rejected list
+     for a 4-app workload must not contain a shape with more tiles than the
+     winner. *)
+  let apps = Gen.Benchsets.sequence ~set:1 ~seq:0 ~count:4 in
+  match Dimensioning.smallest_mesh ~max_states:200_000 template apps with
+  | Some r ->
+      let winner = r.Dimensioning.rows * r.Dimensioning.cols in
+      List.iter
+        (fun (rr, cc) ->
+          Alcotest.(check bool) "rejected shapes are not larger" true
+            (rr * cc <= winner))
+        r.Dimensioning.rejected_shapes
+  | None -> Alcotest.fail "expected a fit"
+
+(* --- sync model --- *)
+
+let test_aligned_sync_actor_is_instant () =
+  let ba =
+    Bind_aware.build ~sync_model:Bind_aware.Aligned_wheels
+      ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+      ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+  in
+  let tau =
+    ba.Bind_aware.exec_times.(Sdf.Sdfg.actor_index ba.Bind_aware.graph "s_d1")
+  in
+  Alcotest.(check int) "zero wait" 0 tau
+
+let test_aligned_no_slower () =
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  List.iter
+    (fun omega ->
+      let thr sync_model =
+        let ba =
+          Bind_aware.build ~sync_model ~app:(Models.example_app ())
+            ~arch:(Models.example_platform ()) ~binding:[| 0; 0; 1 |]
+            ~slices:[| omega; omega |] ()
+        in
+        Core.Constrained.throughput_or_zero ba ~schedules
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "aligned >= worst case at omega=%d" omega)
+        true
+        (Rat.compare
+           (thr Bind_aware.Aligned_wheels)
+           (thr Bind_aware.Worst_case_arrival)
+        >= 0))
+    [ 1; 3; 5; 7; 10 ]
+
+(* --- buffer sizing for a target rate --- *)
+
+let test_distribution_for_rate () =
+  let g = example_graph () in
+  let taus = [| 1; 1; 2 |] in
+  (match
+     Analysis.Buffer_sizing.distribution_for_rate g taus ~output:2
+       ~target:(Rat.make 1 2)
+   with
+  | Some d ->
+      check_rat "achieves the target" (Rat.make 1 2)
+        (Analysis.Buffer_sizing.throughput g taus d ~output:2)
+  | None -> Alcotest.fail "1/2 is achievable");
+  Alcotest.(check bool) "unachievable target" true
+    (Analysis.Buffer_sizing.distribution_for_rate g taus ~output:2
+       ~target:(Rat.make 2 3)
+    = None)
+
+let suite =
+  [
+    Alcotest.test_case "single app, one tile" `Slow test_single_app_fits_one_tile;
+    Alcotest.test_case "mesh grows with workload" `Slow test_mesh_grows_with_workload;
+    Alcotest.test_case "impossible workload" `Quick test_impossible_workload;
+    Alcotest.test_case "shapes prefer square" `Slow test_shapes_prefer_square;
+    Alcotest.test_case "aligned sync actor" `Quick test_aligned_sync_actor_is_instant;
+    Alcotest.test_case "aligned no slower" `Quick test_aligned_no_slower;
+    Alcotest.test_case "distribution for rate" `Quick test_distribution_for_rate;
+  ]

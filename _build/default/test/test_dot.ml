@@ -1,0 +1,40 @@
+(* Graphviz export: structural checks on the generated text. *)
+
+module Dot = Sdf.Dot
+open Helpers
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_basic () =
+  let s = Dot.to_dot ~name:"demo" (example_graph ()) in
+  Alcotest.(check bool) "digraph header" true (contains s "digraph \"demo\"");
+  Alcotest.(check bool) "actor node" true (contains s "label=\"a1\"");
+  Alcotest.(check bool) "edge" true (contains s "n0 -> n1");
+  Alcotest.(check bool) "self loop" true (contains s "n0 -> n0");
+  Alcotest.(check bool) "token annotation" true (contains s "[1]")
+
+let test_exec_times () =
+  let s = Dot.to_dot ~exec_times:[| 1; 5; 9 |] (example_graph ()) in
+  Alcotest.(check bool) "timing label" true (contains s "a3\\n9")
+
+let test_write_file () =
+  let path = Filename.temp_file "sdfg" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dot.write_file path (example_graph ());
+      let ic = open_in path in
+      let content =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+      in
+      Alcotest.(check bool) "file has content" true (contains content "digraph"))
+
+let suite =
+  [
+    Alcotest.test_case "basic rendering" `Quick test_basic;
+    Alcotest.test_case "execution times" `Quick test_exec_times;
+    Alcotest.test_case "file output" `Quick test_write_file;
+  ]

@@ -1,0 +1,165 @@
+(* Sensitivity analysis, Gantt rendering, deployment descriptors and the
+   extra decoder models. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+open Helpers
+
+(* --- sensitivity --- *)
+
+let test_sensitivity_example () =
+  let r = Analysis.Sensitivity.measure (example_graph ()) [| 1; 1; 2 |] ~output:2 in
+  check_rat "base" (Rat.make 1 2) r.Analysis.Sensitivity.base;
+  (* a1's self-loop paces the graph: slowing a1 must hurt. *)
+  Alcotest.(check bool) "a1 sensitive" true (r.Analysis.Sensitivity.sensitivity.(0) > 0.);
+  (* a2 has slack at these times (it only forwards), and a3's own time is
+     hidden by auto-concurrency (no self-loop in the plain graph). *)
+  Alcotest.(check bool) "a2 slack" true
+    (abs_float r.Analysis.Sensitivity.sensitivity.(1) < 1e-9);
+  Alcotest.(check bool) "a3 hidden by auto-concurrency" true
+    (abs_float r.Analysis.Sensitivity.sensitivity.(2) < 1e-9);
+  Alcotest.(check (list int)) "critical list" [ 0 ]
+    (Analysis.Sensitivity.critical_actors r)
+
+let test_sensitivity_never_negative () =
+  (* Slowing an actor can never raise the throughput (monotone graphs). *)
+  let g = Helpers.prodcons () in
+  let r = Analysis.Sensitivity.measure g [| 2; 5 |] ~output:1 in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "non-negative" true (s >= -1e-12))
+    r.Analysis.Sensitivity.sensitivity
+
+let test_sensitivity_delta_validation () =
+  match Analysis.Sensitivity.measure ~delta:0 (ring3 ()) [| 1; 1; 1 |] ~output:0 with
+  | (_ : Analysis.Sensitivity.report) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- gantt --- *)
+
+let example_setting () =
+  let app = Models.example_app () in
+  let arch = Models.example_platform () in
+  let ba =
+    Core.Bind_aware.build ~app ~arch ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+  in
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  (ba, schedules)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_gantt () =
+  let ba, schedules = example_setting () in
+  let gantt = Core.Gantt.capture ~horizon:40 ba ~schedules in
+  check_rat "throughput carried" (Rat.make 1 30) (Core.Gantt.throughput gantt);
+  let s = Core.Gantt.render gantt in
+  Alcotest.(check bool) "tile lanes" true (contains s "t1" && contains s "t2");
+  Alcotest.(check bool) "transport lane" true (contains s "c_d1");
+  Alcotest.(check bool) "legend" true (contains s "A=a1");
+  (* a1 fires at time 0: first character of t1's lane is 'A'. *)
+  let t1_line =
+    List.find (fun l -> contains l "t1") (String.split_on_char '\n' s)
+  in
+  Alcotest.(check char) "a1 at t=0" 'A' t1_line.[11]
+
+let test_gantt_lines_have_horizon_width () =
+  let ba, schedules = example_setting () in
+  let s = Core.Gantt.render (Core.Gantt.capture ~horizon:25 ba ~schedules) in
+  List.iter
+    (fun l ->
+      if contains l "t1" || contains l "t2" then
+        Alcotest.(check int) "width" (11 + 25) (String.length l))
+    (String.split_on_char '\n' s)
+
+(* --- deployment --- *)
+
+let test_deployment_roundtrip () =
+  match Core.Strategy.allocate (Models.example_app ()) (Models.example_platform ()) with
+  | Error _ -> Alcotest.fail "allocation failed"
+  | Ok alloc ->
+      let xml = Core.Deployment.to_xml alloc in
+      let summary = Core.Deployment.summary_of_xml xml in
+      Alcotest.(check string) "application" "example"
+        summary.Core.Deployment.application;
+      check_rat "throughput" alloc.Core.Strategy.throughput
+        summary.Core.Deployment.throughput;
+      Alcotest.(check int) "three bindings" 3
+        (List.length summary.Core.Deployment.bindings);
+      Alcotest.(check (list (pair string string))) "bindings"
+        [ ("a1", "t1"); ("a2", "t1"); ("a3", "t2") ]
+        summary.Core.Deployment.bindings;
+      (* Slices of used tiles match the allocation. *)
+      List.iter
+        (fun (tname, slice) ->
+          let t = Platform.Archgraph.tile_index alloc.Core.Strategy.arch tname in
+          Alcotest.(check int) ("slice of " ^ tname)
+            alloc.Core.Strategy.slices.(t) slice)
+        summary.Core.Deployment.slices
+
+let test_deployment_parses_back () =
+  match Core.Strategy.allocate (Models.example_app ()) (Models.example_platform ()) with
+  | Error _ -> Alcotest.fail "allocation failed"
+  | Ok alloc ->
+      let s = Core.Deployment.to_string alloc in
+      let summary = Core.Deployment.summary_of_xml (Sdf.Xml.parse s) in
+      Alcotest.(check string) "via text" "example" summary.Core.Deployment.application
+
+(* --- jpeg / wlan models --- *)
+
+let test_jpeg_model () =
+  let app = Models.jpeg () in
+  Alcotest.(check (array int)) "gamma" [| 1; 1; 6; 6; 6; 1 |] (Appgraph.gamma app);
+  Alcotest.(check bool) "live" true
+    (Sdf.Deadlock.is_deadlock_free app.Appgraph.graph);
+  (* parse and cc are cpu-only. *)
+  Alcotest.(check bool) "parse cpu only" false (Appgraph.supports app 0 Models.acc);
+  Alcotest.(check bool) "idct on acc" true (Appgraph.supports app 4 Models.acc)
+
+let test_wlan_model () =
+  let app = Models.wlan () in
+  Alcotest.(check bool) "single-rate iteration" true
+    (Array.for_all (fun v -> v = 1) (Appgraph.gamma app));
+  Alcotest.(check int) "8 actors" 8 (Sdfg.num_actors app.Appgraph.graph)
+
+let test_new_models_allocate () =
+  let arch = Models.multimedia_platform () in
+  List.iter
+    (fun (app : Appgraph.t) ->
+      match
+        Core.Strategy.allocate ~weights:(Core.Cost.weights 2. 0. 1.)
+          ~max_states:2_000_000 app arch
+      with
+      | Ok alloc ->
+          Alcotest.(check bool)
+            (app.Appgraph.app_name ^ " meets lambda")
+            true
+            (Rat.compare alloc.Core.Strategy.throughput app.Appgraph.lambda >= 0)
+      | Error f ->
+          Alcotest.failf "%s failed: %a" app.Appgraph.app_name
+            Core.Strategy.pp_failure f)
+    [ Models.jpeg (); Models.wlan () ]
+
+let suite =
+  [
+    Alcotest.test_case "sensitivity (example)" `Quick test_sensitivity_example;
+    Alcotest.test_case "sensitivity non-negative" `Quick
+      test_sensitivity_never_negative;
+    Alcotest.test_case "sensitivity validation" `Quick
+      test_sensitivity_delta_validation;
+    Alcotest.test_case "gantt rendering" `Quick test_gantt;
+    Alcotest.test_case "gantt width" `Quick test_gantt_lines_have_horizon_width;
+    Alcotest.test_case "deployment roundtrip" `Quick test_deployment_roundtrip;
+    Alcotest.test_case "deployment via text" `Quick test_deployment_parses_back;
+    Alcotest.test_case "jpeg model" `Quick test_jpeg_model;
+    Alcotest.test_case "wlan model" `Quick test_wlan_model;
+    Alcotest.test_case "jpeg/wlan allocate" `Slow test_new_models_allocate;
+  ]

@@ -1,0 +1,145 @@
+(* SDF -> HSDF conversion. *)
+
+module Sdfg = Sdf.Sdfg
+module Hsdf = Sdf.Hsdf
+module Repetition = Sdf.Repetition
+open Helpers
+
+let convert g =
+  let gamma = Repetition.vector_exn g in
+  (Hsdf.convert g gamma, gamma)
+
+let test_sizes () =
+  let h, gamma = convert (example_graph ()) in
+  Alcotest.(check int) "example HSDF actors" 5 (Sdfg.num_actors h.Hsdf.graph);
+  Alcotest.(check int) "matches iteration firings"
+    (Repetition.iteration_firings gamma)
+    (Sdfg.num_actors h.Hsdf.graph)
+
+let test_h263_size () =
+  let app = Appmodel.Models.h263 () in
+  let h, _ = convert app.Appmodel.Appgraph.graph in
+  Alcotest.(check int) "paper: 4754 actors" 4754 (Sdfg.num_actors h.Hsdf.graph)
+
+let test_all_rates_one () =
+  let h, _ = convert (prodcons ()) in
+  Array.iter
+    (fun c ->
+      Alcotest.(check int) "prod 1" 1 c.Sdfg.prod;
+      Alcotest.(check int) "cons 1" 1 c.Sdfg.cons)
+    (Sdfg.channels h.Hsdf.graph)
+
+let test_copy_bookkeeping () =
+  let h, gamma = convert (example_graph ()) in
+  Array.iteri
+    (fun a copies ->
+      Alcotest.(check int)
+        (Printf.sprintf "copies of actor %d" a)
+        gamma.(a) (Array.length copies);
+      Array.iteri
+        (fun k idx ->
+          Alcotest.(check (pair int int)) "copy_of inverse" (a, k)
+            h.Hsdf.copy_of.(idx))
+        copies)
+    h.Hsdf.copies
+
+let test_naming () =
+  let h, _ = convert (example_graph ()) in
+  Alcotest.(check string) "first copy" "a1#0"
+    (Sdfg.actor_name h.Hsdf.graph h.Hsdf.copies.(0).(0));
+  Alcotest.(check string) "second copy" "a1#1"
+    (Sdfg.actor_name h.Hsdf.graph h.Hsdf.copies.(0).(1))
+
+let test_timing_lift () =
+  let h, _ = convert (example_graph ()) in
+  let taus = Hsdf.timing h [| 1; 5; 9 |] in
+  Array.iteri
+    (fun idx (a, _) ->
+      Alcotest.(check int) "lifted tau" [| 1; 5; 9 |].(a) taus.(idx))
+    h.Hsdf.copy_of
+
+let test_token_preservation () =
+  (* Total initial tokens are preserved by the expansion (with dedupe off:
+     each original token appears exactly once as an inter-iteration edge
+     token across the per-token precedence edges). *)
+  let g = prodcons () in
+  let gamma = Repetition.vector_exn g in
+  let h = Hsdf.convert ~dedupe:false g gamma in
+  let total =
+    Array.fold_left (fun acc c -> acc + c.Sdfg.tokens) 0 (Sdfg.channels h.Hsdf.graph)
+  in
+  Alcotest.(check int) "token count preserved" 6 total
+
+let test_single_rate_identity () =
+  (* A single-rate graph expands to an isomorphic graph. *)
+  let g = ring3 () in
+  let h, _ = convert g in
+  Alcotest.(check int) "same actor count" (Sdfg.num_actors g)
+    (Sdfg.num_actors h.Hsdf.graph);
+  Alcotest.(check int) "same channel count" (Sdfg.num_channels g)
+    (Sdfg.num_channels h.Hsdf.graph);
+  let tokens g =
+    Array.to_list (Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g))
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "same token multiset" (tokens g)
+    (tokens h.Hsdf.graph)
+
+let test_self_loop_expansion () =
+  (* A self-loop with one token on an actor firing twice per iteration
+     becomes a 2-cycle between the copies with one token total. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 2, 0); ("b", "a", 2, 1, 2); ("a", "a", 1, 1, 1) ]
+  in
+  let h, gamma = convert g in
+  Alcotest.(check (array int)) "gamma" [| 2; 1 |] gamma;
+  Alcotest.(check int) "3 HSDF actors" 3 (Sdfg.num_actors h.Hsdf.graph);
+  (* Copies of a: a#0, a#1. The self-loop yields a#0 -> a#1 (0 tokens)
+     and a#1 -> a#0 (1 token, next iteration). *)
+  let a0 = h.Hsdf.copies.(0).(0) and a1 = h.Hsdf.copies.(0).(1) in
+  let edge src dst =
+    Array.to_list (Sdfg.channels h.Hsdf.graph)
+    |> List.find_opt (fun c -> c.Sdfg.src = src && c.Sdfg.dst = dst)
+  in
+  (match edge a0 a1 with
+  | Some c -> Alcotest.(check int) "forward tokens" 0 c.Sdfg.tokens
+  | None -> Alcotest.fail "missing a#0 -> a#1 edge");
+  match edge a1 a0 with
+  | Some c -> Alcotest.(check int) "wrap tokens" 1 c.Sdfg.tokens
+  | None -> Alcotest.fail "missing a#1 -> a#0 edge"
+
+(* Oracle: the HSDF expansion preserves one-iteration executability. *)
+let prop_hsdf_live =
+  qcheck ~count:50 "expansion preserves liveness"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Gen.Rng.create ~seed in
+      let profile = Gen.Benchsets.set_profile 1 in
+      let app =
+        Gen.Sdfgen.generate rng profile ~proc_types:Gen.Benchsets.proc_types
+          ~name:"h"
+      in
+      let g = app.Appmodel.Appgraph.graph in
+      let gamma = Repetition.vector_exn g in
+      let h = Hsdf.convert g gamma in
+      let hg = h.Hsdf.graph in
+      match Repetition.compute hg with
+      | Repetition.Consistent hgamma ->
+          Array.for_all (fun v -> v = 1) hgamma
+          && Sdf.Deadlock.check hg hgamma = Sdf.Deadlock.Deadlock_free
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "h263 size" `Quick test_h263_size;
+    Alcotest.test_case "all rates one" `Quick test_all_rates_one;
+    Alcotest.test_case "copy bookkeeping" `Quick test_copy_bookkeeping;
+    Alcotest.test_case "naming" `Quick test_naming;
+    Alcotest.test_case "timing lift" `Quick test_timing_lift;
+    Alcotest.test_case "token preservation" `Quick test_token_preservation;
+    Alcotest.test_case "single-rate identity" `Quick test_single_rate_identity;
+    Alcotest.test_case "self-loop expansion" `Quick test_self_loop_expansion;
+    prop_hsdf_live;
+  ]

@@ -1,0 +1,106 @@
+(* Maximum cycle ratio analysis. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Mcr = Analysis.Mcr
+open Helpers
+
+let ratio = function
+  | Mcr.Ratio r -> r
+  | Mcr.Acyclic -> Alcotest.fail "unexpectedly acyclic"
+  | Mcr.Zero_token_cycle _ -> Alcotest.fail "unexpected zero-token cycle"
+
+let test_ring () =
+  let v = ratio (Mcr.max_cycle_ratio (ring3 ()) [| 2; 3; 4 |]) in
+  check_rat "mcr = sum tau / 1 token" (Rat.make 9 1) v
+
+let test_two_cycles () =
+  (* Two cycles sharing no actors: 7/1 and 10/2; the max is 7. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b"; "c"; "d" ]
+      ~channels:
+        [
+          ("a", "b", 1, 1, 1); ("b", "a", 1, 1, 0);
+          ("c", "d", 1, 1, 1); ("d", "c", 1, 1, 1);
+        ]
+  in
+  let v = ratio (Mcr.max_cycle_ratio g [| 3; 4; 5; 5 |]) in
+  check_rat "max of 7/1 and 10/2" (Rat.make 7 1) v
+
+let test_multi_token_edge () =
+  (* k tokens on the loop divide the ratio by k. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a" ] ~channels:[ ("a", "a", 1, 1, 3) ]
+  in
+  check_rat "tau/3" (Rat.make 5 3) (ratio (Mcr.max_cycle_ratio g [| 5 |]))
+
+let test_acyclic () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ] ~channels:[ ("a", "b", 1, 1, 0) ]
+  in
+  Alcotest.(check bool) "acyclic" true (Mcr.max_cycle_ratio g [| 1; 1 |] = Mcr.Acyclic);
+  (* Tokens on a non-cycle edge still do not create a cycle. *)
+  let g2 =
+    Sdfg.of_lists ~actors:[ "a"; "b" ] ~channels:[ ("a", "b", 1, 1, 5) ]
+  in
+  Alcotest.(check bool) "still acyclic" true
+    (Mcr.max_cycle_ratio g2 [| 1; 1 |] = Mcr.Acyclic)
+
+let test_zero_token_cycle () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 0) ]
+  in
+  match Mcr.max_cycle_ratio g [| 1; 1 |] with
+  | Mcr.Zero_token_cycle cyc ->
+      Alcotest.(check int) "cycle length" 2 (List.length cyc)
+  | _ -> Alcotest.fail "expected zero-token cycle"
+
+let test_longest_path_weighting () =
+  (* Two token-free paths between the cycle's token edges; the longer one
+     (through the slow actor) determines the ratio. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "slow"; "fast"; "b" ]
+      ~channels:
+        [
+          ("a", "slow", 1, 1, 0); ("slow", "b", 1, 1, 0);
+          ("a", "fast", 1, 1, 0); ("fast", "b", 1, 1, 0);
+          ("b", "a", 1, 1, 1);
+        ]
+  in
+  let v = ratio (Mcr.max_cycle_ratio g [| 1; 10; 2; 1 |]) in
+  check_rat "takes the slow branch" (Rat.make 12 1) v
+
+let test_hsdf_throughput () =
+  check_rat "1/mcr" (Rat.make 1 9)
+    (Mcr.hsdf_throughput (ring3 ()) [| 2; 3; 4 |]);
+  let acyclic =
+    Sdfg.of_lists ~actors:[ "a"; "b" ] ~channels:[ ("a", "b", 1, 1, 0) ]
+  in
+  Alcotest.(check bool) "acyclic is unbounded" true
+    (Rat.is_infinite (Mcr.hsdf_throughput acyclic [| 1; 1 |]));
+  let dead =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 0) ]
+  in
+  Alcotest.check_raises "deadlock rejected"
+    (Invalid_argument "Mcr.hsdf_throughput: graph deadlocks") (fun () ->
+      ignore (Mcr.hsdf_throughput dead [| 1; 1 |]))
+
+let test_zero_exec_times () =
+  let v = ratio (Mcr.max_cycle_ratio (ring3 ()) [| 0; 0; 0 |]) in
+  check_rat "zero work" Rat.zero v;
+  Alcotest.(check bool) "throughput infinite" true
+    (Rat.is_infinite (Mcr.hsdf_throughput (ring3 ()) [| 0; 0; 0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "two cycles" `Quick test_two_cycles;
+    Alcotest.test_case "multi-token edge" `Quick test_multi_token_edge;
+    Alcotest.test_case "acyclic" `Quick test_acyclic;
+    Alcotest.test_case "zero-token cycle" `Quick test_zero_token_cycle;
+    Alcotest.test_case "longest path weighting" `Quick test_longest_path_weighting;
+    Alcotest.test_case "hsdf throughput" `Quick test_hsdf_throughput;
+    Alcotest.test_case "zero execution times" `Quick test_zero_exec_times;
+  ]

@@ -1,0 +1,143 @@
+(* The paper's headline numbers, gathered in one suite: if these pass, the
+   reproduction reproduces. Each case names the figure/table it checks. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+open Helpers
+
+let test_sec1_h263_hsdf_size () =
+  let app = Models.h263 () in
+  Alcotest.(check int) "Sec 1: H.263 HSDFG has 4754 actors" 4754
+    (Sdf.Repetition.iteration_firings (Appgraph.gamma app))
+
+let test_sec103_system_size () =
+  let total =
+    List.fold_left
+      (fun acc (a : Appgraph.t) ->
+        acc + Sdf.Repetition.iteration_firings (Appgraph.gamma a))
+      0
+      [ Models.h263 (); Models.h263 (); Models.h263 (); Models.mp3 () ]
+  in
+  Alcotest.(check int) "Sec 10.3: system HSDFG has 14275 actors" 14275 total
+
+let example_setting () =
+  let app = Models.example_app () in
+  let arch = Models.example_platform () in
+  let binding = [| 0; 0; 1 |] in
+  let ba = Core.Bind_aware.build ~app ~arch ~binding ~slices:[| 5; 5 |] () in
+  (app, ba)
+
+let test_fig5a () =
+  let app, _ = example_setting () in
+  let r = Analysis.Selftimed.analyze app.Appgraph.graph [| 1; 1; 2 |] in
+  check_rat "Fig 5(a): throughput(a3) = 1/2" (Rat.make 1 2)
+    r.Analysis.Selftimed.throughput.(2)
+
+let test_fig5b () =
+  let _, ba = example_setting () in
+  let r =
+    Analysis.Selftimed.analyze ba.Core.Bind_aware.graph
+      ba.Core.Bind_aware.exec_times
+  in
+  check_rat "Fig 5(b): throughput(a3) = 1/29" (Rat.make 1 29)
+    r.Analysis.Selftimed.throughput.(2)
+
+let test_fig5c () =
+  let _, ba = example_setting () in
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  let r = Core.Constrained.analyze ba ~schedules in
+  check_rat "Fig 5(c): throughput(a3) = 1/30" (Rat.make 1 30)
+    r.Core.Constrained.throughput
+
+let test_fig4_connection_time () =
+  let _, ba = example_setting () in
+  let tau name =
+    ba.Core.Bind_aware.exec_times.(Sdfg.actor_index ba.Core.Bind_aware.graph name)
+  in
+  Alcotest.(check int) "Sec 8.1: Upsilon(c) = L + ceil(sz/beta) = 11" 11
+    (tau "c_d1");
+  Alcotest.(check int) "Sec 8.1: Upsilon(s) = w - omega = 5" 5 (tau "s_d1")
+
+let test_sec92_schedule () =
+  let app = Models.example_app () in
+  let arch = Models.example_platform () in
+  let binding = [| 0; 0; 1 |] in
+  let ba =
+    Core.Bind_aware.build ~app ~arch ~binding
+      ~slices:(Core.Bind_aware.half_wheel_slices app arch binding) ()
+  in
+  let schedules = Core.List_scheduler.schedules ba in
+  match schedules.(0) with
+  | Some s ->
+      Alcotest.(check bool) "Sec 9.2: t1 schedule compacts to (a1 a2)*" true
+        (Core.Schedule.equal s (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]))
+  | None -> Alcotest.fail "missing schedule"
+
+let test_table3 () =
+  let bind (c1, c2, c3) =
+    match
+      Core.Binding_step.bind
+        ~weights:(Core.Cost.weights c1 c2 c3)
+        (Models.example_app ()) (Models.example_platform ())
+    with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "binding failed"
+  in
+  Alcotest.(check (array int)) "Table 3 (1,0,0)" [| 0; 0; 1 |] (bind (1., 0., 0.));
+  Alcotest.(check (array int)) "Table 3 (0,0,1)" [| 0; 0; 0 |] (bind (0., 0., 1.));
+  Alcotest.(check (array int)) "Table 3 (1,1,1)" [| 0; 0; 1 |] (bind (1., 1., 1.))
+
+let test_example_strategy_end_to_end () =
+  (* The full strategy on the running example meets the 1/30 constraint. *)
+  match Core.Strategy.allocate (Models.example_app ()) (Models.example_platform ()) with
+  | Ok alloc ->
+      Alcotest.(check bool) "meets 1/30" true
+        (Rat.compare alloc.Core.Strategy.throughput (Rat.make 1 30) >= 0)
+  | Error _ -> Alcotest.fail "strategy failed on the running example"
+
+let test_sec103_multimedia () =
+  (* 3 x H.263 + MP3 all receive guarantees on the 2x2 platform with cost
+     function (2,0,1); slice allocation dominates the run-time. *)
+  let report =
+    Core.Multi_app.allocate_until_failure
+      ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000
+      [
+        Models.h263 ~name:"v0" (); Models.h263 ~name:"v1" ();
+        Models.h263 ~name:"v2" (); Models.mp3 ();
+      ]
+      (Models.multimedia_platform ())
+  in
+  Alcotest.(check int) "all 4 bound" 4 (List.length report.Core.Multi_app.allocations);
+  let slice_t, total_t =
+    List.fold_left
+      (fun (s, t) (a : Core.Strategy.allocation) ->
+        let st = a.Core.Strategy.stats in
+        ( s +. st.Core.Strategy.slice_seconds,
+          t +. st.Core.Strategy.bind_seconds
+          +. st.Core.Strategy.schedule_seconds +. st.Core.Strategy.slice_seconds ))
+      (0., 0.) report.Core.Multi_app.allocations
+  in
+  Alcotest.(check bool) "slice allocation dominates (paper: ~90%)" true
+    (slice_t /. total_t > 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "Sec 1: H.263 HSDF size" `Quick test_sec1_h263_hsdf_size;
+    Alcotest.test_case "Sec 10.3: system HSDF size" `Quick test_sec103_system_size;
+    Alcotest.test_case "Fig 5(a): 1/2" `Quick test_fig5a;
+    Alcotest.test_case "Fig 5(b): 1/29" `Quick test_fig5b;
+    Alcotest.test_case "Fig 5(c): 1/30" `Quick test_fig5c;
+    Alcotest.test_case "Fig 4: c and s times" `Quick test_fig4_connection_time;
+    Alcotest.test_case "Sec 9.2: schedule compaction" `Quick test_sec92_schedule;
+    Alcotest.test_case "Table 3 bindings" `Quick test_table3;
+    Alcotest.test_case "example end to end" `Quick test_example_strategy_end_to_end;
+    Alcotest.test_case "Sec 10.3: multimedia system" `Slow test_sec103_multimedia;
+  ]

@@ -1,0 +1,91 @@
+(* Tiles and architecture graphs (paper Definitions 3-4). *)
+
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+let tile ?(occupied = 0) idx name pt =
+  Tile.make ~occupied ~idx ~name ~proc_type:pt ~wheel:10 ~mem:1000 ~max_conns:4
+    ~in_bw:100 ~out_bw:100 ()
+
+let test_tile () =
+  let t = tile ~occupied:3 0 "t0" "p" in
+  Alcotest.(check int) "available wheel" 7 (Tile.available_wheel t);
+  Alcotest.check_raises "occupied > wheel"
+    (Invalid_argument "Tile.make: occupied wheel time out of range") (fun () ->
+      ignore (tile ~occupied:11 0 "t" "p"));
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Tile.make: negative resource size") (fun () ->
+      ignore
+        (Tile.make ~idx:0 ~name:"t" ~proc_type:"p" ~wheel:10 ~mem:(-1)
+           ~max_conns:0 ~in_bw:0 ~out_bw:0 ()))
+
+let test_archgraph () =
+  let g =
+    Archgraph.make
+      [| tile 0 "t0" "p"; tile 1 "t1" "q" |]
+      [
+        { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 3 };
+        { Archgraph.k_idx = 0; from_tile = 1; to_tile = 0; latency = 5 };
+      ]
+  in
+  Alcotest.(check int) "tiles" 2 (Archgraph.num_tiles g);
+  (match Archgraph.connection_between g ~src:0 ~dst:1 with
+  | Some c -> Alcotest.(check int) "latency" 3 c.Archgraph.latency
+  | None -> Alcotest.fail "missing connection");
+  (match Archgraph.connection_between g ~src:1 ~dst:0 with
+  | Some c -> Alcotest.(check int) "reverse latency" 5 c.Archgraph.latency
+  | None -> Alcotest.fail "missing reverse connection");
+  Alcotest.(check int) "tile index by name" 1 (Archgraph.tile_index g "t1")
+
+let test_archgraph_validation () =
+  Alcotest.check_raises "unordered tiles"
+    (Invalid_argument "Archgraph.make: tile indices must be dense and ordered")
+    (fun () -> ignore (Archgraph.make [| tile 1 "t" "p" |] []));
+  Alcotest.check_raises "zero latency"
+    (Invalid_argument "Archgraph.make: latency must be positive") (fun () ->
+      ignore
+        (Archgraph.make
+           [| tile 0 "a" "p"; tile 1 "b" "p" |]
+           [ { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 0 } ]));
+  Alcotest.check_raises "duplicate connection"
+    (Invalid_argument "Archgraph.make: duplicate connection") (fun () ->
+      ignore
+        (Archgraph.make
+           [| tile 0 "a" "p"; tile 1 "b" "p" |]
+           [
+             { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 1 };
+             { Archgraph.k_idx = 0; from_tile = 0; to_tile = 1; latency = 2 };
+           ]))
+
+let test_mesh () =
+  let g = Archgraph.mesh ~rows:3 ~cols:3 ~proc_types:[| "a"; "b"; "c" |] () in
+  Alcotest.(check int) "9 tiles" 9 (Archgraph.num_tiles g);
+  Alcotest.(check int) "full connectivity" 72
+    (Array.length (Archgraph.connections g));
+  (* Latency scales with the Manhattan distance (hop latency 2 default). *)
+  (match Archgraph.connection_between g ~src:0 ~dst:1 with
+  | Some c -> Alcotest.(check int) "adjacent" 2 c.Archgraph.latency
+  | None -> Alcotest.fail "missing");
+  (match Archgraph.connection_between g ~src:0 ~dst:8 with
+  | Some c -> Alcotest.(check int) "corner to corner" 8 c.Archgraph.latency
+  | None -> Alcotest.fail "missing");
+  (* Processor types are assigned round robin. *)
+  Alcotest.(check string) "types cycle" "b" (Archgraph.tile g 4).Tile.proc_type
+
+let test_with_tiles () =
+  let g = Archgraph.mesh ~rows:1 ~cols:2 ~proc_types:[| "p" |] () in
+  let tiles =
+    Array.map (fun t -> { t with Tile.occupied = 7 }) (Archgraph.tiles g)
+  in
+  let g2 = Archgraph.with_tiles g tiles in
+  Alcotest.(check int) "updated occupancy" 7 (Archgraph.tile g2 0).Tile.occupied;
+  Alcotest.(check int) "original untouched" 0 (Archgraph.tile g 0).Tile.occupied
+
+let suite =
+  [
+    Alcotest.test_case "tile" `Quick test_tile;
+    Alcotest.test_case "archgraph" `Quick test_archgraph;
+    Alcotest.test_case "archgraph validation" `Quick test_archgraph_validation;
+    Alcotest.test_case "mesh" `Quick test_mesh;
+    Alcotest.test_case "with_tiles" `Quick test_with_tiles;
+  ]

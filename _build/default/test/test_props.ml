@@ -1,0 +1,254 @@
+(* Cross-module property tests on randomly generated workloads: the
+   invariants that hold across the whole flow. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Binding = Core.Binding
+module Bind_aware = Core.Bind_aware
+open Helpers
+
+let gen_seed = QCheck2.Gen.int_range 0 1_000_000
+
+let random_app seed set =
+  let rng = Gen.Rng.create ~seed in
+  Gen.Sdfgen.generate rng
+    (Gen.Benchsets.set_profile set)
+    ~proc_types:Gen.Benchsets.proc_types
+    ~name:(Printf.sprintf "p%d" seed)
+
+let arch () = Gen.Benchsets.architecture 0
+
+(* A valid binding for a random app, or None when binding fails. *)
+let random_binding seed set =
+  let app = random_app seed set in
+  let arch = arch () in
+  match Core.Binding_step.bind ~weights:(Core.Cost.weights 0. 1. 2.) app arch with
+  | Ok binding -> Some (app, arch, binding)
+  | Error _ -> None
+
+let prop_binding_step_valid =
+  qcheck ~count:60 "binding step output satisfies Section 7" gen_seed
+    (fun seed ->
+      match random_binding seed 1 with
+      | None -> true
+      | Some (app, arch, binding) ->
+          Binding.is_complete binding && Binding.check app arch binding = Ok ())
+
+let prop_bind_aware_is_consistent =
+  qcheck ~count:40 "binding-aware graph stays consistent and connected"
+    gen_seed (fun seed ->
+      match random_binding seed 3 with
+      | None -> true
+      | Some (app, arch, binding) ->
+          let slices = Bind_aware.half_wheel_slices app arch binding in
+          let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+          Sdf.Repetition.is_consistent ba.Bind_aware.graph
+          && Sdfg.is_weakly_connected ba.Bind_aware.graph)
+
+let prop_bind_aware_app_actors_keep_indices =
+  qcheck ~count:40 "application actors keep their indices" gen_seed
+    (fun seed ->
+      match random_binding seed 2 with
+      | None -> true
+      | Some (app, arch, binding) ->
+          let slices = Bind_aware.half_wheel_slices app arch binding in
+          let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+          let n = Sdfg.num_actors app.Appgraph.graph in
+          let ok = ref true in
+          for a = 0 to n - 1 do
+            if
+              Sdfg.actor_name ba.Bind_aware.graph a
+              <> Sdfg.actor_name app.Appgraph.graph a
+              || ba.Bind_aware.roles.(a) <> Bind_aware.App a
+            then ok := false
+          done;
+          !ok)
+
+let prop_colocated_binding_has_no_conn_actors =
+  qcheck ~count:40 "single-tile bindings produce no c/s actors" gen_seed
+    (fun seed ->
+      let app = random_app seed 1 in
+      let arch = arch () in
+      (* Bind everything to the first tile that supports all actors. *)
+      let n = Sdfg.num_actors app.Appgraph.graph in
+      let tile_ok t =
+        List.init n Fun.id
+        |> List.for_all (fun a ->
+               Appgraph.supports app a
+                 (Platform.Archgraph.tile arch t).Platform.Tile.proc_type)
+      in
+      match List.find_opt tile_ok (List.init 9 Fun.id) with
+      | None -> true
+      | Some t ->
+          let binding = Array.make n t in
+          if Binding.check app arch binding <> Ok () then true
+          else begin
+            let slices = Bind_aware.half_wheel_slices app arch binding in
+            let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+            Sdfg.num_actors ba.Bind_aware.graph = n
+          end)
+
+let prop_constrained_monotone_in_slices =
+  qcheck ~count:20 "constrained throughput is monotone in the slice size"
+    gen_seed (fun seed ->
+      match random_binding seed 1 with
+      | None -> true
+      | Some (app, arch, binding) -> (
+          let half = Bind_aware.half_wheel_slices app arch binding in
+          let ba = Bind_aware.build ~app ~arch ~binding ~slices:half () in
+          match Core.List_scheduler.schedules ~max_states:100_000 ba with
+          | exception Core.List_scheduler.Deadlocked -> true
+          | exception Core.List_scheduler.State_space_exceeded _ -> true
+          | schedules ->
+              let thr slices =
+                let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+                Core.Constrained.throughput_or_zero ~max_states:100_000 ba
+                  ~schedules
+              in
+              let quarter =
+                Array.map (fun s -> if s > 0 then max 1 (s / 2) else 0) half
+              in
+              Rat.compare (thr half) (thr quarter) >= 0))
+
+let prop_inflation_is_conservative =
+  qcheck ~count:20 "inflation model never beats constrained execution"
+    gen_seed (fun seed ->
+      match random_binding seed 1 with
+      | None -> true
+      | Some (app, arch, binding) -> (
+          let slices = Bind_aware.half_wheel_slices app arch binding in
+          let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+          match Core.List_scheduler.schedules ~max_states:100_000 ba with
+          | exception Core.List_scheduler.Deadlocked -> true
+          | exception Core.List_scheduler.State_space_exceeded _ -> true
+          | schedules ->
+              let ours =
+                Core.Constrained.throughput_or_zero ~max_states:100_000 ba
+                  ~schedules
+              in
+              let theirs =
+                Core.Tdma_inflation.throughput ~max_states:100_000 ba
+                  ~schedules
+              in
+              Rat.compare theirs ours <= 0))
+
+let prop_constrained_bounded_by_selftimed =
+  qcheck ~count:20
+    "schedules and gating never beat the binding-aware self-timed bound"
+    gen_seed (fun seed ->
+      match random_binding seed 1 with
+      | None -> true
+      | Some (app, arch, binding) -> (
+          let full =
+            Array.mapi
+              (fun t _ ->
+                Platform.Tile.available_wheel (Platform.Archgraph.tile arch t))
+              (Platform.Archgraph.tiles arch)
+          in
+          let slices =
+            Array.mapi
+              (fun t avail ->
+                if Array.exists (fun bt -> bt = t) binding then avail else 0)
+              full
+          in
+          let ba = Bind_aware.build ~app ~arch ~binding ~slices () in
+          match Core.List_scheduler.schedules ~max_states:100_000 ba with
+          | exception Core.List_scheduler.Deadlocked -> true
+          | exception Core.List_scheduler.State_space_exceeded _ -> true
+          | schedules -> (
+              match
+                Analysis.Selftimed.analyze ~max_states:100_000
+                  ba.Bind_aware.graph ba.Bind_aware.exec_times
+              with
+              | exception Analysis.Selftimed.State_space_exceeded _ -> true
+              | st ->
+                  let bound =
+                    st.Analysis.Selftimed.throughput.(app.Appgraph.output_actor)
+                  in
+                  let constrained =
+                    Core.Constrained.throughput_or_zero ~max_states:100_000 ba
+                      ~schedules
+                  in
+                  Rat.compare constrained bound <= 0)))
+
+let prop_strategy_allocations_valid =
+  qcheck ~count:25 "strategy output is valid and meets lambda" gen_seed
+    (fun seed ->
+      let app = random_app seed ((seed mod 3) + 1) in
+      let arch = arch () in
+      match Core.Strategy.allocate ~max_states:150_000 app arch with
+      | Error _ -> true
+      | Ok alloc ->
+          Core.Strategy.is_valid alloc arch
+          && Rat.compare alloc.Core.Strategy.throughput app.Appgraph.lambda >= 0)
+
+let prop_guarantee_holds_under_offsets =
+  qcheck ~count:15 "guarantee lower-bounds implementation runs (any offsets)"
+    gen_seed (fun seed ->
+      let app = random_app seed ((seed mod 3) + 1) in
+      let arch = arch () in
+      match Core.Strategy.allocate ~max_states:150_000 app arch with
+      | Error _ -> true
+      | Ok a -> (
+          let ba =
+            Bind_aware.build ~sync_model:Bind_aware.Aligned_wheels ~app ~arch
+              ~binding:a.Core.Strategy.binding ~slices:a.Core.Strategy.slices ()
+          in
+          let rng = Gen.Rng.create ~seed:(seed * 7 + 1) in
+          let ok = ref true in
+          for _ = 1 to 5 do
+            let offsets = Array.init 9 (fun _ -> Gen.Rng.int rng 60) in
+            match
+              Core.Constrained.analyze ~offsets ~max_states:150_000 ba
+                ~schedules:a.Core.Strategy.schedules
+            with
+            | exception Core.Constrained.State_space_exceeded _ -> ()
+            | exception Core.Constrained.Deadlocked -> ok := false
+            | r ->
+                if
+                  Rat.compare r.Core.Constrained.throughput
+                    a.Core.Strategy.throughput
+                  < 0
+                then ok := false
+          done;
+          !ok))
+
+let prop_commit_never_negative =
+  qcheck ~count:15 "committing allocations never yields negative resources"
+    gen_seed (fun seed ->
+      let rng = Gen.Rng.create ~seed in
+      let apps =
+        List.init 4 (fun i ->
+            Gen.Sdfgen.generate (Gen.Rng.split rng)
+              (Gen.Benchsets.set_profile ((i mod 3) + 1))
+              ~proc_types:Gen.Benchsets.proc_types
+              ~name:(Printf.sprintf "c%d_%d" seed i))
+      in
+      let report =
+        Core.Multi_app.allocate_until_failure
+          ~weights:(Core.Cost.weights 0. 1. 2.) ~max_states:150_000 apps
+          (arch ())
+      in
+      Array.for_all
+        (fun t ->
+          t.Platform.Tile.mem >= 0
+          && t.Platform.Tile.max_conns >= 0
+          && t.Platform.Tile.in_bw >= 0
+          && t.Platform.Tile.out_bw >= 0
+          && t.Platform.Tile.occupied <= t.Platform.Tile.wheel)
+        (Platform.Archgraph.tiles report.Core.Multi_app.remaining))
+
+let suite =
+  [
+    prop_binding_step_valid;
+    prop_bind_aware_is_consistent;
+    prop_bind_aware_app_actors_keep_indices;
+    prop_colocated_binding_has_no_conn_actors;
+    prop_constrained_monotone_in_slices;
+    prop_inflation_is_conservative;
+    prop_constrained_bounded_by_selftimed;
+    prop_guarantee_holds_under_offsets;
+    prop_strategy_allocations_valid;
+    prop_commit_never_negative;
+  ]

@@ -1,0 +1,105 @@
+(* Rational arithmetic: exactness is what the throughput machinery rests
+   on, so these tests pin normalisation, ordering and the corner cases
+   (negatives, infinity, floor/ceil). *)
+
+module Rat = Sdf.Rat
+open Helpers
+
+let test_normalisation () =
+  check_rat "6/4 = 3/2" (r 3 2) (r 6 4);
+  check_rat "-6/4 = -3/2" (r (-3) 2) (r 6 (-4));
+  check_rat "0/5 = 0" Rat.zero (r 0 5);
+  Alcotest.(check int) "num of 6/4" 3 (Rat.num (r 6 4));
+  Alcotest.(check int) "den of 6/4" 2 (Rat.den (r 6 4));
+  Alcotest.(check int) "den positive" 2 (Rat.den (r 3 (-2)));
+  Alcotest.(check int) "num sign moves" (-3) (Rat.num (r 3 (-2)))
+
+let test_arithmetic () =
+  check_rat "1/2 + 1/3" (r 5 6) (Rat.add (r 1 2) (r 1 3));
+  check_rat "1/2 - 1/3" (r 1 6) (Rat.sub (r 1 2) (r 1 3));
+  check_rat "2/3 * 3/4" (r 1 2) (Rat.mul (r 2 3) (r 3 4));
+  check_rat "(1/2) / (1/4)" (r 2 1) (Rat.div (r 1 2) (r 1 4));
+  check_rat "neg" (r (-1) 2) (Rat.neg (r 1 2));
+  check_rat "inv" (r 2 1) (Rat.inv (r 1 2));
+  check_rat "inv negative" (r (-2) 1) (Rat.inv (r (-1) 2));
+  check_rat "mul_int" (r 3 2) (Rat.mul_int (r 1 2) 3);
+  check_rat "div_int" (r 1 6) (Rat.div_int (r 1 2) 3)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make n 0" Division_by_zero (fun () ->
+      ignore (r 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rat.div (r 1 2) Rat.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Rat.inv Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rat.(r 1 3 < r 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rat.(r (-1) 2 < r 1 3);
+  Alcotest.(check bool) "equal" true Rat.(r 2 4 = r 1 2);
+  Alcotest.(check bool) "inf > everything" true
+    (Rat.compare Rat.infinity (r 1000000 1) > 0);
+  Alcotest.(check bool) "inf = inf" true (Rat.equal Rat.infinity Rat.infinity);
+  check_rat "min" (r 1 3) (Rat.min (r 1 3) (r 1 2));
+  check_rat "max" (r 1 2) (Rat.max (r 1 3) (r 1 2))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (r 7 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (r 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (r (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (r (-7) 2));
+  Alcotest.(check int) "floor 4/2" 2 (Rat.floor (r 4 2));
+  Alcotest.(check int) "ceil 4/2" 2 (Rat.ceil (r 4 2))
+
+let test_gcd_lcm () =
+  Alcotest.(check int) "gcd 12 18" 6 (Rat.gcd 12 18);
+  Alcotest.(check int) "gcd 0 5" 5 (Rat.gcd 0 5);
+  Alcotest.(check int) "gcd 0 0" 0 (Rat.gcd 0 0);
+  Alcotest.(check int) "gcd negative" 6 (Rat.gcd (-12) 18);
+  Alcotest.(check int) "lcm 4 6" 12 (Rat.lcm 4 6);
+  Alcotest.(check int) "lcm 0 6" 0 (Rat.lcm 0 6)
+
+let test_printing () =
+  Alcotest.(check string) "3/2" "3/2" (Rat.to_string (r 3 2));
+  Alcotest.(check string) "integer" "4" (Rat.to_string (r 8 2));
+  Alcotest.(check string) "inf" "inf" (Rat.to_string Rat.infinity);
+  Alcotest.(check string) "negative" "-1/2" (Rat.to_string (r 1 (-2)))
+
+let gen_rat =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> r n d)
+      (int_range (-1000) 1000)
+      (int_range 1 1000))
+
+let props =
+  [
+    qcheck "add commutes" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    qcheck "mul distributes over add"
+      QCheck2.Gen.(triple gen_rat gen_rat gen_rat) (fun (a, b, c) ->
+        Rat.equal
+          (Rat.mul a (Rat.add b c))
+          (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    qcheck "sub then add roundtrips" QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b));
+    qcheck "always normalised" gen_rat (fun a ->
+        Rat.gcd (abs (Rat.num a)) (Rat.den a) <= 1 && Rat.den a > 0);
+    qcheck "floor <= x < floor+1" gen_rat (fun a ->
+        let f = Rat.floor a in
+        Rat.(of_int f <= a) && Rat.(a < of_int (f + 1)));
+    qcheck "compare antisymmetric" QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) -> Rat.compare a b = -Rat.compare b a);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "normalisation" `Quick test_normalisation;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+    Alcotest.test_case "printing" `Quick test_printing;
+  ]
+  @ props

@@ -1,0 +1,320 @@
+(* Cross-cutting edge cases and regressions: each case pins a behaviour
+   that was non-obvious during development or that guards a subtle
+   semantic choice. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Models = Appmodel.Models
+module Constrained = Core.Constrained
+module Schedule = Core.Schedule
+open Helpers
+
+(* --- constrained execution with wheel offsets --- *)
+
+let example_impl_ba () =
+  (* Implementation model: aligned wheels, zero sync wait. *)
+  Core.Bind_aware.build ~sync_model:Core.Bind_aware.Aligned_wheels
+    ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+    ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+
+let example_schedules () =
+  [|
+    Some (Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+    Some (Schedule.make ~prefix:[] ~period:[ 2 ]);
+  |]
+
+let test_offsets_guarantee_tight () =
+  (* Allocate the example, then simulate the deployment under every wheel
+     alignment: the guarantee must hold everywhere, and for the allocated
+     slices the worst alignment reaches it exactly (the bound is tight). *)
+  match
+    Core.Strategy.allocate (Models.example_app ()) (Models.example_platform ())
+  with
+  | Error _ -> Alcotest.fail "allocation failed"
+  | Ok a ->
+      let ba =
+        Core.Bind_aware.build ~sync_model:Core.Bind_aware.Aligned_wheels
+          ~app:(Models.example_app ()) ~arch:(Models.example_platform ())
+          ~binding:a.Core.Strategy.binding ~slices:a.Core.Strategy.slices ()
+      in
+      let worst = ref Rat.infinity in
+      for o1 = 0 to 9 do
+        for o2 = 0 to 9 do
+          let r =
+            Constrained.analyze ~offsets:[| o1; o2 |] ba
+              ~schedules:a.Core.Strategy.schedules
+          in
+          if Rat.compare r.Constrained.throughput !worst < 0 then
+            worst := r.Constrained.throughput
+        done
+      done;
+      Alcotest.(check bool) "guarantee holds everywhere" true
+        (Rat.compare !worst a.Core.Strategy.throughput >= 0);
+      check_rat "worst alignment reaches the bound exactly"
+        a.Core.Strategy.throughput !worst
+
+let test_offsets_normalised () =
+  (* Negative and oversized offsets are taken modulo the wheel. *)
+  let ba = example_impl_ba () in
+  let schedules = example_schedules () in
+  let thr offsets =
+    (Constrained.analyze ~offsets ba ~schedules).Constrained.throughput
+  in
+  check_rat "offset 13 = offset 3" (thr [| 13; 0 |]) (thr [| 3; 0 |]);
+  check_rat "offset -7 = offset 3" (thr [| -7; 0 |]) (thr [| 3; 0 |])
+
+let test_offsets_wrong_length () =
+  let ba = example_impl_ba () in
+  match Constrained.analyze ~offsets:[| 1 |] ba ~schedules:(example_schedules ()) with
+  | (_ : Constrained.result) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_zero_offsets_default () =
+  let ba = example_impl_ba () in
+  let schedules = example_schedules () in
+  check_rat "explicit zeros = default"
+    (Constrained.analyze ba ~schedules).Constrained.throughput
+    (Constrained.analyze ~offsets:[| 0; 0 |] ba ~schedules).Constrained.throughput
+
+(* --- HSDF dedupe --- *)
+
+let test_hsdf_dedupe_shrinks () =
+  let g = prodcons () in
+  let gamma = Sdf.Repetition.vector_exn g in
+  let deduped = Sdf.Hsdf.convert ~dedupe:true g gamma in
+  let full = Sdf.Hsdf.convert ~dedupe:false g gamma in
+  Alcotest.(check bool) "dedupe never adds channels" true
+    (Sdfg.num_channels deduped.Sdf.Hsdf.graph
+    <= Sdfg.num_channels full.Sdf.Hsdf.graph);
+  (* Both preserve the throughput (dedupe keeps the tightest edge). *)
+  let taus = Sdf.Hsdf.timing deduped [| 2; 5 |] in
+  let taus_full = Sdf.Hsdf.timing full [| 2; 5 |] in
+  check_rat "same MCR"
+    (Analysis.Mcr.hsdf_throughput deduped.Sdf.Hsdf.graph taus)
+    (Analysis.Mcr.hsdf_throughput full.Sdf.Hsdf.graph taus_full)
+
+let test_hsdf_channel_provenance () =
+  let g = example_graph () in
+  let h = Sdf.Hsdf.convert g (Sdf.Repetition.vector_exn g) in
+  Alcotest.(check int) "one origin per channel"
+    (Sdfg.num_channels h.Sdf.Hsdf.graph)
+    (Array.length h.Sdf.Hsdf.channel_of);
+  Array.iter
+    (fun origin ->
+      Alcotest.(check bool) "origin in range" true
+        (origin >= 0 && origin < Sdfg.num_channels g))
+    h.Sdf.Hsdf.channel_of
+
+(* --- selftimed observer ordering --- *)
+
+let test_observer_times_nondecreasing () =
+  let times = ref [] in
+  let observer time _ = times := time :: !times in
+  ignore (Analysis.Selftimed.analyze ~observer (example_graph ()) [| 1; 1; 2 |]);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a >= b && nondecreasing rest
+    | _ -> true
+  in
+  (* recorded in reverse order *)
+  Alcotest.(check bool) "event times monotone" true (nondecreasing !times)
+
+(* --- cost function degenerate resources --- *)
+
+let test_tile_cost_with_zero_capacity () =
+  (* A tile with zero connection capacity: communication load becomes
+     infinite as soon as a split lands there, pushing it to the back of
+     every candidate order instead of crashing. *)
+  let app = Models.example_app () in
+  let arch = Models.example_platform () in
+  let tiles = Platform.Archgraph.tiles arch in
+  let arch0 =
+    Platform.Archgraph.with_tiles arch
+      [| { tiles.(0) with Platform.Tile.max_conns = 0 }; tiles.(1) |]
+  in
+  let lc = Core.Cost.communication_load app arch0 [| 0; 0; 1 |] 0 in
+  Alcotest.(check bool) "infinite" true (lc = Float.infinity)
+
+(* --- schedules: position normalisation stays in range forever --- *)
+
+let test_schedule_normalise_pos () =
+  let s = Schedule.make ~prefix:[ 5; 6 ] ~period:[ 1; 2; 3 ] in
+  Alcotest.(check int) "prefix pos unchanged" 1 (Schedule.normalise_pos s 1);
+  Alcotest.(check int) "first wrap" 2 (Schedule.normalise_pos s 5);
+  (* plen 2, period 3: pos 100 -> 2 + ((100 - 2) mod 3) = 4. *)
+  Alcotest.(check int) "deep wrap" 4 (Schedule.normalise_pos s 100);
+  Alcotest.(check int) "actor agrees" (Schedule.actor_at s 100)
+    (Schedule.actor_at s (Schedule.normalise_pos s 100))
+
+(* --- architecture validation --- *)
+
+let test_with_tiles_length_check () =
+  let arch = Models.example_platform () in
+  match Platform.Archgraph.with_tiles arch [| Platform.Archgraph.tile arch 0 |] with
+  | (_ : Platform.Archgraph.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- generator: set 3 really is denser --- *)
+
+let test_set3_denser_than_set1 () =
+  let avg_channels set =
+    let apps = Gen.Benchsets.sequence ~set ~seq:0 ~count:10 in
+    List.fold_left
+      (fun acc (a : Appmodel.Appgraph.t) ->
+        acc
+        + Sdfg.num_channels a.Appmodel.Appgraph.graph
+          * 100
+          / Sdfg.num_actors a.Appmodel.Appgraph.graph)
+      0 apps
+    / List.length apps
+  in
+  Alcotest.(check bool) "set3 channel density higher" true
+    (avg_channels 3 > avg_channels 1)
+
+(* --- slice allocation: phase 2 never grows the phase-1 slices --- *)
+
+let test_phase2_only_shrinks () =
+  let app = Models.example_app () in
+  let arch = Models.example_platform () in
+  let binding = [| 0; 0; 1 |] in
+  let ba =
+    Core.Bind_aware.build ~app ~arch ~binding
+      ~slices:(Core.Bind_aware.half_wheel_slices app arch binding) ()
+  in
+  let schedules = Core.List_scheduler.schedules ba in
+  match Core.Slice_alloc.allocate app arch binding schedules with
+  | Error _ -> Alcotest.fail "expected success"
+  | Ok o ->
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "within the wheel" true (s >= 0 && s <= 10))
+        o.Core.Slice_alloc.slices
+
+(* --- multimedia models under the iterative flow --- *)
+
+let test_flow_retry_on_mp3 () =
+  let r =
+    Core.Flow.allocate_with_retry ~max_states:2_000_000 (Models.mp3 ())
+      (Models.multimedia_platform ())
+  in
+  Alcotest.(check bool) "mp3 allocates within the ladder" true
+    (r.Core.Flow.allocation <> None)
+
+(* --- final batch of edge cases --- *)
+
+let test_composition_empty () =
+  Alcotest.(check int) "no members from no allocations" 0
+    (List.length (Core.Composition.members_of_allocations []))
+
+let test_flow_empty_ladder () =
+  let r =
+    Core.Flow.allocate_with_retry ~weight_ladder:[] (Models.example_app ())
+      (Models.example_platform ())
+  in
+  Alcotest.(check bool) "no allocation" true (r.Core.Flow.allocation = None);
+  Alcotest.(check int) "no attempts" 0 (List.length r.Core.Flow.attempts)
+
+let test_textio_negative_exec_time () =
+  match Sdf.Textio.parse "sdfg x\nactor a -3\n" with
+  | (_ : Sdf.Textio.document) -> Alcotest.fail "expected parse error"
+  | exception Sdf.Textio.Parse_error { line = 2; _ } -> ()
+  | exception Sdf.Textio.Parse_error _ -> Alcotest.fail "wrong line"
+
+let test_xml_apostrophe () =
+  let node = Sdf.Xml.Element ("t", [ ("a", "it's") ], []) in
+  let back = Sdf.Xml.parse (Sdf.Xml.to_string node) in
+  Alcotest.(check string) "apostrophe survives" "it's" (Sdf.Xml.attr back "a")
+
+let test_gantt_large_model () =
+  (* The WLAN receiver spread over the multimedia platform: many transport
+     actors; rendering must stay well formed (symbols wrap modulo 26). *)
+  match
+    Core.Strategy.allocate ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000 (Models.wlan ()) (Models.multimedia_platform ())
+  with
+  | Error _ -> Alcotest.fail "wlan allocation failed"
+  | Ok a ->
+      let ba =
+        Core.Bind_aware.build ~app:a.Core.Strategy.app ~arch:a.Core.Strategy.arch
+          ~binding:a.Core.Strategy.binding ~slices:a.Core.Strategy.slices ()
+      in
+      let view =
+        Core.Gantt.capture ~max_states:2_000_000 ~horizon:60 ba
+          ~schedules:a.Core.Strategy.schedules
+      in
+      let s = Core.Gantt.render view in
+      Alcotest.(check bool) "has a legend" true
+        (String.length s > 0
+        &&
+        let rec contains i =
+          i + 7 <= String.length s
+          && (String.sub s i 7 = "legend:" || contains (i + 1))
+        in
+        contains 0)
+
+let test_latency_on_jpeg () =
+  let app = Models.jpeg () in
+  let g = app.Appmodel.Appgraph.graph in
+  let taus =
+    Array.init (Sdfg.num_actors g) (fun a ->
+        Appmodel.Appgraph.max_exec_time app a)
+  in
+  let first =
+    Analysis.Latency.first_output_completion ~max_states:500_000 g taus
+      ~output:5
+  in
+  let makespan = Analysis.Latency.iteration_makespan ~max_states:500_000 g taus in
+  Alcotest.(check bool) "positive" true (first > 0);
+  (* cc is the last actor of the pipeline, so its first completion is the
+     makespan of the first iteration here. *)
+  Alcotest.(check int) "cc closes the iteration" makespan first
+
+let test_deployment_multirate_schedule () =
+  match
+    Core.Strategy.allocate ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000 (Models.jpeg ()) (Models.multimedia_platform ())
+  with
+  | Error _ -> Alcotest.fail "jpeg allocation failed"
+  | Ok a ->
+      let summary =
+        Core.Deployment.summary_of_xml (Core.Deployment.to_xml a)
+      in
+      Alcotest.(check int) "six bindings" 6
+        (List.length summary.Core.Deployment.bindings);
+      Alcotest.(check bool) "throughput meets lambda" true
+        (Rat.compare summary.Core.Deployment.throughput
+           (Models.jpeg ()).Appmodel.Appgraph.lambda
+        >= 0)
+
+let test_sensitivity_lengths () =
+  let g = Helpers.example_graph () in
+  let r = Analysis.Sensitivity.measure g [| 1; 1; 2 |] ~output:2 in
+  Alcotest.(check int) "per_actor length" 3 (Array.length r.Analysis.Sensitivity.per_actor);
+  Alcotest.(check int) "sensitivity length" 3
+    (Array.length r.Analysis.Sensitivity.sensitivity)
+
+let suite =
+  [
+    Alcotest.test_case "offsets: guarantee tight on example" `Slow
+      test_offsets_guarantee_tight;
+    Alcotest.test_case "offsets normalised" `Quick test_offsets_normalised;
+    Alcotest.test_case "offsets wrong length" `Quick test_offsets_wrong_length;
+    Alcotest.test_case "zero offsets default" `Quick test_zero_offsets_default;
+    Alcotest.test_case "hsdf dedupe" `Quick test_hsdf_dedupe_shrinks;
+    Alcotest.test_case "hsdf provenance" `Quick test_hsdf_channel_provenance;
+    Alcotest.test_case "observer ordering" `Quick test_observer_times_nondecreasing;
+    Alcotest.test_case "zero-capacity tile cost" `Quick
+      test_tile_cost_with_zero_capacity;
+    Alcotest.test_case "schedule normalisation" `Quick test_schedule_normalise_pos;
+    Alcotest.test_case "with_tiles length" `Quick test_with_tiles_length_check;
+    Alcotest.test_case "set3 denser" `Quick test_set3_denser_than_set1;
+    Alcotest.test_case "phase 2 bounded" `Quick test_phase2_only_shrinks;
+    Alcotest.test_case "flow retry on mp3" `Slow test_flow_retry_on_mp3;
+    Alcotest.test_case "composition empty" `Quick test_composition_empty;
+    Alcotest.test_case "flow empty ladder" `Quick test_flow_empty_ladder;
+    Alcotest.test_case "textio negative time" `Quick test_textio_negative_exec_time;
+    Alcotest.test_case "xml apostrophe" `Quick test_xml_apostrophe;
+    Alcotest.test_case "gantt large model" `Slow test_gantt_large_model;
+    Alcotest.test_case "latency on jpeg" `Quick test_latency_on_jpeg;
+    Alcotest.test_case "deployment multirate" `Slow test_deployment_multirate_schedule;
+    Alcotest.test_case "sensitivity lengths" `Quick test_sensitivity_lengths;
+  ]

@@ -1,0 +1,143 @@
+(* Repetition vectors (paper Definition 2), consistency and deadlock. *)
+
+module Sdfg = Sdf.Sdfg
+module Repetition = Sdf.Repetition
+module Deadlock = Sdf.Deadlock
+open Helpers
+
+let test_example () =
+  let gamma = Repetition.vector_exn (example_graph ()) in
+  Alcotest.(check (array int)) "gamma" [| 2; 2; 1 |] gamma
+
+let test_prodcons () =
+  let gamma = Repetition.vector_exn (prodcons ()) in
+  Alcotest.(check (array int)) "gamma" [| 3; 2 |] gamma
+
+let test_h263 () =
+  let app = Appmodel.Models.h263 () in
+  Alcotest.(check (array int)) "gamma (paper Fig. 1)"
+    [| 1; 2376; 2376; 1 |]
+    (Appmodel.Appgraph.gamma app);
+  Alcotest.(check int) "HSDF size (paper Sec. 1)" 4754
+    (Repetition.iteration_firings (Appmodel.Appgraph.gamma app))
+
+let test_minimality () =
+  (* Rates with a common factor still yield the smallest vector. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 4, 6, 0); ("b", "a", 6, 4, 12) ]
+  in
+  Alcotest.(check (array int)) "gamma" [| 3; 2 |] (Repetition.vector_exn g)
+
+let test_inconsistent () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 2, 1, 0); ("b", "a", 1, 1, 1) ]
+  in
+  (match Repetition.compute g with
+  | Repetition.Inconsistent { channel } ->
+      Alcotest.(check bool) "witness channel valid" true (channel >= 0 && channel < 2)
+  | _ -> Alcotest.fail "expected inconsistency");
+  Alcotest.(check bool) "is_consistent false" false (Repetition.is_consistent g);
+  Alcotest.check_raises "vector_exn raises"
+    (Invalid_argument "Repetition.vector_exn: inconsistent on channel d1")
+    (fun () -> ignore (Repetition.vector_exn g))
+
+let test_disconnected () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ] ~channels:[]
+  in
+  (match Repetition.compute g with
+  | Repetition.Disconnected -> ()
+  | _ -> Alcotest.fail "expected Disconnected")
+
+let test_check () =
+  let g = example_graph () in
+  Alcotest.(check bool) "valid vector" true (Repetition.check g [| 2; 2; 1 |]);
+  Alcotest.(check bool) "scaled vector also balances" true
+    (Repetition.check g [| 4; 4; 2 |]);
+  Alcotest.(check bool) "wrong vector" false (Repetition.check g [| 1; 2; 1 |]);
+  Alcotest.(check bool) "zero entry" false (Repetition.check g [| 2; 2; 0 |]);
+  Alcotest.(check bool) "wrong length" false (Repetition.check g [| 2; 2 |])
+
+let test_deadlock_free () =
+  let g = example_graph () in
+  let gamma = Repetition.vector_exn g in
+  Alcotest.(check bool) "example live" true
+    (Deadlock.check g gamma = Deadlock.Deadlock_free);
+  Alcotest.(check bool) "is_deadlock_free" true (Deadlock.is_deadlock_free g)
+
+let test_deadlocked () =
+  (* A token-free cycle can never fire. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 0) ]
+  in
+  (match Deadlock.check g [| 1; 1 |] with
+  | Deadlock.Deadlocked { blocked } ->
+      Alcotest.(check (list int)) "both blocked" [ 0; 1 ] blocked
+  | Deadlock.Deadlock_free -> Alcotest.fail "expected deadlock");
+  Alcotest.(check bool) "is_deadlock_free false" false
+    (Deadlock.is_deadlock_free g)
+
+let test_partial_deadlock () =
+  (* Multirate ring with too few tokens: consistent but dead. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 2, 3, 0); ("b", "a", 3, 2, 1) ]
+  in
+  Alcotest.(check bool) "consistent" true (Repetition.is_consistent g);
+  Alcotest.(check bool) "but deadlocked" false (Deadlock.is_deadlock_free g)
+
+let gen_chain =
+  (* Random consistent chains with a token-bearing feedback edge. *)
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* gammas = list_repeat n (int_range 1 4) in
+    return (n, gammas))
+
+let prop_generated_consistent =
+  qcheck "derived rates are consistent and gamma divides choice" gen_chain
+    (fun (n, gammas) ->
+      let gammas = Array.of_list gammas in
+      let b = Sdfg.Builder.create () in
+      for i = 0 to n - 1 do
+        ignore (Sdfg.Builder.add_actor b (Printf.sprintf "a%d" i))
+      done;
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      for i = 0 to n - 2 do
+        let g = gcd gammas.(i) gammas.(i + 1) in
+        ignore
+          (Sdfg.Builder.add_channel b ~src:i ~dst:(i + 1)
+             ~prod:(gammas.(i + 1) / g) ~cons:(gammas.(i) / g) ())
+      done;
+      let g0 = gcd gammas.(n - 1) gammas.(0) in
+      ignore
+        (Sdfg.Builder.add_channel b ~src:(n - 1) ~dst:0
+           ~prod:(gammas.(0) / g0) ~cons:(gammas.(n - 1) / g0)
+           ~tokens:(gammas.(n - 1) / g0 * gammas.(0)) ());
+      let g = Sdfg.Builder.build b in
+      match Repetition.compute g with
+      | Repetition.Consistent gamma ->
+          (* The chosen vector must be an integer multiple of the minimal
+             one, and the minimal one must balance every channel. *)
+          let k = gammas.(0) / gamma.(0) in
+          k >= 1
+          && Array.for_all2 (fun a b -> a = b * k) gammas gamma
+          && Repetition.check g gamma
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "example gamma" `Quick test_example;
+    Alcotest.test_case "prodcons gamma" `Quick test_prodcons;
+    Alcotest.test_case "h263 gamma and HSDF size" `Quick test_h263;
+    Alcotest.test_case "minimality" `Quick test_minimality;
+    Alcotest.test_case "inconsistent" `Quick test_inconsistent;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "check" `Quick test_check;
+    Alcotest.test_case "deadlock free" `Quick test_deadlock_free;
+    Alcotest.test_case "deadlocked" `Quick test_deadlocked;
+    Alcotest.test_case "partial deadlock" `Quick test_partial_deadlock;
+    prop_generated_consistent;
+  ]

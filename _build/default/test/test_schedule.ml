@@ -1,0 +1,111 @@
+(* Static-order schedules and their compaction (paper Sections 4, 9.2). *)
+
+module Schedule = Core.Schedule
+open Helpers
+
+let sched prefix period = Schedule.make ~prefix ~period
+
+let test_actor_at () =
+  let s = sched [ 9 ] [ 1; 2 ] in
+  Alcotest.(check int) "pos 0" 9 (Schedule.actor_at s 0);
+  Alcotest.(check int) "pos 1" 1 (Schedule.actor_at s 1);
+  Alcotest.(check int) "pos 2" 2 (Schedule.actor_at s 2);
+  Alcotest.(check int) "pos 3 wraps" 1 (Schedule.actor_at s 3)
+
+let test_advance_normalises () =
+  let s = sched [ 9 ] [ 1; 2 ] in
+  let rec go pos = function 0 -> pos | n -> go (Schedule.advance s pos) (n - 1) in
+  (* After many advances the position stays within prefix + period bounds. *)
+  let p = go 0 1000 in
+  Alcotest.(check bool) "bounded" true (p < 3);
+  Alcotest.(check int) "same actor as unnormalised" (Schedule.actor_at s 1000)
+    (Schedule.actor_at s p)
+
+let test_empty_period_rejected () =
+  Alcotest.check_raises "empty period"
+    (Invalid_argument "Schedule.make: empty period") (fun () ->
+      ignore (sched [ 1 ] []))
+
+let test_compact_primitive_root () =
+  let s = Schedule.compact (sched [] [ 1; 2; 1; 2; 1; 2 ]) in
+  Alcotest.(check bool) "reduced" true
+    (Schedule.equal s (sched [] [ 1; 2 ]))
+
+let test_compact_paper_example () =
+  (* Paper Sec. 9.2: a1 a2 a1 a2 a1 a2 a1 a2 a1 (a2 a1 a2 a1 a2 a1 a2 a1)*
+     compacts to (a1 a2)*. Actor 0 = a1, 1 = a2. *)
+  let s =
+    sched [ 0; 1; 0; 1; 0; 1; 0; 1; 0 ] [ 1; 0; 1; 0; 1; 0; 1; 0 ]
+  in
+  let c = Schedule.compact s in
+  Alcotest.(check bool) "(a1 a2)*" true (Schedule.equal c (sched [] [ 0; 1 ]))
+
+let test_compact_keeps_real_prefix () =
+  (* A genuinely different transient must survive compaction. *)
+  let s = sched [ 7 ] [ 1; 2 ] in
+  let c = Schedule.compact s in
+  Alcotest.(check bool) "unchanged" true (Schedule.equal c s)
+
+let test_compact_preserves_sequence () =
+  let check_preserved s =
+    let c = Schedule.compact s in
+    let ok = ref true in
+    for pos = 0 to 50 do
+      if Schedule.actor_at s pos <> Schedule.actor_at c pos then ok := false
+    done;
+    !ok
+  in
+  Alcotest.(check bool) "paper example" true
+    (check_preserved (sched [ 0; 1; 0; 1; 0 ] [ 1; 0; 1; 0 ]));
+  Alcotest.(check bool) "with real prefix" true
+    (check_preserved (sched [ 5; 0; 1 ] [ 2; 2; 3 ]))
+
+let test_firing_counts () =
+  let s = sched [ 0 ] [ 1; 2; 1 ] in
+  Alcotest.(check (array int)) "counts" [| 0; 2; 1 |]
+    (Schedule.firing_counts s ~n_actors:3)
+
+let test_pp () =
+  let s = sched [ 0 ] [ 1; 2 ] in
+  let str =
+    Format.asprintf "%a" (Schedule.pp (fun ppf a -> Format.fprintf ppf "a%d" a)) s
+  in
+  Alcotest.(check string) "rendering" "a0 (a1 a2)*" str
+
+let gen_sched =
+  QCheck2.Gen.(
+    let* prefix = list_size (int_range 0 6) (int_range 0 3) in
+    let* period = list_size (int_range 1 6) (int_range 0 3) in
+    return (prefix, period))
+
+let prop_compact_preserves =
+  qcheck "compaction never changes the infinite sequence" gen_sched
+    (fun (prefix, period) ->
+      let s = sched prefix period in
+      let c = Schedule.compact s in
+      let ok = ref true in
+      for pos = 0 to 100 do
+        if Schedule.actor_at s pos <> Schedule.actor_at c pos then ok := false
+      done;
+      !ok)
+
+let prop_compact_idempotent =
+  qcheck "compaction is idempotent" gen_sched (fun (prefix, period) ->
+      let c = Schedule.compact (sched prefix period) in
+      Schedule.equal c (Schedule.compact c))
+
+let suite =
+  [
+    Alcotest.test_case "actor_at" `Quick test_actor_at;
+    Alcotest.test_case "advance normalises" `Quick test_advance_normalises;
+    Alcotest.test_case "empty period rejected" `Quick test_empty_period_rejected;
+    Alcotest.test_case "primitive root" `Quick test_compact_primitive_root;
+    Alcotest.test_case "paper 17-state example" `Quick test_compact_paper_example;
+    Alcotest.test_case "keeps real prefix" `Quick test_compact_keeps_real_prefix;
+    Alcotest.test_case "compaction preserves sequence" `Quick
+      test_compact_preserves_sequence;
+    Alcotest.test_case "firing counts" `Quick test_firing_counts;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    prop_compact_preserves;
+    prop_compact_idempotent;
+  ]

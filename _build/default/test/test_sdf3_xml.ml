@@ -1,0 +1,107 @@
+(* SDF3-style XML serialisation of application and architecture graphs. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Sdf3_xml = Appmodel.Sdf3_xml
+module Models = Appmodel.Models
+open Helpers
+
+let app_roundtrip app = Sdf3_xml.app_of_string (Sdf3_xml.app_to_string app)
+
+let test_example_roundtrip () =
+  let app = Models.example_app () in
+  let back = app_roundtrip app in
+  Alcotest.(check string) "name" app.Appgraph.app_name back.Appgraph.app_name;
+  Alcotest.(check bool) "graph" true
+    (graph_equal app.Appgraph.graph back.Appgraph.graph);
+  check_rat "lambda exact" app.Appgraph.lambda back.Appgraph.lambda;
+  Alcotest.(check int) "output actor" app.Appgraph.output_actor
+    back.Appgraph.output_actor;
+  Alcotest.(check bool) "gamma preserved" true
+    (Appgraph.gamma app = Appgraph.gamma back)
+
+let test_properties_roundtrip () =
+  let app = Models.example_app () in
+  let back = app_roundtrip app in
+  for a = 0 to Sdfg.num_actors app.Appgraph.graph - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "Gamma of actor %d" a)
+      true
+      (List.sort compare app.Appgraph.reqs.(a)
+      = List.sort compare back.Appgraph.reqs.(a))
+  done;
+  Alcotest.(check bool) "Theta preserved" true
+    (app.Appgraph.creqs = back.Appgraph.creqs)
+
+let test_h263_roundtrip () =
+  let app = Models.h263 () in
+  let back = app_roundtrip app in
+  Alcotest.(check bool) "multirate graph" true
+    (graph_equal app.Appgraph.graph back.Appgraph.graph);
+  Alcotest.(check int) "HSDF size survives" 4754
+    (Sdf.Repetition.iteration_firings (Appgraph.gamma back))
+
+let test_generated_roundtrip () =
+  List.iter
+    (fun (app : Appgraph.t) ->
+      let back = app_roundtrip app in
+      Alcotest.(check bool)
+        (app.Appgraph.app_name ^ " roundtrips")
+        true
+        (graph_equal app.Appgraph.graph back.Appgraph.graph
+        && app.Appgraph.creqs = back.Appgraph.creqs
+        && Rat.equal app.Appgraph.lambda back.Appgraph.lambda))
+    (Gen.Benchsets.sequence ~set:2 ~seq:1 ~count:5)
+
+let test_arch_roundtrip () =
+  let arch = Models.multimedia_platform () in
+  let name, back = Sdf3_xml.arch_of_string (Sdf3_xml.arch_to_string ~name:"mm" arch) in
+  Alcotest.(check string) "name" "mm" name;
+  Alcotest.(check int) "tiles" 4 (Platform.Archgraph.num_tiles back);
+  Array.iter2
+    (fun (a : Platform.Tile.t) (b : Platform.Tile.t) ->
+      Alcotest.(check bool) "tile equal" true (a = b))
+    (Platform.Archgraph.tiles arch)
+    (Platform.Archgraph.tiles back);
+  Alcotest.(check int) "connections" 12
+    (Array.length (Platform.Archgraph.connections back));
+  match Platform.Archgraph.connection_between back ~src:0 ~dst:3 with
+  | Some c -> Alcotest.(check int) "latency" 2 c.Platform.Archgraph.latency
+  | None -> Alcotest.fail "missing connection"
+
+let test_file_io () =
+  let path = Filename.temp_file "sdf3" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sdf3_xml.write_app_file path (Models.mp3 ());
+      let back = Sdf3_xml.read_app_file path in
+      Alcotest.(check int) "13 actors back" 13
+        (Sdfg.num_actors back.Appgraph.graph))
+
+let expect_schema_error s =
+  match Sdf3_xml.app_of_string s with
+  | (_ : Appgraph.t) -> Alcotest.fail "expected schema error"
+  | exception Sdf3_xml.Error _ -> ()
+
+let test_schema_errors () =
+  expect_schema_error "<notSdf3/>";
+  expect_schema_error "<sdf3 type=\"sdf\" version=\"1.0\"/>";
+  (* missing application graph *)
+  expect_schema_error
+    "<sdf3><applicationGraph name=\"x\"><sdf name=\"x\"><actor \
+     name=\"a\"/><channel name=\"d\" srcActor=\"a\" srcPort=\"nope\" \
+     dstActor=\"a\" dstPort=\"nope\"/></sdf></applicationGraph></sdf3>"
+(* port without a rate *)
+
+let suite =
+  [
+    Alcotest.test_case "example roundtrip" `Quick test_example_roundtrip;
+    Alcotest.test_case "properties roundtrip" `Quick test_properties_roundtrip;
+    Alcotest.test_case "h263 roundtrip" `Quick test_h263_roundtrip;
+    Alcotest.test_case "generated roundtrip" `Quick test_generated_roundtrip;
+    Alcotest.test_case "architecture roundtrip" `Quick test_arch_roundtrip;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+  ]

@@ -1,0 +1,134 @@
+(* Self-timed state-space throughput analysis (paper Section 8.2 / [10]). *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Selftimed = Analysis.Selftimed
+open Helpers
+
+let test_example_fig5a () =
+  (* Paper Fig. 5(a): a3 fires once every 2 time units. *)
+  let r = Selftimed.analyze (example_graph ()) [| 1; 1; 2 |] in
+  check_rat "thr(a3)" (Rat.make 1 2) r.Selftimed.throughput.(2);
+  check_rat "thr(a1)" (Rat.make 1 1) r.Selftimed.throughput.(0);
+  check_rat "thr(a2)" (Rat.make 1 1) r.Selftimed.throughput.(1)
+
+let test_ring () =
+  (* One token circulating a 3-ring: period = sum of execution times. *)
+  let r = Selftimed.analyze (ring3 ()) [| 2; 3; 4 |] in
+  check_rat "thr" (Rat.make 1 9) r.Selftimed.throughput.(0);
+  Alcotest.(check int) "period" 9 r.Selftimed.period
+
+let test_self_loop_rate () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a" ] ~channels:[ ("a", "a", 1, 1, 1) ]
+  in
+  let r = Selftimed.analyze g [| 5 |] in
+  check_rat "thr" (Rat.make 1 5) r.Selftimed.throughput.(0)
+
+let test_two_tokens_pipeline () =
+  (* Two tokens on the self-loop let two firings overlap. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "a" ] ~channels:[ ("a", "a", 1, 1, 2) ]
+  in
+  let r = Selftimed.analyze g [| 5 |] in
+  check_rat "thr doubles" (Rat.make 2 5) r.Selftimed.throughput.(0)
+
+let test_multirate_throughput_ratio () =
+  (* Throughputs are proportional to the repetition vector. *)
+  let r = Selftimed.analyze (prodcons ()) [| 2; 5 |] in
+  let thr_p = r.Selftimed.throughput.(0) and thr_c = r.Selftimed.throughput.(1) in
+  check_rat "p : c = 3 : 2" (Rat.mul_int thr_c 3) (Rat.mul_int thr_p 2)
+
+let test_zero_time_actor () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 1) ]
+  in
+  let r = Selftimed.analyze g [| 0; 4 |] in
+  check_rat "zero-time a matches b" (Rat.make 1 4) r.Selftimed.throughput.(0)
+
+let test_deadlock () =
+  let g =
+    Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 0) ]
+  in
+  Alcotest.check_raises "deadlocks" Selftimed.Deadlocked (fun () ->
+      ignore (Selftimed.analyze g [| 1; 1 |]))
+
+let test_state_cap () =
+  Alcotest.check_raises "state cap" (Selftimed.State_space_exceeded 2)
+    (fun () -> ignore (Selftimed.analyze ~max_states:2 (ring3 ()) [| 2; 3; 4 |]))
+
+let test_validation () =
+  (* An actor without inputs has unbounded auto-concurrency. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "src"; "snk" ] ~channels:[ ("src", "snk", 1, 1, 0) ]
+  in
+  Alcotest.check_raises "no input"
+    (Invalid_argument
+       "Selftimed.analyze: actor src has no input channel (unbounded \
+        auto-concurrency)")
+    (fun () -> ignore (Selftimed.analyze g [| 1; 1 |]));
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Selftimed.analyze: negative execution time")
+    (fun () -> ignore (Selftimed.analyze (ring3 ()) [| 1; -1; 1 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Selftimed.analyze: exec_times length mismatch")
+    (fun () -> ignore (Selftimed.analyze (ring3 ()) [| 1; 1 |]))
+
+let test_iterations_per_period () =
+  let r = Selftimed.analyze (example_graph ()) [| 1; 1; 2 |] in
+  (* a3 fires once per iteration; 1/2 throughput with period 2 means one
+     iteration per period. *)
+  Alcotest.(check int) "iterations" 1 r.Selftimed.iterations_per_period
+
+(* Cross-validation oracle: on strongly connected graphs, the self-timed
+   throughput of an actor equals gamma(actor) / MCR(HSDF). *)
+let prop_matches_hsdf_mcr =
+  qcheck ~count:60 "selftimed = gamma/MCR on strongly connected graphs"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Gen.Rng.create ~seed in
+      (* Random ring with random rates and enough tokens to be live. *)
+      let n = 2 + Gen.Rng.int rng 4 in
+      let gammas = Array.init n (fun _ -> 1 + Gen.Rng.int rng 3) in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let b = Sdfg.Builder.create () in
+      for i = 0 to n - 1 do
+        ignore (Sdfg.Builder.add_actor b (Printf.sprintf "a%d" i))
+      done;
+      for i = 0 to n - 1 do
+        let j = (i + 1) mod n in
+        let g = gcd gammas.(i) gammas.(j) in
+        let tokens =
+          if j = 0 then gammas.(i) / g * gammas.(0) * (1 + Gen.Rng.int rng 2)
+          else if Gen.Rng.bool rng 0.3 then gammas.(i) / g
+          else 0
+        in
+        ignore
+          (Sdfg.Builder.add_channel b ~src:i ~dst:j ~prod:(gammas.(j) / g)
+             ~cons:(gammas.(i) / g) ~tokens ())
+      done;
+      let g = Sdfg.Builder.build b in
+      let taus = Array.init n (fun _ -> 1 + Gen.Rng.int rng 9) in
+      if not (Sdf.Deadlock.is_deadlock_free g) then true
+      else begin
+        let st = Selftimed.analyze g taus in
+        let via_hsdf = Baseline.Hsdf_flow.throughput_via_hsdf g taus ~output:0 in
+        Rat.equal st.Selftimed.throughput.(0) via_hsdf
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "example (Fig 5a)" `Quick test_example_fig5a;
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "self loop rate" `Quick test_self_loop_rate;
+    Alcotest.test_case "pipelined self loop" `Quick test_two_tokens_pipeline;
+    Alcotest.test_case "multirate ratios" `Quick test_multirate_throughput_ratio;
+    Alcotest.test_case "zero-time actor" `Quick test_zero_time_actor;
+    Alcotest.test_case "deadlock" `Quick test_deadlock;
+    Alcotest.test_case "state cap" `Quick test_state_cap;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "iterations per period" `Quick test_iterations_per_period;
+    prop_matches_hsdf_mcr;
+  ]

@@ -1,0 +1,128 @@
+(* The complete strategy (Section 9) and the multi-application driver. *)
+
+module Rat = Sdf.Rat
+module Strategy = Core.Strategy
+module Multi_app = Core.Multi_app
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+module Tile = Platform.Tile
+module Archgraph = Platform.Archgraph
+
+let test_example_allocation () =
+  match Strategy.allocate (Models.example_app ()) (Models.example_platform ()) with
+  | Ok alloc ->
+      Alcotest.(check bool) "meets lambda" true
+        (Rat.compare alloc.Strategy.throughput (Rat.make 1 30) >= 0);
+      Alcotest.(check bool) "is_valid" true
+        (Strategy.is_valid alloc (Models.example_platform ()));
+      Alcotest.(check bool) "counted throughput checks" true
+        (alloc.Strategy.stats.Strategy.throughput_checks > 0)
+  | Error f -> Alcotest.failf "allocation failed: %a" Strategy.pp_failure f
+
+let test_infeasible_reports_slice_failure () =
+  let app = Appgraph.with_lambda (Models.example_app ()) (Rat.make 1 5) in
+  match Strategy.allocate app (Models.example_platform ()) with
+  | Error (Strategy.Slice_failed _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Strategy.pp_failure f
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_bind_failure_propagates () =
+  let app = Models.h263 () in
+  (* The example platform has no "proc"/"acc" tiles. *)
+  match Strategy.allocate app (Models.example_platform ()) with
+  | Error (Strategy.Bind_failed _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Strategy.pp_failure f
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_multimedia_system () =
+  (* Paper Sec. 10.3: 3 x H.263 + MP3 on the 2x2 heterogeneous platform,
+     cost function (2, 0, 1); everything must fit with guarantees. *)
+  let arch = Models.multimedia_platform () in
+  let apps =
+    [
+      Models.h263 ~name:"v0" (); Models.h263 ~name:"v1" ();
+      Models.h263 ~name:"v2" (); Models.mp3 ();
+    ]
+  in
+  let report =
+    Multi_app.allocate_until_failure ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000 apps arch
+  in
+  Alcotest.(check int) "all four bound" 4 (List.length report.Multi_app.allocations);
+  List.iter
+    (fun (a : Strategy.allocation) ->
+      Alcotest.(check bool)
+        (a.Strategy.app.Appgraph.app_name ^ " meets constraint")
+        true
+        (Rat.compare a.Strategy.throughput a.Strategy.app.Appgraph.lambda >= 0))
+    report.Multi_app.allocations
+
+let test_commit_reduces_resources () =
+  let arch = Models.multimedia_platform () in
+  let app = Models.h263 () in
+  match Strategy.allocate ~weights:(Core.Cost.weights 2. 0. 1.) ~max_states:2_000_000 app arch with
+  | Error f -> Alcotest.failf "allocation failed: %a" Strategy.pp_failure f
+  | Ok alloc ->
+      let after = Multi_app.commit arch alloc in
+      let before_t = Archgraph.tiles arch and after_t = Archgraph.tiles after in
+      Array.iteri
+        (fun i t ->
+          let b = before_t.(i) in
+          Alcotest.(check int) "occupied grows by slice"
+            (b.Tile.occupied + alloc.Strategy.slices.(i))
+            t.Tile.occupied;
+          Alcotest.(check bool) "memory shrinks" true (t.Tile.mem <= b.Tile.mem);
+          Alcotest.(check bool) "conns shrink" true
+            (t.Tile.max_conns <= b.Tile.max_conns))
+        after_t
+
+let test_allocate_until_failure_stops () =
+  (* Pile identical H.263 decoders until the platform saturates; the
+     report counts the prefix and carries the first failure. *)
+  let arch = Models.multimedia_platform () in
+  let apps = List.init 30 (fun i -> Models.h263 ~name:(Printf.sprintf "v%d" i) ()) in
+  let report =
+    Multi_app.allocate_until_failure ~weights:(Core.Cost.weights 2. 0. 1.)
+      ~max_states:2_000_000 apps arch
+  in
+  let n = List.length report.Multi_app.allocations in
+  Alcotest.(check bool) "some bound" true (n >= 3);
+  Alcotest.(check bool) "not all bound" true (n < 30);
+  Alcotest.(check bool) "failure reported" true
+    (report.Multi_app.first_failure <> None);
+  Alcotest.(check bool) "wheel accounted" true (report.Multi_app.wheel_used > 0)
+
+let test_benchmark_allocations_are_valid () =
+  (* Integration: every allocation produced on a generated workload must
+     satisfy Section 7 and its throughput constraint. *)
+  let arch = Gen.Benchsets.architecture 1 in
+  let apps = Gen.Benchsets.sequence ~set:4 ~seq:1 ~count:6 in
+  let report =
+    Multi_app.allocate_until_failure ~weights:(Core.Cost.weights 0. 1. 2.)
+      ~max_states:200_000 apps arch
+  in
+  (* Validity is checked against the architecture state the app was
+     allocated on, which we replay by re-committing. *)
+  let current = ref arch in
+  List.iter
+    (fun (a : Strategy.allocation) ->
+      Alcotest.(check bool)
+        (a.Strategy.app.Appgraph.app_name ^ " valid")
+        true
+        (Strategy.is_valid a !current);
+      current := Multi_app.commit !current a)
+    report.Multi_app.allocations
+
+let suite =
+  [
+    Alcotest.test_case "example allocation" `Quick test_example_allocation;
+    Alcotest.test_case "infeasible constraint" `Quick
+      test_infeasible_reports_slice_failure;
+    Alcotest.test_case "bind failure propagates" `Quick test_bind_failure_propagates;
+    Alcotest.test_case "multimedia system (Sec 10.3)" `Slow test_multimedia_system;
+    Alcotest.test_case "commit reduces resources" `Slow test_commit_reduces_resources;
+    Alcotest.test_case "saturation stops allocation" `Slow
+      test_allocate_until_failure_stops;
+    Alcotest.test_case "benchmark allocations valid" `Slow
+      test_benchmark_allocations_are_valid;
+  ]

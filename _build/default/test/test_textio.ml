@@ -1,0 +1,95 @@
+(* Text format parsing and printing. *)
+
+module Sdfg = Sdf.Sdfg
+module Textio = Sdf.Textio
+open Helpers
+
+let test_roundtrip () =
+  let g = example_graph () in
+  let doc = Textio.parse (Textio.print "example" g) in
+  Alcotest.(check string) "name" "example" doc.Textio.doc_name;
+  Alcotest.(check bool) "graph preserved" true (graph_equal g doc.Textio.graph);
+  Alcotest.(check bool) "no exec times" true (doc.Textio.exec_times = None)
+
+let test_roundtrip_with_times () =
+  let g = prodcons () in
+  let doc = Textio.parse (Textio.print ~exec_times:[| 4; 7 |] "pc" g) in
+  Alcotest.(check bool) "graph preserved" true (graph_equal g doc.Textio.graph);
+  Alcotest.(check bool) "times preserved" true
+    (doc.Textio.exec_times = Some [| 4; 7 |])
+
+let test_comments_and_whitespace () =
+  let text =
+    "# a comment\n\
+     sdfg demo\n\
+     \n\
+     actor a 3   # trailing comment\n\
+     actor\tb\t5\n\
+     channel d a -> b rates 2 1 tokens 4\n"
+  in
+  let doc = Textio.parse text in
+  Alcotest.(check int) "two actors" 2 (Sdfg.num_actors doc.Textio.graph);
+  Alcotest.(check bool) "times" true (doc.Textio.exec_times = Some [| 3; 5 |]);
+  let c = Sdfg.channel doc.Textio.graph 0 in
+  Alcotest.(check int) "tokens" 4 c.Sdfg.tokens;
+  Alcotest.(check string) "channel name" "d" c.Sdfg.c_name
+
+let expect_error line text =
+  match Textio.parse text with
+  | exception Textio.Parse_error { line = l; _ } ->
+      Alcotest.(check int) "error line" line l
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_errors () =
+  expect_error 1 "actor a\n";
+  (* no header *)
+  expect_error 2 "sdfg x\nsdfg y\n";
+  (* duplicate header *)
+  expect_error 3 "sdfg x\nactor a\nactor a\n";
+  (* duplicate actor *)
+  expect_error 3 "sdfg x\nactor a\nchannel d a -> b rates 1 1\n";
+  (* unknown actor *)
+  expect_error 3 "sdfg x\nactor a\nchannel d a -> a rates 0 1\n";
+  (* zero rate *)
+  expect_error 3 "sdfg x\nactor a\nchannel d a -> a rates 1 1 tokens -2\n";
+  (* negative tokens *)
+  expect_error 2 "sdfg x\nfrobnicate\n";
+  (* unknown keyword *)
+  expect_error 3 "sdfg x\nactor a\nchannel d a -> a rates 1 1 bogus 3\n";
+  (* trailing junk *)
+  expect_error 1 "sdfg x\nactor a 1\nactor b\n"
+(* partial exec times *)
+
+let test_parse_file () =
+  let path = Filename.temp_file "sdfg" ".sdf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Textio.write_file ~exec_times:[| 1; 1; 2 |] path "example" (example_graph ());
+      let doc = Textio.parse_file path in
+      Alcotest.(check bool) "roundtrip via file" true
+        (graph_equal (example_graph ()) doc.Textio.graph))
+
+let prop_roundtrip =
+  qcheck ~count:50 "print/parse roundtrips generated graphs"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gen.Rng.create ~seed in
+      let profile = Gen.Benchsets.set_profile 1 in
+      let app =
+        Gen.Sdfgen.generate rng profile ~proc_types:Gen.Benchsets.proc_types
+          ~name:"io"
+      in
+      let g = app.Appmodel.Appgraph.graph in
+      let doc = Textio.parse (Textio.print "t" g) in
+      graph_equal g doc.Textio.graph)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "roundtrip with times" `Quick test_roundtrip_with_times;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "file io" `Quick test_parse_file;
+    prop_roundtrip;
+  ]

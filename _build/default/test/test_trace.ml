@@ -1,0 +1,137 @@
+(* Execution traces and latency metrics. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Trace = Analysis.Trace
+module Latency = Analysis.Latency
+open Helpers
+
+let test_example_trace () =
+  let t = Trace.selftimed (example_graph ()) [| 1; 1; 2 |] in
+  Alcotest.(check int) "period" 2 t.Trace.period;
+  check_rat "throughput carried" (Rat.make 1 2) t.Trace.throughput.(2);
+  (* First transition: only a1 can start at time 0. *)
+  (match t.Trace.transitions with
+  | first :: _ ->
+      Alcotest.(check int) "starts at 0" 0 first.Trace.at;
+      Alcotest.(check (list int)) "only a1" [ 0 ] first.Trace.started
+  | [] -> Alcotest.fail "empty trace");
+  (* a3 fires exactly once per period in the periodic window. *)
+  let in_period =
+    List.filter
+      (fun tr ->
+        tr.Trace.at >= t.Trace.transient
+        && tr.Trace.at < t.Trace.transient + t.Trace.period)
+      t.Trace.transitions
+  in
+  let a3_starts =
+    List.concat_map (fun tr -> List.filter (fun a -> a = 2) tr.Trace.started) in_period
+  in
+  Alcotest.(check int) "a3 once per period" 1 (List.length a3_starts)
+
+let test_trace_dot () =
+  let t = Trace.selftimed (ring3 ()) [| 2; 3; 4 |] in
+  let dot = Trace.to_dot ~actor_name:(Sdfg.actor_name (ring3 ())) t in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* The ring has a 3-transition cycle and a closing back edge. *)
+  let arrow_count =
+    List.length
+      (String.split_on_char '\n' dot
+      |> List.filter (fun l ->
+             String.length l > 4
+             &&
+             let has_arrow = ref false in
+             String.iteri
+               (fun i c ->
+                 if c = '-' && i + 1 < String.length l && l.[i + 1] = '>' then
+                   has_arrow := true)
+               l;
+             !has_arrow))
+  in
+  Alcotest.(check int) "three edges" 3 arrow_count
+
+let test_trace_pp () =
+  let g = example_graph () in
+  let t = Trace.selftimed g [| 1; 1; 2 |] in
+  let s =
+    Format.asprintf "%a"
+      (Trace.pp (fun ppf a -> Format.pp_print_string ppf (Sdfg.actor_name g a)))
+      t
+  in
+  Alcotest.(check bool) "mentions the periodic phase" true
+    (Helpers.graph_equal g g
+    &&
+    let rec contains i =
+      i + 8 <= String.length s
+      && (String.sub s i 8 = "periodic" || contains (i + 1))
+    in
+    contains 0)
+
+let test_constrained_trace_via_observer () =
+  (* The constrained engine exposes the same observer; the Fig.-5(c) chain
+     has a3 starting at t = 30 (postponed from 29). *)
+  let app = Appmodel.Models.example_app () in
+  let arch = Appmodel.Models.example_platform () in
+  let ba =
+    Core.Bind_aware.build ~app ~arch ~binding:[| 0; 0; 1 |] ~slices:[| 5; 5 |] ()
+  in
+  let schedules =
+    [|
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+      Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+    |]
+  in
+  let events = ref [] in
+  let observer time actor = events := (time, actor) :: !events in
+  let r = Core.Constrained.analyze ~observer ba ~schedules in
+  let t =
+    Trace.of_events ~events:(List.rev !events)
+      ~transient:r.Core.Constrained.transient ~period:r.Core.Constrained.period
+      ~throughput:[||]
+  in
+  let a3_starts =
+    List.filter_map
+      (fun tr -> if List.mem 2 tr.Trace.started then Some tr.Trace.at else None)
+      t.Trace.transitions
+  in
+  Alcotest.(check bool) "a3 first starts at t=30" true
+    (List.mem 30 a3_starts && not (List.mem 29 a3_starts))
+
+let test_latency_example () =
+  let g = example_graph () in
+  (* a3's first firing needs two a2 outputs: a2 completes at 2 and 3, so a3
+     runs 3..5. *)
+  Alcotest.(check int) "first output completion" 5
+    (Latency.first_output_completion g [| 1; 1; 2 |] ~output:2)
+
+let test_latency_ring () =
+  let g = ring3 () in
+  (* The ring's token sits on x -> y, so y fires first (0..3), then z
+     (3..7), then x (7..9) closes the iteration. *)
+  Alcotest.(check int) "makespan" 9 (Latency.iteration_makespan g [| 2; 3; 4 |]);
+  Alcotest.(check int) "z completes at 7" 7
+    (Latency.first_output_completion g [| 2; 3; 4 |] ~output:2)
+
+let test_latency_pipelining_beats_makespan () =
+  (* With two tokens in flight, output arrives before a full iteration of
+     everything would sequentially. *)
+  let g =
+    Sdf.Sdfg.of_lists ~actors:[ "a"; "b" ]
+      ~channels:[ ("a", "b", 1, 1, 0); ("b", "a", 1, 1, 2) ]
+  in
+  let first = Latency.first_output_completion g [| 3; 4 |] ~output:1 in
+  Alcotest.(check int) "first b completion" 7 first
+
+let suite =
+  [
+    Alcotest.test_case "example trace" `Quick test_example_trace;
+    Alcotest.test_case "trace dot" `Quick test_trace_dot;
+    Alcotest.test_case "trace pp" `Quick test_trace_pp;
+    Alcotest.test_case "constrained trace (Fig 5c)" `Quick
+      test_constrained_trace_via_observer;
+    Alcotest.test_case "latency example" `Quick test_latency_example;
+    Alcotest.test_case "latency ring" `Quick test_latency_ring;
+    Alcotest.test_case "latency with pipelining" `Quick
+      test_latency_pipelining_beats_makespan;
+  ]

@@ -1,0 +1,90 @@
+(* The minimal XML subset. *)
+
+module Xml = Sdf.Xml
+
+let roundtrip node = Xml.parse (Xml.to_string node)
+
+let test_basic () =
+  let doc = Xml.parse "<a x=\"1\"><b/><c y=\"z\">hello</c></a>" in
+  Alcotest.(check string) "root tag" "a" (Xml.tag doc);
+  Alcotest.(check string) "attr" "1" (Xml.attr doc "x");
+  Alcotest.(check bool) "child b" true (Xml.child_opt doc "b" <> None);
+  Alcotest.(check string) "text of c" "hello" (Xml.text (Xml.child doc "c"));
+  Alcotest.(check string) "attr of c" "z" (Xml.attr (Xml.child doc "c") "y");
+  Alcotest.(check (option string)) "missing attr" None (Xml.attr_opt doc "nope")
+
+let test_declaration_and_comments () =
+  let doc =
+    Xml.parse
+      "<?xml version=\"1.0\"?>\n<!-- top comment -->\n<root><!-- inner \
+       --><x/></root>"
+  in
+  Alcotest.(check string) "root" "root" (Xml.tag doc);
+  Alcotest.(check int) "one child" 1 (List.length (Xml.children doc "x"))
+
+let test_escaping () =
+  let node = Xml.Element ("t", [ ("a", "x<y&\"z\"") ], [ Xml.Text "1 < 2 & 3" ]) in
+  let back = roundtrip node in
+  Alcotest.(check string) "attr survives" "x<y&\"z\"" (Xml.attr back "a");
+  Alcotest.(check string) "text survives" "1 < 2 & 3" (Xml.text back)
+
+let test_self_closing_and_quotes () =
+  let doc = Xml.parse "<a><b x='single'/><b x=\"double\"/></a>" in
+  match Xml.children doc "b" with
+  | [ b1; b2 ] ->
+      Alcotest.(check string) "single quotes" "single" (Xml.attr b1 "x");
+      Alcotest.(check string) "double quotes" "double" (Xml.attr b2 "x")
+  | _ -> Alcotest.fail "expected two children"
+
+let test_nesting_roundtrip () =
+  let node =
+    Xml.Element
+      ( "top",
+        [ ("k", "v") ],
+        [
+          Xml.Element ("mid", [], [ Xml.Element ("leaf", [ ("n", "1") ], []) ]);
+          Xml.Element ("mid", [], [ Xml.Text "txt" ]);
+        ] )
+  in
+  let back = roundtrip node in
+  Alcotest.(check int) "two mids" 2 (List.length (Xml.children back "mid"));
+  Alcotest.(check string) "deep attr" "1"
+    (Xml.attr (Xml.child (Xml.child back "mid") "leaf") "n")
+
+let expect_error input =
+  match Xml.parse input with
+  | (_ : Xml.t) -> Alcotest.failf "expected parse error on %S" input
+  | exception Xml.Parse_error _ -> ()
+
+let test_errors () =
+  expect_error "<a>";
+  (* unterminated *)
+  expect_error "<a></b>";
+  (* mismatched *)
+  expect_error "<a x=1/>";
+  (* unquoted attribute *)
+  expect_error "<a/><b/>";
+  (* two roots *)
+  expect_error "<a><!-- unterminated ";
+  expect_error ""
+
+let test_whitespace_only_text_dropped () =
+  let doc = Xml.parse "<a>\n  <b/>\n</a>" in
+  match doc with
+  | Xml.Element (_, _, kids) ->
+      Alcotest.(check int) "only the element child" 1 (List.length kids)
+  | Xml.Text _ -> Alcotest.fail "unexpected text root"
+
+let suite =
+  [
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "declaration and comments" `Quick
+      test_declaration_and_comments;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "self closing and quotes" `Quick
+      test_self_closing_and_quotes;
+    Alcotest.test_case "nesting roundtrip" `Quick test_nesting_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "whitespace dropped" `Quick
+      test_whitespace_only_text_dropped;
+  ]
