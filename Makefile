@@ -1,0 +1,26 @@
+# Developer / CI entry points. `make ci` is what the workflow runs.
+
+.PHONY: all build test fmt-check bench-quick ci
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Format check; skipped (with a notice) when ocamlformat is not
+# installed, so environments that only carry the OCaml toolchain still
+# pass `make ci`.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench-quick:
+	dune exec bench/main.exe -- --quick --no-bechamel
+
+ci: build test fmt-check

@@ -1,1 +1,1 @@
-bench/main.ml: Analysis Analyze Appmodel Array Bechamel Benchmark Core Float Gen Hashtbl Instance List Measure Printf Sdf Staged Sys Tables Test Time
+bench/main.ml: Analysis Analyze Appmodel Array Bechamel Benchmark Core Float Fun Gen Hashtbl Instance List Measure Obs Printf Sdf Staged Sys Tables Test Time

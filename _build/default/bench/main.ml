@@ -5,7 +5,11 @@
    Usage:
      dune exec bench/main.exe             # the paper's full 3 x 3 protocol
      dune exec bench/main.exe -- --quick  # 1 sequence x 1 architecture
-     dune exec bench/main.exe -- --no-bechamel  # tables only *)
+     dune exec bench/main.exe -- --no-bechamel  # tables only
+     dune exec bench/main.exe -- --metrics FILE # export the telemetry
+                                                # registry of the table runs
+                                                # as JSON (correlates wall
+                                                # clock with states explored) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -125,6 +129,15 @@ let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let with_bechamel = not (List.mem "--no-bechamel" argv) in
+  let metrics_file =
+    let rec find = function
+      | "--metrics" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  if metrics_file <> None then Obs.set_enabled true;
   let seqs = if quick then [ 0 ] else [ 0; 1; 2 ] in
   let archs = if quick then [ 0 ] else [ 0; 1; 2 ] in
   Printf.printf
@@ -153,5 +166,14 @@ let () =
   Tables.e23_composition ();
   Tables.e11_multimedia ();
   Tables.e8_e9_e10 ~seqs ~archs ();
+  (match metrics_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Obs.write_channel oc);
+      Printf.printf "\ntelemetry registry of the table runs written to %s\n" path;
+      (* The micro-benchmarks below must time the kernels with telemetry
+         off, the configuration whose overhead we guarantee (< 2%). *)
+      Obs.set_enabled false);
   if with_bechamel then run_bechamel ();
   print_newline ()

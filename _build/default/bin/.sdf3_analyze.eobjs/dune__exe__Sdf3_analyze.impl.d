@@ -1,1 +1,1 @@
-bin/sdf3_analyze.ml: Analysis Appmodel Arg Array Cmd Cmdliner Filename Fun List Printf Sdf String Term
+bin/sdf3_analyze.ml: Analysis Appmodel Arg Array Cli_common Cmd Cmdliner Filename Fun List Printf Sdf String Term

@@ -1,1 +1,1 @@
-bin/sdf3_dse.ml: Analysis Appmodel Arg Array Cmd Cmdliner Core Format List Printf Sdf String Term
+bin/sdf3_dse.ml: Analysis Appmodel Arg Array Cli_common Cmd Cmdliner Core Format List Printf Sdf String Term

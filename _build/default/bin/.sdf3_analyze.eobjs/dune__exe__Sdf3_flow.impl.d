@@ -1,1 +1,1 @@
-bin/sdf3_flow.ml: Appmodel Arg Array Bind_aware Cmd Cmdliner Core Deployment Filename Format Gantt Gen List Logs Multi_app Platform Printf Schedule Sdf Strategy String Term
+bin/sdf3_flow.ml: Appmodel Arg Array Bind_aware Cli_common Cmd Cmdliner Core Deployment Filename Format Gantt Gen List Multi_app Platform Printf Schedule Sdf Strategy String Term

@@ -1,1 +1,1 @@
-bin/sdf3_generate.ml: Appmodel Arg Array Cmd Cmdliner Filename Gen List Printf Sdf Term
+bin/sdf3_generate.ml: Appmodel Arg Array Cli_common Cmd Cmdliner Filename Gen List Printf Sdf Term

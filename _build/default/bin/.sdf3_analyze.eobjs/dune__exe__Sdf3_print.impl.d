@@ -1,1 +1,1 @@
-bin/sdf3_print.ml: Appmodel Arg Array Cmd Cmdliner Format Printf Sdf Term
+bin/sdf3_print.ml: Appmodel Arg Array Cli_common Cmd Cmdliner Format Printf Sdf Term

@@ -1,0 +1,56 @@
+(* Shared command-line plumbing for the sdf3_* binaries: the Logs reporter
+   setup (previously only sdf3_flow installed one, so library log sources
+   were silently dropped by the other tools) and the telemetry flags. *)
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+open Cmdliner
+
+let log_level =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("quiet", None); ("info", Some Logs.Info); ("debug", Some Logs.Debug) ])
+        None
+    & info [ "log" ] ~docv:"LEVEL"
+        ~doc:"Logging: quiet (default), info (progress) or debug (every \
+              probe, plus live telemetry spans when metrics are enabled)")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Enable telemetry and write the registry (counters, timers, \
+              events) as JSON to $(docv) on exit")
+
+let metrics_stderr =
+  Arg.(
+    value & flag
+    & info [ "metrics-stderr" ]
+        ~doc:"Enable telemetry and dump the registry as JSON to stderr on \
+              exit")
+
+(* Call before the workload: enables the registry (and the Logs live sink
+   at debug level) when any metrics output was requested. *)
+let init_metrics ~file ~to_stderr =
+  if file <> None || to_stderr then begin
+    Obs.set_enabled true;
+    Obs.Sink.logs ()
+  end
+
+let write_metrics ~file ~to_stderr =
+  (match file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.write_channel oc));
+  if to_stderr then begin
+    Obs.write_channel stderr;
+    flush stderr
+  end

@@ -31,8 +31,11 @@ let load file =
         Printf.eprintf "%s:%d: %s\n" file line message;
         exit 1
 
-let analyze file show_hsdf show_dot show_trace =
-  match load file with
+let analyze file show_hsdf show_dot show_trace log_level metrics_file
+    metrics_stderr =
+  Cli_common.setup_logs log_level;
+  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  (match load file with
   | { Sdf.Textio.doc_name; graph; exec_times } -> (
       Printf.printf "graph %s: %d actors, %d channels\n" doc_name
         (Sdfg.num_actors graph) (Sdfg.num_channels graph);
@@ -90,6 +93,8 @@ let analyze file show_hsdf show_dot show_trace =
                 "state space: %d states, transient %d, period %d\n"
                 r.Analysis.Selftimed.states r.Analysis.Selftimed.transient
                 r.Analysis.Selftimed.period;
+              Printf.printf "periodic phase: %d iteration(s) per period\n"
+                r.Analysis.Selftimed.iterations_per_period;
               let h = Sdf.Hsdf.convert graph gamma in
               (match
                  Analysis.Mcr.max_cycle_ratio h.Sdf.Hsdf.graph
@@ -104,7 +109,8 @@ let analyze file show_hsdf show_dot show_trace =
       | None -> ()
       | Some path ->
           Sdf.Dot.write_file ?exec_times ~name:doc_name path graph;
-          Printf.printf "dot written to %s\n" path)
+          Printf.printf "dot written to %s\n" path));
+  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
 
 open Cmdliner
 
@@ -126,6 +132,8 @@ let trace =
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_analyze" ~doc:"Analyse a synchronous dataflow graph")
-    Term.(const analyze $ file $ hsdf $ dot $ trace)
+    Term.(
+      const analyze $ file $ hsdf $ dot $ trace $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
 
 let () = exit (Cmd.eval cmd)

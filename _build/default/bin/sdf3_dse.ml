@@ -68,14 +68,17 @@ let latency_report app =
   Printf.printf "  first-iteration makespan: %d time units\n"
     (Analysis.Latency.iteration_makespan ~max_states:500_000 g taus)
 
-let dse model skip_buffers =
+let dse model skip_buffers log_level metrics_file metrics_stderr =
+  Cli_common.setup_logs log_level;
+  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
   let app, arch = model_of_name model in
   Printf.printf "design-space exploration for %s (lambda %s)\n\n"
     app.Appgraph.app_name
     (Rat.to_string app.Appgraph.lambda);
   if not skip_buffers then buffer_tradeoff app;
   latency_report app;
-  lambda_sweep app arch
+  lambda_sweep app arch;
+  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
 
 open Cmdliner
 
@@ -94,6 +97,8 @@ let skip_buffers =
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_dse" ~doc:"Design-space exploration for an application model")
-    Term.(const dse $ model $ skip_buffers)
+    Term.(
+      const dse $ model $ skip_buffers $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
 
 let () = exit (Cmd.eval cmd)

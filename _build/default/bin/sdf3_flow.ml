@@ -38,13 +38,10 @@ let parse_weights s =
 
 open Core
 
-let setup_logging level =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level level
-
 let flow apps_spec files set count platform_spec weights_spec verbose skip
-    ordering deploy gantt log_level =
-  setup_logging log_level;
+    ordering deploy gantt log_level metrics_file metrics_stderr =
+  Cli_common.setup_logs log_level;
+  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
   let arch = parse_platform platform_spec in
   let apps =
     match (files, set) with
@@ -140,7 +137,8 @@ let flow apps_spec files set count platform_spec weights_spec verbose skip
      %d out %d\n"
     report.Multi_app.wheel_used report.Multi_app.memory_used
     report.Multi_app.connections_used report.Multi_app.bw_in_used
-    report.Multi_app.bw_out_used
+    report.Multi_app.bw_out_used;
+  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
 
 open Cmdliner
 
@@ -191,16 +189,6 @@ let skip =
         ~doc:"Reject unallocatable applications and continue (the paper's \
               run-time improvement) instead of stopping at the first failure")
 
-let log_level =
-  Arg.(
-    value
-    & opt
-        (enum [ ("quiet", None); ("info", Some Logs.Info); ("debug", Some Logs.Debug) ])
-        None
-    & info [ "log" ] ~docv:"LEVEL"
-        ~doc:"Logging: quiet (default), info (per-application progress) or \
-              debug (every throughput probe)")
-
 let gantt =
   Arg.(
     value & flag
@@ -232,6 +220,7 @@ let cmd =
     (Cmd.info "sdf3_flow" ~doc:"Throughput-constrained resource allocation for SDFGs")
     Term.(
       const flow $ apps $ files $ set $ count $ platform $ weights $ verbose
-      $ skip $ ordering $ deploy $ gantt $ log_level)
+      $ skip $ ordering $ deploy $ gantt $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
 
 let () = exit (Cmd.eval cmd)

@@ -3,7 +3,8 @@
 
 module Appgraph = Appmodel.Appgraph
 
-let generate set seq count out =
+let generate set seq count out log_level =
+  Cli_common.setup_logs log_level;
   if set < 1 || set > 4 then begin
     Printf.eprintf "set must be 1..4\n";
     exit 1
@@ -43,6 +44,6 @@ let out =
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_generate" ~doc:"Generate random benchmark SDFGs")
-    Term.(const generate $ set $ seq $ count $ out)
+    Term.(const generate $ set $ seq $ count $ out $ Cli_common.log_level)
 
 let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/analysis/selftimed.ml: Array Hashtbl List Marshal Printf Sdf
+lib/analysis/selftimed.ml: Array Hashtbl List Marshal Obs Printf Sdf

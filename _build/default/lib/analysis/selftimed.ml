@@ -86,6 +86,23 @@ let analyze ?observer ?(max_states = 2_000_000) g exec_times =
   let snapshot () =
     Marshal.to_string (tokens, active) [ Marshal.No_sharing ]
   in
+  (* Telemetry: recorded once per run (never inside the exploration loop),
+     so disabled telemetry costs one branch per analysis. *)
+  let record_metrics r =
+    if Obs.enabled () then begin
+      Obs.Counter.add "selftimed.runs" 1;
+      Obs.Counter.add "selftimed.states" r.states;
+      Obs.Counter.add "selftimed.transient" r.transient;
+      Obs.Counter.add "selftimed.period" r.period;
+      Obs.Counter.add "selftimed.firings" (Array.fold_left ( + ) 0 counts);
+      let s = Hashtbl.stats seen in
+      Obs.Gauge.set "selftimed.hash.load_factor"
+        (float_of_int s.Hashtbl.num_bindings
+        /. float_of_int (max 1 s.Hashtbl.num_buckets));
+      Obs.Gauge.set_int "selftimed.hash.max_bucket" s.Hashtbl.max_bucket_length
+    end;
+    r
+  in
   let rec explore () =
     start_fixpoint ();
     let key = snapshot () in
@@ -127,7 +144,14 @@ let analyze ?observer ?(max_states = 2_000_000) g exec_times =
         done;
         explore ()
   in
-  explore ()
+  match explore () with
+  | r -> record_metrics r
+  | exception Deadlocked ->
+      Obs.Counter.add "selftimed.deadlocks" 1;
+      raise Deadlocked
+  | exception State_space_exceeded n ->
+      Obs.Counter.add "selftimed.cap_aborts" 1;
+      raise (State_space_exceeded n)
 
 let throughput ?max_states g exec_times a =
   (analyze ?max_states g exec_times).throughput.(a)

@@ -1,1 +1,1 @@
-lib/baseline/hsdf_flow.ml: Analysis Array Sdf Sys
+lib/baseline/hsdf_flow.ml: Analysis Array Obs Sdf Sys

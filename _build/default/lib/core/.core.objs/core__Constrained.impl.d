@@ -1,1 +1,1 @@
-lib/core/constrained.ml: Appmodel Array Bind_aware Fun Hashtbl List Marshal Platform Printf Schedule Sdf
+lib/core/constrained.ml: Appmodel Array Bind_aware Fun Hashtbl List Marshal Obs Platform Printf Schedule Sdf

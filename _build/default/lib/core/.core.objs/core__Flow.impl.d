@@ -1,1 +1,1 @@
-lib/core/flow.ml: Appmodel Cost List Platform Strategy
+lib/core/flow.ml: Appmodel Cost List Obs Platform Sdf Slice_alloc Strategy

@@ -1,1 +1,1 @@
-lib/core/multi_app.ml: Appmodel Array Binding Flow List Platform Strategy
+lib/core/multi_app.ml: Appmodel Array Binding Flow List Option Platform Strategy

@@ -1,1 +1,1 @@
-lib/core/strategy.ml: Appmodel Array Bind_aware Binding Binding_step Constrained Cost Format Fun List_scheduler Logs Platform Schedule Sdf Slice_alloc Sys
+lib/core/strategy.ml: Appmodel Array Bind_aware Binding Binding_step Constrained Cost Format Fun List_scheduler Logs Obs Platform Schedule Sdf Slice_alloc Sys

@@ -105,8 +105,10 @@ let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~sche
     | y :: _ as l when x <= y -> x :: l
     | y :: rest -> y :: insert_sorted x rest
   in
+  let fired = ref 0 in
   let count_start a =
     (match observer with Some f -> f !time a | None -> ());
+    incr fired;
     if a = output_actor then incr out_count
   in
   let start_fixpoint () =
@@ -197,6 +199,23 @@ let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~sche
       [ Marshal.No_sharing ]
   in
   let seen : (string, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  (* Telemetry: recorded once per run (never inside the exploration loop),
+     so disabled telemetry costs one branch per analysis. *)
+  let record_metrics r =
+    if Obs.enabled () then begin
+      Obs.Counter.add "constrained.runs" 1;
+      Obs.Counter.add "constrained.states" r.states;
+      Obs.Counter.add "constrained.transient" r.transient;
+      Obs.Counter.add "constrained.period" r.period;
+      Obs.Counter.add "constrained.firings" !fired;
+      let s = Hashtbl.stats seen in
+      Obs.Gauge.set "constrained.hash.load_factor"
+        (float_of_int s.Hashtbl.num_bindings
+        /. float_of_int (max 1 s.Hashtbl.num_buckets));
+      Obs.Gauge.set_int "constrained.hash.max_bucket" s.Hashtbl.max_bucket_length
+    end;
+    r
+  in
   let rec explore () =
     start_fixpoint ();
     let key = snapshot () in
@@ -244,7 +263,14 @@ let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~sche
           pending;
         explore ()
   in
-  explore ()
+  match explore () with
+  | r -> record_metrics r
+  | exception Deadlocked ->
+      Obs.Counter.add "constrained.deadlocks" 1;
+      raise Deadlocked
+  | exception State_space_exceeded n ->
+      Obs.Counter.add "constrained.cap_aborts" 1;
+      raise (State_space_exceeded n)
 
 let throughput_or_zero ?max_states ba ~schedules =
   match analyze ?max_states ba ~schedules with

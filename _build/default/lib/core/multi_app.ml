@@ -54,16 +54,22 @@ let allocate_until_failure ?weights ?retry_ladder ?max_states
   let apps = reorder order apps in
   let original = Archgraph.tiles arch in
   let attempt app arch =
-    match retry_ladder with
-    | None -> Strategy.allocate ?weights ?max_states app arch
-    | Some ladder -> (
-        let r = Flow.allocate_with_retry ~weight_ladder:ladder ?max_states app arch in
-        match r.Flow.allocation with
-        | Some alloc -> Ok alloc
-        | None -> (
-            match List.rev r.Flow.attempts with
-            | last :: _ -> last.Flow.outcome
-            | [] -> assert false))
+    (* Route the single-setting case through the retry wrapper as a
+       one-rung ladder: behaviourally identical to a direct
+       [Strategy.allocate], but every path emits the per-rung
+       "flow.attempt" telemetry records. *)
+    let ladder =
+      match retry_ladder with
+      | Some l -> l
+      | None -> [ Option.value weights ~default:Strategy.default_weights ]
+    in
+    let r = Flow.allocate_with_retry ~weight_ladder:ladder ?max_states app arch in
+    match r.Flow.allocation with
+    | Some alloc -> Ok alloc
+    | None -> (
+        match List.rev r.Flow.attempts with
+        | last :: _ -> last.Flow.outcome
+        | [] -> assert false)
   in
   let rec go acc rejected failure arch = function
     | [] -> (List.rev acc, List.rev rejected, arch, failure)

@@ -43,28 +43,53 @@ let default_weights = Cost.weights 1. 1. 1.
 let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cycles app arch =
   let clock = Sys.time in
   let t0 = clock () in
+  Obs.Counter.add "strategy.runs" 1;
   Log.debug (fun m ->
       m "allocating %s (lambda %s)" app.Appgraph.app_name
         (Rat.to_string app.Appgraph.lambda));
-  match Binding_step.bind ?max_cycles ~weights app arch with
+  match
+    Obs.Span.with_ "strategy.bind" (fun () ->
+        Binding_step.bind ?max_cycles ~weights app arch)
+  with
   | Error e ->
+      Obs.Counter.add "strategy.bind_failed" 1;
       Log.info (fun m ->
           m "%s: binding failed at actor %d" app.Appgraph.app_name
             e.Binding_step.failed_actor);
       Error (Bind_failed e)
   | Ok binding -> (
       let t1 = clock () in
-      let half = Bind_aware.half_wheel_slices app arch binding in
-      let ba50 = Bind_aware.build ?connection_model ~app ~arch ~binding ~slices:half () in
-      match List_scheduler.schedules ?max_states ba50 with
-      | exception List_scheduler.Deadlocked -> Error Schedule_failed
-      | exception List_scheduler.State_space_exceeded _ -> Error Schedule_failed
-      | schedules -> (
+      match
+        Obs.Span.with_ "strategy.static_order" (fun () ->
+            let half = Bind_aware.half_wheel_slices app arch binding in
+            let ba50 =
+              Bind_aware.build ?connection_model ~app ~arch ~binding
+                ~slices:half ()
+            in
+            match List_scheduler.schedules ?max_states ba50 with
+            | exception List_scheduler.Deadlocked -> None
+            | exception List_scheduler.State_space_exceeded _ -> None
+            | schedules -> Some schedules)
+      with
+      | None ->
+          Obs.Counter.add "strategy.schedule_failed" 1;
+          Error Schedule_failed
+      | Some schedules -> (
           let t2 = clock () in
-          match Slice_alloc.allocate ?connection_model ?max_states app arch binding schedules with
-          | Error f -> Error (Slice_failed f)
+          match
+            Obs.Span.with_ "strategy.slice_alloc" (fun () ->
+                Slice_alloc.allocate ?connection_model ?max_states app arch
+                  binding schedules)
+          with
+          | Error f ->
+              Obs.Counter.add "strategy.slice_failed" 1;
+              Obs.Counter.add "strategy.throughput_checks" f.Slice_alloc.checks;
+              Error (Slice_failed f)
           | Ok outcome ->
               let t3 = clock () in
+              Obs.Counter.add "strategy.ok" 1;
+              Obs.Counter.add "strategy.throughput_checks"
+                outcome.Slice_alloc.checks;
               Log.info (fun m ->
                   m "%s: allocated, throughput %s after %d checks"
                     app.Appgraph.app_name

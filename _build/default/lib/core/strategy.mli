@@ -33,6 +33,9 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val default_weights : Cost.weights
+(** The paper's balanced tile-cost setting (1, 1, 1). *)
+
 val allocate :
   ?weights:Cost.weights ->
   ?connection_model:Bind_aware.connection_model ->

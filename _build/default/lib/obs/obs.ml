@@ -1,0 +1,320 @@
+(* Telemetry core: named counters, gauges, histogram-style timers,
+   hierarchical spans and structured events, backed by an in-memory
+   registry with a JSON serializer and an optional Logs-based live sink.
+
+   Everything is disabled by default: every recording entry point checks a
+   single flag, so instrumented hot paths cost one branch while telemetry
+   is off. The registry is process-global and not thread-safe; the
+   allocation flow is single-threaded. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let log_src = Logs.Src.create "sdfalloc.obs" ~doc:"Telemetry"
+
+module Log = (val Logs.src_log log_src)
+
+type field = String of string | Int of int | Float of float | Bool of bool
+
+type timer_state = {
+  mutable t_count : int;
+  mutable t_total : float;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+type event = { ev_kind : string; ev_fields : (string * field) list }
+
+type output =
+  | Span_end of { path : string; seconds : float }
+  | Event_record of { kind : string; fields : (string * field) list }
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 64
+let timers : (string, timer_state) Hashtbl.t = Hashtbl.create 64
+
+(* Newest first; serialized oldest first. Capped so that a long benchmark
+   run cannot grow the registry without bound. *)
+let events : event list ref = ref []
+let events_stored = ref 0
+let events_dropped = ref 0
+let max_events = 10_000
+let sinks : (output -> unit) list ref = ref []
+let notify o = List.iter (fun f -> f o) !sinks
+
+let reset () =
+  (* Zero counters in place so handles from {!Counter.make} stay live. *)
+  Hashtbl.iter (fun _ r -> r := 0) counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset timers;
+  events := [];
+  events_stored := 0;
+  events_dropped := 0
+
+let sorted_tbl tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+module Counter = struct
+  type t = int ref
+
+  let make name =
+    match Hashtbl.find_opt counters name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add counters name r;
+        r
+
+  let incr ?(by = 1) t = if !enabled_flag then t := !t + by
+
+  let add name by =
+    if !enabled_flag then begin
+      let r = make name in
+      r := !r + by
+    end
+
+  let value name =
+    match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+end
+
+module Gauge = struct
+  let set name v = if !enabled_flag then Hashtbl.replace gauges name v
+  let set_int name v = set name (float_of_int v)
+  let value name = Hashtbl.find_opt gauges name
+end
+
+module Timer = struct
+  type snapshot = { count : int; total_s : float; min_s : float; max_s : float }
+
+  let record_always name dt =
+    match Hashtbl.find_opt timers name with
+    | Some t ->
+        t.t_count <- t.t_count + 1;
+        t.t_total <- t.t_total +. dt;
+        if dt < t.t_min then t.t_min <- dt;
+        if dt > t.t_max then t.t_max <- dt
+    | None ->
+        Hashtbl.add timers name
+          { t_count = 1; t_total = dt; t_min = dt; t_max = dt }
+
+  let record name dt = if !enabled_flag then record_always name dt
+
+  let time name f =
+    if not !enabled_flag then f ()
+    else begin
+      let t0 = Sys.time () in
+      Fun.protect ~finally:(fun () -> record_always name (Sys.time () -. t0)) f
+    end
+
+  let snapshot name =
+    Option.map
+      (fun t ->
+        { count = t.t_count; total_s = t.t_total; min_s = t.t_min; max_s = t.t_max })
+      (Hashtbl.find_opt timers name)
+end
+
+module Span = struct
+  let stack = ref []
+  let current () = List.rev !stack
+
+  let with_ name f =
+    if not !enabled_flag then f ()
+    else begin
+      stack := name :: !stack;
+      let path = String.concat "/" (List.rev !stack) in
+      let t0 = Sys.time () in
+      Fun.protect
+        ~finally:(fun () ->
+          (match !stack with _ :: tl -> stack := tl | [] -> ());
+          let dt = Sys.time () -. t0 in
+          Timer.record_always path dt;
+          notify (Span_end { path; seconds = dt }))
+        f
+    end
+end
+
+module Event = struct
+  type nonrec field = field =
+    | String of string
+    | Int of int
+    | Float of float
+    | Bool of bool
+
+  let emit kind fields =
+    if !enabled_flag then begin
+      if !events_stored >= max_events then incr events_dropped
+      else begin
+        events := { ev_kind = kind; ev_fields = fields } :: !events;
+        incr events_stored
+      end;
+      notify (Event_record { kind; fields })
+    end
+
+  let count kind =
+    List.fold_left (fun n e -> if e.ev_kind = kind then n + 1 else n) 0 !events
+
+  let all () = List.rev_map (fun e -> (e.ev_kind, e.ev_fields)) !events
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Assoc of (string * t) list
+
+  let escape buf s =
+    Stdlib.String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* JSON has no inf/nan literal; clamp to 0 rather than emit an invalid
+     document. *)
+  let number f =
+    if not (Float.is_finite f) then "0"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let rec emit buf ind = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (number f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Stdlib.String.make (ind + 2) ' ');
+            emit buf (ind + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (Stdlib.String.make ind ' ');
+        Buffer.add_char buf ']'
+    | Assoc [] -> Buffer.add_string buf "{}"
+    | Assoc kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Stdlib.String.make (ind + 2) ' ');
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\": ";
+            emit buf (ind + 2) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (Stdlib.String.make ind ' ');
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 1024 in
+    emit buf 0 v;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+let field_to_json = function
+  | String s -> Json.String s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let snapshot_json () =
+  let timer_json t =
+    Json.Assoc
+      [
+        ("count", Json.Int t.t_count);
+        ("total_s", Json.Float t.t_total);
+        ( "mean_s",
+          Json.Float
+            (if t.t_count = 0 then 0. else t.t_total /. float_of_int t.t_count)
+        );
+        ("min_s", Json.Float t.t_min);
+        ("max_s", Json.Float t.t_max);
+      ]
+  in
+  let event_json e =
+    Json.Assoc
+      (("kind", Json.String e.ev_kind)
+      :: List.map (fun (k, v) -> (k, field_to_json v)) e.ev_fields)
+  in
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("counters", Json.Assoc (sorted_tbl counters (fun r -> Json.Int !r)));
+      ("gauges", Json.Assoc (sorted_tbl gauges (fun v -> Json.Float v)));
+      ("timers", Json.Assoc (sorted_tbl timers timer_json));
+      ("events", Json.List (List.rev_map event_json !events));
+      ("events_dropped", Json.Int !events_dropped);
+    ]
+
+let json_string () = Json.to_string (snapshot_json ())
+let write_channel oc = output_string oc (json_string ())
+
+module Sink = struct
+  type nonrec output = output =
+    | Span_end of { path : string; seconds : float }
+    | Event_record of { kind : string; fields : (string * field) list }
+
+  let register f = sinks := f :: !sinks
+  let clear () = sinks := []
+
+  let pp_field ppf (k, v) =
+    match v with
+    | String s -> Format.fprintf ppf "%s=%s" k s
+    | Int i -> Format.fprintf ppf "%s=%d" k i
+    | Float f -> Format.fprintf ppf "%s=%g" k f
+    | Bool b -> Format.fprintf ppf "%s=%b" k b
+
+  let logs () =
+    register (function
+      | Span_end { path; seconds } ->
+          Log.debug (fun m -> m "span %s %.6fs" path seconds)
+      | Event_record { kind; fields } ->
+          Log.debug (fun m ->
+              m "event %s [%a]" kind
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+                   pp_field)
+                fields))
+end
+
+module Report = struct
+  let pp ppf () =
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "counter %-42s %d@," k v)
+      (sorted_tbl counters (fun r -> !r));
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "gauge   %-42s %g@," k v)
+      (sorted_tbl gauges Fun.id);
+    List.iter
+      (fun (k, t) ->
+        Format.fprintf ppf "timer   %-42s n=%d total=%.6fs@," k t.t_count
+          t.t_total)
+      (sorted_tbl timers Fun.id);
+    Format.fprintf ppf "@]"
+
+  let log () = Log.info (fun m -> m "@[<v>telemetry:@,%a@]" pp ())
+end

@@ -1,0 +1,143 @@
+(** Telemetry for the allocation flow: counters, gauges, timers,
+    hierarchical spans and structured events, collected in a process-global
+    in-memory registry with a JSON serializer and a Logs-backed live sink.
+
+    Telemetry is {e disabled by default}. Every recording entry point
+    checks one flag and returns immediately while disabled, so
+    instrumenting a hot path costs a single branch. Enable with
+    {!set_enabled} (the CLIs do this when [--metrics] is given), run the
+    workload, then serialize with {!json_string} / {!write_channel}.
+
+    The registry is not thread-safe; the allocation flow is
+    single-threaded.
+
+    {b JSON schema} (stable key names, [schema_version] 1):
+    {v
+    { "schema_version": 1,
+      "counters": { "<name>": <int>, ... },
+      "gauges":   { "<name>": <number>, ... },
+      "timers":   { "<name>": { "count": <int>, "total_s": <number>,
+                                "mean_s": <number>, "min_s": <number>,
+                                "max_s": <number> }, ... },
+      "events":   [ { "kind": "<kind>", "<field>": <value>, ... }, ... ],
+      "events_dropped": <int> }
+    v}
+    Counter/gauge/timer keys are sorted; events appear in emission order
+    (capped at 10_000, the overflow counted in [events_dropped]). Timer
+    keys recorded through {!Span.with_} are full span paths, e.g.
+    ["flow.attempt/strategy.bind"]. The metric-name catalogue of the
+    instrumented flow is documented in README.md ("Observability"). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero all counters (handles from {!Counter.make} stay valid), drop all
+    gauges, timers and events. Registered sinks are kept. *)
+
+(** Monotonic integer counters. *)
+module Counter : sig
+  type t
+  (** A pre-registered handle; cheaper than by-name access on hot paths. *)
+
+  val make : string -> t
+  (** Register (or look up) the counter [name]. The counter appears in the
+      serialized registry even at value 0. *)
+
+  val incr : ?by:int -> t -> unit
+  val add : string -> int -> unit
+  val value : string -> int
+  (** 0 for a counter that was never touched. *)
+end
+
+(** Last-value-wins measurements (hash-table load factors, blow-up
+    ratios). *)
+module Gauge : sig
+  val set : string -> float -> unit
+  val set_int : string -> int -> unit
+  val value : string -> float option
+end
+
+(** Histogram-style duration accumulators: count / total / min / max. *)
+module Timer : sig
+  type snapshot = { count : int; total_s : float; min_s : float; max_s : float }
+
+  val record : string -> float -> unit
+  (** [record name seconds] folds one measured duration into [name]. *)
+
+  val time : string -> (unit -> 'a) -> 'a
+  (** Run the thunk, recording its CPU time ([Sys.time]) under [name]. *)
+
+  val snapshot : string -> snapshot option
+end
+
+(** Hierarchical timing scopes. [Span.with_ "strategy.bind" f] runs [f]
+    and records its duration in a {!Timer} keyed by the ["/"]-joined path
+    of enclosing spans (["flow.attempt/strategy.bind"] when nested under a
+    ["flow.attempt"] span). *)
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** Exception-safe: the span is closed and recorded on raise. *)
+
+  val current : unit -> string list
+  (** Enclosing span names, outermost first; [[]] outside any span. *)
+end
+
+(** Structured one-off records ("one attempt per weight-ladder rung"). *)
+module Event : sig
+  type field = String of string | Int of int | Float of float | Bool of bool
+
+  val emit : string -> (string * field) list -> unit
+  (** [emit kind fields] appends an event. The field name ["kind"] is
+      reserved for the event kind in the JSON encoding. *)
+
+  val count : string -> int
+  (** Number of stored events of the given kind. *)
+
+  val all : unit -> (string * (string * field) list) list
+  (** All stored events, oldest first. *)
+end
+
+(** Minimal JSON document model used by the serializer. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Assoc of (string * t) list
+
+  val to_string : t -> string
+  (** Pretty-printed (2-space indent), newline-terminated. Non-finite
+      floats are clamped to 0 to keep the document valid. *)
+end
+
+val snapshot_json : unit -> Json.t
+(** The registry as a JSON document (see the schema above). *)
+
+val json_string : unit -> string
+val write_channel : out_channel -> unit
+
+(** Pluggable live sinks, called synchronously at span end and event
+    emission (only while telemetry is enabled). *)
+module Sink : sig
+  type output =
+    | Span_end of { path : string; seconds : float }
+    | Event_record of { kind : string; fields : (string * Event.field) list }
+
+  val register : (output -> unit) -> unit
+  val clear : unit -> unit
+
+  val logs : unit -> unit
+  (** Register a live reporter logging every span end and event at debug
+      level on the ["sdfalloc.obs"] source. *)
+end
+
+(** Human-readable registry dumps. *)
+module Report : sig
+  val pp : Format.formatter -> unit -> unit
+  val log : unit -> unit
+  (** Log the {!pp} dump at info level on ["sdfalloc.obs"]. *)
+end

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Appmodel Buffer Char Core Fun List Obs Printf Sdf String

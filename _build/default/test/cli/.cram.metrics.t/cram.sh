@@ -1,0 +1,28 @@
+  $ sdf3_flow --apps example --platform example --metrics out.json > /dev/null
+  $ head -n 2 out.json
+  $ tail -c 2 out.json
+  $ for key in '"constrained.states"' '"constrained.transient"' \
+  >            '"constrained.period"' '"constrained.firings"' \
+  >            '"constrained.runs"' '"strategy.throughput_checks"' \
+  >            'strategy.bind' 'strategy.static_order' 'strategy.slice_alloc' \
+  >            '"flow.attempts"' '"kind": "flow.attempt"' '"rung": 0' \
+  >            '"outcome": "allocated"' '"counters"' '"gauges"' '"timers"' \
+  >            '"events"'; do
+  >   grep -q "$key" out.json || echo "MISSING $key"
+  > done
+  $ sdf3_flow --apps example --platform example --metrics-stderr > stdout.txt 2> err.json
+  $ head -n 1 stdout.txt
+  $ head -n 1 err.json
+  $ cat > example.sdf <<'SDF'
+  > sdfg example
+  > actor a1 1
+  > actor a2 1
+  > actor a3 2
+  > channel d1 a1 -> a2 rates 1 1
+  > channel d2 a2 -> a3 rates 1 2
+  > channel d3 a1 -> a1 rates 1 1 tokens 1
+  > SDF
+  $ sdf3_analyze example.sdf --metrics m.json > /dev/null
+  $ grep -o '"selftimed.states": 5' m.json
+  $ grep -o '"selftimed.period": 2' m.json
+  $ grep -o '"selftimed.transient": 3' m.json

@@ -19,6 +19,7 @@ Fig. 5(a) throughput of 1/2 for a3 with the binding's execution times:
   throughput a2 = 1
   throughput a3 = 1/2
   state space: 5 states, transient 3, period 2
+  periodic phase: 1 iteration(s) per period
   hsdf max cycle ratio = 2
 
 Parse errors carry the file and line:

@@ -36,6 +36,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("regressions", Test_regressions.suite);
       ("composition", Test_composition.suite);
+      ("obs", Test_obs.suite);
       ("props", Test_props.suite);
       ("paper", Test_paper.suite);
     ]

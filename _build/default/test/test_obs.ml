@@ -1,0 +1,323 @@
+(* The telemetry registry: counter/timer accumulation, span nesting, JSON
+   serialization (validated with a miniature JSON reader) and the
+   flow-level regression that every weight-ladder rung tried leaves one
+   attempt record. *)
+
+module Rat = Sdf.Rat
+module Appgraph = Appmodel.Appgraph
+module Models = Appmodel.Models
+module Flow = Core.Flow
+
+(* Run [f] with a clean, enabled registry; always restore the disabled
+   default so the other suites are unaffected. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------- a miniature JSON reader ------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then failwith "json: unexpected end";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let got = next () in
+    if got <> c then failwith (Printf.sprintf "json: expected %c, got %c" c got)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          match next () with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              let code = int_of_string ("0x" ^ hex) in
+              (* ASCII escapes only: enough for the serializer under test. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+              go ()
+          | c -> failwith (Printf.sprintf "json: bad escape %c" c))
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      incr pos
+    done;
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (expect '}'; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | c -> failwith (Printf.sprintf "json: bad object sep %c" c)
+          in
+          members []
+        end
+    | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (expect ']'; Arr [])
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> items (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | c -> failwith (Printf.sprintf "json: bad array sep %c" c)
+          in
+          items []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> failwith "json: empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then failwith "json: trailing garbage";
+  v
+
+let obj_field j k =
+  match j with
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+(* ----------------------------- tests ------------------------------- *)
+
+let test_counter_accumulation () =
+  with_obs (fun () ->
+      Obs.Counter.add "t.counter" 2;
+      Obs.Counter.add "t.counter" 3;
+      Alcotest.(check int) "accumulates" 5 (Obs.Counter.value "t.counter");
+      let h = Obs.Counter.make "t.handle" in
+      Obs.Counter.incr h;
+      Obs.Counter.incr ~by:9 h;
+      Alcotest.(check int) "handle accumulates" 10 (Obs.Counter.value "t.handle");
+      Alcotest.(check int) "untouched counter reads 0" 0
+        (Obs.Counter.value "t.never"));
+  (* Disabled: nothing records, handles survive a reset. *)
+  Obs.reset ();
+  Obs.Counter.add "t.counter" 7;
+  Alcotest.(check int) "disabled adds are dropped" 0
+    (Obs.Counter.value "t.counter")
+
+let test_timer_accumulation () =
+  with_obs (fun () ->
+      Obs.Timer.record "t.timer" 1.0;
+      Obs.Timer.record "t.timer" 2.0;
+      Obs.Timer.record "t.timer" 0.5;
+      match Obs.Timer.snapshot "t.timer" with
+      | None -> Alcotest.fail "timer missing"
+      | Some s ->
+          Alcotest.(check int) "count" 3 s.Obs.Timer.count;
+          Alcotest.(check (float 1e-9)) "total" 3.5 s.Obs.Timer.total_s;
+          Alcotest.(check (float 1e-9)) "min" 0.5 s.Obs.Timer.min_s;
+          Alcotest.(check (float 1e-9)) "max" 2.0 s.Obs.Timer.max_s)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          Alcotest.(check (list string)) "inside outer" [ "outer" ]
+            (Obs.Span.current ());
+          Obs.Span.with_ "inner.step" (fun () ->
+              Alcotest.(check (list string))
+                "inside both" [ "outer"; "inner.step" ] (Obs.Span.current ())));
+      Alcotest.(check (list string)) "unwound" [] (Obs.Span.current ());
+      Alcotest.(check bool) "outer recorded" true
+        (Obs.Timer.snapshot "outer" <> None);
+      Alcotest.(check bool) "nested path recorded" true
+        (Obs.Timer.snapshot "outer/inner.step" <> None))
+
+let test_span_unwinds_on_exception () =
+  with_obs (fun () ->
+      (try Obs.Span.with_ "boom" (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      Alcotest.(check (list string)) "stack unwound" [] (Obs.Span.current ());
+      Alcotest.(check bool) "duration still recorded" true
+        (Obs.Timer.snapshot "boom" <> None))
+
+let test_json_schema () =
+  with_obs (fun () ->
+      Obs.Counter.add "b.counter" 1;
+      Obs.Counter.add "a.counter" 2;
+      Obs.Gauge.set "g.gauge" 0.25;
+      Obs.Timer.record "t.timer" 0.125;
+      Obs.Event.emit "e.kind" [ ("n", Obs.Event.Int 3) ];
+      let j = parse_json (Obs.json_string ()) in
+      Alcotest.(check bool) "schema_version 1" true
+        (obj_field j "schema_version" = Some (Num 1.));
+      (match obj_field j "counters" with
+      | Some (Obj kvs) ->
+          (* [reset] keeps previously registered counters alive (zeroed),
+             so check order and content, not the exact key set. *)
+          let keys = List.map fst kvs in
+          Alcotest.(check (list string)) "counter keys sorted"
+            (List.sort compare keys) keys;
+          Alcotest.(check bool) "counter values serialized" true
+            (List.assoc_opt "a.counter" kvs = Some (Num 2.)
+            && List.assoc_opt "b.counter" kvs = Some (Num 1.))
+      | _ -> Alcotest.fail "counters object missing");
+      (match obj_field j "timers" with
+      | Some (Obj [ ("t.timer", Obj fields) ]) ->
+          Alcotest.(check (list string)) "timer fields"
+            [ "count"; "total_s"; "mean_s"; "min_s"; "max_s" ]
+            (List.map fst fields)
+      | _ -> Alcotest.fail "timers object missing");
+      (match obj_field j "events" with
+      | Some (Arr [ ev ]) ->
+          Alcotest.(check bool) "event kind" true
+            (obj_field ev "kind" = Some (Str "e.kind"));
+          Alcotest.(check bool) "event field" true
+            (obj_field ev "n" = Some (Num 3.))
+      | _ -> Alcotest.fail "events array missing");
+      Alcotest.(check bool) "events_dropped present" true
+        (obj_field j "events_dropped" = Some (Num 0.)))
+
+let test_json_string_escaping () =
+  with_obs (fun () ->
+      let tricky = "a\"b\\c\nd\te\x01f" in
+      Obs.Event.emit "esc" [ ("s", Obs.Event.String tricky) ];
+      let j = parse_json (Obs.json_string ()) in
+      match obj_field j "events" with
+      | Some (Arr [ ev ]) ->
+          Alcotest.(check bool) "string round-trips" true
+            (obj_field ev "s" = Some (Str tricky))
+      | _ -> Alcotest.fail "events array missing")
+
+let test_flow_attempt_records () =
+  with_obs (fun () ->
+      (* Infeasible constraint: every rung of the default ladder is tried
+         and fails (same fixture as the flow suite). *)
+      let app =
+        Appgraph.with_lambda (Models.example_app ()) (Rat.make 1 5)
+      in
+      let r = Flow.allocate_with_retry app (Models.example_platform ()) in
+      let rungs = List.length r.Flow.attempts in
+      Alcotest.(check int) "whole ladder tried" 5 rungs;
+      Alcotest.(check int) "one event per rung tried" rungs
+        (Obs.Event.count "flow.attempt");
+      Alcotest.(check int) "attempt counter matches" rungs
+        (Obs.Counter.value "flow.attempts");
+      Alcotest.(check int) "exhaustion recorded" 1
+        (Obs.Counter.value "flow.exhausted");
+      (* Rung indices are 0..n-1 in order; every outcome is a failure. *)
+      List.iteri
+        (fun i (kind, fields) ->
+          Alcotest.(check string) "kind" "flow.attempt" kind;
+          Alcotest.(check bool) "rung index" true
+            (List.assoc_opt "rung" fields = Some (Obs.Event.Int i));
+          Alcotest.(check bool) "failed outcome" true
+            (match List.assoc_opt "outcome" fields with
+            | Some (Obs.Event.String ("allocated" | "")) | None -> false
+            | Some _ -> true))
+        (Obs.Event.all ());
+      (* A feasible run stops at the first rung and records it. *)
+      Obs.reset ();
+      let ok =
+        Flow.allocate_with_retry (Models.example_app ())
+          (Models.example_platform ())
+      in
+      Alcotest.(check int) "one attempt" 1 (List.length ok.Flow.attempts);
+      Alcotest.(check int) "one record" 1 (Obs.Event.count "flow.attempt");
+      Alcotest.(check int) "success recorded" 1
+        (Obs.Counter.value "flow.allocated"))
+
+let test_strategy_spans_and_statespace_counters () =
+  with_obs (fun () ->
+      (match
+         Core.Strategy.allocate (Models.example_app ())
+           (Models.example_platform ())
+       with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "example should allocate");
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) (phase ^ " span recorded") true
+            (Obs.Timer.snapshot phase <> None))
+        [ "strategy.bind"; "strategy.static_order"; "strategy.slice_alloc" ];
+      Alcotest.(check bool) "states counted" true
+        (Obs.Counter.value "constrained.states" > 0);
+      Alcotest.(check bool) "period counted" true
+        (Obs.Counter.value "constrained.period" > 0);
+      Alcotest.(check int) "checks match runs" (Obs.Counter.value "constrained.runs")
+        (Obs.Counter.value "strategy.throughput_checks"))
+
+let suite =
+  [
+    Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
+    Alcotest.test_case "timer accumulation" `Quick test_timer_accumulation;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span unwinds on exception" `Quick
+      test_span_unwinds_on_exception;
+    Alcotest.test_case "json schema and key order" `Quick test_json_schema;
+    Alcotest.test_case "json string escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "one flow.attempt record per rung" `Quick
+      test_flow_attempt_records;
+    Alcotest.test_case "strategy spans and state-space counters" `Quick
+      test_strategy_spans_and_statespace_counters;
+  ]

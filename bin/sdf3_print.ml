@@ -11,7 +11,8 @@ let model_of_name = function
       Printf.eprintf "unknown model %S (try example, h263, mp3)\n" s;
       exit 1
 
-let print_model name fmt =
+let print_model name fmt log_level =
+  Cli_common.setup_logs log_level;
   let app = model_of_name name in
   let g = app.Appgraph.graph in
   (* Render with the worst-case execution times, which is what Eqn. 1 uses. *)
@@ -50,6 +51,6 @@ let format =
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_print" ~doc:"Print a built-in application model")
-    Term.(const print_model $ model $ format)
+    Term.(const print_model $ model $ format $ Cli_common.log_level)
 
 let () = exit (Cmd.eval cmd)

@@ -13,9 +13,22 @@ type comparison = {
   mcr_seconds : float;
 }
 
+(* HSDF blow-up factor: the paper's run-time argument in one number
+   (H.263: 4 actors expand to 4754). *)
+let record_blowup g (h : Hsdf.t) =
+  if Obs.enabled () then begin
+    Obs.Counter.add "hsdf.conversions" 1;
+    let sdfg_actors = Sdfg.num_actors g in
+    let hsdf_actors = Sdfg.num_actors h.Hsdf.graph in
+    Obs.Gauge.set_int "hsdf.actors" hsdf_actors;
+    Obs.Gauge.set "hsdf.blowup"
+      (float_of_int hsdf_actors /. float_of_int (max 1 sdfg_actors))
+  end
+
 let throughput_via_hsdf g exec_times ~output =
   let gamma = Repetition.vector_exn g in
   let h = Hsdf.convert g gamma in
+  record_blowup g h;
   let rate = Analysis.Mcr.hsdf_throughput h.Hsdf.graph (Hsdf.timing h exec_times) in
   if Rat.is_infinite rate then Rat.infinity else Rat.mul_int rate gamma.(output)
 
@@ -29,6 +42,10 @@ let compare_analysis ?max_states g exec_times ~output =
   let t2 = clock () in
   let rate = Analysis.Mcr.hsdf_throughput h.Hsdf.graph (Hsdf.timing h exec_times) in
   let t3 = clock () in
+  record_blowup g h;
+  Obs.Timer.record "hsdf.analysis.sdfg" (t1 -. t0);
+  Obs.Timer.record "hsdf.analysis.convert" (t2 -. t1);
+  Obs.Timer.record "hsdf.analysis.mcr" (t3 -. t2);
   {
     sdfg_actors = Sdfg.num_actors g;
     hsdf_actors = Sdfg.num_actors h.Hsdf.graph;
