@@ -1,6 +1,6 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
-.PHONY: all build test fmt-check bench-quick ci
+.PHONY: all build test fmt-check bench-quick bench-smoke ci
 
 all: build
 
@@ -22,5 +22,13 @@ fmt-check:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick --no-bechamel
+
+# The CI bench job: parallel table run with telemetry, asserting the memo
+# cache and the work-pool both saw real traffic.
+bench-smoke:
+	dune exec bench/main.exe -- --quick --no-bechamel --jobs 2 \
+	  --metrics bench-metrics.json
+	grep -Eq '"cache\.hits": [1-9]' bench-metrics.json
+	grep -Eq '"pool\.tasks": [1-9]' bench-metrics.json
 
 ci: build test fmt-check

@@ -6,6 +6,9 @@
      dune exec bench/main.exe             # the paper's full 3 x 3 protocol
      dune exec bench/main.exe -- --quick  # 1 sequence x 1 architecture
      dune exec bench/main.exe -- --no-bechamel  # tables only
+     dune exec bench/main.exe -- --jobs N # fan the independent table cells
+                                          # out over N domains (0 = number
+                                          # of cores); tables identical
      dune exec bench/main.exe -- --metrics FILE # export the telemetry
                                                 # registry of the table runs
                                                 # as JSON (correlates wall
@@ -137,6 +140,20 @@ let () =
     in
     find argv
   in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some n -> n
+          | None ->
+              Printf.eprintf "--jobs expects an integer, got %S\n" n;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find argv
+  in
+  Par.set_jobs jobs;
   if metrics_file <> None then Obs.set_enabled true;
   let seqs = if quick then [ 0 ] else [ 0; 1; 2 ] in
   let archs = if quick then [ 0 ] else [ 0; 1; 2 ] in
@@ -169,11 +186,22 @@ let () =
   (match metrics_file with
   | None -> ()
   | Some path ->
+      (* [Par] is dependency-free; copy the pool's totals into counters so
+         they appear in the exported registry. *)
+      Obs.Counter.add "pool.jobs" (Par.jobs ());
+      Obs.Counter.add "pool.tasks" (Par.tasks_executed ());
+      Obs.Counter.add "pool.batches" (Par.batches_executed ());
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Obs.write_channel oc);
       Printf.printf "\ntelemetry registry of the table runs written to %s\n" path;
       (* The micro-benchmarks below must time the kernels with telemetry
          off, the configuration whose overhead we guarantee (< 2%). *)
       Obs.set_enabled false);
-  if with_bechamel then run_bechamel ();
+  if with_bechamel then begin
+    (* The micro-benchmarks time the real analysis kernels: with the memo
+       tables warm from the table runs every iteration after the first
+       would be a lookup, so memoization is switched off here. *)
+    Analysis.Memo.set_enabled false;
+    run_bechamel ()
+  end;
   print_newline ()

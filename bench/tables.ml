@@ -221,25 +221,35 @@ let e8_e9_e10 ~seqs ~archs () =
     (Printf.sprintf
        "Average number of application graphs bound (Tab. 4; %d seq x %d arch)"
        (List.length seqs) (List.length archs));
-  let cells = Hashtbl.create 32 in
-  List.iter
-    (fun (c1, c2, c3) ->
-      List.iter
-        (fun set ->
-          let runs =
+  (* Every (weights, set, seq, arch) cell is an independent allocation
+     run, so the whole grid fans out over the worker pool ([--jobs]); the
+     results are regrouped in enumeration order afterwards, keeping the
+     printed tables byte-identical to a sequential run. *)
+  let grid =
+    List.concat_map
+      (fun w ->
+        List.concat_map
+          (fun set ->
             List.concat_map
               (fun seq ->
-                List.map
-                  (fun arch_variant ->
-                    run_cell
-                      ~weights:(Core.Cost.weights c1 c2 c3)
-                      ~set ~seq ~arch_variant)
-                  archs)
-              seqs
-          in
-          Hashtbl.add cells ((c1, c2, c3), set) runs)
-        [ 1; 2; 3; 4 ])
-    cost_functions;
+                List.map (fun arch_variant -> (w, set, seq, arch_variant)) archs)
+              seqs)
+          [ 1; 2; 3; 4 ])
+      cost_functions
+  in
+  let results =
+    Par.map
+      (fun ((c1, c2, c3), set, seq, arch_variant) ->
+        run_cell ~weights:(Core.Cost.weights c1 c2 c3) ~set ~seq ~arch_variant)
+      grid
+  in
+  let cells = Hashtbl.create 32 in
+  List.iter2
+    (fun (w, set, _, _) r ->
+      let key = (w, set) in
+      let sofar = Option.value (Hashtbl.find_opt cells key) ~default:[] in
+      Hashtbl.replace cells key (sofar @ [ r ]))
+    grid results;
   let avg f runs =
     List.fold_left (fun acc r -> acc +. f r) 0. runs
     /. float_of_int (List.length runs)
@@ -453,18 +463,22 @@ let e14_protocol_improvements () =
     "Allocation protocol improvements the paper suggests (Secs. 10.1-10.2)";
   let weights = Core.Cost.weights 0. 1. 2. in
   Printf.printf "%-42s %6s %6s %6s %6s\n" "protocol" "set1" "set2" "set3" "set4";
+  (* The four sets of one protocol row are independent runs: fan them out,
+     print the counts in set order once all four are back. *)
+  let counts_for run_set =
+    Par.map run_set [ 1; 2; 3; 4 ]
+    |> List.iter (fun bound -> Printf.printf " %6d" bound)
+  in
   let run ~policy ~order label =
     Printf.printf "%-42s" label;
-    List.iter
-      (fun set ->
+    counts_for (fun set ->
         let apps = Gen.Benchsets.sequence ~set ~seq:0 ~count:40 in
         let report =
           Core.Multi_app.allocate_until_failure ~weights ~policy ~order
             ~max_states:200_000 apps
             (Gen.Benchsets.architecture 0)
         in
-        Printf.printf " %6d" (List.length report.Core.Multi_app.allocations))
-      [ 1; 2; 3; 4 ];
+        List.length report.Core.Multi_app.allocations);
     print_newline ()
   in
   run ~policy:Core.Multi_app.Stop_at_first_failure ~order:Core.Multi_app.As_given
@@ -477,8 +491,7 @@ let e14_protocol_improvements () =
     ~order:Core.Multi_app.By_total_work_descending "+ heavy-first preordering";
   (let label = "+ per-app weight-ladder retry" in
    Printf.printf "%-42s" label;
-   List.iter
-     (fun set ->
+   counts_for (fun set ->
        let apps = Gen.Benchsets.sequence ~set ~seq:0 ~count:40 in
        let report =
          Core.Multi_app.allocate_until_failure
@@ -486,8 +499,7 @@ let e14_protocol_improvements () =
            ~policy:Core.Multi_app.Skip_failed ~max_states:200_000 apps
            (Gen.Benchsets.architecture 0)
        in
-       Printf.printf " %6d" (List.length report.Core.Multi_app.allocations))
-     [ 1; 2; 3; 4 ];
+       List.length report.Core.Multi_app.allocations);
    print_newline ());
   print_endline
     "(the paper predicts both mechanisms \"may improve the results\"; the\n\
@@ -849,21 +861,25 @@ let e22_guarantee_validation () =
             ~app ~arch ~binding:a.Core.Strategy.binding
             ~slices:a.Core.Strategy.slices ()
         in
-        let worst = ref Rat.infinity and best = ref Rat.zero in
-        List.iter
-          (fun offsets ->
-            let r =
-              Core.Constrained.analyze ~offsets ~max_states:500_000 ba
-                ~schedules:a.Core.Strategy.schedules
-            in
-            let t = r.Core.Constrained.throughput in
-            if Rat.compare t !worst < 0 then worst := t;
-            if Rat.compare t !best > 0 then best := t)
-          offset_samples;
+        (* Each offset sample is an independent constrained analysis —
+           fan them out, then fold the extrema (order-independent). *)
+        let worst, best =
+          Par.map
+            (fun offsets ->
+              (Core.Constrained.analyze ~offsets ~max_states:500_000 ba
+                 ~schedules:a.Core.Strategy.schedules)
+                .Core.Constrained.throughput)
+            offset_samples
+          |> List.fold_left
+               (fun (worst, best) t ->
+                 ( (if Rat.compare t worst < 0 then t else worst),
+                   if Rat.compare t best > 0 then t else best ))
+               (Rat.infinity, Rat.zero)
+        in
         Printf.printf "%-14s %12s %12s %12s %10s\n" name
-          (Rat.to_string guaranteed) (Rat.to_string !worst)
-          (Rat.to_string !best)
-          (if Rat.compare !worst guaranteed >= 0 then "holds" else "VIOLATED")
+          (Rat.to_string guaranteed) (Rat.to_string worst)
+          (Rat.to_string best)
+          (if Rat.compare worst guaranteed >= 0 then "holds" else "VIOLATED")
   in
   (* The example: exhaustive over both 10-unit wheels. *)
   let all_offsets =

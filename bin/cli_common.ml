@@ -34,6 +34,17 @@ let metrics_stderr =
         ~doc:"Enable telemetry and dump the registry as JSON to stderr on \
               exit")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Evaluate independent throughput checks on $(docv) domains \
+              (default 1: strictly sequential, byte-identical output). 0 \
+              picks the machine's recommended domain count.")
+
+(* Call before the workload. *)
+let init_jobs n = Par.set_jobs n
+
 (* Call before the workload: enables the registry (and the Logs live sink
    at debug level) when any metrics output was requested. *)
 let init_metrics ~file ~to_stderr =
@@ -42,7 +53,17 @@ let init_metrics ~file ~to_stderr =
     Obs.Sink.logs ()
   end
 
+(* [Par] is dependency-free (it cannot record into [Obs] itself), so the
+   pool's lifetime totals are copied into counters at serialization time. *)
+let export_par_stats () =
+  if Obs.enabled () then begin
+    Obs.Counter.add "pool.jobs" (Par.jobs ());
+    Obs.Counter.add "pool.tasks" (Par.tasks_executed ());
+    Obs.Counter.add "pool.batches" (Par.batches_executed ())
+  end
+
 let write_metrics ~file ~to_stderr =
+  export_par_stats ();
   (match file with
   | None -> ()
   | Some path ->

@@ -37,21 +37,25 @@ let lambda_sweep app arch =
   print_endline
     "\nconstraint tightness vs reserved TDMA slice (allocation strategy):";
   Printf.printf "  %16s %16s %12s %8s\n" "lambda" "achieved" "slice total" "checks";
-  (* Sweep multiples of the model's own constraint. *)
-  List.iter
-    (fun (num, den) ->
-      let lambda = Rat.mul app.Appgraph.lambda (Rat.make num den) in
-      let app = Appgraph.with_lambda app lambda in
-      match Core.Strategy.allocate ~max_states:1_000_000 app arch with
-      | Ok alloc ->
-          Printf.printf "  %16s %16s %12d %8d\n" (Rat.to_string lambda)
-            (Rat.to_string alloc.Core.Strategy.throughput)
-            (Array.fold_left ( + ) 0 alloc.Core.Strategy.slices)
-            alloc.Core.Strategy.stats.Core.Strategy.throughput_checks
-      | Error f ->
-          Printf.printf "  %16s %s\n" (Rat.to_string lambda)
-            (Format.asprintf "%a" Core.Strategy.pp_failure f))
-    [ (1, 4); (1, 2); (3, 4); (1, 1); (5, 4); (3, 2); (2, 1) ]
+  (* Sweep multiples of the model's own constraint. The sweep points are
+     independent allocations of one graph, so they fan out over the worker
+     pool ([--jobs]); rows are printed afterwards, in sweep order, making
+     the output independent of the job count. *)
+  [ (1, 4); (1, 2); (3, 4); (1, 1); (5, 4); (3, 2); (2, 1) ]
+  |> Par.map (fun (num, den) ->
+         let lambda = Rat.mul app.Appgraph.lambda (Rat.make num den) in
+         let app = Appgraph.with_lambda app lambda in
+         (lambda, Core.Strategy.allocate ~max_states:1_000_000 app arch))
+  |> List.iter (fun (lambda, outcome) ->
+         match outcome with
+         | Ok alloc ->
+             Printf.printf "  %16s %16s %12d %8d\n" (Rat.to_string lambda)
+               (Rat.to_string alloc.Core.Strategy.throughput)
+               (Array.fold_left ( + ) 0 alloc.Core.Strategy.slices)
+               alloc.Core.Strategy.stats.Core.Strategy.throughput_checks
+         | Error f ->
+             Printf.printf "  %16s %s\n" (Rat.to_string lambda)
+               (Format.asprintf "%a" Core.Strategy.pp_failure f))
 
 let latency_report app =
   let g = app.Appgraph.graph in
@@ -68,8 +72,9 @@ let latency_report app =
   Printf.printf "  first-iteration makespan: %d time units\n"
     (Analysis.Latency.iteration_makespan ~max_states:500_000 g taus)
 
-let dse model skip_buffers log_level metrics_file metrics_stderr =
+let dse model skip_buffers jobs log_level metrics_file metrics_stderr =
   Cli_common.setup_logs log_level;
+  Cli_common.init_jobs jobs;
   Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
   let app, arch = model_of_name model in
   Printf.printf "design-space exploration for %s (lambda %s)\n\n"
@@ -98,7 +103,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sdf3_dse" ~doc:"Design-space exploration for an application model")
     Term.(
-      const dse $ model $ skip_buffers $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
+      const dse $ model $ skip_buffers $ Cli_common.jobs
+      $ Cli_common.log_level $ Cli_common.metrics_file
+      $ Cli_common.metrics_stderr)
 
 let () = exit (Cmd.eval cmd)

@@ -39,8 +39,9 @@ let parse_weights s =
 open Core
 
 let flow apps_spec files set count platform_spec weights_spec verbose skip
-    ordering deploy gantt log_level metrics_file metrics_stderr =
+    ordering deploy gantt jobs log_level metrics_file metrics_stderr =
   Cli_common.setup_logs log_level;
+  Cli_common.init_jobs jobs;
   Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
   let arch = parse_platform platform_spec in
   let apps =
@@ -220,7 +221,8 @@ let cmd =
     (Cmd.info "sdf3_flow" ~doc:"Throughput-constrained resource allocation for SDFGs")
     Term.(
       const flow $ apps $ files $ set $ count $ platform $ weights $ verbose
-      $ skip $ ordering $ deploy $ gantt $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
+      $ skip $ ordering $ deploy $ gantt $ Cli_common.jobs
+      $ Cli_common.log_level $ Cli_common.metrics_file
+      $ Cli_common.metrics_stderr)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,73 @@
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let hits_total = Obs.Counter.make "cache.hits"
+let misses_total = Obs.Counter.make "cache.misses"
+let evictions_total = Obs.Counter.make "cache.evictions"
+
+type 'v t = {
+  tbl : (string, 'v) Hashtbl.t;
+  mutex : Mutex.t;
+  max_entries : int;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+}
+
+(* Heterogeneous registry for [clear_all]: each table contributes its own
+   clearing closure. *)
+let registry : (unit -> unit) list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.mutex
+
+let clear_all () =
+  Mutex.lock registry_mutex;
+  let clears = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter (fun f -> f ()) clears
+
+let create ~name ?(max_entries = 65_536) () =
+  let t =
+    {
+      tbl = Hashtbl.create 1024;
+      mutex = Mutex.create ();
+      max_entries;
+      hits = Obs.Counter.make (Printf.sprintf "cache.%s.hits" name);
+      misses = Obs.Counter.make (Printf.sprintf "cache.%s.misses" name);
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := (fun () -> clear t) :: !registry;
+  Mutex.unlock registry_mutex;
+  t
+
+let find_or_compute t ~key f =
+  if not !enabled_flag then f ()
+  else begin
+    Mutex.lock t.mutex;
+    let cached = Hashtbl.find_opt t.tbl key in
+    Mutex.unlock t.mutex;
+    match cached with
+    | Some v ->
+        Obs.Counter.incr t.hits;
+        Obs.Counter.incr hits_total;
+        v
+    | None ->
+        (* Compute outside the lock: sibling domains missing on other keys
+           (or even this one) must not serialise on the analysis itself. *)
+        let v = f () in
+        Mutex.lock t.mutex;
+        if Hashtbl.length t.tbl >= t.max_entries then begin
+          Hashtbl.reset t.tbl;
+          Obs.Counter.incr evictions_total
+        end;
+        Hashtbl.replace t.tbl key v;
+        Mutex.unlock t.mutex;
+        Obs.Counter.incr t.misses;
+        Obs.Counter.incr misses_total;
+        v
+  end

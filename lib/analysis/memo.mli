@@ -1,0 +1,46 @@
+(** Memoization tables for throughput analyses.
+
+    The allocation flow re-analyzes structurally identical binding-aware
+    SDFGs over and over: every weight-ladder rung rebuilds the same graphs
+    for the bindings it shares with earlier rungs, identical applications
+    in a multi-application workload probe the same slice configurations,
+    and a lambda sweep re-runs the whole strategy on one graph. A memo
+    table keyed on a canonical structural serialization of the analysis
+    input (see {!Selftimed.cache_key} and {!Constrained.cache_key}) makes
+    every repeat a lookup.
+
+    Tables are thread-safe (one mutex per table; the computation itself
+    runs outside the lock, so concurrent misses on the same key may
+    compute twice — harmless for pure analyses) and bounded: when a table
+    reaches its entry cap it is emptied wholesale, which keeps the worst
+    case simple and counts as an eviction.
+
+    Effectiveness is observable through {!Obs} counters: the aggregate
+    ["cache.hits"] / ["cache.misses"] / ["cache.evictions"], plus
+    ["cache.<name>.hits"] and ["cache.<name>.misses"] per table. The
+    counters are registered at table creation, so they appear (at 0) in
+    every [--metrics] document. *)
+
+type 'v t
+
+val create : name:string -> ?max_entries:int -> unit -> 'v t
+(** [create ~name ()] registers the table's hit/miss counters under
+    ["cache.<name>.*"]. [max_entries] defaults to [65_536]. *)
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+(** [find_or_compute t ~key f] returns the cached value for [key] or runs
+    [f] and stores its result. An exception from [f] propagates and caches
+    nothing (callers cache negative outcomes by reifying them as values).
+    When memoization is globally disabled, simply runs [f]. *)
+
+val clear : 'v t -> unit
+
+val clear_all : unit -> unit
+(** Empty every table created so far (tests use this to re-establish a
+    cold cache). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Global kill-switch, on by default. Disabling does not clear tables;
+    re-enabling sees the old entries. Benchmarks that must time the real
+    analysis (bench micro-timers) disable memoization first. *)

@@ -36,7 +36,7 @@ let validate g exec_times =
            (Sdfg.actor_name g a))
   done
 
-let analyze ?observer ?(max_states = 2_000_000) g exec_times =
+let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
   validate g exec_times;
   let gamma = Repetition.vector_exn g in
   let n = Sdfg.num_actors g in
@@ -152,6 +152,50 @@ let analyze ?observer ?(max_states = 2_000_000) g exec_times =
   | exception State_space_exceeded n ->
       Obs.Counter.add "selftimed.cap_aborts" 1;
       raise (State_space_exceeded n)
+
+(* The analysis depends only on the graph structure (channel endpoints,
+   rates, initial tokens), the execution times and the state cap — never on
+   actor or channel names. Leaving names out of the key makes structurally
+   identical graphs share cache entries even when they come from different
+   applications (e.g. copies of one application in a multi-app workload). *)
+let cache_key ?(max_states = 2_000_000) g exec_times =
+  let chans =
+    Array.map
+      (fun c -> (c.Sdfg.src, c.Sdfg.dst, c.Sdfg.prod, c.Sdfg.cons, c.Sdfg.tokens))
+      (Sdfg.channels g)
+  in
+  Marshal.to_string
+    (Sdfg.num_actors g, chans, exec_times, max_states)
+    [ Marshal.No_sharing ]
+
+(* Negative outcomes are part of the analysis result, so they are cached
+   too, reified as values and replayed as exceptions on a hit. *)
+type outcome = Res of result | Dead | Exceeded of int
+
+let cache : outcome Memo.t = Memo.create ~name:"selftimed" ()
+
+let analyze ?observer ?(max_states = 2_000_000) g exec_times =
+  match observer with
+  | Some _ ->
+      (* An observer sees every firing of the transient and periodic
+         phases; a cached result cannot replay them. *)
+      analyze_uncached ?observer ~max_states g exec_times
+  | None -> (
+      (* Validation errors are caller bugs, not analysis outcomes: raise
+         them before touching the cache. *)
+      validate g exec_times;
+      let key = cache_key ~max_states g exec_times in
+      let outcome =
+        Memo.find_or_compute cache ~key (fun () ->
+            match analyze_uncached ~max_states g exec_times with
+            | r -> Res r
+            | exception Deadlocked -> Dead
+            | exception State_space_exceeded n -> Exceeded n)
+      in
+      match outcome with
+      | Res r -> r
+      | Dead -> raise Deadlocked
+      | Exceeded n -> raise (State_space_exceeded n))
 
 let throughput ?max_states g exec_times a =
   (analyze ?max_states g exec_times).throughput.(a)

@@ -51,11 +51,26 @@ val analyze :
     deterministic, so this reconstructs the Fig.-5-style transition chain
     (see {!Trace}).
 
+    Observer-free analyses are memoized on {!cache_key} (see {!Memo}):
+    repeat runs on a structurally identical graph with the same execution
+    times return the stored result — including stored [Deadlocked] /
+    [State_space_exceeded] outcomes, which are re-raised. Passing an
+    observer bypasses the cache, since a cached result cannot replay the
+    firing sequence.
+
     @raise Deadlocked see {!Deadlocked}.
     @raise State_space_exceeded see {!State_space_exceeded}.
     @raise Invalid_argument if some actor has no input channel, if
       [exec_times] has the wrong length or contains a negative entry, or if
       the graph is empty or inconsistent. *)
+
+val cache_key : ?max_states:int -> Sdfg.t -> int array -> string
+(** Canonical structural serialization of an analysis input: actor count,
+    channels as [(src, dst, prod, cons, tokens)] tuples in index order,
+    execution times and the state cap. Names are deliberately excluded —
+    throughput does not depend on them, so structurally identical graphs
+    from different applications share one cache entry. Two inputs have
+    equal keys iff the analysis is guaranteed to produce equal results. *)
 
 val throughput : ?max_states:int -> Sdfg.t -> int array -> int -> Rat.t
 (** [throughput g exec_times a] is the throughput of actor [a]. *)

@@ -30,7 +30,8 @@ let tdma_finish ~t ~tau ~w ~omega =
     end
   end
 
-let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~schedules =
+let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
+    (ba : Bind_aware.t) ~schedules =
   let g = ba.Bind_aware.graph in
   let arch = ba.Bind_aware.arch in
   let nt = Archgraph.num_tiles arch in
@@ -271,6 +272,68 @@ let analyze ?observer ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~sche
   | exception State_space_exceeded n ->
       Obs.Counter.add "constrained.cap_aborts" 1;
       raise (State_space_exceeded n)
+
+(* Everything the constrained execution depends on, by structure rather
+   than by name: the binding-aware graph (endpoints, rates, tokens), the
+   execution times, the binding (tile_of), the TDMA configuration (wheel
+   and slice per tile, offsets), the static-order schedules, the output
+   actor and the state cap. Names are excluded on purpose so identical
+   applications bound identically (multi-app workloads with copies) share
+   entries. *)
+let cache_key ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~schedules =
+  let g = ba.Bind_aware.graph in
+  let chans =
+    Array.map
+      (fun c -> (c.Sdfg.src, c.Sdfg.dst, c.Sdfg.prod, c.Sdfg.cons, c.Sdfg.tokens))
+      (Sdfg.channels g)
+  in
+  let wheels =
+    Array.map (fun (t : Tile.t) -> t.Tile.wheel)
+      (Archgraph.tiles ba.Bind_aware.arch)
+  in
+  let scheds =
+    Array.map
+      (Option.map (fun s -> (s.Schedule.prefix, s.Schedule.period)))
+      schedules
+  in
+  Marshal.to_string
+    ( Sdfg.num_actors g,
+      chans,
+      ba.Bind_aware.exec_times,
+      ba.Bind_aware.tile_of,
+      wheels,
+      ba.Bind_aware.slices,
+      ba.Bind_aware.app.Appmodel.Appgraph.output_actor,
+      scheds,
+      (offsets : int array option),
+      max_states )
+    [ Marshal.No_sharing ]
+
+type outcome = Res of result | Dead | Exceeded of int
+
+let cache : outcome Analysis.Memo.t = Analysis.Memo.create ~name:"constrained" ()
+
+let analyze ?observer ?offsets ?max_states (ba : Bind_aware.t) ~schedules =
+  match observer with
+  | Some _ ->
+      (* Observers replay the firing sequence; a cached result cannot. *)
+      analyze_uncached ?observer ?offsets ?max_states ba ~schedules
+  | None -> (
+      let key = cache_key ?offsets ?max_states ba ~schedules in
+      let outcome =
+        Analysis.Memo.find_or_compute cache ~key (fun () ->
+            (* Invalid_argument (caller bugs) propagates uncached; the
+               analysis outcomes — including the negative ones — are
+               cached and replayed. *)
+            match analyze_uncached ?offsets ?max_states ba ~schedules with
+            | r -> Res r
+            | exception Deadlocked -> Dead
+            | exception State_space_exceeded n -> Exceeded n)
+      in
+      match outcome with
+      | Res r -> r
+      | Dead -> raise Deadlocked
+      | Exceeded n -> raise (State_space_exceeded n))
 
 let throughput_or_zero ?max_states ba ~schedules =
   match analyze ?max_states ba ~schedules with

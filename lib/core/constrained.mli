@@ -65,8 +65,28 @@ val analyze :
     run (tested as a property; see the E22 bench).
 
     [max_states] defaults to [500_000].
+
+    Observer-free analyses are memoized on {!cache_key} (see
+    {!Analysis.Memo}): repeating the analysis of a structurally identical
+    configuration returns the stored result, with stored [Deadlocked] /
+    [State_space_exceeded] outcomes re-raised. An observer bypasses the
+    cache.
     @raise Invalid_argument if a schedule mentions an actor not bound to
     its tile, or if [offsets] has the wrong length. *)
+
+val cache_key :
+  ?offsets:int array ->
+  ?max_states:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  string
+(** Canonical structural serialization of a constrained-analysis input:
+    binding-aware graph structure (channel endpoints, rates, tokens),
+    execution times, tile assignment, per-tile TDMA wheels and slices,
+    wheel offsets, static-order schedules, output actor and state cap.
+    Actor/application names are deliberately excluded — throughput does
+    not depend on them, so identical applications (e.g. copies in a
+    multi-application workload) share cache entries. *)
 
 val throughput_or_zero :
   ?max_states:int ->

@@ -34,4 +34,11 @@ val allocate_with_retry :
   result
 (** Try each setting of the ladder until an allocation succeeds. Binding
     failures, scheduling deadlocks and slice failures all advance to the
-    next setting. *)
+    next setting.
+
+    When a {!Par} worker pool is active ([Par.set_jobs n] with [n > 1])
+    and memoization is enabled, all rungs are first evaluated
+    speculatively in parallel with telemetry suppressed, purely to warm
+    the analysis memo tables; the authoritative sequential pass then runs
+    over warm caches. Results and the attempt list are bit-identical to a
+    sequential run. *)

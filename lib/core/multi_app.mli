@@ -61,4 +61,11 @@ val allocate_until_failure :
 
     [retry_ladder] switches each application to {!Flow.allocate_with_retry}
     over the given settings ([weights] is then ignored) — the SDF3-style
-    revision loop applied per application. *)
+    revision loop applied per application.
+
+    When a {!Par} worker pool is active and memoization is enabled, every
+    application is first tried against the initial architecture
+    concurrently (telemetry suppressed, outcomes discarded) to warm the
+    analysis memo tables; the committing pass itself stays sequential —
+    resource commitment is a dependency chain — and is bit-identical to a
+    sequential run. *)

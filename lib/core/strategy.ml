@@ -41,7 +41,10 @@ let pp_failure ppf = function
 let default_weights = Cost.weights 1. 1. 1.
 
 let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cycles app arch =
-  let clock = Sys.time in
+  (* Wall clock, not [Sys.time]: these stats may be measured on one worker
+     domain while siblings burn CPU, and process CPU time sums over all of
+     them. *)
+  let clock = Unix.gettimeofday in
   let t0 = clock () in
   Obs.Counter.add "strategy.runs" 1;
   Log.debug (fun m ->
@@ -113,6 +116,8 @@ let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cyc
                 }))
 
 let is_valid alloc arch =
+  Obs.Span.with_ "strategy.validate" @@ fun () ->
+  Obs.Counter.add "strategy.validations" 1;
   let app = alloc.app in
   let resources_ok =
     match Binding.check app arch alloc.binding with
@@ -127,7 +132,9 @@ let is_valid alloc arch =
          alloc.slices)
   in
   let throughput_ok = Rat.compare alloc.throughput app.Appgraph.lambda >= 0 in
-  (* Re-measure to guard against stale stored values. *)
+  (* Re-measure to guard against stale stored values. The re-measurement
+     repeats the winning slice configuration's analysis, so with the
+     {!Constrained} memo warm it is a pure cache hit. *)
   let remeasured =
     let ba = Bind_aware.build ~app ~arch ~binding:alloc.binding ~slices:alloc.slices () in
     Constrained.throughput_or_zero ba ~schedules:alloc.schedules

@@ -4,12 +4,39 @@
 
    Everything is disabled by default: every recording entry point checks a
    single flag, so instrumented hot paths cost one branch while telemetry
-   is off. The registry is process-global and not thread-safe; the
-   allocation flow is single-threaded. *)
+   is off. The registry is process-global and thread-safe: mutations take
+   one mutex (contended only while telemetry is enabled), the span stack is
+   domain-local, and [unrecorded] suppresses recording on the calling
+   domain so speculative parallel work does not pollute the registry. *)
 
 let enabled_flag = ref false
-let enabled () = !enabled_flag
+
+(* Per-domain suppression, so [unrecorded] on one worker domain does not
+   silence its siblings. The indirection through a ref keeps [DLS.get]
+   cheap on the hot path. *)
+let suppressed_key = Domain.DLS.new_key (fun () -> ref false)
+let enabled () = !enabled_flag && not !(Domain.DLS.get suppressed_key)
 let set_enabled b = enabled_flag := b
+
+let unrecorded f =
+  let s = Domain.DLS.get suppressed_key in
+  let saved = !s in
+  s := true;
+  Fun.protect ~finally:(fun () -> s := saved) f
+
+(* One lock for the whole registry: recording is rare (telemetry off) or
+   cheap (an int/float update) relative to the analyses being measured. *)
+let reg_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mutex;
+  match f () with
+  | v ->
+      Mutex.unlock reg_mutex;
+      v
+  | exception e ->
+      Mutex.unlock reg_mutex;
+      raise e
 
 let log_src = Logs.Src.create "sdfalloc.obs" ~doc:"Telemetry"
 
@@ -44,13 +71,15 @@ let sinks : (output -> unit) list ref = ref []
 let notify o = List.iter (fun f -> f o) !sinks
 
 let reset () =
-  (* Zero counters in place so handles from {!Counter.make} stay live. *)
-  Hashtbl.iter (fun _ r -> r := 0) counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset timers;
-  events := [];
-  events_stored := 0;
-  events_dropped := 0
+  locked (fun () ->
+      (* Zero counters in place so handles from {!Counter.make} stay
+         live. *)
+      Hashtbl.iter (fun _ r -> r := 0) counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset timers;
+      events := [];
+      events_stored := 0;
+      events_dropped := 0)
 
 let sorted_tbl tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
@@ -60,75 +89,96 @@ module Counter = struct
   type t = int ref
 
   let make name =
-    match Hashtbl.find_opt counters name with
-    | Some r -> r
-    | None ->
-        let r = ref 0 in
-        Hashtbl.add counters name r;
-        r
+    locked (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add counters name r;
+            r)
 
-  let incr ?(by = 1) t = if !enabled_flag then t := !t + by
+  let incr ?(by = 1) t =
+    if enabled () then locked (fun () -> t := !t + by)
 
   let add name by =
-    if !enabled_flag then begin
+    if enabled () then begin
       let r = make name in
-      r := !r + by
+      locked (fun () -> r := !r + by)
     end
 
   let value name =
-    match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+    locked (fun () ->
+        match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 end
 
 module Gauge = struct
-  let set name v = if !enabled_flag then Hashtbl.replace gauges name v
+  let set name v =
+    if enabled () then locked (fun () -> Hashtbl.replace gauges name v)
+
   let set_int name v = set name (float_of_int v)
-  let value name = Hashtbl.find_opt gauges name
+  let value name = locked (fun () -> Hashtbl.find_opt gauges name)
 end
 
 module Timer = struct
   type snapshot = { count : int; total_s : float; min_s : float; max_s : float }
 
   let record_always name dt =
-    match Hashtbl.find_opt timers name with
-    | Some t ->
-        t.t_count <- t.t_count + 1;
-        t.t_total <- t.t_total +. dt;
-        if dt < t.t_min then t.t_min <- dt;
-        if dt > t.t_max then t.t_max <- dt
-    | None ->
-        Hashtbl.add timers name
-          { t_count = 1; t_total = dt; t_min = dt; t_max = dt }
+    locked (fun () ->
+        match Hashtbl.find_opt timers name with
+        | Some t ->
+            t.t_count <- t.t_count + 1;
+            t.t_total <- t.t_total +. dt;
+            if dt < t.t_min then t.t_min <- dt;
+            if dt > t.t_max then t.t_max <- dt
+        | None ->
+            Hashtbl.add timers name
+              { t_count = 1; t_total = dt; t_min = dt; t_max = dt })
 
-  let record name dt = if !enabled_flag then record_always name dt
+  let record name dt = if enabled () then record_always name dt
+
+  (* Wall-clock, not [Sys.time]: process CPU time sums over every running
+     domain, so it is meaningless for a span measured on one domain of a
+     parallel run. *)
+  let now () = Unix.gettimeofday ()
 
   let time name f =
-    if not !enabled_flag then f ()
+    if not (enabled ()) then f ()
     else begin
-      let t0 = Sys.time () in
-      Fun.protect ~finally:(fun () -> record_always name (Sys.time () -. t0)) f
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> record_always name (now () -. t0)) f
     end
 
   let snapshot name =
-    Option.map
-      (fun t ->
-        { count = t.t_count; total_s = t.t_total; min_s = t.t_min; max_s = t.t_max })
-      (Hashtbl.find_opt timers name)
+    locked (fun () ->
+        Option.map
+          (fun t ->
+            {
+              count = t.t_count;
+              total_s = t.t_total;
+              min_s = t.t_min;
+              max_s = t.t_max;
+            })
+          (Hashtbl.find_opt timers name))
 end
 
 module Span = struct
-  let stack = ref []
-  let current () = List.rev !stack
+  (* One stack per domain: spans opened on a worker nest under that
+     worker's own enclosing spans, never under a sibling's. *)
+  let stack_key = Domain.DLS.new_key (fun () -> ref [])
+  let stack () = Domain.DLS.get stack_key
+  let current () = List.rev !(stack ())
 
   let with_ name f =
-    if not !enabled_flag then f ()
+    if not (enabled ()) then f ()
     else begin
+      let stack = stack () in
       stack := name :: !stack;
       let path = String.concat "/" (List.rev !stack) in
-      let t0 = Sys.time () in
+      let t0 = Timer.now () in
       Fun.protect
         ~finally:(fun () ->
           (match !stack with _ :: tl -> stack := tl | [] -> ());
-          let dt = Sys.time () -. t0 in
+          let dt = Timer.now () -. t0 in
           Timer.record_always path dt;
           notify (Span_end { path; seconds = dt }))
         f
@@ -143,19 +193,24 @@ module Event = struct
     | Bool of bool
 
   let emit kind fields =
-    if !enabled_flag then begin
-      if !events_stored >= max_events then incr events_dropped
-      else begin
-        events := { ev_kind = kind; ev_fields = fields } :: !events;
-        incr events_stored
-      end;
+    if enabled () then begin
+      locked (fun () ->
+          if !events_stored >= max_events then incr events_dropped
+          else begin
+            events := { ev_kind = kind; ev_fields = fields } :: !events;
+            incr events_stored
+          end);
       notify (Event_record { kind; fields })
     end
 
   let count kind =
-    List.fold_left (fun n e -> if e.ev_kind = kind then n + 1 else n) 0 !events
+    locked (fun () ->
+        List.fold_left
+          (fun n e -> if e.ev_kind = kind then n + 1 else n)
+          0 !events)
 
-  let all () = List.rev_map (fun e -> (e.ev_kind, e.ev_fields)) !events
+  let all () =
+    locked (fun () -> List.rev_map (fun e -> (e.ev_kind, e.ev_fields)) !events)
 end
 
 module Json = struct
@@ -241,6 +296,7 @@ let field_to_json = function
   | Bool b -> Json.Bool b
 
 let snapshot_json () =
+  locked @@ fun () ->
   let timer_json t =
     Json.Assoc
       [
@@ -302,6 +358,7 @@ end
 
 module Report = struct
   let pp ppf () =
+    locked @@ fun () ->
     Format.fprintf ppf "@[<v>";
     List.iter
       (fun (k, v) -> Format.fprintf ppf "counter %-42s %d@," k v)

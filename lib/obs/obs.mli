@@ -8,8 +8,11 @@
     {!set_enabled} (the CLIs do this when [--metrics] is given), run the
     workload, then serialize with {!json_string} / {!write_channel}.
 
-    The registry is not thread-safe; the allocation flow is
-    single-threaded.
+    The registry is thread-safe: recording from concurrent domains (the
+    {!Par}-driven fan-outs) is serialised on one internal mutex, the span
+    stack is domain-local, and {!unrecorded} suppresses recording on the
+    calling domain only — speculative parallel work uses it so discarded
+    attempts do not pollute the registry.
 
     {b JSON schema} (stable key names, [schema_version] 1):
     {v
@@ -29,7 +32,17 @@
     instrumented flow is documented in README.md ("Observability"). *)
 
 val enabled : unit -> bool
+(** True when telemetry is globally enabled and the calling domain is not
+    inside {!unrecorded}. *)
+
 val set_enabled : bool -> unit
+
+val unrecorded : (unit -> 'a) -> 'a
+(** [unrecorded f] runs [f] with recording suppressed on this domain (and
+    on this domain only): every counter/gauge/timer/span/event entry point
+    becomes a no-op. Used for speculative work — parallel cache warm-ups,
+    discarded ladder rungs — whose telemetry would distort the registry.
+    Nesting is fine; exception-safe. *)
 
 val reset : unit -> unit
 (** Zero all counters (handles from {!Counter.make} stay valid), drop all
@@ -66,7 +79,8 @@ module Timer : sig
   (** [record name seconds] folds one measured duration into [name]. *)
 
   val time : string -> (unit -> 'a) -> 'a
-  (** Run the thunk, recording its CPU time ([Sys.time]) under [name]. *)
+  (** Run the thunk, recording its wall-clock duration under [name]
+      (wall, not CPU: process CPU time sums over all running domains). *)
 
   val snapshot : string -> snapshot option
 end

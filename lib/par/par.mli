@@ -1,0 +1,64 @@
+(** A fixed-size domain work-pool for fanning out independent analyses.
+
+    The allocation strategy spends almost all of its time in mutually
+    independent self-timed state-space explorations — one throughput check
+    per candidate binding, per weight-ladder rung, per application. This
+    module runs such task lists on a pool of worker domains (stdlib
+    [Domain]/[Mutex]/[Condition] only; no external dependency) while
+    keeping the result list in input order, so callers observe exactly the
+    sequential semantics.
+
+    The pool is process-global and sized by {!set_jobs}. The default is 1:
+    no domain is ever spawned and {!map} degrades to [List.map], so
+    sequential runs (and their outputs) are bit-identical to a build
+    without this module. The submitting thread always participates in its
+    own batch, so a pool of [n] jobs uses [n - 1] worker domains plus the
+    caller, and nested {!map} calls from inside a task cannot deadlock:
+    the nested caller can always drain its own batch alone.
+
+    Tasks must not themselves hold locks shared with other tasks of the
+    same batch. Exceptions raised by a task are re-raised in the caller —
+    after the whole batch has finished — for the smallest failing input
+    index, with the original backtrace. *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] resizes the global pool to [n] concurrent jobs. [n <= 0]
+    selects [Domain.recommended_domain_count ()]. [n = 1] (the initial
+    state) shuts the pool down and makes every subsequent {!map}
+    sequential. Existing workers are joined before new ones are spawned;
+    must not be called concurrently with a running {!map}. *)
+
+val jobs : unit -> int
+(** The current pool size (>= 1). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element of [xs], in parallel when the
+    pool has more than one job, and returns the results in input order.
+    [f] runs exactly once per element whether or not a sibling raises. *)
+
+val mapi : (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, passing the element index. *)
+
+val map_reduce :
+  map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a list ->
+  'acc
+(** [map_reduce ~map ~combine ~init xs] maps in parallel, then folds the
+    results left-to-right in input order — deterministic for any
+    [combine], associative or not. *)
+
+val inside_task : unit -> bool
+(** Whether the calling domain is currently executing a pool task. Used to
+    gate {e speculative} nested fan-outs (cache warm-ups): inside a task
+    the pool is typically saturated by the enclosing batch, so a nested
+    batch would be drained by its submitter alone and the speculation
+    would cost sequential time instead of exploiting idle cores. Required
+    nested {!map} calls remain fine — they are merely not faster. *)
+
+val tasks_executed : unit -> int
+(** Tasks completed by {!map}/{!mapi}/{!map_reduce} batches with more than
+    one element on a pool with more than one job, since process start. 0
+    while the pool has never been active — the CLIs export this as the
+    ["pool.tasks"] telemetry counter. *)
+
+val batches_executed : unit -> int
+(** Parallel batches completed since process start. *)

@@ -37,6 +37,8 @@ let () =
       ("regressions", Test_regressions.suite);
       ("composition", Test_composition.suite);
       ("obs", Test_obs.suite);
+      ("memo", Test_memo.suite);
+      ("par", Test_par.suite);
       ("props", Test_props.suite);
       ("paper", Test_paper.suite);
     ]

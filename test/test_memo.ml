@@ -1,0 +1,247 @@
+(* The throughput memoization layer: the generic table, the structural
+   cache keys of the two analyses (no collisions for distinct structures,
+   deliberate sharing for isomorphic ones), negative-outcome replay, and
+   the hit/miss telemetry. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Selftimed = Analysis.Selftimed
+module Memo = Analysis.Memo
+open Helpers
+
+(* Each test starts cold and leaves the process-global state as found:
+   caches cleared, memoization on, telemetry off. *)
+let fresh f =
+  Memo.clear_all ();
+  Memo.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.clear_all ();
+      Memo.set_enabled true;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_find_or_compute () =
+  fresh (fun () ->
+      let t = Memo.create ~name:"t0" () in
+      let computes = ref 0 in
+      let get k =
+        Memo.find_or_compute t ~key:k (fun () ->
+            incr computes;
+            String.length k)
+      in
+      Alcotest.(check int) "computes" 3 (get "abc");
+      Alcotest.(check int) "cached" 3 (get "abc");
+      Alcotest.(check int) "distinct key computes" 5 (get "abcde");
+      Alcotest.(check int) "computed twice overall" 2 !computes;
+      Memo.clear t;
+      Alcotest.(check int) "recomputes after clear" 3 (get "abc");
+      Alcotest.(check int) "three computations total" 3 !computes)
+
+let test_disabled_bypasses () =
+  fresh (fun () ->
+      let t = Memo.create ~name:"t1" () in
+      let computes = ref 0 in
+      let get () =
+        Memo.find_or_compute t ~key:"k" (fun () ->
+            incr computes;
+            ())
+      in
+      Memo.set_enabled false;
+      get ();
+      get ();
+      Alcotest.(check int) "disabled: every call computes" 2 !computes;
+      Memo.set_enabled true;
+      get ();
+      get ();
+      Alcotest.(check int) "re-enabled: one more compute, then hits" 3 !computes)
+
+let test_eviction () =
+  fresh (fun () ->
+      let t = Memo.create ~name:"t2" ~max_entries:4 () in
+      let computes = ref 0 in
+      let get k =
+        Memo.find_or_compute t ~key:(string_of_int k) (fun () ->
+            incr computes;
+            k)
+      in
+      for k = 0 to 3 do
+        ignore (get k)
+      done;
+      Alcotest.(check int) "table filled" 4 !computes;
+      (* The fifth insert crosses the cap: the table is emptied wholesale,
+         so earlier keys recompute. *)
+      ignore (get 4);
+      ignore (get 0);
+      Alcotest.(check int) "evicted entries recompute" 6 !computes)
+
+(* Same structure, different names: one cache entry by design. *)
+let test_isomorphic_graphs_share () =
+  fresh (fun () ->
+      let g1 = ring3 () in
+      let g2 =
+        Sdfg.of_lists ~actors:[ "alpha"; "beta"; "gamma" ]
+          ~channels:
+            [ ("alpha", "beta", 1, 1, 1); ("beta", "gamma", 1, 1, 0);
+              ("gamma", "alpha", 1, 1, 0) ]
+      in
+      Alcotest.(check string)
+        "renamed graph has the same key"
+        (Selftimed.cache_key g1 [| 2; 3; 1 |])
+        (Selftimed.cache_key g2 [| 2; 3; 1 |]))
+
+(* Structurally distinct graphs must never collide, however similar: the
+   key is an injective encoding, not a hash. *)
+let test_distinct_structures_distinct_keys () =
+  fresh (fun () ->
+      let base = ring3 () in
+      let tweaked_tokens =
+        Sdfg.of_lists ~actors:[ "x"; "y"; "z" ]
+          ~channels:
+            [ ("x", "y", 1, 1, 2); ("y", "z", 1, 1, 0); ("z", "x", 1, 1, 0) ]
+      in
+      let tweaked_rates =
+        Sdfg.of_lists ~actors:[ "x"; "y"; "z" ]
+          ~channels:
+            [ ("x", "y", 2, 2, 1); ("y", "z", 1, 1, 0); ("z", "x", 1, 1, 0) ]
+      in
+      let taus = [| 1; 1; 1 |] in
+      let k g = Selftimed.cache_key g taus in
+      Alcotest.(check bool) "token count distinguishes" false
+        (k base = k tweaked_tokens);
+      Alcotest.(check bool) "rates distinguish" false (k base = k tweaked_rates);
+      Alcotest.(check bool) "exec times distinguish" false
+        (Selftimed.cache_key base taus = Selftimed.cache_key base [| 1; 2; 1 |]);
+      Alcotest.(check bool) "max_states distinguishes" false
+        (Selftimed.cache_key ~max_states:10 base taus
+        = Selftimed.cache_key ~max_states:20 base taus);
+      (* And the cached results stay separate: the two-token ring turns
+         over twice as fast. *)
+      let thr g = (Selftimed.analyze g taus).Selftimed.throughput.(0) in
+      check_rat "base ring" (r 1 3) (thr base);
+      check_rat "two-token ring" (r 2 3) (thr tweaked_tokens);
+      check_rat "base ring again (cached)" (r 1 3) (thr base))
+
+let test_hit_miss_counters () =
+  fresh (fun () ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      let g = prodcons () in
+      let taus = [| 2; 3 |] in
+      ignore (Selftimed.analyze g taus);
+      Alcotest.(check int) "first run misses" 0 (Obs.Counter.value "cache.hits");
+      let misses0 = Obs.Counter.value "cache.misses" in
+      Alcotest.(check bool) "miss recorded" true (misses0 >= 1);
+      let runs0 = Obs.Counter.value "selftimed.runs" in
+      ignore (Selftimed.analyze g taus);
+      ignore (Selftimed.analyze g taus);
+      Alcotest.(check int) "two hits recorded" 2 (Obs.Counter.value "cache.hits");
+      Alcotest.(check int) "per-cache hits" 2
+        (Obs.Counter.value "cache.selftimed.hits");
+      Alcotest.(check int) "no new misses" misses0
+        (Obs.Counter.value "cache.misses");
+      Alcotest.(check int) "the analysis itself did not rerun" runs0
+        (Obs.Counter.value "selftimed.runs"))
+
+let test_negative_outcome_replay () =
+  fresh (fun () ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      (* A tokenless ring deadlocks immediately. *)
+      let dead =
+        Sdfg.of_lists ~actors:[ "x"; "y" ]
+          ~channels:[ ("x", "y", 1, 1, 0); ("y", "x", 1, 1, 0) ]
+      in
+      let taus = [| 1; 1 |] in
+      let raises () =
+        match Selftimed.analyze dead taus with
+        | _ -> false
+        | exception Selftimed.Deadlocked -> true
+      in
+      Alcotest.(check bool) "first run deadlocks" true (raises ());
+      Alcotest.(check bool) "replayed from cache" true (raises ());
+      (* The replay is a lookup: the deadlock counter moved only once. *)
+      Alcotest.(check int) "deadlock explored once" 1
+        (Obs.Counter.value "selftimed.deadlocks");
+      Alcotest.(check int) "second raise was a hit" 1
+        (Obs.Counter.value "cache.hits");
+      (* A state-space cap abort is replayed the same way. *)
+      let g = prodcons () in
+      let exceeded () =
+        match Selftimed.analyze ~max_states:1 g [| 2; 3 |] with
+        | _ -> false
+        | exception Selftimed.State_space_exceeded 1 -> true
+        | exception _ -> false
+      in
+      Alcotest.(check bool) "cap abort" true (exceeded ());
+      Alcotest.(check bool) "cap abort replayed" true (exceeded ());
+      Alcotest.(check int) "cap abort explored once" 1
+        (Obs.Counter.value "selftimed.cap_aborts"))
+
+let test_observer_bypasses_cache () =
+  fresh (fun () ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      let g = ring3 () in
+      let taus = [| 1; 1; 1 |] in
+      ignore (Selftimed.analyze g taus);
+      let firings = ref 0 in
+      ignore (Selftimed.analyze ~observer:(fun _ _ -> incr firings) g taus);
+      Alcotest.(check bool) "observer saw the firings" true (!firings > 0);
+      Alcotest.(check int) "observer run bypassed the cache" 0
+        (Obs.Counter.value "cache.hits"))
+
+(* The constrained key separates configurations that the graph alone does
+   not: same binding-aware graph, different schedules or offsets. *)
+let test_constrained_key_configuration () =
+  fresh (fun () ->
+      let app = Appmodel.Models.example_app () in
+      let arch = Appmodel.Models.example_platform () in
+      let ba =
+        Core.Bind_aware.build ~app ~arch ~binding:[| 0; 0; 1 |]
+          ~slices:[| 5; 5 |] ()
+      in
+      let s12 =
+        [|
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+        |]
+      in
+      let s21 =
+        [|
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 1; 0 ]);
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+        |]
+      in
+      let k = Core.Constrained.cache_key ba in
+      Alcotest.(check bool) "schedule order distinguishes" false
+        (k ~schedules:s12 = k ~schedules:s21);
+      Alcotest.(check bool) "offsets distinguish" false
+        (Core.Constrained.cache_key ~offsets:[| 0; 0 |] ba ~schedules:s12
+        = Core.Constrained.cache_key ~offsets:[| 0; 3 |] ba ~schedules:s12);
+      Alcotest.(check bool) "same configuration agrees" true
+        (k ~schedules:s12 = k ~schedules:s12);
+      (* And the Fig. 5(c) number still comes out after caching. *)
+      let r1 = Core.Constrained.analyze ba ~schedules:s12 in
+      let r2 = Core.Constrained.analyze ba ~schedules:s12 in
+      check_rat "1/30 measured" (r 1 30) r1.Core.Constrained.throughput;
+      check_rat "1/30 from cache" (r 1 30) r2.Core.Constrained.throughput)
+
+let suite =
+  [
+    Alcotest.test_case "find_or_compute" `Quick test_find_or_compute;
+    Alcotest.test_case "disabled bypasses" `Quick test_disabled_bypasses;
+    Alcotest.test_case "eviction" `Quick test_eviction;
+    Alcotest.test_case "isomorphic graphs share" `Quick
+      test_isomorphic_graphs_share;
+    Alcotest.test_case "distinct structures, distinct keys" `Quick
+      test_distinct_structures_distinct_keys;
+    Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
+    Alcotest.test_case "negative outcomes replay" `Quick
+      test_negative_outcome_replay;
+    Alcotest.test_case "observer bypasses cache" `Quick
+      test_observer_bypasses_cache;
+    Alcotest.test_case "constrained key covers configuration" `Quick
+      test_constrained_key_configuration;
+  ]

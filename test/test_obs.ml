@@ -8,10 +8,13 @@ module Appgraph = Appmodel.Appgraph
 module Models = Appmodel.Models
 module Flow = Core.Flow
 
-(* Run [f] with a clean, enabled registry; always restore the disabled
-   default so the other suites are unaffected. *)
+(* Run [f] with a clean, enabled registry and cold analysis caches (other
+   suites in this process may have warmed them, and several assertions
+   below count analysis runs); always restore the disabled default so the
+   other suites are unaffected. *)
 let with_obs f =
   Obs.reset ();
+  Analysis.Memo.clear_all ();
   Obs.set_enabled true;
   Fun.protect
     ~finally:(fun () ->

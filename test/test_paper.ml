@@ -104,7 +104,13 @@ let test_example_strategy_end_to_end () =
 
 let test_sec103_multimedia () =
   (* 3 x H.263 + MP3 all receive guarantees on the 2x2 platform with cost
-     function (2,0,1); slice allocation dominates the run-time. *)
+     function (2,0,1); slice allocation dominates the run-time. The claim
+     is about where the (uncached) analysis time goes, so memoization is
+     switched off: with it on, the identical H.263 copies resolve their
+     slice probes from the cache and the ratio loses its meaning. *)
+  Analysis.Memo.set_enabled false;
+  Fun.protect ~finally:(fun () -> Analysis.Memo.set_enabled true)
+  @@ fun () ->
   let report =
     Core.Multi_app.allocate_until_failure
       ~weights:(Core.Cost.weights 2. 0. 1.)
