@@ -1,6 +1,6 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
-.PHONY: all build test fmt-check bench-quick bench-smoke ci
+.PHONY: all build test fmt-check bench-quick bench-smoke fuzz fuzz-mutant ci
 
 all: build
 
@@ -32,3 +32,12 @@ bench-smoke:
 	grep -Eq '"pool\.tasks": [1-9]' bench-metrics.json
 
 ci: build test fmt-check
+
+# Bounded fuzz run against the differential/metamorphic oracle catalogue;
+# shrunk counterexamples land in test/corpus/ for dune runtest to replay.
+fuzz:
+	dune exec bin/sdf3_fuzz.exe -- --count 500 --seed $$(date +%s)
+
+fuzz-mutant:
+	dune exec bin/sdf3_fuzz.exe -- --count 200 --seed 9 --inject-mutant \
+	  --no-corpus; test $$? -eq 1

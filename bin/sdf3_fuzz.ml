@@ -1,0 +1,113 @@
+(* Differential / metamorphic fuzzer for the analysis and allocation
+   stack. Generates random consistent SDFGs, checks the oracle catalogue
+   from lib/check on each, and on the first disagreement shrinks the case
+   and persists it into the regression corpus. *)
+
+let run count time seed max_states corpus no_corpus mutant app_every verbose
+    log_level =
+  Cli_common.setup_logs log_level;
+  let log msg = if verbose then Printf.eprintf "%s\n%!" msg in
+  let cfg =
+    {
+      Check.Harness.seed;
+      count;
+      time_budget = time;
+      max_states;
+      mutant;
+      corpus_dir = (if no_corpus then None else Some corpus);
+      app_every;
+      log;
+    }
+  in
+  if mutant then log "fuzz: mutant injection enabled (self-test mode)";
+  let s = Check.Harness.run cfg in
+  match s.Check.Harness.counterexample with
+  | None ->
+      Printf.printf "fuzz: seed %d, %d cases, %d oracle checks, %d skips, 0 failures\n"
+        seed s.Check.Harness.cases s.Check.Harness.checks
+        s.Check.Harness.skips;
+      if mutant then begin
+        (* A mutant run that finds nothing means the oracles are blind. *)
+        Printf.printf "fuzz: ERROR: injected mutant was not detected\n";
+        exit 2
+      end
+  | Some cex ->
+      let open Check.Harness in
+      Printf.printf "fuzz: counterexample after %d cases (seed %d)\n"
+        s.cases seed;
+      Printf.printf "  oracle:  %s\n" cex.oracle;
+      Printf.printf "  reason:  %s\n" cex.message;
+      Printf.printf "  shrunk:  %d actors, %d channels (%d shrink steps)\n"
+        (Sdf.Sdfg.num_actors cex.shrunk.Check.Case.graph)
+        (Sdf.Sdfg.num_channels cex.shrunk.Check.Case.graph)
+        cex.shrink_steps;
+      (match cex.written with
+      | Some path -> Printf.printf "  saved:   %s\n" path
+      | None -> ());
+      print_string (Check.Case.to_text cex.shrunk);
+      exit 1
+
+open Cmdliner
+
+let count =
+  Arg.(
+    value & opt int 200
+    & info [ "count"; "n" ] ~doc:"Number of random cases to generate")
+
+let time =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time" ] ~docv:"SECONDS"
+        ~doc:"Stop after $(docv) of wall clock, whichever of count/time\n\
+             \ comes first")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master RNG seed")
+
+let max_states =
+  Arg.(
+    value & opt int 50_000
+    & info [ "max-states" ]
+        ~doc:"State-space cap per analysis; larger caps skip fewer cases")
+
+let corpus =
+  Arg.(
+    value
+    & opt string Check.Corpus.default_dir
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Directory for shrunk counterexamples (created on demand)")
+
+let no_corpus =
+  Arg.(
+    value & flag
+    & info [ "no-corpus" ] ~doc:"Do not persist counterexamples")
+
+let mutant =
+  Arg.(
+    value & flag
+    & info [ "inject-mutant" ]
+        ~doc:
+          "Self-test: inject an off-by-one initial-token mutant into the\n\
+          \ MCR replay and expect the differential oracle to catch and\n\
+          \ shrink it (exit 2 if it does not)")
+
+let app_every =
+  Arg.(
+    value & opt int 10
+    & info [ "app-every" ]
+        ~doc:"Run the allocation-flow invariance oracle on every Nth case\n\
+             \ (0 disables)")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress on stderr")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_fuzz"
+       ~doc:"Differential and metamorphic fuzzing of the analysis stack")
+    Term.(
+      const run $ count $ time $ seed $ max_states $ corpus $ no_corpus
+      $ mutant $ app_every $ verbose $ Cli_common.log_level)
+
+let () = exit (Cmd.eval cmd)

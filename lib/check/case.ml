@@ -1,0 +1,23 @@
+module Sdfg = Sdf.Sdfg
+
+type t = { name : string; graph : Sdfg.t; taus : int array }
+
+let of_shrink ~name (c : Gen.Shrink.case) =
+  { name; graph = c.Gen.Shrink.graph; taus = c.Gen.Shrink.taus }
+
+let to_shrink (t : t) = Gen.Shrink.{ graph = t.graph; taus = t.taus }
+let well_formed t = Gen.Shrink.well_formed (to_shrink t)
+let to_text t = Sdf.Textio.print ~exec_times:t.taus t.name t.graph
+
+let of_document (d : Sdf.Textio.document) =
+  let taus =
+    match d.Sdf.Textio.exec_times with
+    | Some e -> e
+    | None -> Array.make (Sdfg.num_actors d.Sdf.Textio.graph) 1
+  in
+  { name = d.Sdf.Textio.doc_name; graph = d.Sdf.Textio.graph; taus }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d actors, %d channels)" t.name
+    (Sdfg.num_actors t.graph)
+    (Sdfg.num_channels t.graph)

@@ -1,0 +1,24 @@
+module Sdfg = Sdf.Sdfg
+
+(** The unit the throughput oracles operate on: a named SDFG plus its
+    per-actor execution times — exactly the input of
+    {!Analysis.Selftimed.analyze}, and exactly what the {!Sdf.Textio}
+    format serialises, so cases round-trip through the regression corpus
+    without loss. *)
+
+type t = { name : string; graph : Sdfg.t; taus : int array }
+
+val of_shrink : name:string -> Gen.Shrink.case -> t
+val to_shrink : t -> Gen.Shrink.case
+
+val well_formed : t -> bool
+(** See {!Gen.Shrink.well_formed}. *)
+
+val to_text : t -> string
+(** {!Sdf.Textio} rendering (with execution times); parses back exactly. *)
+
+val of_document : Sdf.Textio.document -> t
+(** Execution times default to 1 for every actor when the document
+    declares none. *)
+
+val pp : Format.formatter -> t -> unit

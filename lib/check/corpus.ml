@@ -1,0 +1,37 @@
+let default_dir = Filename.concat "test" "corpus"
+
+let save ~dir (case : Case.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (case.Case.name ^ ".sdfg") in
+  Sdf.Textio.write_file ~exec_times:case.Case.taus path case.Case.name
+    case.Case.graph;
+  path
+
+let load_file path = Case.of_document (Sdf.Textio.parse_file path)
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sdfg")
+    |> List.sort compare
+    |> List.map (fun f -> load_file (Filename.concat dir f))
+
+(* Replay a corpus case through the full throughput-oracle catalogue. The
+   metamorphic choices are drawn from an RNG seeded by the case name, so a
+   replay exercises the same permutation and scaling factor every run. *)
+let replay ~max_states (case : Case.t) =
+  let seed = Hashtbl.hash case.Case.name in
+  List.map
+    (fun (o : Oracle.t) ->
+      let rng = Gen.Rng.create ~seed in
+      (o.Oracle.name, o.Oracle.run ~max_states ~rng case))
+    (Differential.oracles @ Metamorphic.oracles)
+
+let failures results =
+  List.filter_map
+    (fun (name, outcome) ->
+      match outcome with
+      | Oracle.Fail msg -> Some (name, msg)
+      | Oracle.Pass | Oracle.Skip _ -> None)
+    results

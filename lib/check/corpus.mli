@@ -1,0 +1,27 @@
+(** The persisted regression corpus: every shrunk counterexample the
+    fuzzer ever produced, plus hand-seeded minimal graphs, stored as
+    [test/corpus/*.sdfg] in the {!Sdf.Textio} format (with execution
+    times) and replayed on every [dune runtest]. *)
+
+val default_dir : string
+(** ["test/corpus"] — where [sdf3_fuzz] writes counterexamples when run
+    from the repository root. *)
+
+val save : dir:string -> Case.t -> string
+(** Write [<name>.sdfg] into [dir] (created if missing); returns the
+    path. *)
+
+val load_file : string -> Case.t
+(** @raise Sdf.Textio.Parse_error or [Sys_error]. *)
+
+val load_dir : string -> Case.t list
+(** All [*.sdfg] files of the directory in name order; [] when the
+    directory does not exist. *)
+
+val replay : max_states:int -> Case.t -> (string * Oracle.outcome) list
+(** Run the full differential + metamorphic catalogue on one case. The
+    metamorphic randomness is seeded from the case name, so replays are
+    deterministic run over run. *)
+
+val failures : (string * Oracle.outcome) list -> (string * string) list
+(** The [Fail] entries of a replay, as [(oracle, message)]. *)

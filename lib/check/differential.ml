@@ -1,0 +1,111 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Selftimed = Analysis.Selftimed
+module Mcr = Analysis.Mcr
+
+let mutant = ref false
+
+(* The self-timed route, with blow-ups and deadlocks reified. *)
+type st_outcome =
+  | St of Selftimed.result
+  | St_deadlock
+  | St_exceeded
+
+let selftimed ~max_states (c : Case.t) =
+  match Selftimed.analyze ~max_states c.Case.graph c.Case.taus with
+  | r -> St r
+  | exception Selftimed.Deadlocked -> St_deadlock
+  | exception Selftimed.State_space_exceeded _ -> St_exceeded
+
+(* The independent route: HSDF expansion, then Karp's maximum cycle ratio.
+   Under the injected mutant, the replay is corrupted by an off-by-one in
+   the initial-token count of the first HSDF channel — the kind of silent
+   divergence the differential oracle exists to catch. *)
+type mcr_outcome =
+  | Mcr_rate of int array * Rat.t  (** gamma, iteration rate [1/MCR] *)
+  | Mcr_deadlock
+  | Mcr_unbounded  (** acyclic or zero-time critical cycle *)
+
+let mcr_route (c : Case.t) =
+  let gamma = Sdf.Repetition.vector_exn c.Case.graph in
+  let h = Sdf.Hsdf.convert c.Case.graph gamma in
+  let hg =
+    if !mutant then
+      Sdfg.map_tokens h.Sdf.Hsdf.graph (fun ch ->
+          if ch.Sdfg.c_idx = 0 then ch.Sdfg.tokens + 1 else ch.Sdfg.tokens)
+    else h.Sdf.Hsdf.graph
+  in
+  let htaus = Sdf.Hsdf.timing h c.Case.taus in
+  match Mcr.max_cycle_ratio hg htaus with
+  | Mcr.Acyclic -> Mcr_unbounded
+  | Mcr.Zero_token_cycle _ -> Mcr_deadlock
+  | Mcr.Ratio r ->
+      if Rat.compare r Rat.zero <= 0 then Mcr_unbounded
+      else Mcr_rate (gamma, Rat.inv r)
+
+let selftimed_vs_mcr ~max_states ~rng:_ (c : Case.t) =
+  match (selftimed ~max_states c, mcr_route c) with
+  | St_exceeded, _ -> Oracle.Skip "state space exceeded"
+  | _, Mcr_unbounded -> Oracle.Skip "no finite MCR bound"
+  | St_deadlock, Mcr_deadlock -> Oracle.Pass
+  | St_deadlock, Mcr_rate _ ->
+      Oracle.Fail "self-timed execution deadlocks but the HSDF MCR is finite"
+  | St st, Mcr_deadlock ->
+      Oracle.failf
+        "MCR found a zero-token HSDF cycle but the self-timed execution \
+         runs (period %d)"
+        st.Selftimed.period
+  | St st, Mcr_rate (gamma, rate) ->
+      let n = Sdfg.num_actors c.Case.graph in
+      let rec verify a =
+        if a >= n then Oracle.Pass
+        else
+          let expected = Rat.mul_int rate gamma.(a) in
+          if Rat.equal st.Selftimed.throughput.(a) expected then verify (a + 1)
+          else
+            Oracle.failf
+              "actor %s: self-timed throughput %s but gamma/MCR predicts %s"
+              (Sdfg.actor_name c.Case.graph a)
+              (Rat.to_string st.Selftimed.throughput.(a))
+              (Rat.to_string expected)
+      in
+      verify 0
+
+(* Memoized, cache-warm and memo-disabled replays must be outcome- and
+   value-identical (PR 2's negative-outcome caching included). *)
+let memo_agreement ~max_states ~rng:_ (c : Case.t) =
+  let was_enabled = Analysis.Memo.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Analysis.Memo.set_enabled was_enabled)
+    (fun () ->
+      Analysis.Memo.set_enabled true;
+      Analysis.Memo.clear_all ();
+      let cold = selftimed ~max_states c in
+      let warm = selftimed ~max_states c in
+      Analysis.Memo.set_enabled false;
+      let off = selftimed ~max_states c in
+      let agree a b =
+        match (a, b) with
+        | St ra, St rb ->
+            ra.Selftimed.period = rb.Selftimed.period
+            && ra.Selftimed.transient = rb.Selftimed.transient
+            && Array.for_all2 Rat.equal ra.Selftimed.throughput
+                 rb.Selftimed.throughput
+        | St_deadlock, St_deadlock | St_exceeded, St_exceeded -> true
+        | _ -> false
+      in
+      match cold with
+      | St_exceeded when agree cold warm && agree cold off ->
+          Oracle.Skip "state space exceeded"
+      | _ ->
+          if not (agree cold warm) then
+            Oracle.Fail "memo replay (cache hit) diverges from cold analysis"
+          else if not (agree cold off) then
+            Oracle.Fail "memo-disabled analysis diverges from memoized one"
+          else Oracle.Pass)
+
+let oracles =
+  [
+    Oracle.{ name = "diff.selftimed-vs-mcr"; run = selftimed_vs_mcr };
+    Oracle.{ name = "diff.memo-agreement"; run = memo_agreement };
+  ]

@@ -1,0 +1,33 @@
+(** Differential oracles: independent routes to the same throughput.
+
+    The library computes throughput three ways — the self-timed state-space
+    exploration (paper Section 8.2), the maximum cycle ratio of the HSDF
+    expansion ([gamma a / MCR] per actor, the Section-1 baseline route),
+    and memoized replays of either — and nothing forces them to agree
+    except correctness. These oracles assert that they do:
+
+    - [diff.selftimed-vs-mcr]: on any well-formed case, both routes report
+      the same deadlock verdict, and on live cases every actor's
+      self-timed throughput equals [gamma a * (1 / MCR)]. Cases whose
+      state space exceeds the cap, or whose MCR gives no finite bound, are
+      skipped.
+    - [diff.memo-agreement]: a cold analysis, a warm (cache-hit) replay
+      and a memo-disabled analysis return identical results, including
+      reified [Deadlocked]/[State_space_exceeded] outcomes.
+
+    The hidden mutant switch corrupts the MCR replay by an off-by-one in
+    the initial tokens of the first HSDF channel; the fuzz driver's
+    self-check flips it to prove the harness actually detects (and
+    shrinks) such divergence. *)
+
+val mutant : bool ref
+(** Off by default; enabled by [sdf3_fuzz --inject-mutant] only. *)
+
+val selftimed_vs_mcr :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+
+val memo_agreement :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+(** Leaves the global memo switch as it found it; clears the tables. *)
+
+val oracles : Oracle.t list

@@ -1,0 +1,53 @@
+(** The fuzz driver: generate random consistent applications with
+    {!Gen.Sdfgen}, run the differential + metamorphic oracle catalogue on
+    each, periodically cross-check the full allocation flow, and shrink +
+    persist the first counterexample found. *)
+
+type config = {
+  seed : int;  (** master RNG seed; every case derives from it *)
+  count : int;  (** maximum number of generated cases *)
+  time_budget : float option;  (** wall-clock budget in seconds *)
+  max_states : int;  (** state-space cap handed to every oracle *)
+  mutant : bool;
+      (** when set, {!Differential.mutant} is enabled for the whole run:
+          the MCR replay sees an off-by-one initial-token count, and the
+          differential oracle is expected to catch it *)
+  corpus_dir : string option;
+      (** where to write the shrunk counterexample, if anywhere *)
+  app_every : int;
+      (** run {!Validator.flow_invariance} on every [app_every]-th case
+          (and {!Validator.multi_app_invariance} five times less often);
+          [0] disables both *)
+  log : string -> unit;  (** progress/diagnostic sink *)
+}
+
+val default : config
+(** seed 1, 200 cases, no time budget, 50k states, no mutant, no corpus
+    writing, app checks every 10th case, silent. *)
+
+val fuzz_profile : Gen.Sdfgen.profile
+(** The generation profile used for fuzzing: 2-6 actors, repetition
+    entries at most 3, so state spaces stay small enough to run the whole
+    catalogue hundreds of times per second. *)
+
+type counterexample = {
+  oracle : string;  (** name of the disagreeing oracle *)
+  message : string;  (** its failure message on the original case *)
+  original : Case.t;
+  shrunk : Case.t;
+      (** greedily minimised case (equal to [original] for application-
+          level oracles, which are not shrunk) *)
+  shrink_steps : int;
+  written : string option;  (** corpus path, when [corpus_dir] was set *)
+}
+
+type summary = {
+  cases : int;  (** cases actually generated *)
+  checks : int;  (** oracle invocations *)
+  skips : int;  (** oracle invocations that could not decide *)
+  counterexample : counterexample option;
+}
+
+val run : config -> summary
+(** Generate and check cases until [count] is reached, the time budget
+    expires, or an oracle fails; the first failure stops the run. *)

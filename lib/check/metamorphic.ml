@@ -1,0 +1,166 @@
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Selftimed = Analysis.Selftimed
+
+type st_outcome =
+  | St of Selftimed.result
+  | St_deadlock
+  | St_exceeded
+
+let selftimed ~max_states g taus =
+  match Selftimed.analyze ~max_states g taus with
+  | r -> St r
+  | exception Selftimed.Deadlocked -> St_deadlock
+  | exception Selftimed.State_space_exceeded _ -> St_exceeded
+
+(* Compare two runs whose throughput arrays should match under an index
+   mapping [image] (actor a of the first run corresponds to [image a] of
+   the second) and a rational transform on the values. *)
+let compare_runs ~what ~image ~transform g a_out b_out =
+  match (a_out, b_out) with
+  | St_exceeded, _ | _, St_exceeded -> Oracle.Skip "state space exceeded"
+  | St_deadlock, St_deadlock -> Oracle.Pass
+  | St_deadlock, St _ | St _, St_deadlock ->
+      Oracle.failf "%s changed the deadlock verdict" what
+  | St ra, St rb ->
+      let n = Array.length ra.Selftimed.throughput in
+      let rec verify a =
+        if a >= n then Oracle.Pass
+        else
+          let expected = transform ra.Selftimed.throughput.(a) in
+          let got = rb.Selftimed.throughput.(image a) in
+          if Rat.equal expected got then verify (a + 1)
+          else
+            Oracle.failf "%s: actor %s expected throughput %s, got %s" what
+              (Sdfg.actor_name g a) (Rat.to_string expected)
+              (Rat.to_string got)
+      in
+      verify 0
+
+(* Rebuild the graph with fresh actor and channel names: throughput (and,
+   per the memo-key contract, the cache entry) must not depend on names. *)
+let rename_graph g =
+  let b = Sdfg.Builder.create () in
+  for a = 0 to Sdfg.num_actors g - 1 do
+    ignore (Sdfg.Builder.add_actor b ("r$" ^ Sdfg.actor_name g a))
+  done;
+  Array.iter
+    (fun (c : Sdfg.channel) ->
+      ignore
+        (Sdfg.Builder.add_channel b ~name:("r$" ^ c.c_name) ~tokens:c.tokens
+           ~src:c.src ~dst:c.dst ~prod:c.prod ~cons:c.cons ()))
+    (Sdfg.channels g);
+  Sdfg.Builder.build b
+
+let renaming ~max_states ~rng:_ (c : Case.t) =
+  compare_runs ~what:"renaming" ~image:Fun.id ~transform:Fun.id c.Case.graph
+    (selftimed ~max_states c.Case.graph c.Case.taus)
+    (selftimed ~max_states (rename_graph c.Case.graph) c.Case.taus)
+
+(* Apply a random permutation pi to the actor indices (actors are re-added
+   in permuted order, channels keep their order with remapped endpoints):
+   thr'(pi a) = thr(a). Exercises every index-keyed code path. *)
+let permute_graph rng g taus =
+  let n = Sdfg.num_actors g in
+  let pi = Array.init n Fun.id in
+  Gen.Rng.shuffle rng pi;
+  let inv = Array.make n 0 in
+  Array.iteri (fun a j -> inv.(j) <- a) pi;
+  let b = Sdfg.Builder.create () in
+  for j = 0 to n - 1 do
+    ignore (Sdfg.Builder.add_actor b (Sdfg.actor_name g inv.(j)))
+  done;
+  Array.iter
+    (fun (c : Sdfg.channel) ->
+      ignore
+        (Sdfg.Builder.add_channel b ~name:c.c_name ~tokens:c.tokens
+           ~src:pi.(c.src) ~dst:pi.(c.dst) ~prod:c.prod ~cons:c.cons ()))
+    (Sdfg.channels g);
+  let taus' = Array.make n 0 in
+  Array.iteri (fun a t -> taus'.(pi.(a)) <- t) taus;
+  (Sdfg.Builder.build b, taus', pi)
+
+let permutation ~max_states ~rng (c : Case.t) =
+  let g', taus', pi = permute_graph rng c.Case.graph c.Case.taus in
+  compare_runs ~what:"permutation"
+    ~image:(fun a -> pi.(a))
+    ~transform:Fun.id c.Case.graph
+    (selftimed ~max_states c.Case.graph c.Case.taus)
+    (selftimed ~max_states g' taus')
+
+(* Scaling every execution time by k scales the period by k and every
+   throughput by 1/k, exactly. *)
+let time_scaling ~max_states ~rng (c : Case.t) =
+  let k = 2 + Gen.Rng.int rng 3 in
+  let taus' = Array.map (fun t -> t * k) c.Case.taus in
+  compare_runs
+    ~what:(Printf.sprintf "time scaling by %d" k)
+    ~image:Fun.id
+    ~transform:(fun thr -> Rat.div_int thr k)
+    c.Case.graph
+    (selftimed ~max_states c.Case.graph c.Case.taus)
+    (selftimed ~max_states c.Case.graph taus')
+
+(* Maximum number of simultaneously active firings of [actor] in the
+   self-timed execution: firing starts are observed over the transient
+   plus one full period, which the recurrence argument makes exhaustive,
+   and the maximum overlap is always attained at a start. *)
+let max_concurrency ~max_states g taus actor =
+  let starts = ref [] in
+  let observer time a = if a = actor then starts := time :: !starts in
+  ignore (Selftimed.analyze ~observer ~max_states g taus);
+  let starts = Array.of_list (List.rev !starts) in
+  let tau = taus.(actor) in
+  let best = ref 1 in
+  Array.iter
+    (fun s ->
+      let active =
+        Array.fold_left
+          (fun acc s' -> if s' <= s && s < s' + tau then acc + 1 else acc)
+          0 starts
+      in
+      if active > !best then best := active)
+    starts;
+  !best
+
+(* A self-loop with as many tokens as the actor's peak auto-concurrency
+   never gates a firing, so adding it must leave throughput untouched. *)
+let neutral_self_edge ~max_states ~rng (c : Case.t) =
+  let g = c.Case.graph in
+  let a = Gen.Rng.int rng (Sdfg.num_actors g) in
+  if c.Case.taus.(a) = 0 then Oracle.Skip "zero-time actor drawn"
+  else
+    match max_concurrency ~max_states g c.Case.taus a with
+    | exception Selftimed.Deadlocked -> Oracle.Skip "case deadlocks"
+    | exception Selftimed.State_space_exceeded _ ->
+        Oracle.Skip "state space exceeded"
+    | m ->
+        let b = Sdfg.Builder.create () in
+        for x = 0 to Sdfg.num_actors g - 1 do
+          ignore (Sdfg.Builder.add_actor b (Sdfg.actor_name g x))
+        done;
+        Array.iter
+          (fun (ch : Sdfg.channel) ->
+            ignore
+              (Sdfg.Builder.add_channel b ~name:ch.c_name ~tokens:ch.tokens
+                 ~src:ch.src ~dst:ch.dst ~prod:ch.prod ~cons:ch.cons ()))
+          (Sdfg.channels g);
+        ignore
+          (Sdfg.Builder.add_channel b ~name:"fz$self" ~tokens:m ~src:a ~dst:a
+             ~prod:1 ~cons:1 ());
+        let g' = Sdfg.Builder.build b in
+        compare_runs
+          ~what:
+            (Printf.sprintf "neutral self-edge on %s (%d tokens)"
+               (Sdfg.actor_name g a) m)
+          ~image:Fun.id ~transform:Fun.id g
+          (selftimed ~max_states g c.Case.taus)
+          (selftimed ~max_states g' c.Case.taus)
+
+let oracles =
+  [
+    Oracle.{ name = "meta.renaming"; run = renaming };
+    Oracle.{ name = "meta.permutation"; run = permutation };
+    Oracle.{ name = "meta.time-scaling"; run = time_scaling };
+    Oracle.{ name = "meta.neutral-self-edge"; run = neutral_self_edge };
+  ]

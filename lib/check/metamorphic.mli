@@ -1,0 +1,25 @@
+(** Metamorphic oracles: transformations with a known effect on
+    throughput, after the invariances that Skelin & Geilen's parametric
+    throughput analysis and the multi-mode scheduling literature lean on.
+
+    - [meta.renaming]: actor/channel names do not influence throughput
+      (and renamed graphs share a memo entry — the key contract).
+    - [meta.permutation]: permuting actor indices permutes the throughput
+      vector and nothing else; catches index-keyed state bugs.
+    - [meta.time-scaling]: scaling all execution times by [k] scales every
+      throughput by exactly [1/k] (rational arithmetic, no tolerance).
+    - [meta.neutral-self-edge]: a (1, 1) self-loop carrying the actor's
+      peak auto-concurrency in tokens — measured from the observed firing
+      starts — changes nothing.
+
+    Runs whose state space exceeds the cap are skipped; a transformation
+    flipping the deadlock verdict is a failure. *)
+
+val renaming : max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+val permutation : max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+val time_scaling : max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+
+val neutral_self_edge :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+
+val oracles : Oracle.t list

@@ -1,0 +1,13 @@
+type outcome = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  run : max_states:int -> rng:Gen.Rng.t -> Case.t -> outcome;
+}
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+let pp_outcome ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Skip r -> Format.fprintf ppf "skip (%s)" r
+  | Fail r -> Format.fprintf ppf "FAIL: %s" r

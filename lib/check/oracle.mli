@@ -1,0 +1,19 @@
+(** A named correctness oracle over throughput cases.
+
+    Oracles never raise: analysis blow-ups and inputs outside an oracle's
+    precondition come back as [Skip] (counted, so a fuzz run reports how
+    much it actually exercised), and every genuine cross-check divergence
+    as [Fail] with a human-readable explanation. The [rng] stream drives
+    any randomised metamorphic choice (permutation, scaling factor) and is
+    the only source of randomness, keeping whole fuzz runs replayable from
+    one seed. *)
+
+type outcome = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  run : max_states:int -> rng:Gen.Rng.t -> Case.t -> outcome;
+}
+
+val failf : ('a, Format.formatter, unit, outcome) format4 -> 'a
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,17 @@
+type result = {
+  case : Gen.Shrink.case;
+  steps : int;
+  still_failing : bool;
+}
+
+let minimize ?(max_steps = 500) ~fails case =
+  if not (fails case) then { case; steps = 0; still_failing = false }
+  else
+    let rec loop case steps =
+      if steps >= max_steps then { case; steps; still_failing = true }
+      else
+        match List.find_opt fails (Gen.Shrink.candidates case) with
+        | None -> { case; steps; still_failing = true }
+        | Some smaller -> loop smaller (steps + 1)
+    in
+    loop case 0

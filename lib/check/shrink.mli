@@ -1,0 +1,23 @@
+(** Greedy counterexample minimisation.
+
+    Classic QuickCheck-style shrinking: replace the failing case by the
+    first {!Gen.Shrink.candidates} entry that still fails, repeat until no
+    candidate fails (a local minimum under the step catalogue) or the step
+    budget runs out. Every step strictly decreases {!Gen.Shrink.size}, so
+    the loop terminates regardless of the predicate. *)
+
+type result = {
+  case : Gen.Shrink.case;  (** the minimised case *)
+  steps : int;  (** accepted shrink steps *)
+  still_failing : bool;
+      (** [false] only when the original case did not fail at all (nothing
+          to shrink) *)
+}
+
+val minimize :
+  ?max_steps:int ->
+  fails:(Gen.Shrink.case -> bool) ->
+  Gen.Shrink.case ->
+  result
+(** [max_steps] defaults to 500. The predicate must be deterministic; it
+    is re-evaluated once per candidate. *)

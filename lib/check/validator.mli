@@ -1,0 +1,43 @@
+module Appgraph = Appmodel.Appgraph
+module Archgraph = Platform.Archgraph
+module Strategy = Core.Strategy
+
+(** Independent allocation validation and application-level differential
+    oracles.
+
+    {!validate} re-derives the paper's Section-7 resource constraints
+    (slice within the available TDMA wheel, tile memory, NI connection
+    count, in/out bandwidth, processor-type support, connection existence
+    for split channels) and the throughput constraint straight from Gamma,
+    Theta and the tile table — deliberately sharing no code with
+    {!Core.Binding} or {!Core.Strategy}, so an accounting bug on either
+    side surfaces as a disagreement rather than being validated by its own
+    mirror image.
+
+    The invariance oracles assert that the PR-2 memoization and work-pool
+    layers are observationally invisible: {!Core.Flow} and
+    {!Core.Multi_app} results are byte-identical (modulo wall-clock
+    timings) with memoization on or off and with a pool of 1 or 2 jobs. *)
+
+val validate :
+  Archgraph.t -> Strategy.allocation -> (unit, string) result
+(** [validate arch alloc] with [arch] the architecture the allocation was
+    produced against (i.e. [alloc.arch] for a fresh allocation). *)
+
+val allocation_summary : Strategy.allocation -> string
+(** Canonical seconds-free rendering (throughput, check count, binding,
+    slices); equal strings [<=>] equal allocations. *)
+
+val flow_invariance :
+  max_states:int -> Appgraph.t -> Archgraph.t -> Oracle.outcome
+(** Runs {!Core.Flow.allocate_with_retry} under (memo, 1 job),
+    (no memo, 1 job) and (memo, 2 jobs); all three must agree attempt by
+    attempt, and a successful allocation must satisfy both {!validate}
+    and {!Core.Strategy.is_valid}. Restores the global memo/pool state. *)
+
+val multi_app_invariance :
+  max_states:int -> Appgraph.t list -> Archgraph.t -> Oracle.outcome
+(** Same three configurations for
+    {!Core.Multi_app.allocate_until_failure} under the [Skip_failed]
+    policy; the full report (allocations, rejections, resource totals)
+    must agree. *)

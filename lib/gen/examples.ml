@@ -1,0 +1,36 @@
+module Sdfg = Sdf.Sdfg
+
+let example_graph () =
+  Sdfg.of_lists ~actors:[ "a1"; "a2"; "a3" ]
+    ~channels:
+      [ ("a1", "a2", 1, 1, 0); ("a2", "a3", 1, 2, 0); ("a1", "a1", 1, 1, 1) ]
+
+let example_taus = [| 1; 1; 2 |]
+
+let prodcons () =
+  Sdfg.of_lists ~actors:[ "p"; "c" ]
+    ~channels:[ ("p", "c", 2, 3, 0); ("c", "p", 3, 2, 6) ]
+
+let prodcons_taus = [| 2; 5 |]
+
+let ring3 () =
+  Sdfg.of_lists ~actors:[ "x"; "y"; "z" ]
+    ~channels:[ ("x", "y", 1, 1, 1); ("y", "z", 1, 1, 0); ("z", "x", 1, 1, 0) ]
+
+let ring3_taus = [| 1; 2; 3 |]
+
+let equal_structure g1 g2 =
+  Sdfg.num_actors g1 = Sdfg.num_actors g2
+  && Sdfg.num_channels g1 = Sdfg.num_channels g2
+  && Array.for_all2
+       (fun (a : Sdfg.channel) (b : Sdfg.channel) ->
+         a.Sdfg.src = b.Sdfg.src && a.Sdfg.dst = b.Sdfg.dst
+         && a.Sdfg.prod = b.Sdfg.prod && a.Sdfg.cons = b.Sdfg.cons
+         && a.Sdfg.tokens = b.Sdfg.tokens)
+       (Sdfg.channels g1) (Sdfg.channels g2)
+
+let equal g1 g2 =
+  equal_structure g1 g2
+  && Array.for_all2
+       (fun (a : Sdfg.actor) (b : Sdfg.actor) -> a.Sdfg.a_name = b.Sdfg.a_name)
+       (Sdfg.actors g1) (Sdfg.actors g2)

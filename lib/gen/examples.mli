@@ -1,0 +1,33 @@
+module Sdfg = Sdf.Sdfg
+
+(** Small fixed graphs shared by the test suites, the QCheck properties and
+    the fuzzing harness — one home instead of per-suite copies.
+
+    Each graph comes with a canonical execution-time vector so throughput
+    cases can be replayed without re-deriving timings. *)
+
+val example_graph : unit -> Sdfg.t
+(** The paper's running example (Fig. 3): a1 -> a2 -> a3 with a self-loop
+    on a1; repetition vector (2, 2, 1). *)
+
+val example_taus : int array
+(** The Tab.-2 fastest execution times (1, 1, 2): plain self-timed
+    throughput of a3 is 1/2. *)
+
+val prodcons : unit -> Sdfg.t
+(** Two-actor producer/consumer with rates (2, 3) and a feedback channel
+    carrying six tokens; repetition vector (3, 2). *)
+
+val prodcons_taus : int array
+
+val ring3 : unit -> Sdfg.t
+(** Strongly-connected three-actor ring, all rates 1, one token total. *)
+
+val ring3_taus : int array
+
+val equal_structure : Sdfg.t -> Sdfg.t -> bool
+(** Channel-level equality (endpoints, rates, tokens) ignoring actor and
+    channel names — the equivalence the analysis memo keys rely on. *)
+
+val equal : Sdfg.t -> Sdfg.t -> bool
+(** {!equal_structure} plus actor-name equality. *)

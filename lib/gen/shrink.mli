@@ -1,0 +1,35 @@
+module Sdfg = Sdf.Sdfg
+
+(** Shrink-candidate generation for throughput-analysis cases.
+
+    A case is an SDFG plus a per-actor execution-time vector — the input
+    shared by every throughput analysis in this library. Given a failing
+    case, the fuzzing harness ({!Check.Shrink}) repeatedly replaces it by
+    the first {e smaller} candidate that still fails, converging on a
+    minimal counterexample. This module only proposes candidates; deciding
+    whether a candidate still fails is the caller's business.
+
+    Candidate order is most-aggressive-first: drop an actor (with its
+    incident channels), drop a channel, collapse all rates to 1, reduce
+    initial tokens, reduce execution times toward 1. Candidates that are
+    not {!well_formed} (disconnected, inconsistent, an actor without an
+    input) are filtered out; candidates that deadlock are not — the
+    oracles treat agreeing deadlocks as a pass, which rejects them during
+    shrinking. *)
+
+type case = { graph : Sdfg.t; taus : int array }
+
+val well_formed : case -> bool
+(** Non-empty, matching tau vector with non-negative entries, every actor
+    has an input channel, weakly connected, consistent — the preconditions
+    of {!Analysis.Selftimed.analyze}. *)
+
+val size : case -> int
+(** A measure that strictly decreases along every shrink step (actors
+    dominate, then channels, then rates, tokens and execution times);
+    shrinking terminates because every candidate is smaller than its
+    parent. *)
+
+val candidates : case -> case list
+(** Well-formed one-step reductions of the case, most aggressive first.
+    Empty when the case is already minimal under the step catalogue. *)

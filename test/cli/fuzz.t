@@ -1,0 +1,35 @@
+A clean differential/metamorphic fuzz run over 100 random graphs: every
+oracle agrees, nothing is written.
+
+  $ sdf3_fuzz --count 100 --seed 5 --no-corpus
+  fuzz: seed 5, 100 cases, 612 oracle checks, 18 skips, 0 failures
+
+Fuzzing is deterministic for a fixed seed:
+
+  $ sdf3_fuzz --count 100 --seed 5 --no-corpus
+  fuzz: seed 5, 100 cases, 612 oracle checks, 18 skips, 0 failures
+
+The self-test mutant (an off-by-one initial token in the MCR replay of the
+differential oracle) is detected, shrunk to a minimal ring, and persisted:
+
+  $ sdf3_fuzz --count 200 --seed 9 --inject-mutant --corpus cex
+  fuzz: counterexample after 5 cases (seed 9)
+    oracle:  diff.selftimed-vs-mcr
+    reason:  actor fz9-4_a0: self-timed throughput 1/25 but gamma/MCR predicts 1/21
+    shrunk:  4 actors, 4 channels (18 shrink steps)
+    saved:   cex/cex-diff-selftimed-vs-mcr-s9-4.sdfg
+  sdfg cex-diff-selftimed-vs-mcr-s9-4
+  actor fz9-4_a0 1
+  actor fz9-4_a1 1
+  actor fz9-4_a2 1
+  actor fz9-4_a5 1
+  channel d0 fz9-4_a0 -> fz9-4_a1 rates 1 1
+  channel d1 fz9-4_a1 -> fz9-4_a2 rates 1 1
+  channel d4 fz9-4_a2 -> fz9-4_a5 rates 1 1
+  channel d9 fz9-4_a5 -> fz9-4_a0 rates 1 1
+  [1]
+
+The persisted counterexample replays through the corpus loader:
+
+  $ ls cex
+  cex-diff-selftimed-vs-mcr-s9-4.sdfg

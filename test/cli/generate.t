@@ -1,0 +1,19 @@
+A seeded generator run is byte-for-byte deterministic: the same set,
+sequence and count produce identical output on every invocation.
+
+  $ sdf3_generate --set 2 --seq 1 --count 3 > first.out
+  $ sdf3_generate --set 2 --seq 1 --count 3 > second.out
+  $ cmp first.out second.out
+
+The same holds when writing files:
+
+  $ mkdir out1 out2
+  $ sdf3_generate --set 1 --seq 0 --count 2 --out out1 > /dev/null
+  $ sdf3_generate --set 1 --seq 0 --count 2 --out out2 > /dev/null
+  $ diff -r out1 out2
+
+Different sequences differ (the seed actually steers generation):
+
+  $ sdf3_generate --set 2 --seq 2 --count 3 > third.out
+  $ cmp -s first.out third.out
+  [1]

@@ -1,4 +1,6 @@
-(* Shared helpers for the test suites. *)
+(* Shared helpers for the test suites. The example graphs used to live
+   here; they moved to Gen.Examples so the fuzz/check harness can use them
+   too, and these aliases keep the suites' call sites stable. *)
 
 module Rat = Sdf.Rat
 module Sdfg = Sdf.Sdfg
@@ -10,36 +12,10 @@ let check_rat msg expected actual = Alcotest.check rat msg expected actual
 
 let r n d = Rat.make n d
 
-(* The paper's running example (Fig. 3): a1 -> a2 -> a3 with a self-loop on
-   a1; repetition vector (2, 2, 1). *)
-let example_graph () =
-  Sdfg.of_lists ~actors:[ "a1"; "a2"; "a3" ]
-    ~channels:
-      [ ("a1", "a2", 1, 1, 0); ("a2", "a3", 1, 2, 0); ("a1", "a1", 1, 1, 1) ]
-
-(* A two-actor producer/consumer with rates (2, 3) and a feedback channel
-   carrying six tokens; repetition vector (3, 2). *)
-let prodcons () =
-  Sdfg.of_lists ~actors:[ "p"; "c" ]
-    ~channels:[ ("p", "c", 2, 3, 0); ("c", "p", 3, 2, 6) ]
-
-(* Strongly-connected three-actor ring, all rates 1, one token per edge. *)
-let ring3 () =
-  Sdfg.of_lists ~actors:[ "x"; "y"; "z" ]
-    ~channels:[ ("x", "y", 1, 1, 1); ("y", "z", 1, 1, 0); ("z", "x", 1, 1, 0) ]
-
-let graph_equal g1 g2 =
-  Sdfg.num_actors g1 = Sdfg.num_actors g2
-  && Sdfg.num_channels g1 = Sdfg.num_channels g2
-  && Array.for_all2
-       (fun (a : Sdfg.actor) (b : Sdfg.actor) -> a.Sdfg.a_name = b.Sdfg.a_name)
-       (Sdfg.actors g1) (Sdfg.actors g2)
-  && Array.for_all2
-       (fun (a : Sdfg.channel) (b : Sdfg.channel) ->
-         a.Sdfg.src = b.Sdfg.src && a.Sdfg.dst = b.Sdfg.dst
-         && a.Sdfg.prod = b.Sdfg.prod && a.Sdfg.cons = b.Sdfg.cons
-         && a.Sdfg.tokens = b.Sdfg.tokens)
-       (Sdfg.channels g1) (Sdfg.channels g2)
+let example_graph = Gen.Examples.example_graph
+let prodcons = Gen.Examples.prodcons
+let ring3 = Gen.Examples.ring3
+let graph_equal = Gen.Examples.equal
 
 let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest

@@ -40,5 +40,9 @@ let () =
       ("memo", Test_memo.suite);
       ("par", Test_par.suite);
       ("props", Test_props.suite);
+      ("latency", Test_latency.suite);
+      ("sensitivity", Test_sensitivity.suite);
+      ("check", Test_check.suite);
+      ("corpus", Test_corpus.suite);
       ("paper", Test_paper.suite);
     ]

@@ -1,0 +1,142 @@
+(* The verification harness itself (lib/check): oracles pass on known-good
+   graphs, the injected mutant is caught and shrunk small, the shrinker
+   behaves, and the independent validator rejects corrupted allocations. *)
+
+module Rat = Sdf.Rat
+module Sdfg = Sdf.Sdfg
+module Case = Check.Case
+module Oracle = Check.Oracle
+module Models = Appmodel.Models
+
+let case name graph taus = { Case.name; graph; taus }
+
+let known_good_cases () =
+  [
+    case "example" (Gen.Examples.example_graph ()) Gen.Examples.example_taus;
+    case "prodcons" (Gen.Examples.prodcons ()) Gen.Examples.prodcons_taus;
+    case "ring3" (Gen.Examples.ring3 ()) Gen.Examples.ring3_taus;
+  ]
+
+let all_oracles = Check.Differential.oracles @ Check.Metamorphic.oracles
+
+let oracles_pass_on_examples () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (o : Oracle.t) ->
+          let rng = Gen.Rng.create ~seed:11 in
+          match o.Oracle.run ~max_states:50_000 ~rng c with
+          | Oracle.Fail msg ->
+              Alcotest.failf "%s on %s: %s" o.Oracle.name c.Case.name msg
+          | Oracle.Pass | Oracle.Skip _ -> ())
+        all_oracles)
+    (known_good_cases ())
+
+let clean_fuzz_run () =
+  let s =
+    Check.Harness.run { Check.Harness.default with seed = 3; count = 60 }
+  in
+  Alcotest.(check int) "all cases generated" 60 s.Check.Harness.cases;
+  Alcotest.(check bool) "no counterexample" true
+    (s.Check.Harness.counterexample = None);
+  Alcotest.(check bool) "oracles actually ran" true
+    (s.Check.Harness.checks > s.Check.Harness.cases)
+
+let mutant_is_caught_and_shrunk () =
+  (* The ISSUE acceptance bar: an off-by-one token in the MCR replay must
+     be detected and shrink to at most 4 actors. *)
+  let s =
+    Check.Harness.run
+      { Check.Harness.default with seed = 9; count = 200; mutant = true }
+  in
+  match s.Check.Harness.counterexample with
+  | None -> Alcotest.fail "injected mutant not detected"
+  | Some cex ->
+      Alcotest.(check string) "caught by the differential oracle"
+        "diff.selftimed-vs-mcr" cex.Check.Harness.oracle;
+      let n = Sdfg.num_actors cex.Check.Harness.shrunk.Case.graph in
+      if n > 4 then Alcotest.failf "shrunk to %d actors, want <= 4" n;
+      Alcotest.(check bool) "shrinking made progress" true
+        (cex.Check.Harness.shrink_steps > 0)
+
+let shrinker_reaches_minimum () =
+  (* "At least two actors" as the failing predicate: the example chain
+     must shrink to exactly two. *)
+  let c =
+    {
+      Gen.Shrink.graph = Gen.Examples.example_graph ();
+      taus = Gen.Examples.example_taus;
+    }
+  in
+  let fails (sc : Gen.Shrink.case) = Sdfg.num_actors sc.Gen.Shrink.graph >= 2 in
+  let r = Check.Shrink.minimize ~fails c in
+  Alcotest.(check bool) "still failing" true r.Check.Shrink.still_failing;
+  Alcotest.(check int) "two actors" 2
+    (Sdfg.num_actors r.Check.Shrink.case.Gen.Shrink.graph)
+
+let shrinker_rejects_passing_case () =
+  let c =
+    {
+      Gen.Shrink.graph = Gen.Examples.ring3 ();
+      taus = Gen.Examples.ring3_taus;
+    }
+  in
+  let r = Check.Shrink.minimize ~fails:(fun _ -> false) c in
+  Alcotest.(check bool) "nothing to shrink" false r.Check.Shrink.still_failing;
+  Alcotest.(check int) "no steps" 0 r.Check.Shrink.steps
+
+let validator_accepts_real_allocation () =
+  let app = Models.example_app () and arch = Models.example_platform () in
+  let r = Core.Flow.allocate_with_retry app arch in
+  match r.Core.Flow.allocation with
+  | None -> Alcotest.fail "expected an allocation"
+  | Some alloc -> (
+      match Check.Validator.validate arch alloc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "validator rejected a real allocation: %s" e)
+
+let validator_rejects_corruption () =
+  let app = Models.example_app () and arch = Models.example_platform () in
+  let r = Core.Flow.allocate_with_retry app arch in
+  match r.Core.Flow.allocation with
+  | None -> Alcotest.fail "expected an allocation"
+  | Some alloc ->
+      let reject what bad =
+        match Check.Validator.validate arch bad with
+        | Ok () -> Alcotest.failf "validator accepted %s" what
+        | Error _ -> ()
+      in
+      (* Slice beyond the TDMA wheel on the first tile that hosts work. *)
+      let slices = Array.copy alloc.Core.Strategy.slices in
+      let t = ref 0 in
+      Array.iteri (fun i s -> if s > 0 && !t = 0 then t := i) slices;
+      slices.(!t) <- 1_000_000;
+      reject "an oversized slice" { alloc with Core.Strategy.slices };
+      (* Claimed throughput below the application's constraint. *)
+      reject "a throughput shortfall"
+        { alloc with Core.Strategy.throughput = Rat.zero }
+
+let flow_invariance_on_example () =
+  let app = Models.example_app () and arch = Models.example_platform () in
+  match Check.Validator.flow_invariance ~max_states:50_000 app arch with
+  | Oracle.Fail msg -> Alcotest.failf "flow invariance: %s" msg
+  | Oracle.Pass | Oracle.Skip _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "oracles pass on examples" `Quick
+      oracles_pass_on_examples;
+    Alcotest.test_case "clean fuzz run" `Quick clean_fuzz_run;
+    Alcotest.test_case "mutant caught and shrunk" `Quick
+      mutant_is_caught_and_shrunk;
+    Alcotest.test_case "shrinker reaches minimum" `Quick
+      shrinker_reaches_minimum;
+    Alcotest.test_case "shrinker rejects passing case" `Quick
+      shrinker_rejects_passing_case;
+    Alcotest.test_case "validator accepts real allocation" `Quick
+      validator_accepts_real_allocation;
+    Alcotest.test_case "validator rejects corruption" `Quick
+      validator_rejects_corruption;
+    Alcotest.test_case "flow invariance on example" `Quick
+      flow_invariance_on_example;
+  ]

@@ -1,0 +1,57 @@
+(* Regression-corpus replay: every test/corpus/*.sdfg (seeded minimal
+   graphs plus shrunk fuzzer counterexamples) goes through the full
+   differential + metamorphic catalogue on every [dune runtest]. *)
+
+module Case = Check.Case
+
+let corpus_dir = "corpus"
+
+let replay_all () =
+  let cases = Check.Corpus.load_dir corpus_dir in
+  if List.length cases < 5 then
+    Alcotest.failf "corpus has %d cases, expected at least 5"
+      (List.length cases);
+  List.iter
+    (fun (c : Case.t) ->
+      let failures =
+        Check.Corpus.failures (Check.Corpus.replay ~max_states:100_000 c)
+      in
+      match failures with
+      | [] -> ()
+      | (oracle, msg) :: _ ->
+          Alcotest.failf "corpus case %s: %s: %s" c.Case.name oracle msg)
+    cases
+
+let round_trip () =
+  let dir = Filename.temp_file "corpus" "" in
+  Sys.remove dir;
+  let c =
+    {
+      Case.name = "rt";
+      graph = Gen.Examples.prodcons ();
+      taus = Gen.Examples.prodcons_taus;
+    }
+  in
+  let path = Check.Corpus.save ~dir c in
+  let c' = Check.Corpus.load_file path in
+  Alcotest.(check string) "name" c.Case.name c'.Case.name;
+  Alcotest.(check bool) "graph" true
+    (Gen.Examples.equal c.Case.graph c'.Case.graph);
+  Alcotest.(check (array int)) "taus" c.Case.taus c'.Case.taus;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let well_formed_corpus () =
+  (* Every persisted case must be replayable by construction. *)
+  List.iter
+    (fun (c : Case.t) ->
+      if not (Case.well_formed c) then
+        Alcotest.failf "corpus case %s is not well formed" c.Case.name)
+    (Check.Corpus.load_dir corpus_dir)
+
+let suite =
+  [
+    Alcotest.test_case "well-formed corpus" `Quick well_formed_corpus;
+    Alcotest.test_case "replay all" `Quick replay_all;
+    Alcotest.test_case "round trip" `Quick round_trip;
+  ]

@@ -1,0 +1,82 @@
+(* Latency metrics (lib/analysis/latency.mli): start-up latency and
+   iteration makespan on the shared example graphs, plus the documented
+   edge cases (zero-time outputs, starved outputs, state-space cap). *)
+
+module Latency = Analysis.Latency
+module Sdfg = Sdf.Sdfg
+
+let example_first_output () =
+  let g = Gen.Examples.example_graph () in
+  (* a1 starts at 0 and takes 1; a3 needs two a2 firings, so it starts at
+     3 and completes at 5. *)
+  Alcotest.(check int) "a3 completes at 5" 5
+    (Latency.first_output_completion g Gen.Examples.example_taus ~output:2);
+  Alcotest.(check int) "a1 completes at 1" 1
+    (Latency.first_output_completion g Gen.Examples.example_taus ~output:0)
+
+let zero_time_output () =
+  (* A zero-time output completes the moment it starts: a3 now starts and
+     completes at 3. *)
+  let g = Gen.Examples.example_graph () in
+  Alcotest.(check int) "tau(a3)=0" 3
+    (Latency.first_output_completion g [| 1; 1; 0 |] ~output:2)
+
+let ring_first_output () =
+  (* The single ring token sits on x -> y, so y fires first: y completes
+     at 2, z at 5, and only then x at 6. *)
+  let r = Gen.Examples.ring3 () in
+  Alcotest.(check int) "z completes at 5" 5
+    (Latency.first_output_completion r Gen.Examples.ring3_taus ~output:2);
+  Alcotest.(check int) "x completes at 6" 6
+    (Latency.first_output_completion r Gen.Examples.ring3_taus ~output:0)
+
+let makespan_by_hand () =
+  let g = Gen.Examples.example_graph () in
+  Alcotest.(check int) "example makespan" 5
+    (Latency.iteration_makespan g Gen.Examples.example_taus);
+  let r = Gen.Examples.ring3 () in
+  Alcotest.(check int) "ring makespan" 6
+    (Latency.iteration_makespan r Gen.Examples.ring3_taus)
+
+let makespan_bounds_first_output () =
+  (* The makespan covers every actor's first iteration, so it dominates
+     any single actor's start-up latency. *)
+  let g = Gen.Examples.prodcons () in
+  let taus = Gen.Examples.prodcons_taus in
+  let ms = Latency.iteration_makespan g taus in
+  for a = 0 to Sdfg.num_actors g - 1 do
+    let f = Latency.first_output_completion g taus ~output:a in
+    if f > ms then
+      Alcotest.failf "actor %d: first output %d > makespan %d" a f ms
+  done
+
+let deadlock_propagates () =
+  (* A tokenless ring cannot fire at all; the latency query surfaces the
+     analysis outcome instead of inventing a number. *)
+  let g =
+    Sdfg.of_lists ~actors:[ "x"; "y" ]
+      ~channels:[ ("x", "y", 1, 1, 0); ("y", "x", 1, 1, 0) ]
+  in
+  Alcotest.check_raises "deadlock" Analysis.Selftimed.Deadlocked (fun () ->
+      ignore (Latency.first_output_completion g [| 1; 1 |] ~output:1))
+
+let state_cap_propagates () =
+  let g = Gen.Examples.example_graph () in
+  match
+    Latency.first_output_completion ~max_states:1 g
+      Gen.Examples.example_taus ~output:2
+  with
+  | _ -> Alcotest.fail "expected State_space_exceeded"
+  | exception Analysis.Selftimed.State_space_exceeded _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "example first output" `Quick example_first_output;
+    Alcotest.test_case "zero-time output" `Quick zero_time_output;
+    Alcotest.test_case "ring first output" `Quick ring_first_output;
+    Alcotest.test_case "makespan by hand" `Quick makespan_by_hand;
+    Alcotest.test_case "makespan bounds first output" `Quick
+      makespan_bounds_first_output;
+    Alcotest.test_case "deadlock propagates" `Quick deadlock_propagates;
+    Alcotest.test_case "state cap propagates" `Quick state_cap_propagates;
+  ]

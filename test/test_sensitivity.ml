@@ -1,0 +1,61 @@
+(* Throughput sensitivity (lib/analysis/sensitivity.mli): measured
+   degradation on the shared examples, the delta parameter, and the
+   critical-actor ordering. *)
+
+module Sensitivity = Analysis.Sensitivity
+module Rat = Sdf.Rat
+
+let check_rat = Helpers.check_rat
+let r = Helpers.r
+
+let example_report () =
+  (* Only a1 is critical: its self-loop serialises the two firings per
+     iteration. a2 and a3 have unbounded auto-concurrency, so growing
+     their execution time only deepens the pipeline. *)
+  let g = Gen.Examples.example_graph () in
+  let rep = Sensitivity.measure g Gen.Examples.example_taus ~output:2 in
+  check_rat "base" (r 1 2) rep.Sensitivity.base;
+  check_rat "perturbing a1 halves throughput" (r 1 4)
+    rep.Sensitivity.per_actor.(0);
+  check_rat "a2 has slack" (r 1 2) rep.Sensitivity.per_actor.(1);
+  check_rat "a3 has slack" (r 1 2) rep.Sensitivity.per_actor.(2);
+  Alcotest.(check (float 1e-9)) "sensitivity of a1" 0.5
+    rep.Sensitivity.sensitivity.(0);
+  Alcotest.(check (list int)) "critical actors" [ 0 ]
+    (Sensitivity.critical_actors rep)
+
+let delta_parameter () =
+  (* delta = 2: tau(a1) becomes 3, the period 6; the default delta = 1 is
+     the ?delta-less call above. *)
+  let g = Gen.Examples.example_graph () in
+  let rep =
+    Sensitivity.measure ~delta:2 g Gen.Examples.example_taus ~output:2
+  in
+  check_rat "delta=2 on a1" (r 1 6) rep.Sensitivity.per_actor.(0)
+
+let ring_all_critical () =
+  (* Every ring actor sits on the single critical cycle: 1/6 -> 1/7 for
+     each, so sensitivities tie and the ordering falls back to actor
+     index. *)
+  let g = Gen.Examples.ring3 () in
+  let rep = Sensitivity.measure g Gen.Examples.ring3_taus ~output:0 in
+  check_rat "base" (r 1 6) rep.Sensitivity.base;
+  Array.iteri
+    (fun a thr -> check_rat (Printf.sprintf "perturbed %d" a) (r 1 7) thr)
+    rep.Sensitivity.per_actor;
+  Alcotest.(check (list int)) "all critical, index order" [ 0; 1; 2 ]
+    (Sensitivity.critical_actors rep)
+
+let state_cap_propagates () =
+  let g = Gen.Examples.ring3 () in
+  match Sensitivity.measure ~max_states:1 g Gen.Examples.ring3_taus ~output:0 with
+  | _ -> Alcotest.fail "expected State_space_exceeded"
+  | exception Analysis.Selftimed.State_space_exceeded _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "example report" `Quick example_report;
+    Alcotest.test_case "delta parameter" `Quick delta_parameter;
+    Alcotest.test_case "ring all critical" `Quick ring_all_critical;
+    Alcotest.test_case "state cap propagates" `Quick state_cap_propagates;
+  ]
