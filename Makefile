@@ -1,6 +1,7 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
-.PHONY: all build test fmt-check bench-quick bench-smoke fuzz fuzz-mutant ci
+.PHONY: all build test fmt-check bench-quick bench-smoke explore-bench \
+  fuzz fuzz-mutant ci
 
 all: build
 
@@ -24,12 +25,29 @@ bench-quick:
 	dune exec bench/main.exe -- --quick --no-bechamel
 
 # The CI bench job: parallel table run with telemetry, asserting the memo
-# cache and the work-pool both saw real traffic.
+# cache, the work-pool and the packed state-space engine all saw real
+# traffic, and that the fanned-out tables match a sequential run line for
+# line (wall-clock readings excepted).
 bench-smoke:
 	dune exec bench/main.exe -- --quick --no-bechamel --jobs 2 \
-	  --metrics bench-metrics.json
+	  --metrics bench-metrics.json > bench-par.out
 	grep -Eq '"cache\.hits": [1-9]' bench-metrics.json
 	grep -Eq '"pool\.tasks": [1-9]' bench-metrics.json
+	grep -Eq '"engine\.arena_bytes": [1-9]' bench-metrics.json
+	grep -q '"engine.bytes_per_state"' bench-metrics.json
+	grep -q '"engine.occupancy"' bench-metrics.json
+	grep -q '"engine.max_probe"' bench-metrics.json
+	dune exec bench/main.exe -- --quick --no-bechamel --jobs 1 > bench-seq.out
+	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|^$$' bench-seq.out \
+	  > bench-seq.flt
+	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|^$$' bench-par.out \
+	  > bench-par.flt
+	diff bench-seq.flt bench-par.flt
+
+# Seed-vs-new state-space engine comparison (states/sec, bytes/state) on
+# the E8-E10 workload grid; the curated run is committed as BENCH_4.json.
+explore-bench:
+	dune exec bench/main.exe -- --explore-bench explore-bench.json
 
 ci: build test fmt-check
 

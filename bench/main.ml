@@ -12,7 +12,11 @@
      dune exec bench/main.exe -- --metrics FILE # export the telemetry
                                                 # registry of the table runs
                                                 # as JSON (correlates wall
-                                                # clock with states explored) *)
+                                                # clock with states explored)
+     dune exec bench/main.exe -- --explore-bench FILE # seed-vs-new state-
+                                                # space engine comparison on
+                                                # the E8-E10 grid, written
+                                                # as JSON (BENCH_4.json) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -126,6 +130,232 @@ let run_bechamel () =
       Printf.printf "%-36s %16s\n" name human)
     rows
 
+(* ------------------ exploration engine microbenchmark --------------- *)
+
+(* Seed-vs-new comparison of the state-space kernels on the E8-E10
+   workload grid (benchmark sets 1-4, all three sequences): the packed
+   engine ([Selftimed.analyze] / [Constrained.analyze], memoization off)
+   against the retained Marshal/Hashtbl references kept as
+   [analyze_reference]. Reports states per second on each side, packed
+   bytes per state on the engine side, and the resulting speedup; the JSON
+   written here is committed as BENCH_4.json. *)
+
+module Sdfg = Sdf.Sdfg
+module Appgraph = Appmodel.Appgraph
+
+let explore_max_states = 200_000
+
+let selftimed_cases set =
+  List.concat_map
+    (fun seq ->
+      Gen.Benchsets.sequence ~set ~seq ~count:40
+      |> List.filter_map (fun (app : Appgraph.t) ->
+             let g = app.Appgraph.graph in
+             let taus =
+               Array.init (Sdfg.num_actors g) (fun a ->
+                   Appgraph.max_exec_time app a)
+             in
+             (* Keep the cases both engines complete: a deadlock or cap
+                abort times exception unwinding, not exploration. *)
+             match
+               Analysis.Selftimed.analyze_reference
+                 ~max_states:explore_max_states g taus
+             with
+             | (_ : Analysis.Selftimed.result) -> Some (g, taus)
+             | exception Analysis.Selftimed.Deadlocked -> None
+             | exception Analysis.Selftimed.State_space_exceeded _ -> None))
+    [ 0; 1; 2 ]
+
+(* Timed passes over a whole case list (repeated so each measurement spans
+   tens of milliseconds); states are taken from the results so both
+   engines are required to agree on the work done. *)
+let explore_reps = 10
+
+let sweep analyze cases =
+  let states = ref 0 in
+  (* Start from a compacted heap so a major GC triggered by the previous
+     sweep's garbage is not billed to this one. *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to explore_reps do
+    List.iter
+      (fun (g, taus) ->
+        let r = analyze ~max_states:explore_max_states g taus in
+        states := !states + r.Analysis.Selftimed.states)
+      cases
+  done;
+  (!states, Unix.gettimeofday () -. t0)
+
+let arena_bytes () =
+  match Obs.Gauge.value "engine.arena_bytes" with
+  | Some b -> b
+  | None -> 0.
+
+let constrained_workloads () =
+  (* One bindable application per benchmark set, bound and list-scheduled
+     the way the allocation flow does it. *)
+  let arch = Gen.Benchsets.architecture 0 in
+  List.filter_map
+    (fun set ->
+      Gen.Benchsets.sequence ~set ~seq:0 ~count:10
+      |> List.find_map (fun app ->
+             match
+               Core.Binding_step.bind
+                 ~weights:(Core.Cost.weights 0. 1. 2.)
+                 app arch
+             with
+             | Error _ -> None
+             | Ok binding -> (
+                 let slices =
+                   Core.Bind_aware.half_wheel_slices app arch binding
+                 in
+                 let ba = Core.Bind_aware.build ~app ~arch ~binding ~slices () in
+                 match
+                   Core.List_scheduler.schedules
+                     ~max_states:explore_max_states ba
+                 with
+                 | schedules -> (
+                     match
+                       Core.Constrained.analyze_reference
+                         ~max_states:explore_max_states ba ~schedules
+                     with
+                     | (_ : Core.Constrained.result) -> Some (ba, schedules)
+                     | exception _ -> None)
+                 | exception _ -> None)))
+    [ 1; 2; 3; 4 ]
+
+let sweep_constrained analyze workloads =
+  let states = ref 0 in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to explore_reps do
+    List.iter
+      (fun (ba, schedules) ->
+        let r = analyze ~max_states:explore_max_states ba ~schedules in
+        states := !states + r.Core.Constrained.states)
+      workloads
+  done;
+  (!states, Unix.gettimeofday () -. t0)
+
+let explore_bench path =
+  Analysis.Memo.set_enabled false;
+  Obs.set_enabled true;
+  let per_sec states dt = float_of_int states /. Float.max dt 1e-9 in
+  Printf.printf
+    "Exploration engine microbenchmark (E8-E10 grid, max_states %d)\n\
+     %-12s %8s %10s %14s %14s %10s %8s\n"
+    explore_max_states "workload" "cases" "states" "ref st/s" "engine st/s"
+    "bytes/st" "speedup";
+  let row name cases ref_states ref_dt eng_states eng_dt bytes_per_state =
+    let speedup = per_sec eng_states eng_dt /. per_sec ref_states ref_dt in
+    Printf.printf "%-12s %8d %10d %14.0f %14.0f %10.1f %7.2fx\n%!" name cases
+      eng_states (per_sec ref_states ref_dt) (per_sec eng_states eng_dt)
+      bytes_per_state speedup;
+    Obs.Json.(
+      ( name,
+        Assoc
+          [
+            ("cases", Int cases);
+            ("states", Int eng_states);
+            ( "reference",
+              Assoc
+                [
+                  ("seconds", Float ref_dt);
+                  ("states_per_sec", Float (per_sec ref_states ref_dt));
+                ] );
+            ( "engine",
+              Assoc
+                [
+                  ("seconds", Float eng_dt);
+                  ("states_per_sec", Float (per_sec eng_states eng_dt));
+                  ("bytes_per_state", Float bytes_per_state);
+                ] );
+            ("speedup", Float speedup);
+          ] ))
+  in
+  let tot_ref_states = ref 0
+  and tot_ref_dt = ref 0.
+  and tot_eng_states = ref 0
+  and tot_eng_dt = ref 0.
+  and tot_bytes = ref 0.
+  and tot_cases = ref 0 in
+  let selftimed_rows =
+    List.map
+      (fun set ->
+        let cases = selftimed_cases set in
+        (* The filtering pass above doubles as a warm-up of both the
+           allocator and the generated workload. *)
+        let ref_states, ref_dt =
+          sweep
+            (fun ~max_states g taus ->
+              Analysis.Selftimed.analyze_reference ~max_states g taus)
+            cases
+        in
+        let bytes = ref 0. in
+        let eng_states, eng_dt =
+          sweep
+            (fun ~max_states g taus ->
+              let r = Analysis.Selftimed.analyze ~max_states g taus in
+              bytes := !bytes +. arena_bytes ();
+              r)
+            cases
+        in
+        tot_ref_states := !tot_ref_states + ref_states;
+        tot_ref_dt := !tot_ref_dt +. ref_dt;
+        tot_eng_states := !tot_eng_states + eng_states;
+        tot_eng_dt := !tot_eng_dt +. eng_dt;
+        tot_bytes := !tot_bytes +. !bytes;
+        tot_cases := !tot_cases + List.length cases;
+        row
+          (Printf.sprintf "set%d" set)
+          (List.length cases) ref_states ref_dt eng_states eng_dt
+          (!bytes /. Float.max (float_of_int eng_states) 1.))
+      [ 1; 2; 3; 4 ]
+  in
+  let overall =
+    row "selftimed" !tot_cases !tot_ref_states !tot_ref_dt !tot_eng_states
+      !tot_eng_dt
+      (!tot_bytes /. Float.max (float_of_int !tot_eng_states) 1.)
+  in
+  let constrained =
+    let workloads = constrained_workloads () in
+    let ref_states, ref_dt =
+      sweep_constrained
+        (fun ~max_states ba ~schedules ->
+          Core.Constrained.analyze_reference ~max_states ba ~schedules)
+        workloads
+    in
+    let bytes = ref 0. in
+    let eng_states, eng_dt =
+      sweep_constrained
+        (fun ~max_states ba ~schedules ->
+          let r = Core.Constrained.analyze ~max_states ba ~schedules in
+          bytes := !bytes +. arena_bytes ();
+          r)
+        workloads
+    in
+    row "constrained" (List.length workloads) ref_states ref_dt eng_states
+      eng_dt
+      (!bytes /. Float.max (float_of_int eng_states) 1.)
+  in
+  let doc =
+    Obs.Json.(
+      Assoc
+        [
+          ("bench", String "engine-explore");
+          ("grid", String "E8-E10 sets 1-4, sequences 0-2, 40 apps each");
+          ("reps", Int explore_reps);
+          ("max_states", Int explore_max_states);
+          ("selftimed", Assoc selftimed_rows);
+          ("overall", Assoc [ overall; constrained ]);
+        ])
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string doc));
+  Printf.printf "exploration benchmark written to %s\n" path
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -153,6 +383,19 @@ let () =
     in
     find argv
   in
+  (match
+     let rec find = function
+       | "--explore-bench" :: path :: _ -> Some path
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find argv
+   with
+  | Some path ->
+      (* Standalone mode: only the seed-vs-new engine comparison. *)
+      explore_bench path;
+      exit 0
+  | None -> ());
   Par.set_jobs jobs;
   if metrics_file <> None then Obs.set_enabled true;
   let seqs = if quick then [ 0 ] else [ 0; 1; 2 ] in

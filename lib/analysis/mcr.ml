@@ -222,25 +222,30 @@ let max_cycle_ratio g exec_times =
           token_channels;
         let arcs = !arcs in
         let comp, ncomp = explicit_sccs !nodes arcs in
-        (* Run Karp inside each SCC (renumbered); skip trivial ones. *)
+        (* Run Karp inside each SCC. Renumbering is a single bucket pass:
+           one sweep over the nodes assigns local indices and component
+           sizes, one sweep over the arcs distributes them to their
+           component — O(V + A) total, where the per-component
+           [List.filter] over all nodes plus per-arc [Hashtbl] lookups it
+           replaces were O(V * C + A * C). *)
+        let local = Array.make !nodes 0 in
+        let sizes = Array.make ncomp 0 in
+        for v = 0 to !nodes - 1 do
+          let c = comp.(v) in
+          local.(v) <- sizes.(c);
+          sizes.(c) <- sizes.(c) + 1
+        done;
+        let comp_arcs = Array.make ncomp [] in
+        List.iter
+          (fun (u, v, w) ->
+            let c = comp.(u) in
+            if comp.(v) = c then
+              comp_arcs.(c) <- (local.(u), local.(v), w) :: comp_arcs.(c))
+          arcs;
         let best = ref None in
         for ci = 0 to ncomp - 1 do
-          let members =
-            List.filter (fun v -> comp.(v) = ci) (List.init !nodes Fun.id)
-          in
-          let local = Hashtbl.create 16 in
-          List.iteri (fun i v -> Hashtbl.add local v i) members;
-          let m = List.length members in
-          let local_arcs =
-            List.filter_map
-              (fun (u, v, w) ->
-                if comp.(u) = ci && comp.(v) = ci then
-                  Some (Hashtbl.find local u, Hashtbl.find local v, w)
-                else None)
-              arcs
-          in
-          if local_arcs <> [] then
-            match karp_mcm m local_arcs with
+          if comp_arcs.(ci) <> [] then
+            match karp_mcm sizes.(ci) comp_arcs.(ci) with
             | None -> ()
             | Some r -> (
                 match !best with

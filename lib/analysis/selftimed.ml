@@ -13,12 +13,6 @@ type result = {
 exception Deadlocked
 exception State_space_exceeded of int
 
-(* Insert into an ascending sorted list. *)
-let rec insert_sorted x = function
-  | [] -> [ x ]
-  | y :: _ as l when x <= y -> x :: l
-  | y :: rest -> y :: insert_sorted x rest
-
 let validate g exec_times =
   let n = Sdfg.num_actors g in
   if n = 0 then invalid_arg "Selftimed.analyze: empty graph";
@@ -36,30 +30,21 @@ let validate g exec_times =
            (Sdfg.actor_name g a))
   done
 
-let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
+(* The pre-engine exploration (sorted lists of remaining times, Marshal
+   snapshots into a string-keyed Hashtbl), retained as the slow half of the
+   differential oracle [diff.engine-vs-reference] and as the baseline of
+   the exploration microbenchmark. Behaviour-defining: the packed engine
+   below must agree with it on every input. *)
+let analyze_reference ?observer ?(max_states = 2_000_000) g exec_times =
   validate g exec_times;
   let gamma = Repetition.vector_exn g in
   let n = Sdfg.num_actors g in
+  let ops = Engine.Ops.of_graph g in
   let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
   let active = Array.make n [] in
   let counts = Array.make n 0 in
   let time = ref 0 in
   let seen : (string, int * int array) Hashtbl.t = Hashtbl.create 4096 in
-  let enabled a =
-    List.for_all
-      (fun ci -> tokens.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let consume a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) - (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let produce a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) + (Sdfg.channel g ci).Sdfg.prod)
-      (Sdfg.out_channels g a)
-  in
   (* Start every enabled firing; zero-time firings complete on the spot and
      may enable more starts, hence the fixpoint. The guard protects against
      zero-time livelock (a token-producing cycle of zero-time actors). *)
@@ -69,39 +54,22 @@ let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
     while !progress do
       progress := false;
       for a = 0 to n - 1 do
-        while enabled a do
+        while Engine.Ops.enabled ops tokens a do
           progress := true;
           incr instant_guard;
           if !instant_guard > 10_000_000 then
             invalid_arg "Selftimed.analyze: zero-time livelock";
-          consume a;
+          Engine.Ops.consume ops tokens a;
           counts.(a) <- counts.(a) + 1;
           (match observer with Some f -> f !time a | None -> ());
-          if exec_times.(a) = 0 then produce a
-          else active.(a) <- insert_sorted exec_times.(a) active.(a)
+          if exec_times.(a) = 0 then Engine.Ops.produce ops tokens a
+          else active.(a) <- Engine.Ops.insert_sorted exec_times.(a) active.(a)
         done
       done
     done
   in
   let snapshot () =
     Marshal.to_string (tokens, active) [ Marshal.No_sharing ]
-  in
-  (* Telemetry: recorded once per run (never inside the exploration loop),
-     so disabled telemetry costs one branch per analysis. *)
-  let record_metrics r =
-    if Obs.enabled () then begin
-      Obs.Counter.add "selftimed.runs" 1;
-      Obs.Counter.add "selftimed.states" r.states;
-      Obs.Counter.add "selftimed.transient" r.transient;
-      Obs.Counter.add "selftimed.period" r.period;
-      Obs.Counter.add "selftimed.firings" (Array.fold_left ( + ) 0 counts);
-      let s = Hashtbl.stats seen in
-      Obs.Gauge.set "selftimed.hash.load_factor"
-        (float_of_int s.Hashtbl.num_bindings
-        /. float_of_int (max 1 s.Hashtbl.num_buckets));
-      Obs.Gauge.set_int "selftimed.hash.max_bucket" s.Hashtbl.max_bucket_length
-    end;
-    r
   in
   let rec explore () =
     start_fixpoint ();
@@ -136,13 +104,120 @@ let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
         for a = 0 to n - 1 do
           let rec settle = function
             | r :: rest when r = dt ->
-                produce a;
+                Engine.Ops.produce ops tokens a;
                 settle rest
             | l -> List.map (fun r -> r - dt) l
           in
           active.(a) <- settle active.(a)
         done;
         explore ()
+  in
+  explore ()
+
+(* The packed engine: states stream through one reusable {!Engine.Pack}
+   writer (channel token counts, then per-actor length-prefixed rings of
+   time-relative completions) into an open-addressing {!Engine.Stateset}
+   whose payload words carry the recurrence data (visit time, firing count
+   of actor 0) — no Marshal, no string keys, no per-state boxed values.
+   Outstanding firings live in {!Engine.Rings} (FIFO: equal execution
+   times make completion order follow start order). *)
+let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
+  validate g exec_times;
+  let gamma = Repetition.vector_exn g in
+  let n = Sdfg.num_actors g in
+  let nc = Sdfg.num_channels g in
+  let ops = Engine.Ops.of_graph g in
+  let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
+  let rings = Engine.Rings.create n in
+  let counts = Array.make n 0 in
+  let time = ref 0 in
+  let seen = Engine.Stateset.create () in
+  let pack = Engine.Pack.create () in
+  let produce_completed a = Engine.Ops.produce ops tokens a in
+  let start_fixpoint () =
+    let instant_guard = ref 0 in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for a = 0 to n - 1 do
+        while Engine.Ops.enabled ops tokens a do
+          progress := true;
+          incr instant_guard;
+          if !instant_guard > 10_000_000 then
+            invalid_arg "Selftimed.analyze: zero-time livelock";
+          Engine.Ops.consume ops tokens a;
+          counts.(a) <- counts.(a) + 1;
+          (match observer with Some f -> f !time a | None -> ());
+          if exec_times.(a) = 0 then Engine.Ops.produce ops tokens a
+          else Engine.Rings.push rings a (!time + exec_times.(a))
+        done
+      done
+    done
+  in
+  let pack_rel c = Engine.Pack.add_uint pack (c - !time) in
+  let pack_state () =
+    Engine.Pack.reset pack;
+    for ci = 0 to nc - 1 do
+      Engine.Pack.add_uint pack tokens.(ci)
+    done;
+    for a = 0 to n - 1 do
+      Engine.Pack.add_uint pack (Engine.Rings.length rings a);
+      Engine.Rings.iter rings a pack_rel
+    done
+  in
+  (* Telemetry: recorded once per run (never inside the exploration loop),
+     so disabled telemetry costs one branch per analysis. *)
+  let record_metrics r =
+    if Obs.enabled () then begin
+      Obs.Counter.add "selftimed.runs" 1;
+      Obs.Counter.add "selftimed.states" r.states;
+      Obs.Counter.add "selftimed.transient" r.transient;
+      Obs.Counter.add "selftimed.period" r.period;
+      Obs.Counter.add "selftimed.firings" (Array.fold_left ( + ) 0 counts);
+      let s = Engine.Stateset.stats seen in
+      Obs.Gauge.set_int "engine.arena_bytes" s.Engine.Stateset.arena_bytes;
+      Obs.Gauge.set "engine.bytes_per_state"
+        (float_of_int s.Engine.Stateset.arena_bytes
+        /. float_of_int (max 1 s.Engine.Stateset.states));
+      Obs.Gauge.set "engine.occupancy"
+        (float_of_int s.Engine.Stateset.states
+        /. float_of_int (max 1 s.Engine.Stateset.slots));
+      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe
+    end;
+    r
+  in
+  let rec explore () =
+    start_fixpoint ();
+    pack_state ();
+    let revisit, t0, c0 =
+      Engine.Stateset.find_or_add seen pack ~p0:!time ~p1:counts.(0)
+    in
+    if revisit then begin
+      let period = !time - t0 in
+      let iterations = (counts.(0) - c0) / gamma.(0) in
+      assert (counts.(0) - c0 = iterations * gamma.(0));
+      let throughput =
+        Array.init n (fun a -> Rat.make (iterations * gamma.(a)) period)
+      in
+      {
+        throughput;
+        period;
+        iterations_per_period = iterations;
+        transient = t0;
+        states = Engine.Stateset.length seen;
+      }
+    end
+    else begin
+      (* The reference engine checks the cap before storing; the stateset
+         stores first, so "stored one too many" is the same condition. *)
+      if Engine.Stateset.length seen > max_states then
+        raise (State_space_exceeded max_states);
+      let next = Engine.Rings.min_head rings in
+      if next = max_int then raise Deadlocked;
+      time := next;
+      Engine.Rings.pop_due rings ~now:next produce_completed;
+      explore ()
+    end
   in
   match explore () with
   | r -> record_metrics r
@@ -157,16 +232,24 @@ let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
    rates, initial tokens), the execution times and the state cap — never on
    actor or channel names. Leaving names out of the key makes structurally
    identical graphs share cache entries even when they come from different
-   applications (e.g. copies of one application in a multi-app workload). *)
+   applications (e.g. copies of one application in a multi-app workload).
+   Encoded with the engine's packer: every field a varint, counts included
+   up front, so equal keys decode to equal inputs (injectivity). *)
 let cache_key ?(max_states = 2_000_000) g exec_times =
-  let chans =
-    Array.map
-      (fun c -> (c.Sdfg.src, c.Sdfg.dst, c.Sdfg.prod, c.Sdfg.cons, c.Sdfg.tokens))
-      (Sdfg.channels g)
-  in
-  Marshal.to_string
-    (Sdfg.num_actors g, chans, exec_times, max_states)
-    [ Marshal.No_sharing ]
+  let p = Engine.Pack.create ~initial:64 () in
+  Engine.Pack.add_uint p (Sdfg.num_actors g);
+  Engine.Pack.add_uint p (Sdfg.num_channels g);
+  Array.iter
+    (fun c ->
+      Engine.Pack.add_uint p c.Sdfg.src;
+      Engine.Pack.add_uint p c.Sdfg.dst;
+      Engine.Pack.add_uint p c.Sdfg.prod;
+      Engine.Pack.add_uint p c.Sdfg.cons;
+      Engine.Pack.add_uint p c.Sdfg.tokens)
+    (Sdfg.channels g);
+  Array.iter (fun tau -> Engine.Pack.add_int p tau) exec_times;
+  Engine.Pack.add_uint p max_states;
+  Engine.Pack.contents p
 
 (* Negative outcomes are part of the analysis result, so they are cached
    too, reified as values and replayed as exceptions on a hit. *)

@@ -64,6 +64,17 @@ val analyze :
       [exec_times] has the wrong length or contains a negative entry, or if
       the graph is empty or inconsistent. *)
 
+val analyze_reference :
+  ?observer:(int -> int -> unit) -> ?max_states:int -> Sdfg.t -> int array ->
+  result
+(** The pre-engine exploration (sorted completion lists, [Marshal]
+    snapshots into a string-keyed [Hashtbl]), kept as the independent half
+    of the [diff.engine-vs-reference] oracle and as the baseline of the
+    exploration microbenchmark. Never memoized, never recorded in
+    telemetry; same exceptions and validation as {!analyze}. The two
+    implementations must agree exactly — result fields, visited-state
+    count, deadlock and cap outcomes, and observer call sequence. *)
+
 val cache_key : ?max_states:int -> Sdfg.t -> int array -> string
 (** Canonical structural serialization of an analysis input: actor count,
     channels as [(src, dst, prod, cons, tokens)] tuples in index order,

@@ -17,6 +17,48 @@ let selftimed ~max_states (c : Case.t) =
   | exception Selftimed.Deadlocked -> St_deadlock
   | exception Selftimed.State_space_exceeded _ -> St_exceeded
 
+let selftimed_reference ~max_states (c : Case.t) =
+  match Selftimed.analyze_reference ~max_states c.Case.graph c.Case.taus with
+  | r -> St r
+  | exception Selftimed.Deadlocked -> St_deadlock
+  | exception Selftimed.State_space_exceeded _ -> St_exceeded
+
+(* Old-vs-new engine: the packed state-space engine must be behaviorally
+   identical to the retained Marshal/Hashtbl reference — same throughput
+   vector, period, iteration count, transient, visited-state count, and
+   the same deadlock/cap outcomes. Nothing is skipped: a cap abort on one
+   side must be a cap abort on the other. *)
+let engine_vs_reference ~max_states ~rng:_ (c : Case.t) =
+  match (selftimed ~max_states c, selftimed_reference ~max_states c) with
+  | St_deadlock, St_deadlock | St_exceeded, St_exceeded -> Oracle.Pass
+  | St_deadlock, _ -> Oracle.Fail "engine deadlocks but the reference runs"
+  | _, St_deadlock -> Oracle.Fail "reference deadlocks but the engine runs"
+  | St_exceeded, _ ->
+      Oracle.Fail "engine exceeds the state cap but the reference finishes"
+  | _, St_exceeded ->
+      Oracle.Fail "reference exceeds the state cap but the engine finishes"
+  | St e, St r ->
+      if e.Selftimed.period <> r.Selftimed.period then
+        Oracle.failf "engine period %d but reference period %d"
+          e.Selftimed.period r.Selftimed.period
+      else if
+        e.Selftimed.iterations_per_period <> r.Selftimed.iterations_per_period
+      then
+        Oracle.failf "engine iterations %d but reference iterations %d"
+          e.Selftimed.iterations_per_period r.Selftimed.iterations_per_period
+      else if e.Selftimed.transient <> r.Selftimed.transient then
+        Oracle.failf "engine transient %d but reference transient %d"
+          e.Selftimed.transient r.Selftimed.transient
+      else if e.Selftimed.states <> r.Selftimed.states then
+        Oracle.failf "engine explored %d states but the reference %d"
+          e.Selftimed.states r.Selftimed.states
+      else if
+        not
+          (Array.for_all2 Rat.equal e.Selftimed.throughput
+             r.Selftimed.throughput)
+      then Oracle.Fail "engine and reference throughput vectors differ"
+      else Oracle.Pass
+
 (* The independent route: HSDF expansion, then Karp's maximum cycle ratio.
    Under the injected mutant, the replay is corrupted by an off-by-one in
    the initial-token count of the first HSDF channel — the kind of silent
@@ -106,6 +148,7 @@ let memo_agreement ~max_states ~rng:_ (c : Case.t) =
 
 let oracles =
   [
+    Oracle.{ name = "diff.engine-vs-reference"; run = engine_vs_reference };
     Oracle.{ name = "diff.selftimed-vs-mcr"; run = selftimed_vs_mcr };
     Oracle.{ name = "diff.memo-agreement"; run = memo_agreement };
   ]

@@ -6,6 +6,10 @@
     and memoized replays of either — and nothing forces them to agree
     except correctness. These oracles assert that they do:
 
+    - [diff.engine-vs-reference]: the packed state-space engine against
+      the pre-engine Marshal/Hashtbl exploration kept as
+      [Selftimed.analyze_reference]; every result field and every
+      negative outcome must match exactly.
     - [diff.selftimed-vs-mcr]: on any well-formed case, both routes report
       the same deadlock verdict, and on live cases every actor's
       self-timed throughput equals [gamma a * (1 / MCR)]. Cases whose
@@ -22,6 +26,14 @@
 
 val mutant : bool ref
 (** Off by default; enabled by [sdf3_fuzz --inject-mutant] only. *)
+
+val engine_vs_reference :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+(** [diff.engine-vs-reference]: the packed state-space engine
+    ({!Analysis.Selftimed.analyze}) against the retained Marshal/Hashtbl
+    reference ({!Analysis.Selftimed.analyze_reference}) — equal throughput
+    vectors, period, iterations, transient and visited-state count, and
+    agreeing deadlock/cap outcomes. Never skips. *)
 
 val selftimed_vs_mcr :
   max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome

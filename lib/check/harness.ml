@@ -137,12 +137,17 @@ let run cfg =
     if cfg.app_every <= 0 || (i + 1) mod cfg.app_every <> 0 then None
     else begin
       incr checks;
-      match Validator.flow_invariance ~max_states app arch with
-      | Oracle.Fail msg -> Some ("flow.invariance", msg)
-      | Oracle.Skip _ ->
-          incr skips;
-          None
-      | Oracle.Pass ->
+      match Validator.constrained_engine_agreement ~max_states app arch with
+      | Oracle.Fail msg -> Some ("constrained.engine-vs-reference", msg)
+      | (Oracle.Skip _ | Oracle.Pass) as first -> (
+          (match first with Oracle.Skip _ -> incr skips | _ -> ());
+          incr checks;
+          match Validator.flow_invariance ~max_states app arch with
+          | Oracle.Fail msg -> Some ("flow.invariance", msg)
+          | Oracle.Skip _ ->
+              incr skips;
+              None
+          | Oracle.Pass ->
           if (i + 1) mod (cfg.app_every * 5) <> 0 then None
           else begin
             incr checks;
@@ -161,7 +166,7 @@ let run cfg =
                 incr skips;
                 None
             | Oracle.Pass -> None
-          end
+          end)
     end
   in
   let finish cases counterexample =

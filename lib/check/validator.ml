@@ -187,6 +187,68 @@ let flow_invariance ~max_states app arch =
               Oracle.Fail
                 "independent validator accepts but Strategy.is_valid rejects")
 
+(* Old-vs-new constrained engine on a realistic configuration: bind the
+   application with the paper's default weights, build the binding-aware
+   graph under half-wheel slices, list-schedule it, and require the packed
+   engine and the retained Marshal/Hashtbl reference to agree on every
+   field of the constrained result — including the visited-state count and
+   the reified negative outcomes. *)
+let constrained_engine_agreement ~max_states app arch =
+  match
+    Core.Binding_step.bind ~weights:(Core.Cost.weights 0. 1. 2.) app arch
+  with
+  | Error _ -> Oracle.Skip "no feasible binding"
+  | Ok binding -> (
+      let slices = Core.Bind_aware.half_wheel_slices app arch binding in
+      let ba = Core.Bind_aware.build ~app ~arch ~binding ~slices () in
+      match Core.List_scheduler.schedules ~max_states ba with
+      | exception Core.List_scheduler.Deadlocked ->
+          Oracle.Skip "list scheduler deadlocks"
+      | exception Core.List_scheduler.State_space_exceeded _ ->
+          Oracle.Skip "list scheduler exceeds the state cap"
+      | schedules -> (
+          let run f =
+            match f () with
+            | (r : Core.Constrained.result) -> Ok r
+            | exception Core.Constrained.Deadlocked -> Error "deadlock"
+            | exception Core.Constrained.State_space_exceeded _ ->
+                Error "state cap"
+          in
+          let engine =
+            run (fun () -> Core.Constrained.analyze ~max_states ba ~schedules)
+          in
+          let reference =
+            run (fun () ->
+                Core.Constrained.analyze_reference ~max_states ba ~schedules)
+          in
+          match (engine, reference) with
+          | Error a, Error b when a = b -> Oracle.Pass
+          | Error a, Error b ->
+              Oracle.failf "constrained engine aborts with %s, reference %s" a b
+          | Error a, Ok _ ->
+              Oracle.failf "constrained engine aborts (%s), reference runs" a
+          | Ok _, Error b ->
+              Oracle.failf "constrained reference aborts (%s), engine runs" b
+          | Ok e, Ok r ->
+              if
+                Rat.equal e.Core.Constrained.throughput
+                  r.Core.Constrained.throughput
+                && e.Core.Constrained.period = r.Core.Constrained.period
+                && e.Core.Constrained.transient = r.Core.Constrained.transient
+                && e.Core.Constrained.states = r.Core.Constrained.states
+              then Oracle.Pass
+              else
+                Oracle.failf
+                  "constrained engine (thr %s period %d transient %d states \
+                   %d) and reference (thr %s period %d transient %d states \
+                   %d) diverge"
+                  (Rat.to_string e.Core.Constrained.throughput)
+                  e.Core.Constrained.period e.Core.Constrained.transient
+                  e.Core.Constrained.states
+                  (Rat.to_string r.Core.Constrained.throughput)
+                  r.Core.Constrained.period r.Core.Constrained.transient
+                  r.Core.Constrained.states))
+
 let multi_app_summary (r : Core.Multi_app.report) =
   Format.asprintf "allocs [%s] rejected [%s] wheel %d mem %d conns %d bw %d/%d"
     (String.concat ";" (List.map allocation_summary r.Core.Multi_app.allocations))

@@ -28,6 +28,16 @@ val allocation_summary : Strategy.allocation -> string
 (** Canonical seconds-free rendering (throughput, check count, binding,
     slices); equal strings [<=>] equal allocations. *)
 
+val constrained_engine_agreement :
+  max_states:int -> Appgraph.t -> Archgraph.t -> Oracle.outcome
+(** Binds the application (paper default weights (0,1,2)), builds the
+    binding-aware graph under half-wheel slices, list-schedules it, and
+    runs the constrained analysis through both the packed engine
+    ({!Core.Constrained.analyze}) and the retained reference
+    ({!Core.Constrained.analyze_reference}); every result field (and every
+    reified negative outcome) must match. Skips when no feasible binding
+    or schedule exists. *)
+
 val flow_invariance :
   max_states:int -> Appgraph.t -> Archgraph.t -> Oracle.outcome
 (** Runs {!Core.Flow.allocate_with_retry} under (memo, 1 job),

@@ -98,32 +98,17 @@ let run mode members =
   let sched_pos = Array.map (fun _ -> Array.make nt 0) members in
   let out_count = Array.make nm 0 in
   let time = ref 0 in
+  let ops =
+    Array.map (fun m -> Engine.Ops.of_graph m.ba.Bind_aware.graph) members
+  in
   let member_ops mi =
-    let m = members.(mi) in
-    let g = m.ba.Bind_aware.graph in
     let tks = tokens.(mi) in
-    let enabled a =
-      List.for_all
-        (fun ci -> tks.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
-        (Sdfg.in_channels g a)
-    in
-    let consume a =
-      List.iter
-        (fun ci -> tks.(ci) <- tks.(ci) - (Sdfg.channel g ci).Sdfg.cons)
-        (Sdfg.in_channels g a)
-    in
-    let produce a =
-      List.iter
-        (fun ci -> tks.(ci) <- tks.(ci) + (Sdfg.channel g ci).Sdfg.prod)
-        (Sdfg.out_channels g a)
-    in
-    (enabled, consume, produce)
+    let o = ops.(mi) in
+    ( (fun a -> Engine.Ops.enabled o tks a),
+      (fun a -> Engine.Ops.consume o tks a),
+      fun a -> Engine.Ops.produce o tks a )
   in
-  let rec insert_sorted x = function
-    | [] -> [ x ]
-    | y :: _ as l when x <= y -> x :: l
-    | y :: rest -> y :: insert_sorted x rest
-  in
+  let insert_sorted = Engine.Ops.insert_sorted in
   let start_fixpoint () =
     let guard = ref 0 in
     let changed = ref true in

@@ -30,8 +30,7 @@ let tdma_finish ~t ~tau ~w ~omega =
     end
   end
 
-let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
-    (ba : Bind_aware.t) ~schedules =
+let validate (ba : Bind_aware.t) ~schedules =
   let g = ba.Bind_aware.graph in
   let arch = ba.Bind_aware.arch in
   let nt = Archgraph.num_tiles arch in
@@ -55,20 +54,34 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
           Array.iter check s.Schedule.period;
           if (Archgraph.tile arch t).Tile.wheel <= 0 then
             invalid_arg "Constrained.analyze: scheduled tile has no wheel")
-    schedules;
-  let offsets =
-    match offsets with
-    | None -> Array.make nt 0
-    | Some o ->
-        if Array.length o <> nt then
-          invalid_arg "Constrained.analyze: offsets length mismatch";
-        Array.map2
-          (fun off (tile : Tile.t) ->
-            if tile.Tile.wheel = 0 then 0
-            else ((off mod tile.Tile.wheel) + tile.Tile.wheel) mod tile.Tile.wheel)
-          o (Archgraph.tiles arch)
-  in
+    schedules
+
+let norm_offsets (arch : Archgraph.t) nt offsets =
+  match offsets with
+  | None -> Array.make nt 0
+  | Some o ->
+      if Array.length o <> nt then
+        invalid_arg "Constrained.analyze: offsets length mismatch";
+      Array.map2
+        (fun off (tile : Tile.t) ->
+          if tile.Tile.wheel = 0 then 0
+          else ((off mod tile.Tile.wheel) + tile.Tile.wheel) mod tile.Tile.wheel)
+        o (Archgraph.tiles arch)
+
+(* The pre-engine exploration (sorted completion lists, Marshal snapshots
+   into a string-keyed Hashtbl), retained for the differential oracle and
+   the exploration microbenchmark; the packed engine below must agree with
+   it exactly. *)
+let analyze_reference ?observer ?offsets ?(max_states = 500_000)
+    (ba : Bind_aware.t) ~schedules =
+  validate ba ~schedules;
+  let g = ba.Bind_aware.graph in
+  let arch = ba.Bind_aware.arch in
+  let nt = Archgraph.num_tiles arch in
+  let n = Sdfg.num_actors g in
+  let offsets = norm_offsets arch nt offsets in
   let output_actor = ba.Bind_aware.app.Appmodel.Appgraph.output_actor in
+  let ops = Engine.Ops.of_graph g in
   let unbound =
     Array.to_list (Array.init n Fun.id)
     |> List.filter (fun a -> ba.Bind_aware.tile_of.(a) < 0)
@@ -86,30 +99,8 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
   let sched_pos = Array.make nt 0 in
   let time = ref 0 in
   let out_count = ref 0 in
-  let enabled a =
-    List.for_all
-      (fun ci -> tokens.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let consume a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) - (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let produce a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) + (Sdfg.channel g ci).Sdfg.prod)
-      (Sdfg.out_channels g a)
-  in
-  let rec insert_sorted x = function
-    | [] -> [ x ]
-    | y :: _ as l when x <= y -> x :: l
-    | y :: rest -> y :: insert_sorted x rest
-  in
-  let fired = ref 0 in
   let count_start a =
     (match observer with Some f -> f !time a | None -> ());
-    incr fired;
     if a = output_actor then incr out_count
   in
   let start_fixpoint () =
@@ -119,16 +110,16 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
       changed := false;
       List.iter
         (fun a ->
-          while enabled a do
+          while Engine.Ops.enabled ops tokens a do
             changed := true;
             incr guard;
             if !guard > 10_000_000 then
               invalid_arg "Constrained.analyze: zero-time livelock";
-            consume a;
+            Engine.Ops.consume ops tokens a;
             count_start a;
             let tau = ba.Bind_aware.exec_times.(a) in
-            if tau = 0 then produce a
-            else pending.(a) <- insert_sorted (!time + tau) pending.(a)
+            if tau = 0 then Engine.Ops.produce ops tokens a
+            else pending.(a) <- Engine.Ops.insert_sorted (!time + tau) pending.(a)
           done)
         unbound;
       Array.iteri
@@ -139,7 +130,7 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
               if tile_busy.(t) = idle then begin
                 tile_wake.(t) <- idle;
                 let a = Schedule.actor_at s sched_pos.(t) in
-                if enabled a then begin
+                if Engine.Ops.enabled ops tokens a then begin
                   let tile = Archgraph.tile arch t in
                   let w = tile.Tile.wheel and omega = ba.Bind_aware.slices.(t) in
                   let phase = (!time + offsets.(t)) mod w in
@@ -149,7 +140,7 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
                     tile_wake.(t) <- !time + (w - phase)
                   else begin
                     changed := true;
-                    consume a;
+                    Engine.Ops.consume ops tokens a;
                     count_start a;
                     let fin =
                       (* Gate in the tile's shifted time frame. *)
@@ -158,7 +149,7 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
                         ~tau:ba.Bind_aware.exec_times.(a) ~w ~omega
                       - offsets.(t)
                     in
-                    if fin = !time then produce a
+                    if fin = !time then Engine.Ops.produce ops tokens a
                     else begin
                       tile_busy.(t) <- fin;
                       tile_cur.(t) <- a
@@ -200,23 +191,6 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
       [ Marshal.No_sharing ]
   in
   let seen : (string, int * int) Hashtbl.t = Hashtbl.create 4096 in
-  (* Telemetry: recorded once per run (never inside the exploration loop),
-     so disabled telemetry costs one branch per analysis. *)
-  let record_metrics r =
-    if Obs.enabled () then begin
-      Obs.Counter.add "constrained.runs" 1;
-      Obs.Counter.add "constrained.states" r.states;
-      Obs.Counter.add "constrained.transient" r.transient;
-      Obs.Counter.add "constrained.period" r.period;
-      Obs.Counter.add "constrained.firings" !fired;
-      let s = Hashtbl.stats seen in
-      Obs.Gauge.set "constrained.hash.load_factor"
-        (float_of_int s.Hashtbl.num_bindings
-        /. float_of_int (max 1 s.Hashtbl.num_buckets));
-      Obs.Gauge.set_int "constrained.hash.max_bucket" s.Hashtbl.max_bucket_length
-    end;
-    r
-  in
   let rec explore () =
     start_fixpoint ();
     let key = snapshot () in
@@ -247,7 +221,7 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
         Array.iteri
           (fun t c ->
             if c = !time then begin
-              produce tile_cur.(t);
+              Engine.Ops.produce ops tokens tile_cur.(t);
               tile_busy.(t) <- idle;
               tile_cur.(t) <- -1
             end)
@@ -256,13 +230,221 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
           (fun a l ->
             let rec settle = function
               | c :: rest when c = !time ->
-                  produce a;
+                  Engine.Ops.produce ops tokens a;
                   settle rest
               | l -> l
             in
             pending.(a) <- settle l)
           pending;
         explore ()
+  in
+  explore ()
+
+(* The packed engine: the recurrence state (token counts, per-actor rings
+   of time-relative completions, per-tile busy/current/schedule-position/
+   wheel-phase words) streams through one reusable {!Engine.Pack} writer
+   into an open-addressing {!Engine.Stateset} whose two payload words hold
+   the visit time and the output-firing count. Fields with a static
+   per-graph bound (schedule positions, wheel phases) are packed at a
+   fixed per-tile byte width; the unbounded ones are varints. Unbound
+   (connection/sync) actor completions live in {!Engine.Rings}: they are
+   FIFO per actor (fixed execution time), and a bound actor's TDMA
+   completions are monotone per tile (one firing at a time), tracked in
+   [tile_busy]. *)
+let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
+    (ba : Bind_aware.t) ~schedules =
+  validate ba ~schedules;
+  let g = ba.Bind_aware.graph in
+  let arch = ba.Bind_aware.arch in
+  let nt = Archgraph.num_tiles arch in
+  let n = Sdfg.num_actors g in
+  let nc = Sdfg.num_channels g in
+  let offsets = norm_offsets arch nt offsets in
+  let output_actor = ba.Bind_aware.app.Appmodel.Appgraph.output_actor in
+  let ops = Engine.Ops.of_graph g in
+  let unbound =
+    Array.of_list
+      (List.filter
+         (fun a -> ba.Bind_aware.tile_of.(a) < 0)
+         (List.init n Fun.id))
+  in
+  let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
+  let pending = Engine.Rings.create n in
+  let tile_busy = Array.make nt idle in
+  let tile_cur = Array.make nt (-1) in
+  (* Wake-up times are derived from the rest of the state, so they are not
+     part of the recurrence key (see the reference engine). *)
+  let tile_wake = Array.make nt idle in
+  let sched_pos = Array.make nt 0 in
+  (* Static per-tile bounds for the fixed-width fields. *)
+  let pos_width =
+    Array.map
+      (function
+        | None -> 1
+        | Some s ->
+            Engine.Pack.width_for
+              (Array.length s.Schedule.prefix + Array.length s.Schedule.period))
+      schedules
+  in
+  let phase_width =
+    Array.init nt (fun t ->
+        Engine.Pack.width_for (Archgraph.tile arch t).Tile.wheel)
+  in
+  let cur_width = Engine.Pack.width_for n in
+  let time = ref 0 in
+  let out_count = ref 0 in
+  let fired = ref 0 in
+  let count_start a =
+    (match observer with Some f -> f !time a | None -> ());
+    incr fired;
+    if a = output_actor then incr out_count
+  in
+  let start_fixpoint () =
+    let guard = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun a ->
+          while Engine.Ops.enabled ops tokens a do
+            changed := true;
+            incr guard;
+            if !guard > 10_000_000 then
+              invalid_arg "Constrained.analyze: zero-time livelock";
+            Engine.Ops.consume ops tokens a;
+            count_start a;
+            let tau = ba.Bind_aware.exec_times.(a) in
+            if tau = 0 then Engine.Ops.produce ops tokens a
+            else Engine.Rings.push pending a (!time + tau)
+          done)
+        unbound;
+      Array.iteri
+        (fun t sched ->
+          match sched with
+          | None -> ()
+          | Some s ->
+              if tile_busy.(t) = idle then begin
+                tile_wake.(t) <- idle;
+                let a = Schedule.actor_at s sched_pos.(t) in
+                if Engine.Ops.enabled ops tokens a then begin
+                  let tile = Archgraph.tile arch t in
+                  let w = tile.Tile.wheel and omega = ba.Bind_aware.slices.(t) in
+                  let phase = (!time + offsets.(t)) mod w in
+                  if omega < w && phase >= omega then
+                    tile_wake.(t) <- !time + (w - phase)
+                  else begin
+                    changed := true;
+                    Engine.Ops.consume ops tokens a;
+                    count_start a;
+                    let fin =
+                      tdma_finish
+                        ~t:(!time + offsets.(t))
+                        ~tau:ba.Bind_aware.exec_times.(a) ~w ~omega
+                      - offsets.(t)
+                    in
+                    if fin = !time then Engine.Ops.produce ops tokens a
+                    else begin
+                      tile_busy.(t) <- fin;
+                      tile_cur.(t) <- a
+                    end;
+                    sched_pos.(t) <- Schedule.advance s sched_pos.(t)
+                  end
+                end
+              end)
+        schedules
+    done
+  in
+  let pack = Engine.Pack.create () in
+  let pack_rel c = Engine.Pack.add_uint pack (c - !time) in
+  let pack_state () =
+    Engine.Pack.reset pack;
+    for ci = 0 to nc - 1 do
+      Engine.Pack.add_uint pack tokens.(ci)
+    done;
+    for a = 0 to n - 1 do
+      Engine.Pack.add_uint pack (Engine.Rings.length pending a);
+      Engine.Rings.iter pending a pack_rel
+    done;
+    for t = 0 to nt - 1 do
+      (* Busy completions are strictly in the future, so 0 is free as the
+         idle sentinel of this relative encoding. *)
+      Engine.Pack.add_uint pack
+        (if tile_busy.(t) = idle then 0 else tile_busy.(t) - !time);
+      Engine.Pack.add_fixed pack ~width:cur_width (tile_cur.(t) + 1);
+      Engine.Pack.add_fixed pack ~width:pos_width.(t) sched_pos.(t);
+      let phase =
+        match schedules.(t) with
+        | None -> 0
+        | Some _ ->
+            let w = (Archgraph.tile arch t).Tile.wheel in
+            if ba.Bind_aware.slices.(t) >= w then 0
+            else (!time + offsets.(t)) mod w
+      in
+      Engine.Pack.add_fixed pack ~width:phase_width.(t) phase
+    done
+  in
+  let seen = Engine.Stateset.create () in
+  (* Telemetry: recorded once per run (never inside the exploration loop),
+     so disabled telemetry costs one branch per analysis. *)
+  let record_metrics r =
+    if Obs.enabled () then begin
+      Obs.Counter.add "constrained.runs" 1;
+      Obs.Counter.add "constrained.states" r.states;
+      Obs.Counter.add "constrained.transient" r.transient;
+      Obs.Counter.add "constrained.period" r.period;
+      Obs.Counter.add "constrained.firings" !fired;
+      let s = Engine.Stateset.stats seen in
+      Obs.Gauge.set_int "engine.arena_bytes" s.Engine.Stateset.arena_bytes;
+      Obs.Gauge.set "engine.bytes_per_state"
+        (float_of_int s.Engine.Stateset.arena_bytes
+        /. float_of_int (max 1 s.Engine.Stateset.states));
+      Obs.Gauge.set "engine.occupancy"
+        (float_of_int s.Engine.Stateset.states
+        /. float_of_int (max 1 s.Engine.Stateset.slots));
+      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe
+    end;
+    r
+  in
+  let produce_completed a = Engine.Ops.produce ops tokens a in
+  let rec explore () =
+    start_fixpoint ();
+    pack_state ();
+    let revisit, t0, out0 =
+      Engine.Stateset.find_or_add seen pack ~p0:!time ~p1:!out_count
+    in
+    if revisit then begin
+      let period = !time - t0 in
+      let fired = !out_count - out0 in
+      {
+        throughput = Rat.make fired period;
+        period;
+        transient = t0;
+        states = Engine.Stateset.length seen;
+      }
+    end
+    else begin
+      (* The reference engine checks the cap before storing; the stateset
+         stores first, so "stored one too many" is the same condition. *)
+      if Engine.Stateset.length seen > max_states then
+        raise (State_space_exceeded max_states);
+      let next = ref (Engine.Rings.min_head pending) in
+      for t = 0 to nt - 1 do
+        if tile_busy.(t) < !next then next := tile_busy.(t);
+        if tile_wake.(t) < !next then next := tile_wake.(t)
+      done;
+      let next = !next in
+      if next = idle then raise Deadlocked;
+      time := next;
+      for t = 0 to nt - 1 do
+        if tile_busy.(t) = next then begin
+          Engine.Ops.produce ops tokens tile_cur.(t);
+          tile_busy.(t) <- idle;
+          tile_cur.(t) <- -1
+        end
+      done;
+      Engine.Rings.pop_due pending ~now:next produce_completed;
+      explore ()
+    end
   in
   match explore () with
   | r -> record_metrics r
@@ -279,35 +461,48 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
    and slice per tile, offsets), the static-order schedules, the output
    actor and the state cap. Names are excluded on purpose so identical
    applications bound identically (multi-app workloads with copies) share
-   entries. *)
+   entries. Encoded with the engine's packer: counts up front and one
+   varint per field, so equal keys decode to equal inputs. *)
 let cache_key ?offsets ?(max_states = 500_000) (ba : Bind_aware.t) ~schedules =
   let g = ba.Bind_aware.graph in
-  let chans =
-    Array.map
-      (fun c -> (c.Sdfg.src, c.Sdfg.dst, c.Sdfg.prod, c.Sdfg.cons, c.Sdfg.tokens))
-      (Sdfg.channels g)
-  in
-  let wheels =
-    Array.map (fun (t : Tile.t) -> t.Tile.wheel)
-      (Archgraph.tiles ba.Bind_aware.arch)
-  in
-  let scheds =
-    Array.map
-      (Option.map (fun s -> (s.Schedule.prefix, s.Schedule.period)))
-      schedules
-  in
-  Marshal.to_string
-    ( Sdfg.num_actors g,
-      chans,
-      ba.Bind_aware.exec_times,
-      ba.Bind_aware.tile_of,
-      wheels,
-      ba.Bind_aware.slices,
-      ba.Bind_aware.app.Appmodel.Appgraph.output_actor,
-      scheds,
-      (offsets : int array option),
-      max_states )
-    [ Marshal.No_sharing ]
+  let p = Engine.Pack.create ~initial:256 () in
+  Engine.Pack.add_uint p (Sdfg.num_actors g);
+  Engine.Pack.add_uint p (Sdfg.num_channels g);
+  Array.iter
+    (fun c ->
+      Engine.Pack.add_uint p c.Sdfg.src;
+      Engine.Pack.add_uint p c.Sdfg.dst;
+      Engine.Pack.add_uint p c.Sdfg.prod;
+      Engine.Pack.add_uint p c.Sdfg.cons;
+      Engine.Pack.add_uint p c.Sdfg.tokens)
+    (Sdfg.channels g);
+  Array.iter (fun tau -> Engine.Pack.add_int p tau) ba.Bind_aware.exec_times;
+  Array.iter (fun t -> Engine.Pack.add_int p t) ba.Bind_aware.tile_of;
+  Array.iter
+    (fun (t : Tile.t) -> Engine.Pack.add_uint p t.Tile.wheel)
+    (Archgraph.tiles ba.Bind_aware.arch);
+  Array.iter (fun s -> Engine.Pack.add_int p s) ba.Bind_aware.slices;
+  Engine.Pack.add_uint p ba.Bind_aware.app.Appmodel.Appgraph.output_actor;
+  Engine.Pack.add_uint p (Array.length schedules);
+  Array.iter
+    (fun sched ->
+      match sched with
+      | None -> Engine.Pack.add_byte p 0
+      | Some s ->
+          Engine.Pack.add_byte p 1;
+          Engine.Pack.add_uint p (Array.length s.Schedule.prefix);
+          Array.iter (fun a -> Engine.Pack.add_uint p a) s.Schedule.prefix;
+          Engine.Pack.add_uint p (Array.length s.Schedule.period);
+          Array.iter (fun a -> Engine.Pack.add_uint p a) s.Schedule.period)
+    schedules;
+  (match offsets with
+  | None -> Engine.Pack.add_byte p 0
+  | Some o ->
+      Engine.Pack.add_byte p 1;
+      Engine.Pack.add_uint p (Array.length o);
+      Array.iter (fun v -> Engine.Pack.add_int p v) o);
+  Engine.Pack.add_uint p max_states;
+  Engine.Pack.contents p
 
 type outcome = Res of result | Dead | Exceeded of int
 

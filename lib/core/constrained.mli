@@ -74,6 +74,21 @@ val analyze :
     @raise Invalid_argument if a schedule mentions an actor not bound to
     its tile, or if [offsets] has the wrong length. *)
 
+val analyze_reference :
+  ?observer:(int -> int -> unit) ->
+  ?offsets:int array ->
+  ?max_states:int ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  result
+(** The pre-engine exploration (sorted completion lists, [Marshal]
+    snapshots into a string-keyed [Hashtbl]), kept as the independent half
+    of the engine-vs-reference differential checks and as the baseline of
+    the exploration microbenchmark. Never memoized, never recorded in
+    telemetry; same exceptions and validation as {!analyze}, and the two
+    must agree exactly (result fields, visited-state count, deadlock and
+    cap outcomes, observer call sequence). *)
+
 val cache_key :
   ?offsets:int array ->
   ?max_states:int ->

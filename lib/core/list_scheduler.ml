@@ -35,26 +35,11 @@ let run ?(max_states = 500_000) (ba : Bind_aware.t) =
   (* started actors, reversed *)
   let trace_len = Array.make nt 0 in
   let time = ref 0 in
-  let enabled a =
-    List.for_all
-      (fun ci -> tokens.(ci) >= (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let consume a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) - (Sdfg.channel g ci).Sdfg.cons)
-      (Sdfg.in_channels g a)
-  in
-  let produce a =
-    List.iter
-      (fun ci -> tokens.(ci) <- tokens.(ci) + (Sdfg.channel g ci).Sdfg.prod)
-      (Sdfg.out_channels g a)
-  in
-  let rec insert_sorted x = function
-    | [] -> [ x ]
-    | y :: _ as l when x <= y -> x :: l
-    | y :: rest -> y :: insert_sorted x rest
-  in
+  let ops = Engine.Ops.of_graph g in
+  let enabled a = Engine.Ops.enabled ops tokens a in
+  let consume a = Engine.Ops.consume ops tokens a in
+  let produce a = Engine.Ops.produce ops tokens a in
+  let insert_sorted = Engine.Ops.insert_sorted in
   let start_fixpoint () =
     let guard = ref 0 in
     let changed = ref true in

@@ -1,0 +1,59 @@
+type t = { mutable buf : Bytes.t; mutable len : int; mutable h : int }
+
+(* FNV-1a, truncated to OCaml's native int width. The offset basis has its
+   top bit dropped to stay a literal; any odd non-zero basis preserves the
+   mixing properties. *)
+let fnv_basis = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let create ?(initial = 256) () =
+  { buf = Bytes.create (max 16 initial); len = 0; h = fnv_basis }
+
+let reset t =
+  t.len <- 0;
+  t.h <- fnv_basis
+
+let ensure t extra =
+  let need = t.len + extra in
+  if need > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit t.buf 0 b 0 t.len;
+    t.buf <- b
+  end
+
+let add_byte t v =
+  let v = v land 0xff in
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
+  t.len <- t.len + 1;
+  t.h <- (t.h lxor v) * fnv_prime
+
+let rec add_uint t v =
+  if v < 0x80 && v >= 0 then add_byte t v
+  else begin
+    add_byte t (v land 0x7f lor 0x80);
+    add_uint t (v lsr 7)
+  end
+
+let add_int t v = add_uint t ((v lsl 1) lxor (v asr 62))
+
+let add_fixed t ~width v =
+  ensure t width;
+  let v = ref v in
+  for _ = 1 to width do
+    add_byte t (!v land 0xff);
+    v := !v lsr 8
+  done
+
+let width_for bound =
+  let rec go w b = if b < 256 then w else go (w + 1) (b lsr 8) in
+  go 1 (max 0 bound)
+
+let len t = t.len
+let hash t = t.h land max_int
+let unsafe_bytes t = t.buf
+let contents t = Bytes.sub_string t.buf 0 t.len

@@ -1,0 +1,124 @@
+type t = {
+  mutable mask : int;  (* slots - 1, slots a power of two *)
+  mutable off : int array;  (* arena offset, -1 = empty slot *)
+  mutable slen : int array;
+  mutable hash : int array;
+  mutable pay0 : int array;
+  mutable pay1 : int array;
+  mutable count : int;
+  mutable arena : Bytes.t;
+  mutable arena_len : int;
+  mutable max_probe : int;
+}
+
+type stats = { states : int; slots : int; arena_bytes : int; max_probe : int }
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+(* Most explorations (throughput checks inside the allocation flow) store
+   a handful of states before recurring, so the empty table starts tiny:
+   the doubling growth path amortizes to O(1) per insert either way, and a
+   small start keeps short runs from paying for the long ones. *)
+let create ?(initial_slots = 16) () =
+  let slots = pow2 (max 16 initial_slots) 16 in
+  {
+    mask = slots - 1;
+    off = Array.make slots (-1);
+    slen = Array.make slots 0;
+    hash = Array.make slots 0;
+    pay0 = Array.make slots 0;
+    pay1 = Array.make slots 0;
+    count = 0;
+    arena = Bytes.create 512;
+    arena_len = 0;
+    max_probe = 0;
+  }
+
+let length t = t.count
+
+let grow t =
+  let old_off = t.off
+  and old_slen = t.slen
+  and old_hash = t.hash
+  and old_p0 = t.pay0
+  and old_p1 = t.pay1 in
+  let slots = (t.mask + 1) * 2 in
+  t.mask <- slots - 1;
+  t.off <- Array.make slots (-1);
+  t.slen <- Array.make slots 0;
+  t.hash <- Array.make slots 0;
+  t.pay0 <- Array.make slots 0;
+  t.pay1 <- Array.make slots 0;
+  Array.iteri
+    (fun i o ->
+      if o >= 0 then begin
+        let j = ref (old_hash.(i) land t.mask) in
+        while t.off.(!j) >= 0 do
+          j := (!j + 1) land t.mask
+        done;
+        t.off.(!j) <- o;
+        t.slen.(!j) <- old_slen.(i);
+        t.hash.(!j) <- old_hash.(i);
+        t.pay0.(!j) <- old_p0.(i);
+        t.pay1.(!j) <- old_p1.(i)
+      end)
+    old_off
+
+let arena_append t src len =
+  let need = t.arena_len + len in
+  if need > Bytes.length t.arena then begin
+    let cap = ref (Bytes.length t.arena * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit t.arena 0 b 0 t.arena_len;
+    t.arena <- b
+  end;
+  Bytes.blit src 0 t.arena t.arena_len len;
+  let off = t.arena_len in
+  t.arena_len <- need;
+  off
+
+let equal_at t off len src =
+  let rec go i =
+    i >= len
+    || Bytes.unsafe_get t.arena (off + i) = Bytes.unsafe_get src i
+       && go (i + 1)
+  in
+  go 0
+
+let find_or_add t pack ~p0 ~p1 =
+  let h = Pack.hash pack in
+  let len = Pack.len pack in
+  let src = Pack.unsafe_bytes pack in
+  let rec go i probe =
+    if t.off.(i) < 0 then begin
+      (* Empty slot: the state is new. *)
+      let off = arena_append t src len in
+      t.off.(i) <- off;
+      t.slen.(i) <- len;
+      t.hash.(i) <- h;
+      t.pay0.(i) <- p0;
+      t.pay1.(i) <- p1;
+      t.count <- t.count + 1;
+      if t.max_probe < probe then t.max_probe <- probe;
+      if t.count * 10 > (t.mask + 1) * 7 then grow t;
+      (false, p0, p1)
+    end
+    else if t.hash.(i) = h && t.slen.(i) = len && equal_at t t.off.(i) len src
+    then begin
+      if t.max_probe < probe then t.max_probe <- probe;
+      (true, t.pay0.(i), t.pay1.(i))
+    end
+    else go ((i + 1) land t.mask) (probe + 1)
+  in
+  go (h land t.mask) 1
+
+let stats t =
+  {
+    states = t.count;
+    slots = t.mask + 1;
+    arena_bytes = t.arena_len;
+    max_probe = t.max_probe;
+  }

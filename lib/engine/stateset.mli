@@ -1,0 +1,33 @@
+(** Open-addressing seen-set over an arena of packed states.
+
+    The exploration's recurrence detection needs exactly one operation:
+    "have I seen this state before — and if so, what did I record when I
+    first saw it; if not, remember it with this record". [find_or_add]
+    does that in one probe sequence. States are stored back to back in a
+    single byte arena; the table itself is five flat int arrays (offset,
+    length, hash, two payload words), so a lookup allocates nothing and a
+    miss allocates only by bumping the arena cursor. Linear probing over a
+    power-of-two table, resized at 7/10 occupancy. *)
+
+type t
+
+type stats = {
+  states : int;
+  slots : int;
+  arena_bytes : int;  (** total packed-state bytes stored *)
+  max_probe : int;  (** longest probe sequence seen *)
+}
+
+val create : ?initial_slots:int -> unit -> t
+(** [initial_slots] is rounded up to a power of two (default 16: most
+    explorations recur within a few states, and growth is amortized). *)
+
+val length : t -> int
+
+val find_or_add : t -> Pack.t -> p0:int -> p1:int -> bool * int * int
+(** [find_or_add t pack ~p0 ~p1] looks up the packed state currently held
+    by [pack]. If present, returns [(true, q0, q1)] with the payload
+    recorded at insertion; otherwise inserts it with payload [(p0, p1)]
+    and returns [(false, p0, p1)]. The tuple is the only allocation. *)
+
+val stats : t -> stats

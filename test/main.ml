@@ -13,6 +13,7 @@ let () =
       ("sdf3_xml", Test_sdf3_xml.suite);
       ("dot", Test_dot.suite);
       ("selftimed", Test_selftimed.suite);
+      ("engine", Test_engine.suite);
       ("trace", Test_trace.suite);
       ("buffer_sizing", Test_buffer_sizing.suite);
       ("mcr", Test_mcr.suite);

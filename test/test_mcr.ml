@@ -87,6 +87,36 @@ let test_hsdf_throughput () =
     (Invalid_argument "Mcr.hsdf_throughput: graph deadlocks") (fun () ->
       ignore (Mcr.hsdf_throughput dead [| 1; 1 |]))
 
+let test_many_sccs () =
+  (* 60 disjoint 2-rings, one token per arc: the token graph splits into 60
+     strongly connected components, each with cycle ratio (tau_x + tau_y)/2.
+     Exercises the single-pass bucket renumbering (the max sits in the
+     first component, the runner-up in the last, so every component must
+     actually be analyzed with its own arcs and sizes). *)
+  let k = 60 in
+  let actors =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "x%d" i; Printf.sprintf "y%d" i ])
+      (List.init k Fun.id)
+  in
+  let channels =
+    List.concat_map
+      (fun i ->
+        let x = Printf.sprintf "x%d" i and y = Printf.sprintf "y%d" i in
+        [ (x, y, 1, 1, 1); (y, x, 1, 1, 1) ])
+      (List.init k Fun.id)
+  in
+  let g = Sdfg.of_lists ~actors ~channels in
+  (* Ring 0 is the critical one: taus (k, k) give ratio k; ring i > 0 has
+     taus (k - 1 - i mod 2, i mod 2 + 1), all strictly below ratio k. *)
+  let taus =
+    Array.init (2 * k) (fun a ->
+        let i = a / 2 in
+        if i = 0 then k else if a mod 2 = 0 then (k - 1) - (i mod 2) else (i mod 2) + 1)
+  in
+  check_rat "max over 60 components" (Rat.make k 1)
+    (ratio (Mcr.max_cycle_ratio g taus))
+
 let test_zero_exec_times () =
   let v = ratio (Mcr.max_cycle_ratio (ring3 ()) [| 0; 0; 0 |]) in
   check_rat "zero work" Rat.zero v;
@@ -100,6 +130,7 @@ let suite =
     Alcotest.test_case "multi-token edge" `Quick test_multi_token_edge;
     Alcotest.test_case "acyclic" `Quick test_acyclic;
     Alcotest.test_case "zero-token cycle" `Quick test_zero_token_cycle;
+    Alcotest.test_case "many SCCs" `Quick test_many_sccs;
     Alcotest.test_case "longest path weighting" `Quick test_longest_path_weighting;
     Alcotest.test_case "hsdf throughput" `Quick test_hsdf_throughput;
     Alcotest.test_case "zero execution times" `Quick test_zero_exec_times;
