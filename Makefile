@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
 .PHONY: all build test fmt-check bench-quick bench-smoke explore-bench \
-  fuzz fuzz-mutant ci
+  fuzz fuzz-mutant soak ci
 
 all: build
 
@@ -59,3 +59,12 @@ fuzz:
 fuzz-mutant:
 	dune exec bin/sdf3_fuzz.exe -- --count 200 --seed 9 --inject-mutant \
 	  --no-corpus; test $$? -eq 1
+
+# 60-second soak of the full oracle catalogue — including the
+# budget.partial-soundness anytime-bound oracle — under a hard 90-second
+# bound. SOAK_SEED pins the run (CI seeds it with the run id); shrunk
+# counterexamples land in test/corpus/ like any fuzz run's.
+SOAK_SEED ?= $(shell date +%s)
+soak:
+	timeout 90 dune exec bin/sdf3_fuzz.exe -- \
+	  --count 1000000 --time 60 --seed $(SOAK_SEED)

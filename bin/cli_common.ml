@@ -59,6 +59,7 @@ let export_par_stats () =
   if Obs.enabled () then begin
     Obs.Counter.add "pool.jobs" (Par.jobs ());
     Obs.Counter.add "pool.tasks" (Par.tasks_executed ());
+    Obs.Counter.add "pool.skipped" (Par.tasks_skipped ());
     Obs.Counter.add "pool.batches" (Par.batches_executed ())
   end
 

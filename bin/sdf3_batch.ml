@@ -1,0 +1,271 @@
+(* Batch driver: run the allocation flow over a directory of SDF3-style
+   application files with a per-case resource budget, isolating per-case
+   failure and journaling one JSON line per case so an interrupted batch
+   can be resumed.
+
+   The journal is the contract: it contains only deterministic fields
+   (case id, status, throughput / failure label — never timings or state
+   counts), lines appear in sorted case order and are flushed one by one,
+   so a resumed run produces a journal byte-identical to an uninterrupted
+   one on the same inputs. *)
+
+module Appgraph = Appmodel.Appgraph
+module Rat = Sdf.Rat
+open Core
+
+let parse_platform = function
+  | "example" -> Appmodel.Models.example_platform ()
+  | "multimedia" -> Appmodel.Models.multimedia_platform ()
+  | "mesh3x3" -> Gen.Benchsets.architecture 0
+  | s ->
+      Printf.eprintf "unknown platform %S (try example, multimedia, mesh3x3)\n"
+        s;
+      exit 1
+
+(* Minimal JSON string encoder; case ids are file names and messages are
+   exception strings, so the escapes actually matter. *)
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let failure_label = function
+  | Strategy.Bind_failed _ -> "bind_failed"
+  | Strategy.Schedule_failed -> "schedule_failed"
+  | Strategy.Slice_failed _ -> "slice_failed"
+  | Strategy.Budget_exhausted _ -> "budget_exhausted"
+
+let line_allocated case thr =
+  Printf.sprintf {|{"case":%s,"status":"allocated","throughput":%s}|}
+    (json_str case)
+    (json_str (Rat.to_string thr))
+
+let line_partial case reason =
+  Printf.sprintf {|{"case":%s,"status":"partial","reason":%s}|} (json_str case)
+    (json_str (Budget.reason_label reason))
+
+let line_failed case label =
+  Printf.sprintf {|{"case":%s,"status":"failed","reason":%s}|} (json_str case)
+    (json_str label)
+
+let line_error case msg =
+  Printf.sprintf {|{"case":%s,"status":"error","message":%s}|} (json_str case)
+    (json_str msg)
+
+(* One case, fully isolated: every exception — parse error, inconsistent
+   graph, analysis bug — becomes this case's "error" line instead of
+   taking down the batch. *)
+let run_case ~dir ~arch ~deadline ~case_max_states case =
+  try
+    let app = Appmodel.Sdf3_xml.read_app_file (Filename.concat dir case) in
+    (* The wall clock starts when the case starts (here, inside the pool
+       task), not when the batch was launched. *)
+    let budget = Budget.make ?wall_s:deadline ?max_states:case_max_states () in
+    let r = Flow.allocate_with_retry ~budget app arch in
+    match r.Flow.allocation with
+    | Some alloc -> line_allocated case alloc.Strategy.throughput
+    | None -> (
+        match List.rev r.Flow.attempts with
+        | { Flow.outcome = Error (Strategy.Budget_exhausted reason); _ } :: _ ->
+            line_partial case reason
+        | { Flow.outcome = Error f; _ } :: _ ->
+            line_failed case (failure_label f)
+        | _ -> line_failed case "no_attempt")
+  with
+  | Appmodel.Sdf3_xml.Error m -> line_error case m
+  | Sdf.Xml.Parse_error { position; message } ->
+      line_error case (Printf.sprintf "offset %d: %s" position message)
+  | e -> line_error case (Printexc.to_string e)
+
+(* Journal recovery for --resume: keep only the complete (newline-
+   terminated) prefix — a line torn by a kill is rewritten away — and
+   collect the case ids it already covers. *)
+let recover journal =
+  match open_in_bin journal with
+  | exception Sys_error _ -> []
+  | ic ->
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      let cut =
+        match String.rindex_opt content '\n' with
+        | None -> 0
+        | Some i -> i + 1
+      in
+      let prefix = String.sub content 0 cut in
+      if cut < len then begin
+        let oc = open_out_bin journal in
+        output_string oc prefix;
+        close_out oc
+      end;
+      String.split_on_char '\n' prefix
+      |> List.filter_map (fun line ->
+             (* Every journal line starts with {"case":"..."}. *)
+             let tag = {|{"case":"|} in
+             if String.length line > String.length tag then
+               let rest =
+                 String.sub line (String.length tag)
+                   (String.length line - String.length tag)
+               in
+               Option.map (String.sub rest 0) (String.index_opt rest '"')
+             else None)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec chunks n = function
+  | [] -> []
+  | l -> (
+      let head = take n l in
+      match List.filteri (fun i _ -> i >= n) l with
+      | [] -> [ head ]
+      | rest -> head :: chunks n rest)
+
+let run dir platform_spec deadline case_max_states limit journal resume jobs
+    log_level metrics_file metrics_stderr =
+  Cli_common.setup_logs log_level;
+  Cli_common.init_jobs jobs;
+  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  let arch = parse_platform platform_spec in
+  let cases =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+    |> List.sort String.compare
+  in
+  if cases = [] then begin
+    Printf.eprintf "no .xml cases in %s\n" dir;
+    exit 1
+  end;
+  let already = if resume then recover journal else [] in
+  if not resume then begin
+    (* Fresh run: truncate any stale journal. *)
+    let oc = open_out_bin journal in
+    close_out oc
+  end;
+  let todo = List.filter (fun c -> not (List.mem c already)) cases in
+  let todo = match limit with None -> todo | Some n -> take n todo in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 journal in
+  (* Chunked fan-out: each chunk runs its cases on the pool, then its lines
+     are appended in sorted order and flushed — a kill between chunks (or
+     mid-append) loses at most one chunk plus one torn line, both of which
+     --resume recovers from. *)
+  List.iter
+    (fun chunk ->
+      let lines =
+        Par.map (run_case ~dir ~arch ~deadline ~case_max_states) chunk
+      in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+        lines)
+    (chunks (max 1 (Par.jobs ())) todo);
+  close_out oc;
+  Printf.printf "%d cases done (%d skipped via resume), journal %s\n"
+    (List.length todo) (List.length already) journal;
+  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  (* Exit 1 iff any case of the final journal errored; partial and failed
+     cases are expected batch outcomes. *)
+  let ic = open_in_bin journal in
+  let err = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       let tag = {|"status":"error"|} in
+       let tl = String.length tag in
+       let ll = String.length line in
+       let found = ref false in
+       for i = 0 to ll - tl do
+         if (not !found) && String.sub line i tl = tag then found := true
+       done;
+       if !found then err := true
+     done
+   with End_of_file -> ());
+  close_in ic;
+  exit (if !err then 1 else 0)
+
+open Cmdliner
+
+let dir =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"DIR" ~doc:"Directory of SDF3 application XML files")
+
+let platform =
+  Arg.(
+    value
+    & opt string "multimedia"
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:"Platform: example, multimedia or mesh3x3")
+
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-per-case" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per case; a case that runs out is journaled \
+           with status $(b,partial) and the batch moves on")
+
+let case_max_states =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states-per-case" ] ~docv:"N"
+        ~doc:
+          "State budget per throughput analysis within a case \
+           (deterministic, unlike a deadline); exhaustion degrades the \
+           case to $(b,partial)")
+
+let limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N"
+        ~doc:
+          "Process at most $(docv) not-yet-journaled cases, then stop \
+           (deterministic interruption, for testing --resume)")
+
+let journal =
+  Arg.(
+    value
+    & opt string "batch.jsonl"
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Checkpoint journal: one JSON line per completed case")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip cases already present in the journal (a torn trailing \
+           line is discarded first) and append the remainder")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_batch"
+       ~doc:
+         "Budgeted batch allocation over a directory of SDFG flow problems, \
+          with a resumable checkpoint journal")
+    Term.(
+      const run $ dir $ platform $ deadline $ case_max_states $ limit $ journal
+      $ resume $ Cli_common.jobs $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
+
+let () = exit (Cmd.eval cmd)

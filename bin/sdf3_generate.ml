@@ -3,7 +3,7 @@
 
 module Appgraph = Appmodel.Appgraph
 
-let generate set seq count out log_level =
+let generate set seq count out xml log_level =
   Cli_common.setup_logs log_level;
   if set < 1 || set > 4 then begin
     Printf.eprintf "set must be 1..4\n";
@@ -21,8 +21,12 @@ let generate set seq count out log_level =
       match out with
       | None -> print_string (Sdf.Textio.print ~exec_times:taus name g)
       | Some dir ->
-          let path = Filename.concat dir (Printf.sprintf "%s.sdf" name) in
-          Sdf.Textio.write_file ~exec_times:taus path name g;
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s.%s" name (if xml then "xml" else "sdf"))
+          in
+          if xml then Appmodel.Sdf3_xml.write_app_file path app
+          else Sdf.Textio.write_file ~exec_times:taus path name g;
           Printf.printf "wrote %s (%d actors, lambda=%s)\n" path
             (Sdf.Sdfg.num_actors g)
             (Sdf.Rat.to_string app.Appgraph.lambda);
@@ -41,9 +45,18 @@ let out =
     & opt (some dir) None
     & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Write one .sdf file per graph into $(docv)")
 
+let xml =
+  Arg.(
+    value & flag
+    & info [ "xml" ]
+        ~doc:
+          "With $(b,--out), write full SDF3 application XML (.xml, with \
+           resource annotations — the format $(b,sdf3_flow) and \
+           $(b,sdf3_batch) read) instead of the plain .sdf text format")
+
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_generate" ~doc:"Generate random benchmark SDFGs")
-    Term.(const generate $ set $ seq $ count $ out $ Cli_common.log_level)
+    Term.(const generate $ set $ seq $ count $ out $ xml $ Cli_common.log_level)
 
 let () = exit (Cmd.eval cmd)

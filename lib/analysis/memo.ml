@@ -45,6 +45,33 @@ let create ~name ?(max_entries = 65_536) () =
   Mutex.unlock registry_mutex;
   t
 
+let find t ~key =
+  if not !enabled_flag then None
+  else begin
+    Mutex.lock t.mutex;
+    let cached = Hashtbl.find_opt t.tbl key in
+    Mutex.unlock t.mutex;
+    (match cached with
+    | Some _ ->
+        Obs.Counter.incr t.hits;
+        Obs.Counter.incr hits_total
+    | None ->
+        Obs.Counter.incr t.misses;
+        Obs.Counter.incr misses_total);
+    cached
+  end
+
+let add t ~key v =
+  if !enabled_flag then begin
+    Mutex.lock t.mutex;
+    if Hashtbl.length t.tbl >= t.max_entries then begin
+      Hashtbl.reset t.tbl;
+      Obs.Counter.incr evictions_total
+    end;
+    Hashtbl.replace t.tbl key v;
+    Mutex.unlock t.mutex
+  end
+
 let find_or_compute t ~key f =
   if not !enabled_flag then f ()
   else begin

@@ -33,6 +33,17 @@ val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
     nothing (callers cache negative outcomes by reifying them as values).
     When memoization is globally disabled, simply runs [f]. *)
 
+val find : 'v t -> key:string -> 'v option
+(** Lookup without computing — the budgeted analyses probe the cache first
+    and fall back to a bounded exploration on a miss. Counts a hit or a
+    miss; always [None] when memoization is globally disabled. *)
+
+val add : 'v t -> key:string -> 'v -> unit
+(** Store a value computed outside {!find_or_compute}. Budgeted analyses
+    only ever [add] complete outcomes — a [Partial] result reflects the
+    budget of one particular run, not the graph, and must never poison the
+    cache. No-op when memoization is globally disabled. *)
+
 val clear : 'v t -> unit
 
 val clear_all : unit -> unit

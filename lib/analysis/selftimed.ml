@@ -1,6 +1,7 @@
 module Sdfg = Sdf.Sdfg
 module Rat = Sdf.Rat
 module Repetition = Sdf.Repetition
+module Cycles = Sdf.Cycles
 
 type result = {
   throughput : Rat.t array;
@@ -10,8 +11,70 @@ type result = {
   states : int;
 }
 
+type partial = {
+  reason : Budget.reason;
+  explored : int;
+  time_reached : int;
+  firings : int;
+  iteration_upper_bound : Rat.t;
+  upper_bound : Rat.t array;
+  provably_dead : bool;
+  dead_ruled_out : bool;
+}
+
 exception Deadlocked
 exception State_space_exceeded of int
+
+exception Budget_stop of Budget.reason
+(* Internal: unwinds the exploration when the budget runs out. *)
+
+(* Anytime upper bound on the iteration rate, from the simple cycles of the
+   graph alone — no exploration needed, so it is available no matter how
+   early a budgeted run stops.
+
+   For a simple cycle C, weight each channel c by 1/(prod(c)·gamma(src c)).
+   Consistency (gamma(src)·prod = gamma(dst)·cons) makes the weighted token
+   sum S over C invariant under every *completed* firing: a firing of cycle
+   actor a removes cons/(prod_in·gamma(src_in)) = 1/gamma(a) at its start
+   and returns prod_out/(prod_out·gamma(a)) = 1/gamma(a) at its end; actors
+   off the cycle never touch C's channels (both endpoints of a cycle
+   channel lie on C). So at any instant the firings in flight on C have
+   borrowed at most S0, the initial weighted sum — each firing of a holds
+   1/gamma(a) for at least duration d_a. At a sustained iteration rate of
+   lambda, actor a starts lambda·gamma(a) firings per time unit, holding
+   1/gamma(a) each for d_a: total borrowed mass lambda·Σ_{a∈C} d_a ≤ S0,
+   hence lambda ≤ S0 / Σ d_a (Little's law). S0 = 0 means no firing on C
+   can ever start: the iteration rate is provably 0. Σ d_a = 0 yields no
+   constraint from C. The minimum over the enumerated cycles is sound even
+   when enumeration truncates (fewer cycles can only weaken the bound). *)
+let cycle_upper_bound ?max_cycles ~durations g =
+  let gamma = Repetition.vector_exn g in
+  let channels = Sdfg.channels g in
+  let enum = Cycles.simple_cycles ?max_cycles g in
+  List.fold_left
+    (fun best cycle ->
+      let tokens_norm =
+        List.fold_left
+          (fun acc ci ->
+            let c = channels.(ci) in
+            Rat.add acc
+              (Rat.make c.Sdfg.tokens (c.Sdfg.prod * gamma.(c.Sdfg.src))))
+          Rat.zero cycle
+      in
+      (* Each actor of a simple cycle is the source of exactly one of its
+         channels, so summing over channel sources visits each actor once. *)
+      let duration =
+        List.fold_left
+          (fun acc ci -> acc + durations channels.(ci).Sdfg.src)
+          0 cycle
+      in
+      let bound =
+        if Rat.equal tokens_norm Rat.zero then Rat.zero
+        else if duration = 0 then Rat.infinity
+        else Rat.div tokens_norm (Rat.of_int duration)
+      in
+      Rat.min best bound)
+    Rat.infinity enum.Cycles.cycles
 
 let validate g exec_times =
   let n = Sdfg.num_actors g in
@@ -121,7 +184,7 @@ let analyze_reference ?observer ?(max_states = 2_000_000) g exec_times =
    of actor 0) — no Marshal, no string keys, no per-state boxed values.
    Outstanding firings live in {!Engine.Rings} (FIFO: equal execution
    times make completion order follow start order). *)
-let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
+let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
   validate g exec_times;
   let gamma = Repetition.vector_exn g in
   let n = Sdfg.num_actors g in
@@ -212,6 +275,22 @@ let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
          stores first, so "stored one too many" is the same condition. *)
       if Engine.Stateset.length seen > max_states then
         raise (State_space_exceeded max_states);
+      (* Budget probe: one load and one branch per state when infinite;
+         state/arena caps are exact, clock and token amortised inside
+         [Budget.check]. *)
+      if not (Budget.is_infinite budget) then begin
+        let arena_bytes =
+          if Budget.arena_limited budget then Engine.Stateset.arena_bytes seen
+          else 0
+        in
+        match
+          Budget.check budget
+            ~states:(Engine.Stateset.length seen)
+            ~arena_bytes
+        with
+        | Some reason -> raise (Budget_stop reason)
+        | None -> ()
+      end;
       let next = Engine.Rings.min_head rings in
       if next = max_int then raise Deadlocked;
       time := next;
@@ -220,13 +299,56 @@ let analyze_uncached ?observer ?(max_states = 2_000_000) g exec_times =
     end
   in
   match explore () with
-  | r -> record_metrics r
+  | r -> Ok (record_metrics r)
   | exception Deadlocked ->
       Obs.Counter.add "selftimed.deadlocks" 1;
       raise Deadlocked
   | exception State_space_exceeded n ->
       Obs.Counter.add "selftimed.cap_aborts" 1;
       raise (State_space_exceeded n)
+  | exception Budget_stop reason ->
+      if Obs.enabled () then begin
+        Obs.Counter.add "budget.partials" 1;
+        Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
+      end;
+      let iteration_upper_bound =
+        cycle_upper_bound ~durations:(fun a -> exec_times.(a)) g
+      in
+      let provably_dead = Rat.equal iteration_upper_bound Rat.zero in
+      (* A firing, once started, always completes; so if every actor has
+         already started a full iteration's worth of firings, a complete
+         iteration is executable and self-timed execution cannot
+         deadlock. *)
+      let dead_ruled_out =
+        (not provably_dead)
+        &&
+        let ok = ref true in
+        for a = 0 to n - 1 do
+          if counts.(a) < gamma.(a) then ok := false
+        done;
+        !ok
+      in
+      let upper_bound =
+        Array.init n (fun a ->
+            if Rat.is_infinite iteration_upper_bound then Rat.infinity
+            else Rat.mul_int iteration_upper_bound gamma.(a))
+      in
+      Error
+        {
+          reason;
+          explored = Engine.Stateset.length seen;
+          time_reached = !time;
+          firings = Array.fold_left ( + ) 0 counts;
+          iteration_upper_bound;
+          upper_bound;
+          provably_dead;
+          dead_ruled_out;
+        }
+
+let analyze_uncached ?observer ?max_states g exec_times =
+  match analyze_raw ?observer ?max_states ~budget:Budget.infinite g exec_times with
+  | Ok r -> r
+  | Error _ -> assert false (* an infinite budget is never exhausted *)
 
 (* The analysis depends only on the graph structure (channel endpoints,
    rates, initial tokens), the execution times and the state cap — never on
@@ -279,6 +401,34 @@ let analyze ?observer ?(max_states = 2_000_000) g exec_times =
       | Res r -> r
       | Dead -> raise Deadlocked
       | Exceeded n -> raise (State_space_exceeded n))
+
+let analyze_budgeted ?observer ?(max_states = 2_000_000) ~budget g exec_times =
+  match observer with
+  | Some _ -> analyze_raw ?observer ~max_states ~budget g exec_times
+  | None -> (
+      validate g exec_times;
+      let key = cache_key ~max_states g exec_times in
+      (* Probe the cache first: a completed outcome from an earlier
+         (possibly unbudgeted) run answers instantly and consumes no
+         budget. On a miss, only completed outcomes are stored — a
+         [Partial] reflects this run's budget, not the graph, and must
+         never poison the cache. *)
+      match Memo.find cache ~key with
+      | Some (Res r) -> Ok r
+      | Some Dead -> raise Deadlocked
+      | Some (Exceeded n) -> raise (State_space_exceeded n)
+      | None -> (
+          match analyze_raw ~max_states ~budget g exec_times with
+          | Ok r as ok ->
+              Memo.add cache ~key (Res r);
+              ok
+          | Error _ as partial -> partial
+          | exception Deadlocked ->
+              Memo.add cache ~key Dead;
+              raise Deadlocked
+          | exception State_space_exceeded n ->
+              Memo.add cache ~key (Exceeded n);
+              raise (State_space_exceeded n)))
 
 let throughput ?max_states g exec_times a =
   (analyze ?max_states g exec_times).throughput.(a)

@@ -32,6 +32,33 @@ type result = {
   states : int;  (** states stored during exploration *)
 }
 
+type partial = {
+  reason : Budget.reason;  (** what ran out *)
+  explored : int;  (** states stored before the stop *)
+  time_reached : int;  (** how far into the transient the exploration got *)
+  firings : int;  (** total firings started *)
+  iteration_upper_bound : Rat.t;
+      (** sound upper bound on the graph's iteration rate (iterations per
+          time unit), from the normalized-token / cycle-duration bound over
+          the simple cycles (see {!cycle_upper_bound}); {!Rat.infinity}
+          when no cycle constrains it *)
+  upper_bound : Rat.t array;
+      (** per actor: [iteration_upper_bound * gamma a], i.e. a value
+          guaranteed to dominate the exact [throughput.(a)] the completed
+          analysis would return ({!Rat.infinity} when unconstrained) *)
+  provably_dead : bool;
+      (** some cycle holds no tokens: no firing on it can ever start, so
+          the periodic throughput is exactly 0 (the completed analysis
+          would deadlock or never recur) *)
+  dead_ruled_out : bool;
+      (** every actor already started [gamma a] firings — a complete
+          iteration is executable, so {!Deadlocked} is impossible *)
+}
+(** What a budget-exhausted exploration still knows. The lower bound on
+    throughput is always 0 (the periodic phase was never reached), but the
+    upper bound is sound: it never lies below the true value, so a
+    constraint check that fails against [upper_bound] fails for sure. *)
+
 exception Deadlocked
 (** The execution reached a state with no active firing and no enabled
     actor. *)
@@ -74,6 +101,38 @@ val analyze_reference :
     telemetry; same exceptions and validation as {!analyze}. The two
     implementations must agree exactly — result fields, visited-state
     count, deadlock and cap outcomes, and observer call sequence. *)
+
+val analyze_budgeted :
+  ?observer:(int -> int -> unit) ->
+  ?max_states:int ->
+  budget:Budget.t ->
+  Sdfg.t ->
+  int array ->
+  (result, partial) Stdlib.result
+(** [analyze_budgeted ~budget g exec_times] is {!analyze} under a resource
+    budget: [Ok result] when the exploration completes within it,
+    [Error partial] when it runs out (see {!partial}). With
+    [Budget.infinite] the outcome is always [Ok] and identical to
+    {!analyze}. [Deadlocked] and [State_space_exceeded] still raise — they
+    are analysis outcomes, not budget outcomes.
+
+    Observer-free runs probe the memo cache first (a completed outcome
+    answers without spending budget) and store only completed outcomes:
+    a [Partial] never poisons the cache.
+
+    @raise Deadlocked / State_space_exceeded / Invalid_argument as
+    {!analyze}. *)
+
+val cycle_upper_bound :
+  ?max_cycles:int -> durations:(int -> int) -> Sdfg.t -> Rat.t
+(** [cycle_upper_bound ~durations g] is a sound upper bound on the
+    iteration rate of any execution of [g] in which each firing of actor
+    [a] occupies it for at least [durations a] time units: the minimum
+    over the simple cycles of (normalized initial tokens on the cycle) /
+    (sum of its actors' durations). {!Rat.zero} when some cycle holds no
+    tokens (provably dead), {!Rat.infinity} when no cycle constrains the
+    rate. Sound under truncated enumeration ([max_cycles], default
+    100_000): dropping cycles only weakens the bound. *)
 
 val cache_key : ?max_states:int -> Sdfg.t -> int array -> string
 (** Canonical structural serialization of an analysis input: actor count,

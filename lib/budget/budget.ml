@@ -1,0 +1,96 @@
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let trigger t = Atomic.set t true
+  let triggered t = Atomic.get t
+end
+
+type reason = Deadline | States | Memory | Cancelled
+
+let reason_label = function
+  | Deadline -> "deadline"
+  | States -> "states"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_label r)
+
+type t = {
+  deadline : float;  (** absolute; [infinity] when unbounded *)
+  max_states : int;  (** [max_int] when unbounded *)
+  max_arena_bytes : int;  (** [max_int] when unbounded *)
+  cancel : Cancel.t option;
+  mutable countdown : int;
+      (* Calls until the next clock/token probe. Racy when one budget is
+         shared across domains: a lost decrement only delays a probe by a
+         few calls, never the exact state/arena caps. *)
+}
+
+let probe_interval = 128
+
+let infinite =
+  {
+    deadline = Float.infinity;
+    max_states = max_int;
+    max_arena_bytes = max_int;
+    cancel = None;
+    countdown = max_int;
+  }
+
+let is_infinite b = b == infinite
+
+let make ?wall_s ?deadline ?max_states ?max_arena_bytes ?cancel () =
+  match (wall_s, deadline, max_states, max_arena_bytes, cancel) with
+  | None, None, None, None, None -> infinite
+  | _ ->
+      let deadline =
+        let abs = Option.value deadline ~default:Float.infinity in
+        match wall_s with
+        | None -> abs
+        | Some s -> Float.min abs (Unix.gettimeofday () +. s)
+      in
+      {
+        deadline;
+        max_states = Option.value max_states ~default:max_int;
+        max_arena_bytes = Option.value max_arena_bytes ~default:max_int;
+        cancel;
+        (* First probe on the first check: a budget that is already
+           cancelled or past its deadline must not explore a full
+           interval first. *)
+        countdown = 0;
+      }
+
+let states_limited b = b.max_states < max_int
+let arena_limited b = b.max_arena_bytes < max_int
+
+let slow_probe b =
+  if (match b.cancel with Some c -> Cancel.triggered c | None -> false) then
+    Some Cancelled
+  else if
+    b.deadline < Float.infinity && Unix.gettimeofday () > b.deadline
+  then Some Deadline
+  else None
+
+let check b ~states ~arena_bytes =
+  if b == infinite then None
+  else if states > b.max_states then Some States
+  else if arena_bytes > b.max_arena_bytes then Some Memory
+  else begin
+    let n = b.countdown in
+    if n > 0 then begin
+      b.countdown <- n - 1;
+      None
+    end
+    else begin
+      b.countdown <- probe_interval;
+      slow_probe b
+    end
+  end
+
+let exceeded b =
+  if b == infinite then None
+  else
+    match slow_probe b with
+    | Some _ as r -> r
+    | None -> None

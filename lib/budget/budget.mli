@@ -1,0 +1,91 @@
+(** Resource budgets and cooperative cancellation for the state-space
+    explorations and the layers driving them.
+
+    A binding-aware throughput analysis can explode: the state space of a
+    single slice probe may dwarf every other probe of the run. Hard state
+    caps ({!Analysis.Selftimed}'s [max_states]) abort such a run with
+    nothing to show; a {!t} instead describes how much a caller is willing
+    to spend — wall clock, stored states, packed arena bytes — plus a
+    {!Cancel} token a supervisor can trigger from another domain, and lets
+    the exploration stop {e gracefully}, returning the anytime information
+    it accumulated (see [Analysis.Selftimed.analyze_budgeted]).
+
+    The check is designed for packed hot loops: state and arena caps are
+    two integer compares, and the clock/token probe is amortised over
+    {!probe_interval} calls, so an infinite budget costs one load and one
+    branch per state. A budget is {e not} reusable across concurrently
+    exploring domains for precise accounting — the amortisation counter is
+    racy by design (a lost update only perturbs when the clock is read) —
+    but sharing one budget (and in particular one token) across a fan-out
+    is exactly how cooperative cancellation is meant to be used. *)
+
+(** Cancellation tokens: one writer ({!trigger}), many readers. Triggering
+    is idempotent and permanent; readers on other domains observe it at
+    their next amortised budget probe, queued {!Par} tasks on a cancelled
+    scope are skipped without running. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+  val trigger : t -> unit
+  val triggered : t -> bool
+end
+
+type reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | States  (** the state budget was spent *)
+  | Memory  (** the packed-arena byte budget was spent *)
+  | Cancelled  (** the {!Cancel} token was triggered *)
+
+val reason_label : reason -> string
+(** ["deadline"], ["states"], ["memory"], ["cancelled"] — the stable names
+    used in telemetry ([budget.*] counters), the batch journal and the
+    CLI. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+type t
+
+val infinite : t
+(** Never exhausted; {!check} on it is one load and one branch. *)
+
+val is_infinite : t -> bool
+
+val make :
+  ?wall_s:float ->
+  ?deadline:float ->
+  ?max_states:int ->
+  ?max_arena_bytes:int ->
+  ?cancel:Cancel.t ->
+  unit ->
+  t
+(** [make ()] with no argument is {!infinite}. [wall_s] is a relative
+    allowance converted to an absolute deadline now; [deadline] is an
+    absolute [Unix.gettimeofday] instant (when both are given the earlier
+    wins). [max_states] / [max_arena_bytes] bound the exploration's stored
+    states and packed arena size — these two are checked exactly on every
+    {!check}, so state-budget outcomes are deterministic. [cancel] attaches
+    a shared token. *)
+
+val states_limited : t -> bool
+
+val arena_limited : t -> bool
+(** Whether {!check} will look at its [arena_bytes] argument at all —
+    callers use this to skip computing the arena size when nobody asked
+    for it. *)
+
+val probe_interval : int
+(** Number of {!check} calls between two clock/token probes (the state and
+    arena caps are exact regardless). *)
+
+val check : t -> states:int -> arena_bytes:int -> reason option
+(** [check b ~states ~arena_bytes] is [Some r] when the budget is
+    exhausted. State and arena caps are compared on every call; the clock
+    and the cancel token every {!probe_interval} calls (and on the first).
+    Once exhausted, every subsequent call reports a reason again (the
+    token is permanent; the clock does not go backwards), though not
+    necessarily the same one. *)
+
+val exceeded : t -> reason option
+(** An unamortised full probe (clock and token included); for per-phase
+    checks outside hot loops. *)

@@ -146,9 +146,79 @@ let memo_agreement ~max_states ~rng:_ (c : Case.t) =
             Oracle.Fail "memo-disabled analysis diverges from memoized one"
           else Oracle.Pass)
 
+(* Anytime soundness: under a random finite state budget, a partial
+   outcome's throughput upper bound must dominate the true throughput
+   (computed by the independent reference engine), a [provably_dead]
+   verdict must mean the graph really deadlocks, [dead_ruled_out] must
+   mean it really does not, and a budgeted run that completes must agree
+   with the unbudgeted one. *)
+let budget_partial_soundness ~max_states ~rng (c : Case.t) =
+  let cap = 1 + Gen.Rng.int rng 64 in
+  let budget = Budget.make ~max_states:cap () in
+  let budgeted =
+    match
+      Selftimed.analyze_budgeted ~max_states ~budget c.Case.graph c.Case.taus
+    with
+    | r -> `Run r
+    | exception Selftimed.Deadlocked -> `Deadlock
+    | exception Selftimed.State_space_exceeded _ -> `Exceeded
+  in
+  match (budgeted, selftimed_reference ~max_states c) with
+  | `Exceeded, St_exceeded -> Oracle.Skip "state space exceeded"
+  | _, St_exceeded -> Oracle.Skip "reference exceeds the state cap"
+  | `Exceeded, _ ->
+      Oracle.failf
+        "budgeted run hit the hard cap (budget %d) but the reference finishes"
+        cap
+  | `Deadlock, St_deadlock -> Oracle.Pass
+  | `Deadlock, St _ ->
+      Oracle.Fail "budgeted run deadlocks but the reference runs"
+  | `Run (Ok r), St_deadlock ->
+      Oracle.failf
+        "budgeted run completes (period %d) but the reference deadlocks"
+        r.Selftimed.period
+  | `Run (Ok r), St ref_r ->
+      if
+        r.Selftimed.period = ref_r.Selftimed.period
+        && Array.for_all2 Rat.equal r.Selftimed.throughput
+             ref_r.Selftimed.throughput
+      then Oracle.Pass
+      else
+        Oracle.failf "budgeted complete run (budget %d) diverges from reference"
+          cap
+  | `Run (Error p), St_deadlock ->
+      if p.Selftimed.dead_ruled_out then
+        Oracle.Fail "partial outcome rules out deadlock but the graph deadlocks"
+      else Oracle.Pass
+  | `Run (Error p), St ref_r ->
+      if p.Selftimed.provably_dead then
+        Oracle.Fail "partial outcome claims provably dead but the graph runs"
+      else
+        let n = Sdfg.num_actors c.Case.graph in
+        let rec verify a =
+          if a >= n then Oracle.Pass
+          else if
+            Rat.is_infinite p.Selftimed.upper_bound.(a)
+            || Rat.compare p.Selftimed.upper_bound.(a)
+                 ref_r.Selftimed.throughput.(a)
+               >= 0
+          then verify (a + 1)
+          else
+            Oracle.failf
+              "actor %s: anytime upper bound %s below true throughput %s \
+               (budget %d, explored %d)"
+              (Sdfg.actor_name c.Case.graph a)
+              (Rat.to_string p.Selftimed.upper_bound.(a))
+              (Rat.to_string ref_r.Selftimed.throughput.(a))
+              cap p.Selftimed.explored
+        in
+        verify 0
+
 let oracles =
   [
     Oracle.{ name = "diff.engine-vs-reference"; run = engine_vs_reference };
     Oracle.{ name = "diff.selftimed-vs-mcr"; run = selftimed_vs_mcr };
     Oracle.{ name = "diff.memo-agreement"; run = memo_agreement };
+    Oracle.
+      { name = "budget.partial-soundness"; run = budget_partial_soundness };
   ]

@@ -18,6 +18,11 @@
     - [diff.memo-agreement]: a cold analysis, a warm (cache-hit) replay
       and a memo-disabled analysis return identical results, including
       reified [Deadlocked]/[State_space_exceeded] outcomes.
+    - [budget.partial-soundness]: under a random finite state budget, a
+      partial outcome's anytime upper bound dominates the true throughput
+      of every actor, its deadlock verdicts ([provably_dead],
+      [dead_ruled_out]) agree with reality, and a budgeted run that
+      completes matches the unbudgeted reference.
 
     The hidden mutant switch corrupts the MCR replay by an off-by-one in
     the initial tokens of the first HSDF channel; the fuzz driver's
@@ -41,5 +46,12 @@ val selftimed_vs_mcr :
 val memo_agreement :
   max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
 (** Leaves the global memo switch as it found it; clears the tables. *)
+
+val budget_partial_soundness :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+(** [budget.partial-soundness]: draws a state budget in [\[1, 64\]] from
+    [rng] and checks the anytime contract of
+    {!Analysis.Selftimed.analyze_budgeted} against
+    [Selftimed.analyze_reference]. *)
 
 val oracles : Oracle.t list

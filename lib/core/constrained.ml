@@ -5,8 +5,19 @@ module Archgraph = Platform.Archgraph
 
 type result = { throughput : Rat.t; period : int; transient : int; states : int }
 
+type partial = {
+  reason : Budget.reason;
+  explored : int;
+  time_reached : int;
+  upper_bound : Rat.t;
+  provably_dead : bool;
+}
+
 exception Deadlocked
 exception State_space_exceeded of int
+
+exception Budget_stop of Budget.reason
+(* Internal: unwinds the exploration when the budget runs out. *)
 
 let idle = max_int
 
@@ -251,7 +262,26 @@ let analyze_reference ?observer ?offsets ?(max_states = 500_000)
    FIFO per actor (fixed execution time), and a bound actor's TDMA
    completions are monotone per tile (one firing at a time), tracked in
    [tile_busy]. *)
-let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
+(* Minimum time a firing of actor [a] can occupy it: the raw execution
+   time for unbound (connection/sync) actors, the TDMA-gated completion
+   time of a phase-0 start for bound ones (starting at the top of the
+   slice maximises first-slice progress, so any other start phase only
+   takes longer). An actor whose slice can never finish its work gets a
+   huge-but-finite sentinel: the cycle bound then degrades towards 0
+   instead of needing an "infinite duration" representation. *)
+let min_duration (ba : Bind_aware.t) a =
+  let tau = ba.Bind_aware.exec_times.(a) in
+  let t = ba.Bind_aware.tile_of.(a) in
+  if t < 0 || tau = 0 then tau
+  else begin
+    let w = (Archgraph.tile ba.Bind_aware.arch t).Tile.wheel in
+    let omega = ba.Bind_aware.slices.(t) in
+    if omega >= w then tau
+    else if omega <= 0 then 1 lsl 40
+    else tdma_finish ~t:0 ~tau ~w ~omega
+  end
+
+let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
     (ba : Bind_aware.t) ~schedules =
   validate ba ~schedules;
   let g = ba.Bind_aware.graph in
@@ -427,6 +457,20 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
          stores first, so "stored one too many" is the same condition. *)
       if Engine.Stateset.length seen > max_states then
         raise (State_space_exceeded max_states);
+      (* Budget probe: one load and one branch per state when infinite. *)
+      if not (Budget.is_infinite budget) then begin
+        let arena_bytes =
+          if Budget.arena_limited budget then Engine.Stateset.arena_bytes seen
+          else 0
+        in
+        match
+          Budget.check budget
+            ~states:(Engine.Stateset.length seen)
+            ~arena_bytes
+        with
+        | Some reason -> raise (Budget_stop reason)
+        | None -> ()
+      end;
       let next = ref (Engine.Rings.min_head pending) in
       for t = 0 to nt - 1 do
         if tile_busy.(t) < !next then next := tile_busy.(t);
@@ -447,13 +491,58 @@ let analyze_uncached ?observer ?offsets ?(max_states = 500_000)
     end
   in
   match explore () with
-  | r -> record_metrics r
+  | r -> Ok (record_metrics r)
   | exception Deadlocked ->
       Obs.Counter.add "constrained.deadlocks" 1;
       raise Deadlocked
-  | exception State_space_exceeded n ->
+  | exception State_space_exceeded cap ->
       Obs.Counter.add "constrained.cap_aborts" 1;
-      raise (State_space_exceeded n)
+      (* Both the configured cap and the states actually stored: tooling
+         sizing a retry needs the real exploration depth, not just the
+         limit it was given. *)
+      if Obs.enabled () then
+        Obs.Event.emit "constrained.abort"
+          [
+            ("cap", Obs.Event.Int cap);
+            ("states", Obs.Event.Int (Engine.Stateset.length seen));
+          ];
+      raise (State_space_exceeded cap)
+  | exception Budget_stop reason ->
+      if Obs.enabled () then begin
+        Obs.Counter.add "budget.partials" 1;
+        Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
+      end;
+      (* Anytime bound: every firing occupies its actor for at least its
+         TDMA-inflated minimum duration, and static-order serialization can
+         only slow things further, so the self-timed cycle bound over these
+         durations dominates the constrained throughput. *)
+      let gamma = Sdf.Repetition.vector_exn g in
+      let iter_ub =
+        Analysis.Selftimed.cycle_upper_bound ~durations:(min_duration ba) g
+      in
+      let out_dead = min_duration ba output_actor >= 1 lsl 40 in
+      let provably_dead = Rat.equal iter_ub Rat.zero || out_dead in
+      let upper_bound =
+        if provably_dead then Rat.zero
+        else if Rat.is_infinite iter_ub then Rat.infinity
+        else Rat.mul_int iter_ub gamma.(output_actor)
+      in
+      Error
+        {
+          reason;
+          explored = Engine.Stateset.length seen;
+          time_reached = !time;
+          upper_bound;
+          provably_dead;
+        }
+
+let analyze_uncached ?observer ?offsets ?max_states ba ~schedules =
+  match
+    analyze_raw ?observer ?offsets ?max_states ~budget:Budget.infinite ba
+      ~schedules
+  with
+  | Ok r -> r
+  | Error _ -> assert false (* an infinite budget is never exhausted *)
 
 (* Everything the constrained execution depends on, by structure rather
    than by name: the binding-aware graph (endpoints, rates, tokens), the
@@ -530,8 +619,51 @@ let analyze ?observer ?offsets ?max_states (ba : Bind_aware.t) ~schedules =
       | Dead -> raise Deadlocked
       | Exceeded n -> raise (State_space_exceeded n))
 
-let throughput_or_zero ?max_states ba ~schedules =
-  match analyze ?max_states ba ~schedules with
-  | r -> r.throughput
-  | exception Deadlocked -> Rat.zero
-  | exception State_space_exceeded _ -> Rat.zero
+let analyze_budgeted ?observer ?offsets ?max_states ~budget (ba : Bind_aware.t)
+    ~schedules =
+  match observer with
+  | Some _ -> analyze_raw ?observer ?offsets ?max_states ~budget ba ~schedules
+  | None -> (
+      validate ba ~schedules;
+      let key = cache_key ?offsets ?max_states ba ~schedules in
+      (* Completed outcomes answer from the cache without spending budget;
+         only completed outcomes are stored — a partial result reflects
+         this run's budget, not the configuration, and must never poison
+         the cache. *)
+      match Analysis.Memo.find cache ~key with
+      | Some (Res r) -> Ok r
+      | Some Dead -> raise Deadlocked
+      | Some (Exceeded n) -> raise (State_space_exceeded n)
+      | None -> (
+          match analyze_raw ?offsets ?max_states ~budget ba ~schedules with
+          | Ok r as ok ->
+              Analysis.Memo.add cache ~key (Res r);
+              ok
+          | Error _ as partial -> partial
+          | exception Deadlocked ->
+              Analysis.Memo.add cache ~key Dead;
+              raise Deadlocked
+          | exception State_space_exceeded n ->
+              Analysis.Memo.add cache ~key (Exceeded n);
+              raise (State_space_exceeded n)))
+
+let throughput_or_zero ?max_states ?(budget = Budget.infinite) ?on_budget_stop
+    ba ~schedules =
+  if Budget.is_infinite budget then
+    match analyze ?max_states ba ~schedules with
+    | r -> r.throughput
+    | exception Deadlocked -> Rat.zero
+    | exception State_space_exceeded _ -> Rat.zero
+  else
+    (* A partial outcome proves nothing about the configuration, and the
+       slice search must only accept allocations whose throughput is
+       certain: treat it as 0, like the other negative outcomes — but
+       report it through [on_budget_stop] so the caller can attribute a
+       subsequent failure to the budget rather than to infeasibility. *)
+    match analyze_budgeted ?max_states ~budget ba ~schedules with
+    | Ok r -> r.throughput
+    | Error p ->
+        (match on_budget_stop with Some f -> f p.reason | None -> ());
+        Rat.zero
+    | exception Deadlocked -> Rat.zero
+    | exception State_space_exceeded _ -> Rat.zero

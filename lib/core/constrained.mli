@@ -38,6 +38,25 @@ type result = {
   states : int;
 }
 
+type partial = {
+  reason : Budget.reason;  (** what ran out *)
+  explored : int;  (** states stored before the stop *)
+  time_reached : int;  (** how far into the transient the exploration got *)
+  upper_bound : Rat.t;
+      (** sound upper bound on the output actor's throughput: the
+          {!Analysis.Selftimed.cycle_upper_bound} of the binding-aware
+          graph under TDMA-inflated minimum firing durations (a phase-0
+          start is the fastest any slice can serve a firing, and the
+          static-order serialization the bound ignores can only slow the
+          execution further); {!Rat.infinity} when no cycle constrains it *)
+  provably_dead : bool;
+      (** the throughput is exactly 0: a cycle holds no tokens, or work
+          gated behind an empty slice can never finish *)
+}
+(** What a budget-exhausted constrained exploration still knows; the lower
+    bound is always 0. A throughput constraint above [upper_bound] is
+    refuted for sure; one below it remains undecided. *)
+
 exception Deadlocked
 exception State_space_exceeded of int
 
@@ -89,6 +108,21 @@ val analyze_reference :
     must agree exactly (result fields, visited-state count, deadlock and
     cap outcomes, observer call sequence). *)
 
+val analyze_budgeted :
+  ?observer:(int -> int -> unit) ->
+  ?offsets:int array ->
+  ?max_states:int ->
+  budget:Budget.t ->
+  Bind_aware.t ->
+  schedules:Schedule.t option array ->
+  (result, partial) Stdlib.result
+(** {!analyze} under a resource budget: [Ok result] on completion within
+    it, [Error partial] when it runs out. With [Budget.infinite] the
+    outcome is always [Ok] and identical to {!analyze}; [Deadlocked] and
+    [State_space_exceeded] still raise (analysis outcomes, not budget
+    outcomes). Observer-free runs probe the memo cache first and store
+    only completed outcomes — a partial never poisons the cache. *)
+
 val cache_key :
   ?offsets:int array ->
   ?max_states:int ->
@@ -105,9 +139,15 @@ val cache_key :
 
 val throughput_or_zero :
   ?max_states:int ->
+  ?budget:Budget.t ->
+  ?on_budget_stop:(Budget.reason -> unit) ->
   Bind_aware.t ->
   schedules:Schedule.t option array ->
   Rat.t
 (** Like {!analyze} but mapping {!Deadlocked} and {!State_space_exceeded}
     to throughput 0 — the shape the slice-allocation binary search wants
-    ("this allocation does not meet any constraint"). *)
+    ("this allocation does not meet any constraint"). Under a finite
+    [budget] (default infinite), a budget-exhausted probe also maps to 0:
+    the search may only accept allocations whose throughput is proven.
+    [on_budget_stop] is called with the reason whenever that happens, so
+    the caller can tell a budget-cut 0 from a proven 0. *)

@@ -26,6 +26,7 @@ let outcome_label = function
   | Error (Strategy.Bind_failed _) -> "bind_failed"
   | Error Strategy.Schedule_failed -> "schedule_failed"
   | Error (Strategy.Slice_failed _) -> "slice_failed"
+  | Error (Strategy.Budget_exhausted _) -> "budget_exhausted"
 
 (* One telemetry record per ladder rung tried (kind "flow.attempt"). *)
 let record_attempt app rung (weights : Cost.weights) outcome =
@@ -53,7 +54,7 @@ let record_attempt app rung (weights : Cost.weights) outcome =
     | Error _ -> [])
 
 let allocate_with_retry ?(weight_ladder = default_weight_ladder)
-    ?connection_model ?max_states app arch =
+    ?connection_model ?max_states ?(budget = Budget.infinite) app arch =
   (* With a worker pool available, evaluate every ladder rung speculatively
      in parallel first. The speculative pass is invisible: its telemetry is
      suppressed ({!Obs.unrecorded}) and its outcomes are discarded — its
@@ -73,9 +74,13 @@ let allocate_with_retry ?(weight_ladder = default_weight_ladder)
          (fun weights ->
            Obs.unrecorded (fun () ->
                try
+                 (* The warm-up shares the run's budget: a deadline or a
+                    cancellation also stops speculative exploration, and
+                    budget-partial outcomes are never cached, so the
+                    authoritative pass cannot be poisoned by them. *)
                  ignore
-                   (Strategy.allocate ~weights ?connection_model ?max_states app
-                      arch)
+                   (Strategy.allocate ~weights ?connection_model ?max_states
+                      ~budget app arch)
                with _ -> ()))
          weight_ladder);
   let rec go rung attempts = function
@@ -85,7 +90,8 @@ let allocate_with_retry ?(weight_ladder = default_weight_ladder)
     | weights :: rest -> (
         let outcome =
           Obs.Span.with_ "flow.attempt" (fun () ->
-              Strategy.allocate ~weights ?connection_model ?max_states app arch)
+              Strategy.allocate ~weights ?connection_model ?max_states ~budget
+                app arch)
         in
         record_attempt app rung weights outcome;
         let attempts = { weights; outcome } :: attempts in
@@ -93,6 +99,12 @@ let allocate_with_retry ?(weight_ladder = default_weight_ladder)
         | Ok alloc ->
             Obs.Counter.add "flow.allocated" 1;
             { allocation = Some alloc; attempts = List.rev attempts }
+        | Error (Strategy.Budget_exhausted _) ->
+            (* Degrade to the next rung: with an absolute deadline the
+               remaining rungs fail fast, so an exploding rung cannot kill
+               the whole ladder. *)
+            Obs.Counter.add "budget.rung_aborts" 1;
+            go (rung + 1) attempts rest
         | Error _ -> go (rung + 1) attempts rest)
   in
   go 0 [] weight_ladder

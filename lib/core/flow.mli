@@ -29,12 +29,16 @@ val allocate_with_retry :
   ?weight_ladder:Cost.weights list ->
   ?connection_model:Bind_aware.connection_model ->
   ?max_states:int ->
+  ?budget:Budget.t ->
   Appgraph.t ->
   Archgraph.t ->
   result
 (** Try each setting of the ladder until an allocation succeeds. Binding
-    failures, scheduling deadlocks and slice failures all advance to the
-    next setting.
+    failures, scheduling deadlocks, slice failures and budget-exhausted
+    rungs all advance to the next setting — under a finite [budget]
+    (default infinite) a rung that runs out degrades to the next rung
+    (counted as ["budget.rung_aborts"]) instead of killing the run, and
+    an absolute deadline makes the remaining rungs fail fast.
 
     When a {!Par} worker pool is active ([Par.set_jobs n] with [n > 1])
     and memoization is enabled, all rungs are first evaluated

@@ -49,7 +49,7 @@ let reorder order apps =
         (fun a b -> compare (Appgraph.total_work a) (Appgraph.total_work b))
         apps
 
-let allocate_until_failure ?weights ?retry_ladder ?max_states
+let allocate_until_failure ?weights ?retry_ladder ?max_states ?budget
     ?(policy = Stop_at_first_failure) ?(order = As_given) apps arch =
   let apps = reorder order apps in
   let original = Archgraph.tiles arch in
@@ -63,7 +63,10 @@ let allocate_until_failure ?weights ?retry_ladder ?max_states
       | Some l -> l
       | None -> [ Option.value weights ~default:Strategy.default_weights ]
     in
-    let r = Flow.allocate_with_retry ~weight_ladder:ladder ?max_states app arch in
+    let r =
+      Flow.allocate_with_retry ~weight_ladder:ladder ?max_states ?budget app
+        arch
+    in
     match r.Flow.allocation with
     | Some alloc -> Ok alloc
     | None -> (

@@ -50,6 +50,7 @@ val allocate_until_failure :
   ?weights:Cost.weights ->
   ?retry_ladder:Cost.weights list ->
   ?max_states:int ->
+  ?budget:Budget.t ->
   ?policy:failure_policy ->
   ?order:order ->
   Appgraph.t list ->
@@ -61,7 +62,10 @@ val allocate_until_failure :
 
     [retry_ladder] switches each application to {!Flow.allocate_with_retry}
     over the given settings ([weights] is then ignored) — the SDF3-style
-    revision loop applied per application.
+    revision loop applied per application. [budget] (default infinite) is
+    shared by every per-application ladder: an exhausted budget surfaces
+    as a [Budget_exhausted] failure for the application that hit it, which
+    the policy then treats like any other failure (stop or skip).
 
     When a {!Par} worker pool is active and memoization is enabled, every
     application is first tried against the initial architecture

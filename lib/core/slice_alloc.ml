@@ -8,18 +8,28 @@ let log_src = Logs.Src.create "sdfalloc.slices" ~doc:"TDMA slice allocation"
 module Log = (val Logs.src_log log_src)
 
 type outcome = { slices : int array; throughput : Rat.t; checks : int }
-type failure = { max_throughput : Rat.t; checks : int }
 
-let allocate ?connection_model ?max_states app arch binding schedules =
+type failure = {
+  max_throughput : Rat.t;
+  checks : int;
+  budget_tripped : Budget.reason option;
+}
+
+let allocate ?connection_model ?max_states ?budget app arch binding schedules =
   let nt = Archgraph.num_tiles arch in
   let used = Array.make nt false in
   Array.iter (fun t -> if t >= 0 then used.(t) <- true) binding;
   let avail t = Tile.available_wheel (Archgraph.tile arch t) in
   let checks = ref 0 in
+  let tripped = ref None in
   let throughput slices =
     incr checks;
     let ba = Bind_aware.build ?connection_model ~app ~arch ~binding ~slices () in
-    let thr = Constrained.throughput_or_zero ?max_states ba ~schedules in
+    let thr =
+      Constrained.throughput_or_zero ?max_states ?budget
+        ~on_budget_stop:(fun r -> if !tripped = None then tripped := Some r)
+        ba ~schedules
+    in
     Log.debug (fun m ->
         m "probe #%d slices [%s] -> %s" !checks
           (String.concat ";" (Array.to_list (Array.map string_of_int slices)))
@@ -39,7 +49,7 @@ let allocate ?connection_model ?max_states app arch binding schedules =
   in
   let thr_max = throughput (slices_for max_slice) in
   if Rat.compare thr_max lambda < 0 then
-    Error { max_throughput = thr_max; checks = !checks }
+    Error { max_throughput = thr_max; checks = !checks; budget_tripped = !tripped }
   else begin
     (* Phase 1: smallest common slice meeting lambda, early-exit at 10%. *)
     let best = ref max_slice in

@@ -25,15 +25,24 @@ type failure = {
   max_throughput : Rat.t;
       (** throughput with the entire remaining wheels allocated *)
   checks : int;
+  budget_tripped : Budget.reason option;
+      (** [Some _] when at least one probe was cut by the budget — the
+          failure is then inconclusive, not a proof of infeasibility *)
 }
 
 val allocate :
   ?connection_model:Bind_aware.connection_model ->
   ?max_states:int ->
+  ?budget:Budget.t ->
   Appmodel.Appgraph.t ->
   Platform.Archgraph.t ->
   Binding.t ->
   Schedule.t option array ->
   (outcome, failure) result
 (** [allocate app arch binding schedules]. The schedules must order exactly
-    the actors bound to each tile (from {!List_scheduler.schedules}). *)
+    the actors bound to each tile (from {!List_scheduler.schedules}).
+    Under a finite [budget], every throughput probe runs budgeted and a
+    budget-exhausted probe counts as throughput 0 (see
+    {!Constrained.throughput_or_zero}); [failure.budget_tripped] records
+    whether that happened, so the caller can distinguish "infeasible"
+    from "ran out". *)

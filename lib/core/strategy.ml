@@ -28,6 +28,7 @@ type failure =
   | Bind_failed of Binding_step.failure
   | Schedule_failed
   | Slice_failed of Slice_alloc.failure
+  | Budget_exhausted of Budget.reason
 
 let pp_failure ppf = function
   | Bind_failed f ->
@@ -37,10 +38,27 @@ let pp_failure ppf = function
       Format.fprintf ppf
         "slice allocation failed (best achievable throughput %a)" Rat.pp
         f.Slice_alloc.max_throughput
+  | Budget_exhausted r ->
+      Format.fprintf ppf "budget exhausted (%a)" Budget.pp_reason r
 
 let default_weights = Cost.weights 1. 1. 1.
 
-let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cycles app arch =
+(* Phase-boundary budget checks: the hot loops already probe the budget per
+   state; these catch exhaustion between phases (and report it as the
+   distinct failure instead of a misleading phase failure). *)
+let budget_exhausted budget = Budget.exceeded budget <> None
+
+let budget_error budget =
+  let reason =
+    match Budget.exceeded budget with
+    | Some r -> r
+    | None -> Budget.Cancelled (* raced back under budget; treat as cut *)
+  in
+  Obs.Counter.add "strategy.budget_exhausted" 1;
+  Error (Budget_exhausted reason)
+
+let allocate ?(weights = default_weights) ?connection_model ?max_states
+    ?max_cycles ?(budget = Budget.infinite) app arch =
   (* Wall clock, not [Sys.time]: these stats may be measured on one worker
      domain while siblings burn CPU, and process CPU time sums over all of
      them. *)
@@ -60,6 +78,7 @@ let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cyc
           m "%s: binding failed at actor %d" app.Appgraph.app_name
             e.Binding_step.failed_actor);
       Error (Bind_failed e)
+  | Ok _ when budget_exhausted budget -> budget_error budget
   | Ok binding -> (
       let t1 = clock () in
       match
@@ -77,17 +96,28 @@ let allocate ?(weights = default_weights) ?connection_model ?max_states ?max_cyc
       | None ->
           Obs.Counter.add "strategy.schedule_failed" 1;
           Error Schedule_failed
+      | Some _ when budget_exhausted budget -> budget_error budget
       | Some schedules -> (
           let t2 = clock () in
           match
             Obs.Span.with_ "strategy.slice_alloc" (fun () ->
-                Slice_alloc.allocate ?connection_model ?max_states app arch
-                  binding schedules)
+                Slice_alloc.allocate ?connection_model ?max_states
+                  ~budget app arch binding schedules)
           with
-          | Error f ->
-              Obs.Counter.add "strategy.slice_failed" 1;
+          | Error f -> (
               Obs.Counter.add "strategy.throughput_checks" f.Slice_alloc.checks;
-              Error (Slice_failed f)
+              (* A budget-cut throughput probe reads as 0, so a slice
+                 failure with at least one cut probe is inconclusive:
+                 report the budget, not the slices. *)
+              if budget_exhausted budget then budget_error budget
+              else
+                match f.Slice_alloc.budget_tripped with
+                | Some reason ->
+                    Obs.Counter.add "strategy.budget_exhausted" 1;
+                    Error (Budget_exhausted reason)
+                | None ->
+                    Obs.Counter.add "strategy.slice_failed" 1;
+                    Error (Slice_failed f))
           | Ok outcome ->
               let t3 = clock () in
               Obs.Counter.add "strategy.ok" 1;

@@ -30,6 +30,9 @@ type failure =
   | Schedule_failed  (** the binding-aware execution deadlocks *)
   | Slice_failed of Slice_alloc.failure
       (** even the entire remaining wheels miss the constraint *)
+  | Budget_exhausted of Budget.reason
+      (** the run's resource budget ran out before the strategy could
+          decide — inconclusive, unlike the other failures *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
@@ -41,12 +44,18 @@ val allocate :
   ?connection_model:Bind_aware.connection_model ->
   ?max_states:int ->
   ?max_cycles:int ->
+  ?budget:Budget.t ->
   Appgraph.t ->
   Archgraph.t ->
   (allocation, failure) result
 (** [allocate app arch] runs the three steps. [weights] defaults to the
     paper's balanced setting (1, 1, 1); [connection_model] to the paper's
-    single-actor model. *)
+    single-actor model. Under a finite [budget] (default infinite) the
+    throughput probes of the slice phase run budgeted and the budget is
+    re-checked at phase boundaries; exhaustion yields
+    [Error (Budget_exhausted _)] rather than a misattributed phase
+    failure. A returned [Ok] allocation is always fully verified — budgets
+    never weaken the throughput guarantee. *)
 
 val is_valid : allocation -> Archgraph.t -> bool
 (** Re-verify an allocation against Section 7: resource constraints 1-4

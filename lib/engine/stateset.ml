@@ -35,6 +35,7 @@ let create ?(initial_slots = 16) () =
   }
 
 let length t = t.count
+let arena_bytes t = t.arena_len
 
 let grow t =
   let old_off = t.off

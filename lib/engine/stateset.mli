@@ -24,6 +24,10 @@ val create : ?initial_slots:int -> unit -> t
 
 val length : t -> int
 
+val arena_bytes : t -> int
+(** Packed-state bytes stored so far; O(1), for per-state budget checks
+    (memory budgets) without building a {!stats} record. *)
+
 val find_or_add : t -> Pack.t -> p0:int -> p1:int -> bool * int * int
 (** [find_or_add t pack ~p0 ~p1] looks up the packed state currently held
     by [pack]. If present, returns [(true, q0, q1)] with the payload

@@ -17,7 +17,15 @@
      deepest in-flight batch only runs non-nesting tasks.
 
    Stale helpers (left in the queue after their batch completed) find no
-   unclaimed slot and return immediately. *)
+   unclaimed slot and return immediately.
+
+   Cancellation is cooperative and batch-local: a [map_cancellable] batch
+   carries a [Budget.Cancel.t]; a slot claimed after the token fired is
+   marked [Skipped] without running its function, while in-flight tasks
+   keep running (they observe the same token through their own budget
+   probes). Every slot is still claimed exactly once and the batch still
+   waits for all of them, so accounting is exact: executed + skipped =
+   batch size. *)
 
 type pool = {
   mutex : Mutex.t;
@@ -29,6 +37,7 @@ type pool = {
 }
 
 let tasks_counter = Atomic.make 0
+let skipped_counter = Atomic.make 0
 let batches_counter = Atomic.make 0
 let current : pool option ref = ref None
 
@@ -91,9 +100,13 @@ let set_jobs n =
 (* One batch: slots are claimed under [b_mutex]; the result write and the
    completion count share the same critical section, so the submitter's
    final reads of [results] happen after every writer released the lock. *)
-type 'b slot = Empty | Ok_ of 'b | Err of exn * Printexc.raw_backtrace
+type 'b slot =
+  | Empty
+  | Ok_ of 'b
+  | Err of exn * Printexc.raw_backtrace
+  | Skipped
 
-let run_batch pool f items =
+let run_batch ?cancel pool f items =
   let n = Array.length items in
   let results = Array.make n Empty in
   let b_mutex = Mutex.create () in
@@ -101,15 +114,23 @@ let run_batch pool f items =
   let next = ref 0 in
   let completed = ref 0 in
   let exec i =
-    let inside = Domain.DLS.get inside_task_key in
-    let saved = !inside in
-    inside := true;
     let r =
-      try Ok_ (f items.(i))
-      with e -> Err (e, Printexc.get_raw_backtrace ())
+      match cancel with
+      | Some c when Budget.Cancel.triggered c ->
+          Atomic.incr skipped_counter;
+          Skipped
+      | _ ->
+          let inside = Domain.DLS.get inside_task_key in
+          let saved = !inside in
+          inside := true;
+          let r =
+            try Ok_ (f items.(i))
+            with e -> Err (e, Printexc.get_raw_backtrace ())
+          in
+          inside := saved;
+          Atomic.incr tasks_counter;
+          r
     in
-    inside := saved;
-    Atomic.incr tasks_counter;
     Mutex.lock b_mutex;
     results.(i) <- r;
     incr completed;
@@ -143,9 +164,9 @@ let run_batch pool f items =
   Array.iter
     (function
       | Err (e, bt) -> Printexc.raise_with_backtrace e bt
-      | Ok_ _ | Empty -> ())
+      | Ok_ _ | Empty | Skipped -> ())
     results;
-  Array.map (function Ok_ v -> v | Empty | Err _ -> assert false) results
+  results
 
 let mapi f xs =
   match (!current, xs) with
@@ -153,6 +174,7 @@ let mapi f xs =
   | Some pool, xs ->
       let items = Array.of_list xs in
       run_batch pool (fun (i, x) -> f i x) (Array.mapi (fun i x -> (i, x)) items)
+      |> Array.map (function Ok_ v -> v | Empty | Err _ | Skipped -> assert false)
       |> Array.to_list
 
 let map f xs = mapi (fun _ x -> f x) xs
@@ -160,5 +182,35 @@ let map f xs = mapi (fun _ x -> f x) xs
 let map_reduce ~map:f ~combine ~init xs =
   List.fold_left combine init (map f xs)
 
+let cancel_scope f =
+  let c = Budget.Cancel.create () in
+  Fun.protect ~finally:(fun () -> Budget.Cancel.trigger c) (fun () -> f c)
+
+let map_cancellable ~cancel f xs =
+  let seq () =
+    List.map
+      (fun x ->
+        if Budget.Cancel.triggered cancel then begin
+          Atomic.incr skipped_counter;
+          None
+        end
+        else begin
+          let v = f x in
+          Atomic.incr tasks_counter;
+          Some v
+        end)
+      xs
+  in
+  match (!current, xs) with
+  | None, _ | _, ([] | [ _ ]) -> seq ()
+  | Some pool, xs ->
+      run_batch ~cancel pool f (Array.of_list xs)
+      |> Array.map (function
+           | Ok_ v -> Some v
+           | Skipped -> None
+           | Empty | Err _ -> assert false)
+      |> Array.to_list
+
 let tasks_executed () = Atomic.get tasks_counter
+let tasks_skipped () = Atomic.get skipped_counter
 let batches_executed () = Atomic.get batches_counter

@@ -46,6 +46,26 @@ val map_reduce :
     results left-to-right in input order — deterministic for any
     [combine], associative or not. *)
 
+val cancel_scope : (Budget.Cancel.t -> 'a) -> 'a
+(** [cancel_scope f] runs [f token] with a fresh cancellation token and
+    triggers the token when [f] returns {e or raises}. A scope abandoned by
+    an exception therefore cancels every {!map_cancellable} batch and every
+    budgeted analysis it shared the token with: queued tasks drain without
+    running, in-flight tasks observe the token at their next budget probe.
+    [f] may also trigger the token itself (early exit on first success). *)
+
+val map_cancellable :
+  cancel:Budget.Cancel.t -> ('a -> 'b) -> 'a list -> 'b option list
+(** [map_cancellable ~cancel f xs] is {!map} under a cancellation token:
+    every element's slot is claimed exactly once, but a slot claimed after
+    [cancel] was triggered yields [None] without running [f]; slots already
+    executing run to completion and yield [Some _]. The output remains in
+    input order and the call still waits for the whole batch, so executed
+    plus skipped always equals [List.length xs] — cancellation can never
+    lose or duplicate a task. Executed and skipped elements are counted in
+    {!tasks_executed} / {!tasks_skipped} even on a sequential pool.
+    Exceptions propagate as in {!map}. *)
+
 val inside_task : unit -> bool
 (** Whether the calling domain is currently executing a pool task. Used to
     gate {e speculative} nested fan-outs (cache warm-ups): inside a task
@@ -56,9 +76,15 @@ val inside_task : unit -> bool
 
 val tasks_executed : unit -> int
 (** Tasks completed by {!map}/{!mapi}/{!map_reduce} batches with more than
-    one element on a pool with more than one job, since process start. 0
-    while the pool has never been active — the CLIs export this as the
-    ["pool.tasks"] telemetry counter. *)
+    one element on a pool with more than one job, since process start
+    (plus every element actually executed by {!map_cancellable}, pool or
+    not). 0 while the pool has never been active — the CLIs export this as
+    the ["pool.tasks"] telemetry counter. *)
+
+val tasks_skipped : unit -> int
+(** Tasks drained without running because their batch's cancellation token
+    had been triggered by the time their slot was claimed. Exported as the
+    ["pool.skipped"] telemetry counter. *)
 
 val batches_executed : unit -> int
 (** Parallel batches completed since process start. *)

@@ -1,0 +1,58 @@
+The batch driver runs a directory of SDF3 application files and journals
+one deterministic JSON line per case.
+
+  $ mkdir cases
+  $ sdf3_generate --set 1 -n 3 -o cases --xml >/dev/null
+  $ ls cases
+  s1q0g0.xml
+  s1q0g1.xml
+  s1q0g2.xml
+
+A full run journals every case in sorted order and exits 0:
+
+  $ sdf3_batch cases --platform mesh3x3 --journal full.jsonl
+  3 cases done (0 skipped via resume), journal full.jsonl
+  $ cat full.jsonl
+  {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}
+  {"case":"s1q0g1.xml","status":"allocated","throughput":"1/1160"}
+  {"case":"s1q0g2.xml","status":"allocated","throughput":"1/1080"}
+
+An interrupted run (simulated deterministically with --limit) followed by
+--resume produces a byte-identical journal, processing only the missing
+cases:
+
+  $ sdf3_batch cases --platform mesh3x3 --journal part.jsonl --limit 1
+  1 cases done (0 skipped via resume), journal part.jsonl
+  $ sdf3_batch cases --platform mesh3x3 --journal part.jsonl --resume
+  2 cases done (1 skipped via resume), journal part.jsonl
+  $ cmp full.jsonl part.jsonl
+
+A line torn mid-write by a kill is discarded and its case re-run:
+
+  $ head -c 130 full.jsonl > torn.jsonl
+  $ sdf3_batch cases --platform mesh3x3 --journal torn.jsonl --resume
+  1 cases done (2 skipped via resume), journal torn.jsonl
+  $ cmp full.jsonl torn.jsonl
+
+A per-case budget degrades cases to a partial status (anytime outcome,
+not a batch failure — exit stays 0):
+
+  $ sdf3_batch cases --platform mesh3x3 --journal tiny.jsonl --max-states-per-case 2
+  3 cases done (0 skipped via resume), journal tiny.jsonl
+  $ cat tiny.jsonl
+  {"case":"s1q0g0.xml","status":"partial","reason":"states"}
+  {"case":"s1q0g1.xml","status":"partial","reason":"states"}
+  {"case":"s1q0g2.xml","status":"partial","reason":"states"}
+
+A malformed input is isolated as that case's error line, the other cases
+still run, and the batch exits 1:
+
+  $ echo '<broken' > cases/broken.xml
+  $ sdf3_batch cases --platform mesh3x3 --journal err.jsonl
+  4 cases done (0 skipped via resume), journal err.jsonl
+  [1]
+  $ cat err.jsonl
+  {"case":"broken.xml","status":"error","message":"offset 8: expected a name"}
+  {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}
+  {"case":"s1q0g1.xml","status":"allocated","throughput":"1/1160"}
+  {"case":"s1q0g2.xml","status":"allocated","throughput":"1/1080"}

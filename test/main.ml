@@ -40,6 +40,7 @@ let () =
       ("obs", Test_obs.suite);
       ("memo", Test_memo.suite);
       ("par", Test_par.suite);
+      ("budget", Test_budget.suite);
       ("props", Test_props.suite);
       ("latency", Test_latency.suite);
       ("sensitivity", Test_sensitivity.suite);

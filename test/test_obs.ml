@@ -310,6 +310,40 @@ let test_strategy_spans_and_statespace_counters () =
       Alcotest.(check int) "checks match runs" (Obs.Counter.value "constrained.runs")
         (Obs.Counter.value "strategy.throughput_checks"))
 
+let test_constrained_abort_event () =
+  with_obs (fun () ->
+      let ba =
+        Core.Bind_aware.build ~app:(Models.example_app ())
+          ~arch:(Models.example_platform ()) ~binding:[| 0; 0; 1 |]
+          ~slices:[| 5; 5 |] ()
+      in
+      let schedules =
+        [|
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 0; 1 ]);
+          Some (Core.Schedule.make ~prefix:[] ~period:[ 2 ]);
+        |]
+      in
+      let cap = 3 in
+      (match Core.Constrained.analyze ~max_states:cap ba ~schedules with
+      | _ -> Alcotest.fail "expected the cap to abort the example"
+      | exception Core.Constrained.State_space_exceeded c ->
+          Alcotest.(check int) "exception carries the cap" cap c);
+      Alcotest.(check int) "counter incremented" 1
+        (Obs.Counter.value "constrained.cap_aborts");
+      Alcotest.(check int) "one abort event" 1
+        (Obs.Event.count "constrained.abort");
+      match Obs.Event.all () with
+      | [ ("constrained.abort", fields) ] ->
+          Alcotest.(check bool) "cap field reports the cap value" true
+            (List.assoc_opt "cap" fields = Some (Obs.Event.Int cap));
+          Alcotest.(check bool) "states field reports states explored" true
+            (match List.assoc_opt "states" fields with
+            | Some (Obs.Event.Int states) -> states > cap
+            | _ -> false)
+      | evs ->
+          Alcotest.failf "expected exactly the abort event, got %d events"
+            (List.length evs))
+
 let suite =
   [
     Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
@@ -323,4 +357,6 @@ let suite =
       test_flow_attempt_records;
     Alcotest.test_case "strategy spans and state-space counters" `Quick
       test_strategy_spans_and_statespace_counters;
+    Alcotest.test_case "constrained.abort reports cap and states" `Quick
+      test_constrained_abort_event;
   ]

@@ -147,7 +147,9 @@ let flow_key (r : Core.Flow.result) =
             Printf.sprintf "bind:%d" f.Core.Binding_step.failed_actor
         | Error Core.Strategy.Schedule_failed -> "schedule"
         | Error (Core.Strategy.Slice_failed f) ->
-            Printf.sprintf "slice:%d" f.Core.Slice_alloc.checks)
+            Printf.sprintf "slice:%d" f.Core.Slice_alloc.checks
+        | Error (Core.Strategy.Budget_exhausted r) ->
+            "budget:" ^ Budget.reason_label r)
       r.Core.Flow.attempts )
 
 let prop_flow_jobs_invariant =
