@@ -24,24 +24,26 @@ fmt-check:
 bench-quick:
 	dune exec bench/main.exe -- --quick --no-bechamel
 
-# The CI bench job: parallel table run with telemetry, asserting the memo
-# cache, the work-pool and the packed state-space engine all saw real
-# traffic, and that the fanned-out tables match a sequential run line for
-# line (wall-clock readings excepted).
+# The CI bench job: parallel table run with telemetry and tracing,
+# asserting the memo cache, the work-pool and the packed state-space
+# engine all saw real traffic, that the emitted Chrome trace passes the
+# in-repo validator, and that the fanned-out tables match a sequential
+# run line for line (wall-clock readings excepted).
 bench-smoke:
 	dune exec bench/main.exe -- --quick --no-bechamel --jobs 2 \
-	  --metrics bench-metrics.json > bench-par.out
+	  --metrics bench-metrics.json --trace trace.json > bench-par.out
 	grep -Eq '"cache\.hits": [1-9]' bench-metrics.json
 	grep -Eq '"pool\.tasks": [1-9]' bench-metrics.json
 	grep -Eq '"engine\.arena_bytes": [1-9]' bench-metrics.json
 	grep -q '"engine.bytes_per_state"' bench-metrics.json
 	grep -q '"engine.occupancy"' bench-metrics.json
 	grep -q '"engine.max_probe"' bench-metrics.json
+	dune exec bin/sdf3_report.exe -- --check-trace trace.json
 	dune exec bench/main.exe -- --quick --no-bechamel --jobs 1 > bench-seq.out
-	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|^$$' bench-seq.out \
-	  > bench-seq.flt
-	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|^$$' bench-par.out \
-	  > bench-par.flt
+	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|timeline trace|^$$' \
+	  bench-seq.out > bench-seq.flt
+	grep -vE 'time|[0-9] s$$|[0-9]x$$|telemetry registry|timeline trace|^$$' \
+	  bench-par.out > bench-par.flt
 	diff bench-seq.flt bench-par.flt
 
 # Seed-vs-new state-space engine comparison (states/sec, bytes/state) on

@@ -13,6 +13,8 @@
                                                 # registry of the table runs
                                                 # as JSON (correlates wall
                                                 # clock with states explored)
+     dune exec bench/main.exe -- --trace FILE # export a Chrome trace-event
+                                                # timeline of the table runs
      dune exec bench/main.exe -- --explore-bench FILE # seed-vs-new state-
                                                 # space engine comparison on
                                                 # the E8-E10 grid, written
@@ -370,6 +372,14 @@ let () =
     in
     find argv
   in
+  let trace_file =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
   let jobs =
     let rec find = function
       | "--jobs" :: n :: _ -> (
@@ -396,8 +406,15 @@ let () =
       explore_bench path;
       exit 0
   | None -> ());
+  if trace_file <> None then
+    Par.set_worker_hook (fun i ->
+        Obs.Trace.set_thread_name (Printf.sprintf "worker %d" (i + 1)));
   Par.set_jobs jobs;
-  if metrics_file <> None then Obs.set_enabled true;
+  if metrics_file <> None || trace_file <> None then Obs.set_enabled true;
+  if trace_file <> None then begin
+    Obs.Trace.set_thread_name "main";
+    Obs.Trace.start ()
+  end;
   let seqs = if quick then [ 0 ] else [ 0; 1; 2 ] in
   let archs = if quick then [ 0 ] else [ 0; 1; 2 ] in
   Printf.printf
@@ -436,10 +453,18 @@ let () =
       Obs.Counter.add "pool.batches" (Par.batches_executed ());
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Obs.write_channel oc);
-      Printf.printf "\ntelemetry registry of the table runs written to %s\n" path;
-      (* The micro-benchmarks below must time the kernels with telemetry
-         off, the configuration whose overhead we guarantee (< 2%). *)
-      Obs.set_enabled false);
+      Printf.printf "\ntelemetry registry of the table runs written to %s\n" path);
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Trace.write_channel oc);
+      Printf.printf "timeline trace of the table runs written to %s\n" path);
+  (* The micro-benchmarks below must time the kernels with telemetry off,
+     the configuration whose overhead we guarantee (< 2%). *)
+  if metrics_file <> None || trace_file <> None then Obs.set_enabled false;
   if with_bechamel then begin
     (* The micro-benchmarks time the real analysis kernels: with the memo
        tables warm from the table runs every iteration after the first

@@ -34,6 +34,16 @@ let metrics_stderr =
         ~doc:"Enable telemetry and dump the registry as JSON to stderr on \
               exit")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Enable timeline tracing and write the run as Chrome \
+              trace-event JSON (openable in Perfetto or chrome://tracing) \
+              to $(docv) on exit; parallel work appears as one track per \
+              domain")
+
 let jobs =
   Arg.(
     value & opt int 1
@@ -42,16 +52,30 @@ let jobs =
               (default 1: strictly sequential, byte-identical output). 0 \
               picks the machine's recommended domain count.")
 
-(* Call before the workload. *)
-let init_jobs n = Par.set_jobs n
+(* Call before the workload. The worker hook is installed first so the
+   pool's domains label their own trace tracks as they spawn. *)
+let init_jobs n =
+  Par.set_worker_hook (fun i ->
+      Obs.Trace.set_thread_name (Printf.sprintf "worker %d" (i + 1)));
+  Par.set_jobs n
 
 (* Call before the workload: enables the registry (and the Logs live sink
-   at debug level) when any metrics output was requested. *)
-let init_metrics ~file ~to_stderr =
+   at debug level) when any metrics output was requested, starts the
+   timeline when a trace was, and routes the budget's amortised probe to
+   the states/s heartbeat in either case. *)
+let init_metrics ?(trace = None) ~file ~to_stderr () =
   if file <> None || to_stderr then begin
     Obs.set_enabled true;
     Obs.Sink.logs ()
-  end
+  end;
+  (match trace with
+  | None -> ()
+  | Some _ ->
+      Obs.set_enabled true;
+      Obs.Trace.set_thread_name "main";
+      Obs.Trace.start ());
+  if Obs.enabled () then
+    Budget.set_probe_hook (fun ~states -> Obs.Heartbeat.probe ~states)
 
 (* [Par] is dependency-free (it cannot record into [Obs] itself), so the
    pool's lifetime totals are copied into counters at serialization time. *)
@@ -63,7 +87,7 @@ let export_par_stats () =
     Obs.Counter.add "pool.batches" (Par.batches_executed ())
   end
 
-let write_metrics ~file ~to_stderr =
+let write_metrics ?(trace = None) ~file ~to_stderr () =
   export_par_stats ();
   (match file with
   | None -> ()
@@ -75,4 +99,11 @@ let write_metrics ~file ~to_stderr =
   if to_stderr then begin
     Obs.write_channel stderr;
     flush stderr
-  end
+  end;
+  match trace with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Trace.write_channel oc)

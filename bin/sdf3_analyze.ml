@@ -32,9 +32,10 @@ let load file =
         exit 1
 
 let analyze file show_hsdf show_dot show_trace log_level metrics_file
-    metrics_stderr =
+    metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
-  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   (match load file with
   | { Sdf.Textio.doc_name; graph; exec_times } -> (
       Printf.printf "graph %s: %d actors, %d channels\n" doc_name
@@ -83,7 +84,10 @@ let analyze file show_hsdf show_dot show_trace log_level metrics_file
                         (Analysis.Trace.to_dot
                            ~actor_name:(Sdfg.actor_name graph) t));
                   Printf.printf "state-space trace written to %s\n" path);
-              let r = Analysis.Selftimed.analyze graph taus in
+              let r =
+                Obs.Span.with_ "analyze.selftimed" (fun () ->
+                    Analysis.Selftimed.analyze graph taus)
+              in
               Array.iteri
                 (fun a thr ->
                   Printf.printf "throughput %s = %s\n"
@@ -95,10 +99,14 @@ let analyze file show_hsdf show_dot show_trace log_level metrics_file
                 r.Analysis.Selftimed.period;
               Printf.printf "periodic phase: %d iteration(s) per period\n"
                 r.Analysis.Selftimed.iterations_per_period;
-              let h = Sdf.Hsdf.convert graph gamma in
+              let h =
+                Obs.Span.with_ "analyze.hsdf_convert" (fun () ->
+                    Sdf.Hsdf.convert graph gamma)
+              in
               (match
-                 Analysis.Mcr.max_cycle_ratio h.Sdf.Hsdf.graph
-                   (Sdf.Hsdf.timing h taus)
+                 Obs.Span.with_ "analyze.mcr" (fun () ->
+                     Analysis.Mcr.max_cycle_ratio h.Sdf.Hsdf.graph
+                       (Sdf.Hsdf.timing h taus))
                with
               | Analysis.Mcr.Ratio r ->
                   Printf.printf "hsdf max cycle ratio = %s\n" (Rat.to_string r)
@@ -110,7 +118,8 @@ let analyze file show_hsdf show_dot show_trace log_level metrics_file
       | Some path ->
           Sdf.Dot.write_file ?exec_times ~name:doc_name path graph;
           Printf.printf "dot written to %s\n" path));
-  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
+  Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ()
 
 open Cmdliner
 
@@ -122,18 +131,21 @@ let hsdf = Arg.(value & flag & info [ "hsdf" ] ~doc:"Report the HSDF expansion s
 let dot =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT" ~doc:"Write a Graphviz rendering to $(docv)")
 
-let trace =
+(* [--trace] is the shared Chrome-trace timeline (Cli_common.trace_file);
+   the state-space trajectory dump lives under [--state-trace]. *)
+let state_trace =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace" ] ~docv:"OUT"
+    & info [ "state-trace" ] ~docv:"OUT"
         ~doc:"Write the self-timed state-space trace (Fig.-5 style) to $(docv)")
 
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_analyze" ~doc:"Analyse a synchronous dataflow graph")
     Term.(
-      const analyze $ file $ hsdf $ dot $ trace $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
+      const analyze $ file $ hsdf $ dot $ state_trace $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
+      $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -69,6 +69,15 @@ let line_error case msg =
    graph, analysis bug — becomes this case's "error" line instead of
    taking down the batch. *)
 let run_case ~dir ~arch ~deadline ~case_max_states case =
+  (* Timeline bracketing: the span shows the case on its executing
+     domain's track, the async arc ties the whole case together even when
+     chunked scheduling moves it between domains across a resume. *)
+  let async_id = Hashtbl.hash case in
+  Obs.Trace.async_begin ~cat:"batch" ~id:async_id case;
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.async_end ~cat:"batch" ~id:async_id case)
+  @@ fun () ->
+  Obs.Span.with_ "batch.case" @@ fun () ->
   try
     let app = Appmodel.Sdf3_xml.read_app_file (Filename.concat dir case) in
     (* The wall clock starts when the case starts (here, inside the pool
@@ -136,10 +145,11 @@ let rec chunks n = function
       | rest -> head :: chunks n rest)
 
 let run dir platform_spec deadline case_max_states limit journal resume jobs
-    log_level metrics_file metrics_stderr =
+    log_level metrics_file metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
   Cli_common.init_jobs jobs;
-  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   let arch = parse_platform platform_spec in
   let cases =
     Sys.readdir dir |> Array.to_list
@@ -178,7 +188,8 @@ let run dir platform_spec deadline case_max_states limit journal resume jobs
   close_out oc;
   Printf.printf "%d cases done (%d skipped via resume), journal %s\n"
     (List.length todo) (List.length already) journal;
-  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   (* Exit 1 iff any case of the final journal errored; partial and failed
      cases are expected batch outcomes. *)
   let ic = open_in_bin journal in
@@ -266,6 +277,7 @@ let cmd =
     Term.(
       const run $ dir $ platform $ deadline $ case_max_states $ limit $ journal
       $ resume $ Cli_common.jobs $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr)
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
+      $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

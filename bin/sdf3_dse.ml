@@ -72,10 +72,12 @@ let latency_report app =
   Printf.printf "  first-iteration makespan: %d time units\n"
     (Analysis.Latency.iteration_makespan ~max_states:500_000 g taus)
 
-let dse model skip_buffers jobs log_level metrics_file metrics_stderr =
+let dse model skip_buffers jobs log_level metrics_file metrics_stderr
+    trace_file =
   Cli_common.setup_logs log_level;
   Cli_common.init_jobs jobs;
-  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   let app, arch = model_of_name model in
   Printf.printf "design-space exploration for %s (lambda %s)\n\n"
     app.Appgraph.app_name
@@ -83,7 +85,8 @@ let dse model skip_buffers jobs log_level metrics_file metrics_stderr =
   if not skip_buffers then buffer_tradeoff app;
   latency_report app;
   lambda_sweep app arch;
-  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
+  Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ()
 
 open Cmdliner
 
@@ -105,6 +108,6 @@ let cmd =
     Term.(
       const dse $ model $ skip_buffers $ Cli_common.jobs
       $ Cli_common.log_level $ Cli_common.metrics_file
-      $ Cli_common.metrics_stderr)
+      $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

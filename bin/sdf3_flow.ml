@@ -39,10 +39,12 @@ let parse_weights s =
 open Core
 
 let flow apps_spec files set count platform_spec weights_spec verbose skip
-    ordering deploy gantt jobs log_level metrics_file metrics_stderr =
+    ordering deploy gantt jobs log_level metrics_file metrics_stderr trace_file
+    =
   Cli_common.setup_logs log_level;
   Cli_common.init_jobs jobs;
-  Cli_common.init_metrics ~file:metrics_file ~to_stderr:metrics_stderr;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   let arch = parse_platform platform_spec in
   let apps =
     match (files, set) with
@@ -139,7 +141,8 @@ let flow apps_spec files set count platform_spec weights_spec verbose skip
     report.Multi_app.wheel_used report.Multi_app.memory_used
     report.Multi_app.connections_used report.Multi_app.bw_in_used
     report.Multi_app.bw_out_used;
-  Cli_common.write_metrics ~file:metrics_file ~to_stderr:metrics_stderr
+  Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ()
 
 open Cmdliner
 
@@ -223,6 +226,6 @@ let cmd =
       const flow $ apps $ files $ set $ count $ platform $ weights $ verbose
       $ skip $ ordering $ deploy $ gantt $ Cli_common.jobs
       $ Cli_common.log_level $ Cli_common.metrics_file
-      $ Cli_common.metrics_stderr)
+      $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -4,8 +4,17 @@
    and persists it into the regression corpus. *)
 
 let run count time seed max_states corpus no_corpus mutant app_every verbose
-    log_level =
+    log_level metrics_file metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
+  (* The registry is written before every exit path, including the
+     counterexample and undetected-mutant failures. *)
+  let finish code =
+    Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+      ~to_stderr:metrics_stderr ();
+    if code <> 0 then exit code
+  in
   let log msg = if verbose then Printf.eprintf "%s\n%!" msg in
   let cfg =
     {
@@ -29,8 +38,9 @@ let run count time seed max_states corpus no_corpus mutant app_every verbose
       if mutant then begin
         (* A mutant run that finds nothing means the oracles are blind. *)
         Printf.printf "fuzz: ERROR: injected mutant was not detected\n";
-        exit 2
+        finish 2
       end
+      else finish 0
   | Some cex ->
       let open Check.Harness in
       Printf.printf "fuzz: counterexample after %d cases (seed %d)\n"
@@ -45,7 +55,7 @@ let run count time seed max_states corpus no_corpus mutant app_every verbose
       | Some path -> Printf.printf "  saved:   %s\n" path
       | None -> ());
       print_string (Check.Case.to_text cex.shrunk);
-      exit 1
+      finish 1
 
 open Cmdliner
 
@@ -108,6 +118,8 @@ let cmd =
        ~doc:"Differential and metamorphic fuzzing of the analysis stack")
     Term.(
       const run $ count $ time $ seed $ max_states $ corpus $ no_corpus
-      $ mutant $ app_every $ verbose $ Cli_common.log_level)
+      $ mutant $ app_every $ verbose $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
+      $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -3,13 +3,19 @@
 
 module Appgraph = Appmodel.Appgraph
 
-let generate set seq count out xml log_level =
+let generate set seq count out xml log_level metrics_file metrics_stderr
+    trace_file =
   Cli_common.setup_logs log_level;
+  Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ();
   if set < 1 || set > 4 then begin
     Printf.eprintf "set must be 1..4\n";
     exit 1
   end;
-  let apps = Gen.Benchsets.sequence ~set ~seq ~count in
+  let apps =
+    Obs.Span.with_ "generate.benchset" (fun () ->
+        Gen.Benchsets.sequence ~set ~seq ~count)
+  in
   List.iteri
     (fun i app ->
       let g = app.Appgraph.graph in
@@ -31,7 +37,9 @@ let generate set seq count out xml log_level =
             (Sdf.Sdfg.num_actors g)
             (Sdf.Rat.to_string app.Appgraph.lambda);
           ignore i)
-    apps
+    apps;
+  Cli_common.write_metrics ~trace:trace_file ~file:metrics_file
+    ~to_stderr:metrics_stderr ()
 
 open Cmdliner
 
@@ -57,6 +65,9 @@ let xml =
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_generate" ~doc:"Generate random benchmark SDFGs")
-    Term.(const generate $ set $ seq $ count $ out $ xml $ Cli_common.log_level)
+    Term.(
+      const generate $ set $ seq $ count $ out $ xml $ Cli_common.log_level
+      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
+      $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,111 @@
+(* Aggregate metrics registries, batch journals and timeline traces into
+   one static HTML dashboard; also a trace validator for CI
+   (--check-trace). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_trace path =
+  let text = try read_file path with Sys_error e -> fail "%s" e in
+  match Obs.Json.parse text with
+  | Error e -> fail "%s: invalid JSON: %s" path e
+  | Ok j -> (
+      match Obs.Trace.validate j with
+      | Error e -> fail "%s: invalid trace: %s" path e
+      | Ok { Obs.Trace.events; tracks } ->
+          Printf.printf "%s: ok (%d events, %d tracks)\n" path events tracks)
+
+let run metrics journals traces check output title =
+  match check with
+  | _ :: _ -> List.iter check_trace check
+  | [] ->
+      let registries =
+        List.map
+          (fun path ->
+            let text = try read_file path with Sys_error e -> fail "%s" e in
+            match Obs.Json.parse text with
+            | Error e -> fail "%s: invalid JSON: %s" path e
+            | Ok j -> (
+                match
+                  Report.registry_of_json ~label:(Filename.basename path) j
+                with
+                | Error e -> fail "%s" e
+                | Ok r -> r))
+          metrics
+      in
+      let journals =
+        List.map
+          (fun path ->
+            let text = try read_file path with Sys_error e -> fail "%s" e in
+            match
+              Report.journal_of_string ~label:(Filename.basename path) text
+            with
+            | Error e -> fail "%s" e
+            | Ok j -> j)
+          journals
+      in
+      let page = Report.html ?title ~registries ~journals ~traces () in
+      let oc = open_out_bin output in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc page);
+      Printf.printf "wrote %s\n" output
+
+open Cmdliner
+
+let metrics =
+  Arg.(
+    value & opt_all file []
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Metrics registry JSON (from $(b,--metrics) on the other tools). \
+           Repeatable; timers are merged across registries.")
+
+let journals =
+  Arg.(
+    value & opt_all file []
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"$(b,sdf3_batch) JSONL journal. Repeatable.")
+
+let traces =
+  Arg.(
+    value & opt_all string []
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Chrome trace-event JSON to link (not inline) from the report. \
+           Repeatable.")
+
+let check =
+  Arg.(
+    value & opt_all file []
+    & info [ "check-trace" ] ~docv:"FILE"
+        ~doc:
+          "Validate $(docv) as Chrome trace-event JSON (well-formed, \
+           monotone per-track timestamps, balanced begin/end pairs) and \
+           exit; no report is written. Repeatable; exits non-zero on the \
+           first invalid file.")
+
+let output =
+  Arg.(
+    value
+    & opt string "report.html"
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output HTML file")
+
+let title =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "title" ] ~docv:"TITLE" ~doc:"Report title")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_report"
+       ~doc:"Render an HTML run report from metrics, journals and traces")
+    Term.(const run $ metrics $ journals $ traces $ check $ output $ title)
+
+let () = exit (Cmd.eval cmd)

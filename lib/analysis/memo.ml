@@ -6,6 +6,10 @@ let hits_total = Obs.Counter.make "cache.hits"
 let misses_total = Obs.Counter.make "cache.misses"
 let evictions_total = Obs.Counter.make "cache.evictions"
 
+(* Latency of the locked table lookup itself (not the computation on a
+   miss): its tail is the contention signal for the shared-mutex design. *)
+let lookup_hist = Obs.Histogram.make "cache.lookup_s"
+
 type 'v t = {
   tbl : (string, 'v) Hashtbl.t;
   mutex : Mutex.t;
@@ -45,12 +49,18 @@ let create ~name ?(max_entries = 65_536) () =
   Mutex.unlock registry_mutex;
   t
 
+let locked_find t key =
+  Mutex.lock t.mutex;
+  let cached = Hashtbl.find_opt t.tbl key in
+  Mutex.unlock t.mutex;
+  cached
+
 let find t ~key =
   if not !enabled_flag then None
   else begin
-    Mutex.lock t.mutex;
-    let cached = Hashtbl.find_opt t.tbl key in
-    Mutex.unlock t.mutex;
+    let cached =
+      Obs.Histogram.time lookup_hist (fun () -> locked_find t key)
+    in
     (match cached with
     | Some _ ->
         Obs.Counter.incr t.hits;
@@ -75,9 +85,9 @@ let add t ~key v =
 let find_or_compute t ~key f =
   if not !enabled_flag then f ()
   else begin
-    Mutex.lock t.mutex;
-    let cached = Hashtbl.find_opt t.tbl key in
-    Mutex.unlock t.mutex;
+    let cached =
+      Obs.Histogram.time lookup_hist (fun () -> locked_find t key)
+    in
     match cached with
     | Some v ->
         Obs.Counter.incr t.hits;

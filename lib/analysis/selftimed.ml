@@ -28,6 +28,11 @@ exception State_space_exceeded of int
 exception Budget_stop of Budget.reason
 (* Internal: unwinds the exploration when the budget runs out. *)
 
+(* One sample per run: the seen-set's longest probe sequence. The gauge of
+   the same name only keeps the last run; the histogram shows whether long
+   probe chains are an outlier or the norm across a batch. *)
+let probe_len_hist = Obs.Histogram.make "engine.probe_len"
+
 (* Anytime upper bound on the iteration rate, from the simple cycles of the
    graph alone — no exploration needed, so it is available no matter how
    early a budgeted run stops.
@@ -245,7 +250,9 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
       Obs.Gauge.set "engine.occupancy"
         (float_of_int s.Engine.Stateset.states
         /. float_of_int (max 1 s.Engine.Stateset.slots));
-      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe
+      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe;
+      Obs.Histogram.record probe_len_hist
+        (float_of_int s.Engine.Stateset.max_probe)
     end;
     r
   in
@@ -311,6 +318,12 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
         Obs.Counter.add "budget.partials" 1;
         Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
       end;
+      Obs.Trace.instant "budget.trip"
+        ~args:
+          [
+            ("reason", Obs.Event.String (Budget.reason_label reason));
+            ("states", Obs.Event.Int (Engine.Stateset.length seen));
+          ];
       let iteration_upper_bound =
         cycle_upper_bound ~durations:(fun a -> exec_times.(a)) g
       in

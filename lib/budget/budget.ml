@@ -64,6 +64,14 @@ let make ?wall_s ?deadline ?max_states ?max_arena_bytes ?cancel () =
 let states_limited b = b.max_states < max_int
 let arena_limited b = b.max_arena_bytes < max_int
 
+(* Observability piggy-back on the amortised probe: the hook fires once
+   per [probe_interval] checks with the exploration's current state count,
+   so a telemetry layer (Obs.Heartbeat) can derive states/s without this
+   library depending on it — and without adding anything to the per-state
+   fast path. *)
+let probe_hook : (states:int -> unit) ref = ref (fun ~states:_ -> ())
+let set_probe_hook f = probe_hook := f
+
 let slow_probe b =
   if (match b.cancel with Some c -> Cancel.triggered c | None -> false) then
     Some Cancelled
@@ -84,6 +92,7 @@ let check b ~states ~arena_bytes =
     end
     else begin
       b.countdown <- probe_interval;
+      !probe_hook ~states;
       slow_probe b
     end
   end

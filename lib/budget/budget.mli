@@ -78,6 +78,13 @@ val probe_interval : int
 (** Number of {!check} calls between two clock/token probes (the state and
     arena caps are exact regardless). *)
 
+val set_probe_hook : (states:int -> unit) -> unit
+(** Install a callback fired from {!check}'s amortised slow path — once
+    per {!probe_interval} calls on a finite budget, with the caller's
+    current state count. The CLIs route it to [Obs.Heartbeat.probe] to
+    sample states/s heartbeats; the default is a no-op. The hook runs on
+    the exploring domain and must be cheap and non-raising. *)
+
 val check : t -> states:int -> arena_bytes:int -> reason option
 (** [check b ~states ~arena_bytes] is [Some r] when the budget is
     exhausted. State and arena caps are compared on every call; the clock

@@ -19,6 +19,10 @@ exception State_space_exceeded of int
 exception Budget_stop of Budget.reason
 (* Internal: unwinds the exploration when the budget runs out. *)
 
+(* One sample per run, mirroring Analysis.Selftimed: the distribution of
+   longest probe sequences across a batch of constrained runs. *)
+let probe_len_hist = Obs.Histogram.make "engine.probe_len"
+
 let idle = max_int
 
 (* Completion time of a firing of [tau] work started at absolute time [t] on
@@ -431,7 +435,9 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
       Obs.Gauge.set "engine.occupancy"
         (float_of_int s.Engine.Stateset.states
         /. float_of_int (max 1 s.Engine.Stateset.slots));
-      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe
+      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe;
+      Obs.Histogram.record probe_len_hist
+        (float_of_int s.Engine.Stateset.max_probe)
     end;
     r
   in
@@ -512,6 +518,12 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
         Obs.Counter.add "budget.partials" 1;
         Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
       end;
+      Obs.Trace.instant "budget.trip"
+        ~args:
+          [
+            ("reason", Obs.Event.String (Budget.reason_label reason));
+            ("states", Obs.Event.Int (Engine.Stateset.length seen));
+          ];
       (* Anytime bound: every firing occupies its actor for at least its
          TDMA-inflated minimum duration, and static-order serialization can
          only slow things further, so the self-timed cycle bound over these

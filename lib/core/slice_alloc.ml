@@ -9,6 +9,11 @@ module Log = (val Logs.src_log log_src)
 
 type outcome = { slices : int array; throughput : Rat.t; checks : int }
 
+(* Wall-clock cost of one throughput probe (bind-aware build plus its
+   constrained exploration): the distribution, not just the mean, is what
+   explains a stalled rung — one blown-up probe dominates a search. *)
+let probe_hist = Obs.Histogram.make "slice_alloc.probe_s"
+
 type failure = {
   max_throughput : Rat.t;
   checks : int;
@@ -24,11 +29,14 @@ let allocate ?connection_model ?max_states ?budget app arch binding schedules =
   let tripped = ref None in
   let throughput slices =
     incr checks;
-    let ba = Bind_aware.build ?connection_model ~app ~arch ~binding ~slices () in
     let thr =
-      Constrained.throughput_or_zero ?max_states ?budget
-        ~on_budget_stop:(fun r -> if !tripped = None then tripped := Some r)
-        ba ~schedules
+      Obs.Histogram.time probe_hist (fun () ->
+          let ba =
+            Bind_aware.build ?connection_model ~app ~arch ~binding ~slices ()
+          in
+          Constrained.throughput_or_zero ?max_states ?budget
+            ~on_budget_stop:(fun r -> if !tripped = None then tripped := Some r)
+            ba ~schedules)
     in
     Log.debug (fun m ->
         m "probe #%d slices [%s] -> %s" !checks

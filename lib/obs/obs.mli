@@ -1,33 +1,42 @@
-(** Telemetry for the allocation flow: counters, gauges, timers,
-    hierarchical spans and structured events, collected in a process-global
-    in-memory registry with a JSON serializer and a Logs-backed live sink.
+(** Telemetry for the allocation flow: counters, gauges, timers, log-bucketed
+    histograms, hierarchical spans, structured events and a Chrome-trace-event
+    timeline, collected in a process-global in-memory registry with a JSON
+    serializer and a Logs-backed live sink.
 
     Telemetry is {e disabled by default}. Every recording entry point
     checks one flag and returns immediately while disabled, so
     instrumenting a hot path costs a single branch. Enable with
-    {!set_enabled} (the CLIs do this when [--metrics] is given), run the
-    workload, then serialize with {!json_string} / {!write_channel}.
+    {!set_enabled} (the CLIs do this when [--metrics] or [--trace] is
+    given), run the workload, then serialize with {!json_string} /
+    {!write_channel} and {!Trace.write_channel}.
 
     The registry is thread-safe: recording from concurrent domains (the
     {!Par}-driven fan-outs) is serialised on one internal mutex, the span
     stack is domain-local, and {!unrecorded} suppresses recording on the
     calling domain only — speculative parallel work uses it so discarded
-    attempts do not pollute the registry.
+    attempts do not pollute the registry. The {!Trace} timeline is the one
+    deliberate exception: a started trace records spans of suppressed
+    domains too (tagged with the ["speculative"] category), because seeing
+    where the pool spent its time is exactly what a timeline is for.
 
-    {b JSON schema} (stable key names, [schema_version] 1):
+    {b JSON schema} (stable key names, [schema_version] 2):
     {v
-    { "schema_version": 1,
-      "counters": { "<name>": <int>, ... },
-      "gauges":   { "<name>": <number>, ... },
-      "timers":   { "<name>": { "count": <int>, "total_s": <number>,
-                                "mean_s": <number>, "min_s": <number>,
-                                "max_s": <number> }, ... },
-      "events":   [ { "kind": "<kind>", "<field>": <value>, ... }, ... ],
-      "events_dropped": <int> }
+    { "schema_version": 2,
+      "counters":   { "<name>": <int>, ... },
+      "gauges":     { "<name>": <number>, ... },
+      "timers":     { "<name>": { "count": <int>, "total_s": <number>,
+                                  "mean_s": <number>, "stddev_s": <number>,
+                                  "min_s": <number>, "max_s": <number> }, ... },
+      "histograms": { "<name>": { "count": <int>, "p50": <number>,
+                                  "p90": <number>, "p99": <number>,
+                                  "max": <number> }, ... },
+      "events":     [ { "kind": "<kind>", "<field>": <value>, ... }, ... ],
+      "events_dropped": { "<kind>": <int>, ... } }
     v}
-    Counter/gauge/timer keys are sorted; events appear in emission order
-    (capped at 10_000, the overflow counted in [events_dropped]). Timer
-    keys recorded through {!Span.with_} are full span paths, e.g.
+    Counter/gauge/timer/histogram keys are sorted; events appear in
+    emission order (capped at 10_000 by default, see {!set_event_cap}; the
+    overflow is counted per event kind in [events_dropped]). Timer keys
+    recorded through {!Span.with_} are full span paths, e.g.
     ["flow.attempt/strategy.bind"]. The metric-name catalogue of the
     instrumented flow is documented in README.md ("Observability"). *)
 
@@ -42,11 +51,18 @@ val unrecorded : (unit -> 'a) -> 'a
     on this domain only): every counter/gauge/timer/span/event entry point
     becomes a no-op. Used for speculative work — parallel cache warm-ups,
     discarded ladder rungs — whose telemetry would distort the registry.
-    Nesting is fine; exception-safe. *)
+    Nesting is fine; exception-safe. A started {!Trace} still records the
+    suppressed spans, tagged ["speculative"]. *)
 
 val reset : unit -> unit
-(** Zero all counters (handles from {!Counter.make} stay valid), drop all
-    gauges, timers and events. Registered sinks are kept. *)
+(** Zero all counters and histograms (handles from {!Counter.make} /
+    {!Histogram.make} stay valid), drop all gauges, timers and events.
+    Registered sinks, the event cap and the {!Trace} buffer are kept. *)
+
+val set_event_cap : int -> unit
+(** Cap on stored events (default 10_000). Events emitted beyond the cap
+    are dropped and counted per kind in [events_dropped]. Raising the cap
+    does not resurrect dropped events; the cap survives {!reset}. *)
 
 (** Monotonic integer counters. *)
 module Counter : sig
@@ -71,9 +87,18 @@ module Gauge : sig
   val value : string -> float option
 end
 
-(** Histogram-style duration accumulators: count / total / min / max. *)
+(** Duration accumulators: count / total / mean / stddev / min / max. The
+    standard deviation is maintained with Welford's online update — two
+    extra float fields mutated in place, no allocation on the record
+    path. *)
 module Timer : sig
-  type snapshot = { count : int; total_s : float; min_s : float; max_s : float }
+  type snapshot = {
+    count : int;
+    total_s : float;
+    min_s : float;
+    max_s : float;
+    stddev_s : float;
+  }
 
   val record : string -> float -> unit
   (** [record name seconds] folds one measured duration into [name]. *)
@@ -85,10 +110,47 @@ module Timer : sig
   val snapshot : string -> snapshot option
 end
 
+(** Log-bucketed value distributions for hot-path measurements where a
+    {!Timer}'s four aggregates are too coarse: slice-probe latencies, memo
+    lookup times, states/s heartbeats, engine probe lengths.
+
+    Values land in power-of-two buckets (one [frexp] plus one array
+    increment per record), so recording is O(1) and allocation-free;
+    quantiles are estimated from the buckets (exact within a factor of 2,
+    clamped to the observed min/max — a single-valued histogram reports
+    that value exactly). Serialized as count/p50/p90/p99/max. *)
+module Histogram : sig
+  type t
+  (** A pre-registered handle; cheap enough for per-probe recording. *)
+
+  val make : string -> t
+  (** Register (or look up) the histogram [name]. *)
+
+  val record : t -> float -> unit
+  val add : string -> float -> unit
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, recording its wall-clock duration in seconds. The
+      thunk runs unmeasured while telemetry is disabled. *)
+
+  type snapshot = {
+    count : int;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+    min : float;
+    max : float;
+  }
+
+  val snapshot : string -> snapshot option
+end
+
 (** Hierarchical timing scopes. [Span.with_ "strategy.bind" f] runs [f]
     and records its duration in a {!Timer} keyed by the ["/"]-joined path
     of enclosing spans (["flow.attempt/strategy.bind"] when nested under a
-    ["flow.attempt"] span). *)
+    ["flow.attempt"] span). When a {!Trace} is started, every span also
+    emits a Chrome-trace ["B"]/["E"] pair on the calling domain's
+    track. *)
 module Span : sig
   val with_ : string -> (unit -> 'a) -> 'a
   (** Exception-safe: the span is closed and recorded on raise. *)
@@ -97,7 +159,9 @@ module Span : sig
   (** Enclosing span names, outermost first; [[]] outside any span. *)
 end
 
-(** Structured one-off records ("one attempt per weight-ladder rung"). *)
+(** Structured one-off records ("one attempt per weight-ladder rung").
+    While a {!Trace} is started, every emitted event is mirrored as an
+    instant event on the timeline. *)
 module Event : sig
   type field = String of string | Int of int | Float of float | Bool of bool
 
@@ -108,11 +172,15 @@ module Event : sig
   val count : string -> int
   (** Number of stored events of the given kind. *)
 
+  val dropped : string -> int
+  (** Number of events of the given kind dropped at the cap. *)
+
   val all : unit -> (string * (string * field) list) list
   (** All stored events, oldest first. *)
 end
 
-(** Minimal JSON document model used by the serializer. *)
+(** Minimal JSON document model used by the serializer, with a matching
+    reader used by the trace validator and the report generator. *)
 module Json : sig
   type t =
     | Null
@@ -126,6 +194,93 @@ module Json : sig
   val to_string : t -> string
   (** Pretty-printed (2-space indent), newline-terminated. Non-finite
       floats are clamped to 0 to keep the document valid. *)
+
+  val parse : string -> (t, string) result
+  (** Strict parser for the documents this library writes (and ordinary
+      machine-generated JSON): no trailing garbage, ASCII escapes decoded,
+      [\uXXXX] beyond ASCII kept verbatim. Numbers without [.]/[e] that
+      fit an [int] parse as [Int]. *)
+
+  val member : string -> t -> t option
+  (** [member k (Assoc kvs)] is the value bound to [k], [None] otherwise. *)
+end
+
+(** Timeline tracing in the Chrome trace-event JSON array format — load
+    the written file in Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing].
+
+    A trace is {e started} once per process ({!start}; the CLIs do this
+    for [--trace FILE]) and records, while telemetry is enabled:
+    {!Span.with_} scopes as ["B"]/["E"] duration pairs, {!Event.emit}
+    records and explicit {!instant} calls as instant events, {!counter}
+    samples as counter tracks, and {!async_begin}/{!async_end} pairs as
+    async arcs. Every record carries the calling domain's id as its [tid],
+    so work fanned out through the {!Par} pool renders as parallel tracks
+    ({!set_thread_name} labels them). Timestamps are microseconds since
+    {!start}, clamped per track so each track is non-decreasing. *)
+module Trace : sig
+  val start : unit -> unit
+  (** Begin collecting (idempotent; the timestamp origin is set on the
+      first call). Recording additionally requires {!set_enabled}[ true]. *)
+
+  val active : unit -> bool
+
+  val reset : unit -> unit
+  (** Drop all collected records, track names and the started flag. *)
+
+  val set_cap : int -> unit
+  (** Cap on stored trace records (default 1_000_000); overflow is
+      dropped and counted in {!dropped}. *)
+
+  val dropped : unit -> int
+
+  val set_thread_name : string -> unit
+  (** Label the calling domain's track in the rendered timeline. Recorded
+      even before {!start} so pool workers can self-label at spawn. *)
+
+  val instant : ?args:(string * Event.field) list -> string -> unit
+  (** A point-in-time marker (phase ["i"]) on the calling domain's
+      track. *)
+
+  val counter : string -> float -> unit
+  (** A sample on a counter track (phase ["C"]), rendered by trace viewers
+      as a value-over-time graph. *)
+
+  val async_begin : ?cat:string -> id:int -> string -> unit
+  (** Open an async arc (phase ["b"]). Arcs are matched by
+      [(cat, id, name)] and may cross domains. *)
+
+  val async_end : ?cat:string -> id:int -> string -> unit
+
+  val json : unit -> Json.t
+  (** The collected timeline as a Chrome-trace JSON array: metadata
+      records first (process name, one [thread_name] per track), then all
+      events oldest-first. *)
+
+  val to_string : unit -> string
+  val write_channel : out_channel -> unit
+
+  type summary = { events : int; tracks : int }
+
+  val validate : Json.t -> (summary, string) result
+  (** Structural validator for traces in the format {!json} writes: the
+      document is an array of objects, every record carries a known
+      single-letter [ph], a [name], integer [pid]/[tid] and a finite
+      [ts >= 0]; per [tid], timestamps are non-decreasing and ["B"]/["E"]
+      pairs are balanced and well-nested. Used by the trace unit tests and
+      [sdf3_report --check-trace] (CI runs it on every uploaded trace). *)
+end
+
+(** States-per-second heartbeats, designed to be driven by
+    [Budget.set_probe_hook]: the budget's amortized slow probe (every
+    [Budget.probe_interval] checks) calls {!probe} with the exploration's
+    current state count; the delta against the calling domain's previous
+    probe becomes one ["engine.states_per_sec"] {!Histogram} sample and
+    one {!Trace.counter} sample. A state count smaller than the previous
+    probe's means a new exploration started on this domain and only
+    re-bases the reference point. *)
+module Heartbeat : sig
+  val probe : states:int -> unit
 end
 
 val snapshot_json : unit -> Json.t

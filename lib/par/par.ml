@@ -49,6 +49,13 @@ let current : pool option ref = ref None
 let inside_task_key = Domain.DLS.new_key (fun () -> ref false)
 let inside_task () = !(Domain.DLS.get inside_task_key)
 
+(* Called on each worker domain right after it is spawned, with the
+   worker's 0-based index. The CLIs use it to label the worker's track in
+   timeline traces (Obs.Trace.set_thread_name) without this library
+   depending on the telemetry layer. *)
+let worker_hook : (int -> unit) ref = ref (fun _ -> ())
+let set_worker_hook f = worker_hook := f
+
 let worker pool () =
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -92,7 +99,10 @@ let set_jobs n =
         }
       in
       pool.domains <-
-        List.init (n - 1) (fun _ -> Domain.spawn (worker pool));
+        List.init (n - 1) (fun i ->
+            Domain.spawn (fun () ->
+                !worker_hook i;
+                worker pool ()));
       current := Some pool
     end
   end

@@ -31,6 +31,12 @@ val set_jobs : int -> unit
 val jobs : unit -> int
 (** The current pool size (>= 1). *)
 
+val set_worker_hook : (int -> unit) -> unit
+(** Install a callback run on each worker domain immediately after it is
+    spawned (before it takes any task), with the worker's 0-based index.
+    Affects pools created by subsequent {!set_jobs} calls. The CLIs use it
+    to label worker tracks in timeline traces; the default is a no-op. *)
+
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element of [xs], in parallel when the
     pool has more than one job, and returns the results in input order.

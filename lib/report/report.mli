@@ -1,0 +1,36 @@
+(** Static HTML run reports over the observability outputs: one or more
+    [lib/obs] metrics registries (JSON, schema 1 or 2), [sdf3_batch] JSONL
+    journals and timeline trace files, aggregated into a single
+    self-contained dashboard — per-phase timing tables (timers merged
+    across registries, stddev included), counter/gauge/histogram tables
+    with inline SVG sparklines, budget-trip and partial-outcome summaries,
+    and links to the raw traces. No external assets: the page is one file
+    an operator can archive next to the journal it describes. *)
+
+type registry
+
+val registry_of_json : label:string -> Obs.Json.t -> (registry, string) result
+(** Parse one serialized registry ([Obs.snapshot_json] shape). [label]
+    names the source in multi-registry reports (typically the file name).
+    Schema 1 documents (no histograms, scalar [events_dropped]) are
+    accepted. *)
+
+type journal
+
+val journal_of_string :
+  label:string -> string -> (journal, string) result
+(** Parse an [sdf3_batch] journal: one JSON object per line
+    ([{"case":...,"status":...}]), blank lines ignored. Fails on the first
+    malformed line. *)
+
+val html :
+  ?title:string ->
+  registries:registry list ->
+  journals:journal list ->
+  traces:string list ->
+  unit ->
+  string
+(** Render the dashboard. [traces] are paths linked (not inlined) in the
+    trace section. Deterministic for fixed inputs: no timestamps or
+    environment data are embedded, so report output is testable byte for
+    byte. *)

@@ -5,7 +5,7 @@ per-rung flow attempt records.
   $ sdf3_flow --apps example --platform example --metrics out.json > /dev/null
   $ head -n 2 out.json
   {
-    "schema_version": 1,
+    "schema_version": 2,
   $ tail -c 2 out.json
   }
   $ for key in '"constrained.states"' '"constrained.transient"' \

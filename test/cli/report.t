@@ -1,0 +1,48 @@
+The run-report pipeline: a traced batch run, the in-repo Chrome-trace
+validator, and the HTML dashboard.
+
+  $ mkdir cases
+  $ sdf3_generate --set 1 -n 3 -o cases --xml >/dev/null
+  $ sdf3_batch cases --platform mesh3x3 --journal run.jsonl \
+  >   --metrics metrics.json --trace trace.json
+  3 cases done (0 skipped via resume), journal run.jsonl
+
+The trace is well-formed Chrome trace-event JSON (monotone per-track
+timestamps, balanced begin/end pairs, one async arc per case):
+
+  $ sdf3_report --check-trace trace.json | grep -o ': ok'
+  : ok
+  $ grep -o '"ph": "b"' trace.json | head -n 1
+  "ph": "b"
+  $ grep -c '"name": "batch.case"' trace.json
+  6
+
+A corrupted trace is rejected with a non-zero exit:
+
+  $ head -c 50 trace.json > broken.json
+  $ sdf3_report --check-trace broken.json 2>/dev/null
+  [1]
+
+The report aggregates the registry and the journal into one static HTML
+page with the per-phase timing table and quantile sparklines:
+
+  $ sdf3_report --metrics metrics.json --journal run.jsonl \
+  >   --trace trace.json -o report.html
+  wrote report.html
+  $ grep -c '<table id="phase-table">' report.html
+  1
+  $ grep -o 'class="sparkline"' report.html | head -n 1
+  class="sparkline"
+  $ grep -o 'batch.case' report.html | head -n 1
+  batch.case
+  $ grep -o 'Batch journal: run.jsonl' report.html
+  Batch journal: run.jsonl
+  $ grep -o '>trace.json</a>' report.html
+  >trace.json</a>
+
+The report is deterministic for fixed inputs:
+
+  $ sdf3_report --metrics metrics.json --journal run.jsonl \
+  >   --trace trace.json -o report2.html
+  wrote report2.html
+  $ cmp report.html report2.html

@@ -38,6 +38,7 @@ let () =
       ("regressions", Test_regressions.suite);
       ("composition", Test_composition.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
       ("memo", Test_memo.suite);
       ("par", Test_par.suite);
       ("budget", Test_budget.suite);

@@ -212,8 +212,8 @@ let test_json_schema () =
       Obs.Timer.record "t.timer" 0.125;
       Obs.Event.emit "e.kind" [ ("n", Obs.Event.Int 3) ];
       let j = parse_json (Obs.json_string ()) in
-      Alcotest.(check bool) "schema_version 1" true
-        (obj_field j "schema_version" = Some (Num 1.));
+      Alcotest.(check bool) "schema_version 2" true
+        (obj_field j "schema_version" = Some (Num 2.));
       (match obj_field j "counters" with
       | Some (Obj kvs) ->
           (* [reset] keeps previously registered counters alive (zeroed),
@@ -228,9 +228,12 @@ let test_json_schema () =
       (match obj_field j "timers" with
       | Some (Obj [ ("t.timer", Obj fields) ]) ->
           Alcotest.(check (list string)) "timer fields"
-            [ "count"; "total_s"; "mean_s"; "min_s"; "max_s" ]
+            [ "count"; "total_s"; "mean_s"; "stddev_s"; "min_s"; "max_s" ]
             (List.map fst fields)
       | _ -> Alcotest.fail "timers object missing");
+      (match obj_field j "histograms" with
+      | Some (Obj _) -> ()
+      | _ -> Alcotest.fail "histograms object missing");
       (match obj_field j "events" with
       | Some (Arr [ ev ]) ->
           Alcotest.(check bool) "event kind" true
@@ -238,8 +241,11 @@ let test_json_schema () =
           Alcotest.(check bool) "event field" true
             (obj_field ev "n" = Some (Num 3.))
       | _ -> Alcotest.fail "events array missing");
-      Alcotest.(check bool) "events_dropped present" true
-        (obj_field j "events_dropped" = Some (Num 0.)))
+      Alcotest.(check bool) "events_dropped is a per-kind object" true
+        (match obj_field j "events_dropped" with
+        | Some (Obj kvs) ->
+            List.for_all (function _, Num _ -> true | _ -> false) kvs
+        | _ -> false))
 
 let test_json_string_escaping () =
   with_obs (fun () ->
@@ -344,10 +350,87 @@ let test_constrained_abort_event () =
           Alcotest.failf "expected exactly the abort event, got %d events"
             (List.length evs))
 
+let test_timer_stddev () =
+  with_obs (fun () ->
+      Obs.Timer.record "t.sd" 1.0;
+      Obs.Timer.record "t.sd" 2.0;
+      Obs.Timer.record "t.sd" 3.0;
+      (match Obs.Timer.snapshot "t.sd" with
+      | None -> Alcotest.fail "timer missing"
+      | Some s ->
+          (* Population stddev of {1,2,3} = sqrt(2/3). *)
+          Alcotest.(check (float 1e-9)) "population stddev"
+            (sqrt (2. /. 3.))
+            s.Obs.Timer.stddev_s);
+      Obs.Timer.record "t.one" 0.25;
+      match Obs.Timer.snapshot "t.one" with
+      | None -> Alcotest.fail "timer missing"
+      | Some s ->
+          Alcotest.(check (float 1e-9)) "single sample has zero stddev" 0.
+            s.Obs.Timer.stddev_s)
+
+let test_histogram_quantiles () =
+  with_obs (fun () ->
+      (* A single repeated value is exact: the quantile walk clamps to the
+         observed [min,max]. *)
+      Obs.Histogram.add "h.single" 3.0;
+      (match Obs.Histogram.snapshot "h.single" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some s ->
+          Alcotest.(check int) "count" 1 s.Obs.Histogram.count;
+          Alcotest.(check (float 1e-9)) "p50 exact" 3.0 s.Obs.Histogram.p50;
+          Alcotest.(check (float 1e-9)) "p99 exact" 3.0 s.Obs.Histogram.p99;
+          Alcotest.(check (float 1e-9)) "max exact" 3.0 s.Obs.Histogram.max);
+      let h = Obs.Histogram.make "h.range" in
+      for i = 1 to 100 do
+        Obs.Histogram.record h (float_of_int i)
+      done;
+      match Obs.Histogram.snapshot "h.range" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some s ->
+          Alcotest.(check int) "count" 100 s.Obs.Histogram.count;
+          Alcotest.(check (float 1e-9)) "max exact" 100. s.Obs.Histogram.max;
+          Alcotest.(check bool) "quantiles ordered" true
+            (s.Obs.Histogram.p50 <= s.Obs.Histogram.p90
+            && s.Obs.Histogram.p90 <= s.Obs.Histogram.p99
+            && s.Obs.Histogram.p99 <= s.Obs.Histogram.max);
+          (* Power-of-two buckets: p50 within a factor of two of 50. *)
+          Alcotest.(check bool) "p50 in bucket range" true
+            (s.Obs.Histogram.p50 >= 25. && s.Obs.Histogram.p50 <= 100.))
+
+let test_event_cap_per_kind () =
+  with_obs (fun () ->
+      Obs.set_event_cap 3;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_event_cap 10_000)
+        (fun () ->
+          for i = 1 to 5 do
+            Obs.Event.emit "cap.a" [ ("i", Obs.Event.Int i) ]
+          done;
+          Obs.Event.emit "cap.b" [];
+          Alcotest.(check int) "stored up to the cap" 3
+            (Obs.Event.count "cap.a");
+          Alcotest.(check int) "overflow counted per kind" 2
+            (Obs.Event.dropped "cap.a");
+          Alcotest.(check int) "other kinds unaffected" 1
+            (Obs.Event.dropped "cap.b" + Obs.Event.count "cap.b");
+          Alcotest.(check int) "no spurious drops" 0
+            (Obs.Event.dropped "cap.c");
+          let j = parse_json (Obs.json_string ()) in
+          match obj_field j "events_dropped" with
+          | Some (Obj kvs) ->
+              Alcotest.(check bool) "dropped kinds serialized" true
+                (List.assoc_opt "cap.a" kvs = Some (Num 2.))
+          | _ -> Alcotest.fail "events_dropped object missing"))
+
 let suite =
   [
     Alcotest.test_case "counter accumulation" `Quick test_counter_accumulation;
     Alcotest.test_case "timer accumulation" `Quick test_timer_accumulation;
+    Alcotest.test_case "timer stddev (Welford)" `Quick test_timer_stddev;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "event cap and per-kind drops" `Quick
+      test_event_cap_per_kind;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span unwinds on exception" `Quick
       test_span_unwinds_on_exception;
