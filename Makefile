@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
 .PHONY: all build test fmt-check bench-quick bench-smoke explore-bench \
-  fuzz fuzz-mutant soak ci
+  fuzz fuzz-mutant soak serve-smoke ci
 
 all: build
 
@@ -50,6 +50,12 @@ bench-smoke:
 # the E8-E10 workload grid; the curated run is committed as BENCH_4.json.
 explore-bench:
 	dune exec bench/main.exe -- --explore-bench explore-bench.json
+
+# The CI serve-smoke job, locally: boot the daemon, drive mixed-tier
+# traffic through the client mode, assert journal byte-identity against
+# the one-shot batch driver and cache hits across requests, then drain.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
 
 ci: build test fmt-check
 

@@ -22,48 +22,13 @@ let parse_platform = function
         s;
       exit 1
 
-(* Minimal JSON string encoder; case ids are file names and messages are
-   exception strings, so the escapes actually matter. *)
-let json_str s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
+(* Journal lines come from Server.Journal — the same encoder the daemon's
+   request log uses, so a served journal and a batch journal over the same
+   inputs are byte-comparable. *)
+module Journal = Server.Journal
 
-let failure_label = function
-  | Strategy.Bind_failed _ -> "bind_failed"
-  | Strategy.Schedule_failed -> "schedule_failed"
-  | Strategy.Slice_failed _ -> "slice_failed"
-  | Strategy.Budget_exhausted _ -> "budget_exhausted"
-
-let line_allocated case thr =
-  Printf.sprintf {|{"case":%s,"status":"allocated","throughput":%s}|}
-    (json_str case)
-    (json_str (Rat.to_string thr))
-
-let line_partial case reason =
-  Printf.sprintf {|{"case":%s,"status":"partial","reason":%s}|} (json_str case)
-    (json_str (Budget.reason_label reason))
-
-let line_failed case label =
-  Printf.sprintf {|{"case":%s,"status":"failed","reason":%s}|} (json_str case)
-    (json_str label)
-
-let line_error case msg =
-  Printf.sprintf {|{"case":%s,"status":"error","message":%s}|} (json_str case)
-    (json_str msg)
+let line_of json = Journal.to_line json
+let line_error case msg = line_of (Journal.error ~case msg)
 
 (* One case, fully isolated: every exception — parse error, inconsistent
    graph, analysis bug — becomes this case's "error" line instead of
@@ -84,15 +49,7 @@ let run_case ~dir ~arch ~deadline ~case_max_states case =
        task), not when the batch was launched. *)
     let budget = Budget.make ?wall_s:deadline ?max_states:case_max_states () in
     let r = Flow.allocate_with_retry ~budget app arch in
-    match r.Flow.allocation with
-    | Some alloc -> line_allocated case alloc.Strategy.throughput
-    | None -> (
-        match List.rev r.Flow.attempts with
-        | { Flow.outcome = Error (Strategy.Budget_exhausted reason); _ } :: _ ->
-            line_partial case reason
-        | { Flow.outcome = Error f; _ } :: _ ->
-            line_failed case (failure_label f)
-        | _ -> line_failed case "no_attempt")
+    line_of (Journal.of_flow_result ~case r)
   with
   | Appmodel.Sdf3_xml.Error m -> line_error case m
   | Sdf.Xml.Parse_error { position; message } ->

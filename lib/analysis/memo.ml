@@ -10,17 +10,26 @@ let evictions_total = Obs.Counter.make "cache.evictions"
    miss): its tail is the contention signal for the shared-mutex design. *)
 let lookup_hist = Obs.Histogram.make "cache.lookup_s"
 
+(* Every entry carries the logical time of its last touch; eviction drops
+   the oldest-touched entries. The clock is a per-table counter bumped
+   under the table mutex, so stamps are totally ordered within a table. *)
+type 'v entry = { value : 'v; mutable stamp : int }
+
 type 'v t = {
-  tbl : (string, 'v) Hashtbl.t;
+  tbl : (string, 'v entry) Hashtbl.t;
   mutex : Mutex.t;
-  max_entries : int;
+  mutable max_entries : int;
+  mutable tick : int;
   hits : Obs.Counter.t;
   misses : Obs.Counter.t;
+  evictions : Obs.Counter.t;
 }
 
-(* Heterogeneous registry for [clear_all]: each table contributes its own
-   clearing closure. *)
-let registry : (unit -> unit) list ref = ref []
+(* Heterogeneous registry for [clear_all] / [set_capacity_all]: each table
+   contributes closures over its own type parameter. *)
+type registered = { r_clear : unit -> unit; r_set_capacity : int -> unit }
+
+let registry : registered list ref = ref []
 let registry_mutex = Mutex.create ()
 
 let clear t =
@@ -30,30 +39,100 @@ let clear t =
 
 let clear_all () =
   Mutex.lock registry_mutex;
-  let clears = !registry in
+  let regs = !registry in
   Mutex.unlock registry_mutex;
-  List.iter (fun f -> f ()) clears
+  List.iter (fun r -> r.r_clear ()) regs
+
+(* Under the table mutex: drop least-recently-used entries until at most
+   [keep] remain. One sweep is O(n log n), so the insert path evicts a
+   batch (an eighth of the capacity, at least one entry) rather than a
+   single entry — a table sitting at its cap pays the sweep once per
+   batch, not once per miss. *)
+let evict_locked t ~keep =
+  let n = Hashtbl.length t.tbl in
+  if n > keep then begin
+    let stamps = Array.make n ("", 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun k e ->
+        stamps.(!i) <- (k, e.stamp);
+        incr i)
+      t.tbl;
+    Array.sort (fun (_, a) (_, b) -> compare (a : int) b) stamps;
+    let drop = n - keep in
+    for j = 0 to drop - 1 do
+      Hashtbl.remove t.tbl (fst stamps.(j))
+    done;
+    Obs.Counter.incr ~by:drop t.evictions;
+    Obs.Counter.incr ~by:drop evictions_total
+  end
+
+(* Room for one insert: evict down to capacity minus the batch. *)
+let make_room_locked t =
+  if Hashtbl.length t.tbl >= t.max_entries then
+    evict_locked t ~keep:(t.max_entries - 1 - (t.max_entries / 8))
+
+let set_capacity t n =
+  let n = max 1 n in
+  Mutex.lock t.mutex;
+  t.max_entries <- n;
+  evict_locked t ~keep:n;
+  Mutex.unlock t.mutex
+
+let capacity t = t.max_entries
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  n
+
+let set_capacity_all n =
+  Mutex.lock registry_mutex;
+  let regs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter (fun r -> r.r_set_capacity n) regs
 
 let create ~name ?(max_entries = 65_536) () =
   let t =
     {
       tbl = Hashtbl.create 1024;
       mutex = Mutex.create ();
-      max_entries;
+      max_entries = max 1 max_entries;
+      tick = 0;
       hits = Obs.Counter.make (Printf.sprintf "cache.%s.hits" name);
       misses = Obs.Counter.make (Printf.sprintf "cache.%s.misses" name);
+      evictions = Obs.Counter.make (Printf.sprintf "cache.%s.evictions" name);
     }
   in
   Mutex.lock registry_mutex;
-  registry := (fun () -> clear t) :: !registry;
+  registry :=
+    { r_clear = (fun () -> clear t); r_set_capacity = (fun n -> set_capacity t n) }
+    :: !registry;
   Mutex.unlock registry_mutex;
   t
 
+(* A hit refreshes the entry's stamp: recently answered keys survive the
+   next eviction sweep. *)
 let locked_find t key =
   Mutex.lock t.mutex;
-  let cached = Hashtbl.find_opt t.tbl key in
+  let cached =
+    match Hashtbl.find_opt t.tbl key with
+    | None -> None
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        Some e.value
+  in
   Mutex.unlock t.mutex;
   cached
+
+let locked_add t key v =
+  Mutex.lock t.mutex;
+  make_room_locked t;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.tbl key { value = v; stamp = t.tick };
+  Mutex.unlock t.mutex
 
 let find t ~key =
   if not !enabled_flag then None
@@ -71,16 +150,7 @@ let find t ~key =
     cached
   end
 
-let add t ~key v =
-  if !enabled_flag then begin
-    Mutex.lock t.mutex;
-    if Hashtbl.length t.tbl >= t.max_entries then begin
-      Hashtbl.reset t.tbl;
-      Obs.Counter.incr evictions_total
-    end;
-    Hashtbl.replace t.tbl key v;
-    Mutex.unlock t.mutex
-  end
+let add t ~key v = if !enabled_flag then locked_add t key v
 
 let find_or_compute t ~key f =
   if not !enabled_flag then f ()
@@ -97,13 +167,7 @@ let find_or_compute t ~key f =
         (* Compute outside the lock: sibling domains missing on other keys
            (or even this one) must not serialise on the analysis itself. *)
         let v = f () in
-        Mutex.lock t.mutex;
-        if Hashtbl.length t.tbl >= t.max_entries then begin
-          Hashtbl.reset t.tbl;
-          Obs.Counter.incr evictions_total
-        end;
-        Hashtbl.replace t.tbl key v;
-        Mutex.unlock t.mutex;
+        locked_add t key v;
         Obs.Counter.incr t.misses;
         Obs.Counter.incr misses_total;
         v

@@ -11,21 +11,43 @@
 
     Tables are thread-safe (one mutex per table; the computation itself
     runs outside the lock, so concurrent misses on the same key may
-    compute twice — harmless for pure analyses) and bounded: when a table
-    reaches its entry cap it is emptied wholesale, which keeps the worst
-    case simple and counts as an eviction.
+    compute twice — harmless for pure analyses) and bounded with an
+    LRU-ish policy sized for days of server uptime: every entry carries
+    the logical time of its last hit, and an insert that would cross the
+    cap drops a batch of the least-recently-used entries (an eighth of
+    the capacity at a time, so a table sitting at its cap amortises the
+    sweep over many misses). Hot keys — the graphs a service sees over
+    and over — survive indefinitely; one-off graphs age out.
 
     Effectiveness is observable through {!Obs} counters: the aggregate
-    ["cache.hits"] / ["cache.misses"] / ["cache.evictions"], plus
-    ["cache.<name>.hits"] and ["cache.<name>.misses"] per table. The
+    ["cache.hits"] / ["cache.misses"] / ["cache.evictions"] (counting
+    evicted {e entries}), plus ["cache.<name>.hits"],
+    ["cache.<name>.misses"] and ["cache.<name>.evictions"] per table. The
     counters are registered at table creation, so they appear (at 0) in
     every [--metrics] document. *)
 
 type 'v t
 
 val create : name:string -> ?max_entries:int -> unit -> 'v t
-(** [create ~name ()] registers the table's hit/miss counters under
-    ["cache.<name>.*"]. [max_entries] defaults to [65_536]. *)
+(** [create ~name ()] registers the table's hit/miss/eviction counters
+    under ["cache.<name>.*"]. [max_entries] defaults to [65_536] and is
+    clamped to at least 1. *)
+
+val set_capacity : 'v t -> int -> unit
+(** Rebound the table to at most [n] entries (clamped to at least 1),
+    evicting the least-recently-used surplus immediately. Long-running
+    services size their shared tables with this. *)
+
+val capacity : 'v t -> int
+
+val length : 'v t -> int
+(** Current entry count; always [<= capacity t] outside a concurrent
+    insert. *)
+
+val set_capacity_all : int -> unit
+(** {!set_capacity} on every table created so far ([sdf3_serve
+    --cache-capacity] applies one bound to the selftimed and constrained
+    tables alike). *)
 
 val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
 (** [find_or_compute t ~key f] returns the cached value for [key] or runs

@@ -392,6 +392,43 @@ module Json = struct
     Buffer.add_char buf '\n';
     Buffer.contents buf
 
+  (* Single-line form for newline-delimited protocols (the sdf3_serve wire
+     format and the batch/server journals): no spaces, no trailing
+     newline, same escaping as [to_string]. *)
+  let rec emit_compact buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (number f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit_compact buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Assoc kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            emit_compact buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_compact_string v =
+    let buf = Buffer.create 256 in
+    emit_compact buf v;
+    Buffer.contents buf
+
   exception Parse_error of string
 
   (* Recursive-descent reader for the documents this library writes (and

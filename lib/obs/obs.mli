@@ -195,6 +195,11 @@ module Json : sig
   (** Pretty-printed (2-space indent), newline-terminated. Non-finite
       floats are clamped to 0 to keep the document valid. *)
 
+  val to_compact_string : t -> string
+  (** One-line form (no spaces, no trailing newline, same escaping) for
+      newline-delimited protocols: the [sdf3_serve] wire format and the
+      batch/server JSONL journals. *)
+
   val parse : string -> (t, string) result
   (** Strict parser for the documents this library writes (and ordinary
       machine-generated JSON): no trailing garbage, ASCII escapes decoded,

@@ -1,0 +1,197 @@
+(** Allocation-as-a-service: the wire protocol, QoS budgets, admission
+    control and request handling behind [bin/sdf3_serve].
+
+    The daemon accepts newline-delimited JSON requests over a Unix-domain
+    (and optionally loopback-TCP) socket. One request is one line; one
+    response is one line; request [id]s are echoed back; malformed input
+    is answered with a structured error, never a crash. Work verbs
+    ([analyze], [flow], [sleep]) pass admission control — a bounded
+    in-flight window rejected with ["overloaded"] when full — and run
+    under a per-request {!Budget.t} derived from the request's QoS tier.
+    Control verbs ([ping], [status], [drain]) always run.
+
+    Requests:
+    {v
+    {"id":"r1","verb":"flow","file":"app.xml","platform":"mesh3x3","tier":"standard"}
+    {"id":"r2","verb":"analyze","file":"app.xml","tier":"interactive"}
+    {"id":"r3","verb":"status"}
+    {"id":"r4","verb":"drain"}
+    v}
+    Responses:
+    {v
+    {"id":"r1","status":"ok","verb":"flow","result":{"case":"app.xml","status":"allocated","throughput":"1/4020"}}
+    {"id":null,"status":"error","error":"parse error: ..."}
+    {"id":"r9","status":"overloaded","error":"server at capacity"}
+    v}
+
+    The [result] object of a [flow] response is byte-identical to the
+    corresponding [sdf3_batch] journal line (both are produced by
+    {!Journal}), so a served journal can be [cmp]'d against a one-shot
+    batch run over the same inputs — CI's serve-smoke job does exactly
+    that. *)
+
+(** QoS tiers and their resource budgets. Every tier's budget carries the
+    server's shared cancel token, so [SIGTERM] interrupts even an
+    unbounded batch request at its next budget probe. *)
+module Tier : sig
+  type t = Interactive | Standard | Batch
+
+  val all : t list
+
+  val label : t -> string
+  (** ["interactive"], ["standard"], ["batch"] — the wire names, also used
+      in the ["server.tier.*"] counters. *)
+
+  val of_string : string -> (t, string) result
+
+  val budget : ?cancel:Budget.Cancel.t -> t -> Budget.t
+  (** [Interactive]: 1 s wall deadline, 200k-state cap — bounded latency,
+      may degrade to a partial answer. [Standard]: 10 s, 2M states.
+      [Batch]: no caps beyond the cancel token. *)
+end
+
+(** The deterministic JSONL journal format shared by [sdf3_batch] and the
+    daemon's request log: one object per case, fields in a fixed order,
+    no timings or state counts, so runs over the same inputs are
+    byte-comparable. *)
+module Journal : sig
+  val allocated : case:string -> Sdf.Rat.t -> Obs.Json.t
+  val partial : case:string -> Budget.reason -> Obs.Json.t
+  val failed : case:string -> string -> Obs.Json.t
+  val error : case:string -> string -> Obs.Json.t
+
+  val failure_label : Core.Strategy.failure -> string
+  (** ["bind_failed"], ["schedule_failed"], ["slice_failed"],
+      ["budget_exhausted"]. *)
+
+  val of_flow_result : case:string -> Core.Flow.result -> Obs.Json.t
+  (** Fold an [allocate_with_retry] outcome into its journal object:
+      allocated / partial (budget ran out) / failed (last attempt's
+      failure label) / ["no_attempt"]. *)
+
+  val to_line : Obs.Json.t -> string
+  (** Compact one-line encoding, no trailing newline. *)
+end
+
+(** The bounded in-flight window. Work verbs [try_admit] and are rejected
+    when the window is full or the server is draining; control verbs
+    [enter_control] unconditionally. Both must [release]. [wait_idle]
+    blocks until nothing is in flight — the drain path. *)
+module Admission : sig
+  type t
+
+  type decision = Admitted | Overloaded | Draining
+
+  val create : capacity:int -> t
+  (** [capacity] is clamped to at least 1. *)
+
+  val capacity : t -> int
+
+  val try_admit : t -> decision
+  val release : t -> unit
+  (** End one admitted work request. *)
+
+  val enter_control : t -> unit
+  val exit_control : t -> unit
+  (** Bracket a control section (request parsing, control verbs, response
+      writes). Control sections are never rejected but are waited for by
+      {!wait_idle}, so a drain cannot cut a response mid-write. *)
+
+  val in_flight : t -> int
+  (** Admitted {e work} requests currently executing (control sections are
+      tracked separately and excluded — [status] does not count itself). *)
+
+  val begin_drain : t -> unit
+  (** Stop admitting work (idempotent). Already-admitted requests run to
+      completion; new work verbs are answered ["draining"]. *)
+
+  val draining : t -> bool
+
+  val wait_idle : t -> unit
+  (** Block until no work or control request is in flight. Returns
+      immediately when idle. *)
+end
+
+(** One parsed request. *)
+module Request : sig
+  type verb =
+    | Ping
+    | Status
+    | Drain
+    | Sleep of { ms : int }
+        (** Hold an admission slot for [ms] milliseconds — an operational
+            diagnostic (and the deterministic way to pin the window in
+            tests). Interrupted by the shared cancel token. *)
+    | Analyze of { file : string }
+    | Flow of { file : string; platform : string }
+
+  type t = { id : string option; verb : verb; tier : Tier.t }
+
+  val of_line : string -> (t, string) result
+  (** Parse one wire line. [tier] defaults to [Standard]; [platform] to
+      ["multimedia"]. The error string is safe to echo back. *)
+end
+
+(** The request handler: everything between a wire line in and a wire
+    line out — parsing, admission, tier budgets, execution, journaling
+    and the [server.*] telemetry. Socket-free, so tests drive it
+    directly. *)
+module Handler : sig
+  type t
+
+  val create :
+    ?root:string ->
+    ?journal:out_channel ->
+    ?cancel:Budget.Cancel.t ->
+    admission:Admission.t ->
+    unit ->
+    t
+  (** [root] (default ".") anchors request [file] fields; [journal]
+      receives one flushed journal line per executed [flow] request;
+      [cancel] is the shared drain token threaded into every request
+      budget. *)
+
+  val handle : t -> string -> string
+  (** One request line to one response line (no trailing newline). Never
+      raises: internal failures become this request's ["error"] response
+      (and journal line), not the daemon's crash. *)
+
+  val requests_served : t -> int
+  val requests_rejected : t -> int
+
+  val admission : t -> Admission.t
+end
+
+val platform_of_string :
+  string -> (Platform.Archgraph.t, string) result
+(** ["example"], ["multimedia"] or ["mesh3x3"] — the shared CLI platform
+    names. *)
+
+(** The socket front-end: listeners, per-connection reader threads with
+    idle/read timeouts, and the drain-aware accept loop. *)
+module Daemon : sig
+  type config = {
+    socket_path : string;  (** Unix-domain listener (always on) *)
+    tcp_port : int option;  (** optional loopback TCP listener *)
+    read_timeout_s : float;  (** mid-line stall allowance *)
+    idle_timeout_s : float;  (** between-requests allowance *)
+    max_line_bytes : int;
+  }
+
+  val default_config : socket_path:string -> config
+
+  val run :
+    ?external_stop:(unit -> bool) ->
+    ?on_ready:(unit -> unit) ->
+    config ->
+    Handler.t ->
+    cancel:Budget.Cancel.t ->
+    int
+  (** Serve until drained: accept connections, one reader thread per
+      connection, each request answered in arrival order per connection.
+      Returns 0 after a graceful drain ([drain] verb, or [external_stop]
+      returning true — the SIGTERM flag — which additionally triggers
+      [cancel] so in-flight budgeted work stops at its next probe).
+      In-flight requests finish (or observe the token) before the
+      listener closes; the socket file is unlinked on exit. *)
+end

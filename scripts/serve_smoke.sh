@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke-test the allocation daemon end to end: boot it, drive mixed-tier
+# flow traffic through the client mode, assert the served journal is
+# byte-identical to the one-shot sdf3_batch driver over the same cases
+# (for the uncapped batch-tier sweeps), assert the repeated sweep hit the
+# shared cross-request memo cache, then drain and expect a clean exit.
+#
+# `make serve-smoke` runs this; CI's serve-smoke job is the same scenario.
+set -euo pipefail
+
+BIN=${BIN:-_build/install/default/bin}
+WORK=$(mktemp -d serve-smoke.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+mkdir "$WORK/cases"
+"$BIN/sdf3_generate" --set 1 -n 4 -o "$WORK/cases" --xml >/dev/null
+
+# The one-shot batch driver is the byte-identity oracle.
+"$BIN/sdf3_batch" "$WORK/cases" --platform mesh3x3 \
+  --journal "$WORK/reference.jsonl" >/dev/null
+
+timeout 300 "$BIN/sdf3_serve" --socket "$WORK/serve.sock" \
+  --root "$WORK/cases" --journal "$WORK/served.jsonl" \
+  --metrics "$WORK/serve-metrics.json" --max-inflight 2 \
+  > "$WORK/daemon.log" 2>&1 &
+DAEMON=$!
+
+# Every case once per tier; the final batch sweep repeats the first, so
+# it must be answered from the shared cache (asserted on the metrics).
+for tier in batch standard interactive batch; do
+  for case in s1q0g0 s1q0g1 s1q0g2 s1q0g3; do
+    "$BIN/sdf3_serve" --socket "$WORK/serve.sock" --request \
+      "{\"id\":\"$tier-$case\",\"verb\":\"flow\",\"file\":\"$case.xml\",\"platform\":\"mesh3x3\",\"tier\":\"$tier\"}" \
+      >> "$WORK/replies.out"
+  done
+done
+test "$(grep -c '"status":"ok"' "$WORK/replies.out")" -eq 16
+
+"$BIN/sdf3_serve" --socket "$WORK/serve.sock" --request 'garbage' \
+  | grep -q '"status":"error"'
+"$BIN/sdf3_serve" --socket "$WORK/serve.sock" \
+  --request '{"id":"d","verb":"drain"}' | grep -q '"status":"ok"'
+
+rc=0; wait "$DAEMON" || rc=$?
+cat "$WORK/daemon.log"
+if [ "$rc" -eq 124 ]; then
+  echo "serve-smoke: daemon did not drain within its 300 s guard" >&2
+  exit 124
+elif [ "$rc" -ne 0 ]; then
+  echo "serve-smoke: daemon exited $rc instead of draining cleanly" >&2
+  exit "$rc"
+fi
+test ! -e "$WORK/serve.sock"
+
+# Byte-identity of the batch-tier sweeps (lines 1-4 and 13-16) against
+# the one-shot driver.
+cmp "$WORK/reference.jsonl" <(head -4 "$WORK/served.jsonl")
+cmp "$WORK/reference.jsonl" <(tail -4 "$WORK/served.jsonl")
+
+# The repeated sweep must have warmed and then hit the shared cache.
+grep -Eq '"cache\.hits": [1-9]' "$WORK/serve-metrics.json"
+grep -Eq '"cache\.constrained\.hits": [1-9]' "$WORK/serve-metrics.json"
+grep -Eq '"server\.verb\.flow": 16(,|$)' "$WORK/serve-metrics.json"
+
+echo "serve-smoke: ok"

@@ -1,0 +1,76 @@
+The allocation daemon serves newline-delimited JSON requests over a Unix
+socket; the same binary in --request mode is the client (it retries while
+the daemon boots, so no sleep is needed between the two).
+
+  $ mkdir cases
+  $ sdf3_generate --set 1 -n 2 -o cases --xml >/dev/null
+  $ sdf3_serve --socket serve.sock --root cases --journal serve.jsonl \
+  >   --max-inflight 1 > daemon.log 2>&1 &
+  $ DAEMON=$!
+
+Control and work verbs echo the request id; a flow result object is the
+sdf3_batch journal line for that case (compare batch.t):
+
+  $ sdf3_serve --socket serve.sock --request '{"id":"r1","verb":"ping"}'
+  {"id":"r1","status":"ok","verb":"ping"}
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"r2","verb":"flow","file":"s1q0g0.xml","platform":"mesh3x3"}'
+  {"id":"r2","status":"ok","verb":"flow","result":{"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}}
+
+The repeated request is answered from the shared memo cache — same bytes,
+no re-exploration:
+
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"r3","verb":"flow","file":"s1q0g0.xml","platform":"mesh3x3"}'
+  {"id":"r3","status":"ok","verb":"flow","result":{"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}}
+
+An interactive-tier analyze runs under a bounded budget and reports
+deterministic fields only:
+
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"a1","verb":"analyze","file":"s1q0g1.xml","tier":"interactive"}'
+  {"id":"a1","status":"ok","verb":"analyze","result":{"case":"s1q0g1.xml","status":"analyzed","graph":"s1q0g1","actors":5,"channels":8,"states":7,"throughput":"3/92"}}
+
+Malformed input is a structured error (id null), never a crash:
+
+  $ sdf3_serve --socket serve.sock --request 'not json'
+  {"id":null,"status":"error","error":"parse error: expected null at offset 0"}
+
+Admission control: a sleep diagnostic pins the single in-flight slot
+(status polling is a control verb, so it still answers), and the next
+work request bounces with "overloaded":
+
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"z","verb":"sleep","ms":3000}' > sleeper.out &
+  $ SLEEPER=$!
+  $ until sdf3_serve --socket serve.sock --request '{"id":"q","verb":"status"}' \
+  >   | grep -q '"in_flight":1'; do sleep 0.05; done
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"r4","verb":"flow","file":"s1q0g0.xml"}'
+  {"id":"r4","status":"overloaded","error":"server at capacity"}
+
+Graceful drain: new work is rejected with "draining", but the in-flight
+sleeper finishes and gets its reply before the daemon exits 0 and removes
+its socket:
+
+  $ sdf3_serve --socket serve.sock --request '{"id":"d","verb":"drain"}'
+  {"id":"d","status":"ok","verb":"drain"}
+  $ sdf3_serve --socket serve.sock \
+  >   --request '{"id":"r5","verb":"flow","file":"s1q0g0.xml"}'
+  {"id":"r5","status":"draining","error":"server is draining"}
+  $ wait $SLEEPER
+  $ cat sleeper.out
+  {"id":"z","status":"ok","verb":"sleep","result":{"slept_ms":3000}}
+  $ wait $DAEMON
+  $ cat daemon.log
+  sdf3_serve: listening on serve.sock
+  sdf3_serve: drained after 4 request(s), 2 rejected
+  $ test -e serve.sock || echo "socket removed"
+  socket removed
+
+The journal holds one line per executed flow request, in sdf3_batch's
+format:
+
+  $ cat serve.jsonl
+  {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}
+  {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}

@@ -42,6 +42,7 @@ let () =
       ("memo", Test_memo.suite);
       ("par", Test_par.suite);
       ("budget", Test_budget.suite);
+      ("server", Test_server.suite);
       ("props", Test_props.suite);
       ("latency", Test_latency.suite);
       ("sensitivity", Test_sensitivity.suite);

@@ -70,11 +70,79 @@ let test_eviction () =
         ignore (get k)
       done;
       Alcotest.(check int) "table filled" 4 !computes;
-      (* The fifth insert crosses the cap: the table is emptied wholesale,
-         so earlier keys recompute. *)
+      (* The fifth insert crosses the cap: the oldest entries are evicted,
+         so the earliest key recomputes. *)
       ignore (get 4);
       ignore (get 0);
       Alcotest.(check int) "evicted entries recompute" 6 !computes)
+
+(* Eviction is recency-aware: touching a key refreshes it, so the hot key
+   survives the eviction that claims the cold one inserted after it. *)
+let test_lru_retention () =
+  fresh (fun () ->
+      let t = Memo.create ~name:"t_lru" ~max_entries:4 () in
+      let computes = ref 0 in
+      let get k =
+        Memo.find_or_compute t ~key:k (fun () ->
+            incr computes;
+            k)
+      in
+      ignore (get "hot");
+      ignore (get "cold");
+      ignore (get "b");
+      ignore (get "hot");
+      (* refresh: "cold" is now the oldest *)
+      ignore (get "c");
+      Alcotest.(check int) "four inserts" 4 !computes;
+      ignore (get "d");
+      (* crossed the cap: "cold" went, "hot" stayed *)
+      ignore (get "hot");
+      Alcotest.(check int) "hot key survived" 5 !computes;
+      ignore (get "cold");
+      Alcotest.(check int) "cold key recomputes" 6 !computes)
+
+(* The daemon regression: a long stream of distinct keys (one per unique
+   request) must not grow the table without bound, and the evictions are
+   accounted. *)
+let test_bounded_stream () =
+  fresh (fun () ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      let t = Memo.create ~name:"t_stream" ~max_entries:256 () in
+      for k = 0 to 9_999 do
+        ignore (Memo.find_or_compute t ~key:(string_of_int k) (fun () -> k))
+      done;
+      Alcotest.(check bool) "table stayed bounded" true
+        (Memo.length t <= Memo.capacity t);
+      let evicted = Obs.Counter.value "cache.t_stream.evictions" in
+      Alcotest.(check bool) "evictions accounted" true (evicted > 0);
+      Alcotest.(check int) "nothing lost" 10_000 (Memo.length t + evicted);
+      Alcotest.(check int) "aggregate counter agrees" evicted
+        (Obs.Counter.value "cache.evictions"))
+
+let test_set_capacity () =
+  fresh (fun () ->
+      let t = Memo.create ~name:"t_cap" ~max_entries:64 () in
+      for k = 0 to 63 do
+        ignore (Memo.find_or_compute t ~key:(string_of_int k) (fun () -> k))
+      done;
+      Alcotest.(check int) "filled to 64" 64 (Memo.length t);
+      (* Shrinking evicts immediately, keeping the most recent keys. *)
+      Memo.set_capacity t 8;
+      Alcotest.(check int) "capacity updated" 8 (Memo.capacity t);
+      Alcotest.(check int) "shrunk to the new cap" 8 (Memo.length t);
+      let computes = ref 0 in
+      ignore
+        (Memo.find_or_compute t ~key:"63" (fun () ->
+             incr computes;
+             63));
+      Alcotest.(check int) "a recent key survived the shrink" 0 !computes;
+      (* set_capacity_all reaches every registered table — the daemon's
+         --cache-capacity flag — and clamps to at least one entry. *)
+      Memo.set_capacity_all 0;
+      Alcotest.(check int) "set_capacity_all reaches and clamps" 1
+        (Memo.capacity t);
+      Alcotest.(check int) "evicted down to one entry" 1 (Memo.length t))
 
 (* Same structure, different names: one cache entry by design. *)
 let test_isomorphic_graphs_share () =
@@ -233,6 +301,9 @@ let suite =
     Alcotest.test_case "find_or_compute" `Quick test_find_or_compute;
     Alcotest.test_case "disabled bypasses" `Quick test_disabled_bypasses;
     Alcotest.test_case "eviction" `Quick test_eviction;
+    Alcotest.test_case "lru retention" `Quick test_lru_retention;
+    Alcotest.test_case "bounded under a key stream" `Quick test_bounded_stream;
+    Alcotest.test_case "set_capacity" `Quick test_set_capacity;
     Alcotest.test_case "isomorphic graphs share" `Quick
       test_isomorphic_graphs_share;
     Alcotest.test_case "distinct structures, distinct keys" `Quick

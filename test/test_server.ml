@@ -1,0 +1,328 @@
+(* The allocation service: QoS tier -> budget mapping, the bounded
+   admission window, wire-protocol parsing, the shared journal format and
+   the socket-free request handler (error isolation, drain rejection,
+   overload under a real concurrent sleeper). *)
+
+module Tier = Server.Tier
+module Admission = Server.Admission
+module Request = Server.Request
+module Journal = Server.Journal
+module Handler = Server.Handler
+
+let fresh f =
+  Analysis.Memo.clear_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Analysis.Memo.clear_all ();
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* -- tiers -- *)
+
+let test_tier_names () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        "label roundtrips" true
+        (Tier.of_string (Tier.label t) = Ok t))
+    Tier.all;
+  Alcotest.(check bool)
+    "unknown tier rejected" true
+    (Result.is_error (Tier.of_string "gold"))
+
+let test_tier_budgets () =
+  (* Interactive and standard carry a state cap; the caps order as the
+     tiers do. Batch without a token is the infinite budget; with the
+     shared token it still probes cancellation. *)
+  let interactive = Tier.budget Tier.Interactive in
+  let standard = Tier.budget Tier.Standard in
+  Alcotest.(check bool)
+    "interactive states-limited" true
+    (Budget.states_limited interactive);
+  Alcotest.(check bool)
+    "standard states-limited" true
+    (Budget.states_limited standard);
+  Alcotest.(check bool)
+    "interactive cap below standard cap" true
+    (Budget.check interactive ~states:300_000 ~arena_bytes:0 = Some Budget.States);
+  Alcotest.(check bool)
+    "standard tolerates 300k states" true
+    (Budget.check standard ~states:300_000 ~arena_bytes:0 = None);
+  Alcotest.(check bool)
+    "batch unbudgeted is infinite" true
+    (Budget.is_infinite (Tier.budget Tier.Batch));
+  let cancel = Budget.Cancel.create () in
+  let batch = Tier.budget ~cancel Tier.Batch in
+  Alcotest.(check bool)
+    "batch with token is not infinite" false
+    (Budget.is_infinite batch);
+  Budget.Cancel.trigger cancel;
+  Alcotest.(check bool)
+    "batch observes the shared token" true
+    (Budget.check batch ~states:0 ~arena_bytes:0 = Some Budget.Cancelled)
+
+(* -- admission -- *)
+
+let test_admission_window () =
+  let a = Admission.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Admission.capacity a);
+  Alcotest.(check bool) "first admitted" true
+    (Admission.try_admit a = Admission.Admitted);
+  Alcotest.(check bool) "second admitted" true
+    (Admission.try_admit a = Admission.Admitted);
+  Alcotest.(check bool) "third overloaded" true
+    (Admission.try_admit a = Admission.Overloaded);
+  Alcotest.(check int) "two in flight" 2 (Admission.in_flight a);
+  Admission.release a;
+  Alcotest.(check bool) "slot freed" true
+    (Admission.try_admit a = Admission.Admitted);
+  Admission.release a;
+  Admission.release a;
+  Alcotest.(check int) "idle" 0 (Admission.in_flight a)
+
+let test_admission_drain () =
+  let a = Admission.create ~capacity:4 in
+  Alcotest.(check bool) "not draining" false (Admission.draining a);
+  Admission.begin_drain a;
+  Admission.begin_drain a;
+  Alcotest.(check bool) "draining" true (Admission.draining a);
+  Alcotest.(check bool) "work rejected while draining" true
+    (Admission.try_admit a = Admission.Draining);
+  (* Control sections stay available (status/drain replies during
+     drain) and wait_idle returns once everything released. *)
+  Admission.enter_control a;
+  Alcotest.(check int) "control is not work" 0 (Admission.in_flight a);
+  Admission.exit_control a;
+  Admission.wait_idle a
+
+let test_admission_capacity_clamp () =
+  let a = Admission.create ~capacity:0 in
+  Alcotest.(check int) "clamped to 1" 1 (Admission.capacity a)
+
+(* -- protocol parsing -- *)
+
+let ok_req line =
+  match Request.of_line line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let err_req line =
+  match Request.of_line line with
+  | Ok _ -> Alcotest.failf "expected a parse error for %s" line
+  | Error e -> e
+
+let test_request_parsing () =
+  let r =
+    ok_req
+      {|{"id":"r1","verb":"flow","file":"a.xml","platform":"mesh3x3","tier":"interactive"}|}
+  in
+  Alcotest.(check bool) "id echoed" true (r.Request.id = Some "r1");
+  Alcotest.(check bool) "tier parsed" true (r.Request.tier = Tier.Interactive);
+  (match r.Request.verb with
+  | Request.Flow { file; platform } ->
+      Alcotest.(check string) "file" "a.xml" file;
+      Alcotest.(check string) "platform" "mesh3x3" platform
+  | _ -> Alcotest.fail "expected flow verb");
+  let d = ok_req {|{"verb":"flow","file":"a.xml"}|} in
+  Alcotest.(check bool) "tier defaults to standard" true
+    (d.Request.tier = Tier.Standard);
+  (match d.Request.verb with
+  | Request.Flow { platform; _ } ->
+      Alcotest.(check string) "platform defaults" "multimedia" platform
+  | _ -> Alcotest.fail "expected flow verb");
+  (match (ok_req {|{"verb":"sleep","ms":50}|}).Request.verb with
+  | Request.Sleep { ms } -> Alcotest.(check int) "sleep ms" 50 ms
+  | _ -> Alcotest.fail "expected sleep verb");
+  ignore (err_req "not json");
+  ignore (err_req {|["an","array"]|});
+  ignore (err_req {|{"id":"x"}|});
+  ignore (err_req {|{"verb":"warp"}|});
+  ignore (err_req {|{"verb":"flow"}|});
+  ignore (err_req {|{"verb":"sleep"}|});
+  ignore (err_req {|{"verb":"flow","file":"a.xml","tier":"gold"}|})
+
+(* -- journal format -- *)
+
+let test_journal_lines () =
+  Alcotest.(check string)
+    "allocated line"
+    {|{"case":"a.xml","status":"allocated","throughput":"1/30"}|}
+    (Journal.to_line (Journal.allocated ~case:"a.xml" (Sdf.Rat.make 1 30)));
+  Alcotest.(check string)
+    "partial line"
+    {|{"case":"a.xml","status":"partial","reason":"states"}|}
+    (Journal.to_line (Journal.partial ~case:"a.xml" Budget.States));
+  Alcotest.(check string)
+    "failed line"
+    {|{"case":"a.xml","status":"failed","reason":"bind_failed"}|}
+    (Journal.to_line (Journal.failed ~case:"a.xml" "bind_failed"));
+  (* The escapes matter: case ids are file names, messages are exception
+     strings. *)
+  Alcotest.(check string)
+    "error line escapes"
+    {|{"case":"a\"b.xml","status":"error","message":"tab\there"}|}
+    (Journal.to_line (Journal.error ~case:"a\"b.xml" "tab\there"))
+
+(* -- handler -- *)
+
+let with_handler ?(capacity = 4) f =
+  fresh @@ fun () ->
+  let root = Filename.temp_file "serve_root" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  let app = Appmodel.Models.example_app () in
+  Appmodel.Sdf3_xml.write_app_file (Filename.concat root "app.xml") app;
+  let journal_path = Filename.concat root "journal.jsonl" in
+  let journal = open_out journal_path in
+  let admission = Admission.create ~capacity in
+  let cancel = Budget.Cancel.create () in
+  let h = Handler.create ~root ~journal ~cancel ~admission () in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr journal;
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat root f))
+        (Sys.readdir root);
+      Unix.rmdir root)
+    (fun () -> f h ~journal_path ~cancel)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_handler_flow_and_journal () =
+  with_handler @@ fun h ~journal_path ~cancel:_ ->
+  let resp =
+    Handler.handle h
+      {|{"id":"1","verb":"flow","file":"app.xml","platform":"example"}|}
+  in
+  let prefix = {|{"id":"1","status":"ok","verb":"flow","result":{"case":"app.xml","status":"allocated"|} in
+  Alcotest.(check bool)
+    "allocated response" true
+    (String.starts_with ~prefix resp);
+  (* The journal line is exactly the response's result object. *)
+  (match read_lines journal_path with
+  | [ line ] ->
+      Alcotest.(check bool)
+        "journal line embedded in response" true
+        (String.ends_with ~suffix:({|"result":|} ^ line ^ "}") resp)
+  | lines -> Alcotest.failf "expected 1 journal line, got %d" (List.length lines));
+  Alcotest.(check int) "served" 1 (Handler.requests_served h)
+
+let test_handler_isolation () =
+  with_handler @@ fun h ~journal_path ~cancel:_ ->
+  (* A missing file, an unknown platform and malformed JSON are all this
+     request's problem, never the handler's. *)
+  let missing =
+    Handler.handle h {|{"id":"m","verb":"flow","file":"nope.xml"}|}
+  in
+  Alcotest.(check bool) "missing file is an error reply" true
+    (String.starts_with ~prefix:{|{"id":"m","status":"error"|} missing);
+  let badplat =
+    Handler.handle h
+      {|{"id":"p","verb":"flow","file":"app.xml","platform":"hypercube"}|}
+  in
+  Alcotest.(check bool) "unknown platform answered" true
+    (String.length badplat > 0);
+  let malformed = Handler.handle h "{{{" in
+  Alcotest.(check bool)
+    "malformed echoes null id" true
+    (String.starts_with ~prefix:{|{"id":null,"status":"error"|} malformed);
+  (* Journal: one error line for the missing file, one for the platform. *)
+  Alcotest.(check int) "journal isolates failures" 2
+    (List.length (read_lines journal_path))
+
+let test_handler_drain_rejection () =
+  with_handler @@ fun h ~journal_path:_ ~cancel:_ ->
+  let d = Handler.handle h {|{"id":"d","verb":"drain"}|} in
+  Alcotest.(check string)
+    "drain acknowledged"
+    {|{"id":"d","status":"ok","verb":"drain"}|}
+    d;
+  Alcotest.(check bool) "admission draining" true
+    (Admission.draining (Handler.admission h));
+  let rejected =
+    Handler.handle h {|{"id":"r","verb":"flow","file":"app.xml"}|}
+  in
+  Alcotest.(check string)
+    "work rejected while draining"
+    {|{"id":"r","status":"draining","error":"server is draining"}|}
+    rejected;
+  let status = Handler.handle h {|{"id":"s","verb":"status"}|} in
+  Alcotest.(check bool) "status still served" true
+    (String.starts_with ~prefix:{|{"id":"s","status":"ok","verb":"status"|}
+       status)
+
+let test_handler_overload () =
+  with_handler ~capacity:1 @@ fun h ~journal_path:_ ~cancel:_ ->
+  (* Pin the single slot with a real concurrent sleeper, then watch a
+     flow request bounce. *)
+  let sleeper =
+    Thread.create
+      (fun () -> Handler.handle h {|{"id":"z","verb":"sleep","ms":400}|})
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    Admission.in_flight (Handler.admission h) = 0
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  let resp = Handler.handle h {|{"id":"o","verb":"flow","file":"app.xml"}|} in
+  Alcotest.(check string)
+    "overloaded"
+    {|{"id":"o","status":"overloaded","error":"server at capacity"}|}
+    resp;
+  Thread.join sleeper;
+  Alcotest.(check bool) "slot released after sleep" true
+    (Admission.in_flight (Handler.admission h) = 0)
+
+let test_handler_sleep_cancel () =
+  with_handler @@ fun h ~journal_path:_ ~cancel ->
+  let sleeper =
+    Thread.create
+      (fun () -> Handler.handle h {|{"id":"c","verb":"sleep","ms":60000}|})
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    Admission.in_flight (Handler.admission h) = 0
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  (* SIGTERM path: the shared token interrupts even a long sleep. *)
+  Budget.Cancel.trigger cancel;
+  let t0 = Unix.gettimeofday () in
+  Thread.join sleeper;
+  Alcotest.(check bool) "cancelled promptly" true
+    (Unix.gettimeofday () -. t0 < 5.)
+
+let suite =
+  [
+    Alcotest.test_case "tier names" `Quick test_tier_names;
+    Alcotest.test_case "tier budgets" `Quick test_tier_budgets;
+    Alcotest.test_case "admission window" `Quick test_admission_window;
+    Alcotest.test_case "admission drain" `Quick test_admission_drain;
+    Alcotest.test_case "admission capacity clamp" `Quick
+      test_admission_capacity_clamp;
+    Alcotest.test_case "request parsing" `Quick test_request_parsing;
+    Alcotest.test_case "journal lines" `Quick test_journal_lines;
+    Alcotest.test_case "handler flow + journal" `Quick
+      test_handler_flow_and_journal;
+    Alcotest.test_case "handler failure isolation" `Quick
+      test_handler_isolation;
+    Alcotest.test_case "handler drain rejection" `Quick
+      test_handler_drain_rejection;
+    Alcotest.test_case "handler overload" `Quick test_handler_overload;
+    Alcotest.test_case "handler sleep cancel" `Quick test_handler_sleep_cancel;
+  ]
