@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
 .PHONY: all build test fmt-check bench-quick bench-smoke explore-bench \
-  fuzz fuzz-mutant soak serve-smoke ci
+  fuzz fuzz-mutant soak serve-smoke load-smoke ci
 
 all: build
 
@@ -56,6 +56,12 @@ explore-bench:
 # the one-shot batch driver and cache hits across requests, then drain.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# The CI load-smoke job, locally: fork the daemon under sdf3_loadtest,
+# swarm it with 300 seeded clients, drain mid-flight, and assert every
+# invariant oracle plus nonzero priority-admission counters.
+load-smoke: build
+	bash scripts/load_smoke.sh
 
 ci: build test fmt-check
 

@@ -1,0 +1,220 @@
+(* Stress/soak the allocation daemon and check its invariants.
+
+   Forks `sdf3_serve` itself (see --serve-bin), swarms it with --clients
+   thread clients sending a seeded deterministic workload, then drains
+   and verdicts the oracles: exactly-one response per request id, every
+   "overloaded" backed by a provably full admission window, the journal
+   byte-identical to a sequential in-process re-run, interactive p99
+   below batch p50 under saturation, and a clean exit-0 drain with the
+   socket unlinked. Exit 0 iff every oracle passed — the CI load-smoke
+   job and test/cli/loadtest.t grep the `loadtest: oracle ...` lines. *)
+
+let run root socket journal daemon_log report serve_bin clients requests seed
+    mode rps think_ms pipeline drain_after_s max_inflight reserved_slots
+    workers timeout_s no_latency_check tcp mix_i mix_s mix_b cases_count =
+  let cfg =
+    {
+      (Loadtest.Driver.default_config ~serve_bin) with
+      Loadtest.Driver.root;
+      socket;
+      journal;
+      daemon_log;
+      report;
+      clients;
+      requests;
+      seed;
+      mode =
+        (if mode = "open" then Loadtest.Driver.Open else Loadtest.Driver.Closed);
+      rps;
+      think_ms;
+      pipeline = max 1 pipeline;
+      drain_after_s;
+      max_inflight;
+      reserved_slots;
+      workers;
+      timeout_s;
+      latency_check = not no_latency_check;
+      tcp;
+      mix =
+        {
+          Loadtest.Workload.interactive = mix_i;
+          standard = mix_s;
+          batch = mix_b;
+        };
+      cases_count;
+    }
+  in
+  exit (Loadtest.Driver.run cfg)
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Directory of .xml cases to load against (default: generate a \
+              small corpus in a temp dir)")
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket for the forked daemon (default: temp dir)")
+
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Daemon journal path (default: temp dir; always checked)")
+
+let daemon_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "daemon-log" ] ~docv:"FILE"
+        ~doc:"Capture the daemon's stdout/stderr here (echoed on failure)")
+
+let report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write a JSON report: totals, latency histograms per tier, \
+              oracle verdicts and the daemon's wire-fetched stats")
+
+let serve_bin =
+  Arg.(
+    value & opt string "sdf3_serve"
+    & info [ "serve-bin" ] ~docv:"EXE"
+        ~doc:"The daemon executable to fork (resolved via PATH)")
+
+let clients =
+  Arg.(
+    value & opt int 50
+    & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections")
+
+let requests =
+  Arg.(
+    value & opt int 10
+    & info [ "requests" ] ~docv:"N" ~doc:"Requests per client")
+
+let seed =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Workload seed; the run is a deterministic function of \
+              (seed, clients, requests)")
+
+let mode =
+  Arg.(
+    value
+    & opt (enum [ ("closed", "closed"); ("open", "open") ]) "closed"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"closed: each client loops with think time; open: aggregate \
+              --rps schedule")
+
+let rps =
+  Arg.(
+    value & opt float 200.
+    & info [ "rps" ] ~docv:"R"
+        ~doc:"Open mode: target aggregate requests per second")
+
+let think_ms =
+  Arg.(
+    value & opt float 5.
+    & info [ "think-ms" ] ~docv:"MS"
+        ~doc:"Closed mode: pause after each response")
+
+let pipeline =
+  Arg.(
+    value & opt int 4
+    & info [ "pipeline" ] ~docv:"N"
+        ~doc:"Max outstanding requests per connection (responses matched \
+              by id)")
+
+let drain_after_s =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drain-after-s" ] ~docv:"S"
+        ~doc:"Initiate the drain $(docv) seconds in, while requests are \
+              still in flight (default: after all clients finish)")
+
+let max_inflight =
+  Arg.(
+    value & opt int 8
+    & info [ "max-inflight" ] ~docv:"N" ~doc:"Daemon admission window")
+
+let reserved_slots =
+  Arg.(
+    value & opt int 1
+    & info [ "reserved-slots" ] ~docv:"N"
+        ~doc:"Daemon slots reserved for interactive requests")
+
+let workers =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Daemon worker threads (0 = one per admission slot)")
+
+let timeout_s =
+  Arg.(
+    value & opt float 120.
+    & info [ "timeout-s" ] ~docv:"S"
+        ~doc:"Hard wall-clock cap on the client phase")
+
+let no_latency_check =
+  Arg.(
+    value & flag
+    & info [ "no-latency-check" ]
+        ~doc:"Skip the interactive-p99 < batch-p50 oracle (e.g. on \
+              heavily loaded CI machines)")
+
+let tcp =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Drive the daemon over loopback TCP port $(docv) instead of \
+              the Unix socket")
+
+let mix_interactive =
+  Arg.(
+    value & opt float 0.3
+    & info [ "mix-interactive" ] ~docv:"W" ~doc:"Interactive tier weight")
+
+let mix_standard =
+  Arg.(
+    value & opt float 0.3
+    & info [ "mix-standard" ] ~docv:"W" ~doc:"Standard tier weight")
+
+let mix_batch =
+  Arg.(
+    value & opt float 0.4
+    & info [ "mix-batch" ] ~docv:"W" ~doc:"Batch tier weight")
+
+let cases_count =
+  Arg.(
+    value & opt int 6
+    & info [ "cases" ] ~docv:"N"
+        ~doc:"Size of the generated corpus when --root is absent")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sdf3_loadtest"
+       ~doc:
+         "Load-test the allocation daemon with a seeded workload and \
+          invariant oracles: no lost or duplicated responses, honest \
+          overload rejections, byte-checked journal, tiered latency, \
+          clean drain")
+    Term.(
+      const run $ root $ socket $ journal $ daemon_log $ report $ serve_bin
+      $ clients $ requests $ seed $ mode $ rps $ think_ms $ pipeline
+      $ drain_after_s $ max_inflight $ reserved_slots $ workers $ timeout_s
+      $ no_latency_check $ tcp $ mix_interactive $ mix_standard $ mix_batch
+      $ cases_count)
+
+let () = exit (Cmd.eval cmd)

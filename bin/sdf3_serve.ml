@@ -7,9 +7,12 @@
    JSONL format, and drain gracefully on the `drain` verb or SIGTERM.
 
    Client: `--request JSON` (repeatable) connects to a running daemon —
-   retrying while it boots — sends each request as one line and prints
-   each reply line. This is what the cram tests and the CI serve-smoke
-   job script the protocol with. *)
+   retrying while it boots — sends each request as one line, waits for
+   its reply, and prints it. A rejected request (status "overloaded" or
+   "draining") is retried up to --retry times with capped exponential
+   backoff; if the final reply is still a rejection the client exits 3,
+   so scripts can tell "busy" (3) from "broken" (1). This is what the
+   cram tests and the CI serve-smoke job script the protocol with. *)
 
 let connect_retry ~addr ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
@@ -33,65 +36,118 @@ let connect_retry ~addr ~timeout_s =
   in
   attempt ()
 
-let client ~socket ~tcp ~timeout_s requests =
+(* Was the reply an admission rejection (retryable "busy"), as opposed
+   to ok or a hard error? *)
+let rejected_status line =
+  match Obs.Json.parse line with
+  | Error _ -> false
+  | Ok j -> (
+      match Obs.Json.member "status" j with
+      | Some (Obs.Json.String ("overloaded" | "draining")) -> true
+      | _ -> false)
+
+let client ~socket ~tcp ~timeout_s ~retry requests =
   let addr =
     match tcp with
     | Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
     | None -> Unix.ADDR_UNIX socket
   in
-  match connect_retry ~addr ~timeout_s with
-  | None ->
-      Printf.eprintf "could not connect within %.0fs\n" timeout_s;
-      1
-  | Some fd ->
-      let payload = String.concat "\n" requests ^ "\n" in
-      let b = Bytes.of_string payload in
-      let off = ref 0 in
+  let fd = ref None in
+  let ensure_fd () =
+    match !fd with
+    | Some _ as f -> f
+    | None -> (
+        match connect_retry ~addr ~timeout_s with
+        | Some f ->
+            fd := Some f;
+            !fd
+        | None ->
+            Printf.eprintf "could not connect within %.0fs\n" timeout_s;
+            None)
+  in
+  let close_fd () =
+    Option.iter (fun f -> try Unix.close f with Unix.Unix_error _ -> ()) !fd;
+    fd := None
+  in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let send_line f line =
+    let b = Bytes.of_string (line ^ "\n") in
+    let off = ref 0 in
+    try
       while !off < Bytes.length b do
-        off := !off + Unix.write fd b !off (Bytes.length b - !off)
-      done;
-      (* One reply line per request; the daemon may close right after the
-         last reply (drain), so end-of-stream is a normal outcome. *)
-      let expected = List.length requests in
-      let buf = Buffer.create 1024 in
-      let chunk = Bytes.create 4096 in
-      let received = ref 0 in
-      let eof = ref false in
-      while (not !eof) && !received < expected do
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> eof := true
-        | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            let rec drain_lines () =
-              let s = Buffer.contents buf in
-              match String.index_opt s '\n' with
-              | Some i when !received < expected ->
-                  print_endline (String.sub s 0 i);
-                  incr received;
-                  Buffer.clear buf;
-                  Buffer.add_string buf
-                    (String.sub s (i + 1) (String.length s - i - 1));
-                  drain_lines ()
-              | _ -> ()
-            in
-            drain_lines ()
+        match Unix.write f b !off (Bytes.length b - !off) with
+        | n -> off := !off + n
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
-      Unix.close fd;
-      if !received = expected then 0 else 1
+      true
+    with Unix.Unix_error _ -> false
+  in
+  (* One reply line; the daemon may close right after the last reply
+     (drain), so end-of-stream is reported as [None], not an exception. *)
+  let rec read_line f =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+    | None -> (
+        match Unix.read f chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read_line f
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line f
+        | exception Unix.Unix_error _ -> None)
+  in
+  let incomplete = ref false in
+  let rejected = ref false in
+  let send_request req =
+    let rec attempt k =
+      match ensure_fd () with
+      | None -> incomplete := true
+      | Some f ->
+          if not (send_line f req) then begin
+            close_fd ();
+            incomplete := true
+          end
+          else (
+            match read_line f with
+            | None ->
+                close_fd ();
+                incomplete := true
+            | Some reply ->
+                if rejected_status reply && k < retry then begin
+                  (* Capped exponential backoff before resending. *)
+                  Unix.sleepf (Float.min 1.0 (0.05 *. (2. ** float_of_int k)));
+                  attempt (k + 1)
+                end
+                else begin
+                  print_endline reply;
+                  if rejected_status reply then rejected := true
+                end)
+    in
+    attempt 0
+  in
+  List.iter send_request requests;
+  close_fd ();
+  if !incomplete then 1 else if !rejected then 3 else 0
 
-let serve socket tcp root journal max_inflight cache_capacity idle_timeout
-    read_timeout requests connect_timeout jobs log_level metrics_file
-    metrics_stderr trace_file =
+let serve socket tcp root journal max_inflight reserved_slots workers
+    cache_capacity idle_timeout read_timeout requests retry connect_timeout
+    jobs log_level metrics_file metrics_stderr trace_file =
   if requests <> [] then
-    exit (client ~socket ~tcp ~timeout_s:connect_timeout requests);
+    exit (client ~socket ~tcp ~timeout_s:connect_timeout ~retry requests);
   Cli_common.setup_logs log_level;
   Cli_common.init_jobs jobs;
   Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
     ~to_stderr:metrics_stderr ();
   Option.iter Analysis.Memo.set_capacity_all cache_capacity;
   let cancel = Budget.Cancel.create () in
-  let admission = Server.Admission.create ~capacity:max_inflight in
+  let admission =
+    Server.Admission.create ~reserved:reserved_slots ~capacity:max_inflight ()
+  in
   let journal_oc =
     Option.map
       (fun path ->
@@ -113,6 +169,7 @@ let serve socket tcp root journal max_inflight cache_capacity idle_timeout
       Server.Daemon.tcp_port = tcp;
       idle_timeout_s = idle_timeout;
       read_timeout_s = read_timeout;
+      workers;
     }
   in
   let code =
@@ -175,6 +232,22 @@ let max_inflight =
         ~doc:"Admission window: concurrent work requests beyond $(docv) \
               are rejected with status \"overloaded\"")
 
+let reserved_slots =
+  Arg.(
+    value & opt int 1
+    & info [ "reserved-slots" ] ~docv:"N"
+        ~doc:"Hold $(docv) admission slots back for interactive-tier \
+              requests (clamped to at most max-inflight - 1); standard \
+              and batch work admits only into the remaining slots")
+
+let workers =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker threads executing admitted requests (0 = one per \
+              admission slot). Requests pipelined on one connection run \
+              concurrently; responses are matched by id")
+
 let cache_capacity =
   Arg.(
     value
@@ -202,6 +275,14 @@ let requests =
         ~doc:"Client mode: send $(docv) as one request line to a running \
               daemon and print the reply (repeatable, in order)")
 
+let retry =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:"Client mode: resend a rejected request (\"overloaded\" or \
+              \"draining\") up to $(docv) times with capped exponential \
+              backoff; exit 3 if the final reply is still a rejection")
+
 let connect_timeout =
   Arg.(
     value & opt float 10.
@@ -218,9 +299,9 @@ let cmd =
           graceful drain")
     Term.(
       const serve $ socket $ tcp $ root $ journal $ max_inflight
-      $ cache_capacity $ idle_timeout $ read_timeout $ requests
-      $ connect_timeout $ Cli_common.jobs $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
-      $ Cli_common.trace_file)
+      $ reserved_slots $ workers $ cache_capacity $ idle_timeout
+      $ read_timeout $ requests $ retry $ connect_timeout $ Cli_common.jobs
+      $ Cli_common.log_level $ Cli_common.metrics_file
+      $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1009 @@
+(* Stress/soak driver for the allocation daemon, built as a correctness
+   tool: the point is not a throughput number but a set of invariant
+   oracles checked online (exactly-one response per request id, oversold
+   windows, spurious rejections) and at teardown (journal byte-identity
+   against an in-process sequential re-run, clean drain). The workload
+   is seeded and deterministic — request k of client c under seed s is
+   always the same request — so a failing run reproduces.
+
+   The driver forks the daemon itself, drives it with one thread per
+   simulated client (open-loop at a target RPS, or closed-loop with
+   think time), initiates the drain mid-flight or at completion, and
+   verdicts every oracle on stdout plus an optional JSON report. *)
+
+module Json = Obs.Json
+module Tier = Server.Tier
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let connect_retry ~addr ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let domain = Unix.domain_of_sockaddr addr in
+  let rec attempt () =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Some fd
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN
+            | Unix.ECONNRESET ),
+            _,
+            _ ) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then None
+        else begin
+          Unix.sleepf 0.02;
+          attempt ()
+        end
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  attempt ()
+
+module Workload = struct
+  type req = {
+    id : string;
+    tier : Tier.t;
+    verb : string;
+    case : string option;
+    line : string;
+  }
+
+  (* interactive / standard / batch weights. *)
+  type mix = { interactive : float; standard : float; batch : float }
+
+  let default_mix = { interactive = 0.3; standard = 0.3; batch = 0.4 }
+
+  let tier_of_draw mix u =
+    let total = mix.interactive +. mix.standard +. mix.batch in
+    let u = u *. total in
+    if u < mix.interactive then Tier.Interactive
+    else if u < mix.interactive +. mix.standard then Tier.Standard
+    else Tier.Batch
+
+  (* Request [k] of client [client] under [seed]: a pure function, so
+     the harness and a failure reproduction agree on every byte. The
+     interactive stream mixes pings (pure wire latency) with budgeted
+     analyzes; standard is analyzes; batch mixes journaled flow
+     allocations (40%) with 25-60 ms sleep ballast (60%) that holds
+     admission slots the way real uncached allocations would, keeping
+     the window saturated and the batch latency median solidly above
+     warm-cache interactive latencies. *)
+  let request ~seed ~cases ~mix ~client ~k =
+    let st = Random.State.make [| seed; client; k |] in
+    let tier = tier_of_draw mix (Random.State.float st 1.0) in
+    let id = Printf.sprintf "c%d-%d" client k in
+    let case () = cases.(Random.State.int st (Array.length cases)) in
+    match tier with
+    | Tier.Interactive ->
+        if Random.State.bool st then
+          {
+            id;
+            tier;
+            verb = "ping";
+            case = None;
+            line =
+              Printf.sprintf {|{"id":"%s","verb":"ping","tier":"interactive"}|}
+                id;
+          }
+        else
+          let c = case () in
+          {
+            id;
+            tier;
+            verb = "analyze";
+            case = Some c;
+            line =
+              Printf.sprintf
+                {|{"id":"%s","verb":"analyze","file":"%s","tier":"interactive"}|}
+                id c;
+          }
+    | Tier.Standard ->
+        let c = case () in
+        {
+          id;
+          tier;
+          verb = "analyze";
+          case = Some c;
+          line =
+            Printf.sprintf
+              {|{"id":"%s","verb":"analyze","file":"%s","tier":"standard"}|}
+              id c;
+        }
+    | Tier.Batch ->
+        if Random.State.float st 1.0 < 0.4 then
+          let c = case () in
+          {
+            id;
+            tier;
+            verb = "flow";
+            case = Some c;
+            line =
+              Printf.sprintf
+                {|{"id":"%s","verb":"flow","file":"%s","platform":"mesh3x3","tier":"batch"}|}
+                id c;
+          }
+        else
+          let ms = 25 + Random.State.int st 36 in
+          {
+            id;
+            tier;
+            verb = "sleep";
+            case = None;
+            line =
+              Printf.sprintf
+                {|{"id":"%s","verb":"sleep","ms":%d,"tier":"batch"}|} id ms;
+          }
+end
+
+module Oracle = struct
+  type slot = {
+    req : Workload.req;
+    mutable comp_at_send : int;
+    mutable sent_at : float;
+    mutable answered : bool;
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    capacity : int;
+    reserved : int;
+    reference : (string, string) Hashtbl.t;
+    by_id : (string, slot) Hashtbl.t;
+    sent_flow : (string, int) Hashtbl.t;
+    ok_flow : (string, int) Hashtbl.t;
+    h_latency : (Tier.t * Obs.Histogram.t) list;
+    mutable outstanding : int;
+    mutable completions : int;
+    mutable drain_initiated : bool;
+    mutable sent : int;
+    mutable ok : int;
+    mutable overloaded : int;
+    mutable draining : int;
+    mutable cancelled : int;
+    mutable errors : int;
+    mutable aborted : int;
+    mutable lost : int;
+    mutable duplicates : int;
+    mutable unknown : int;
+    mutable connect_failures : int;
+    mutable spurious_draining : int;
+    mutable overload_violations : int;
+    mutable result_mismatches : int;
+    mutable journal_lines : int;
+    mutable journal_mismatches : int;
+    mutable journal_missing : int;
+  }
+
+  type totals = {
+    t_sent : int;
+    t_ok : int;
+    t_overloaded : int;
+    t_draining : int;
+    t_cancelled : int;
+    t_errors : int;
+    t_aborted : int;
+    t_lost : int;
+    t_duplicates : int;
+    t_unknown : int;
+    t_connect_failures : int;
+    t_spurious_draining : int;
+    t_overload_violations : int;
+    t_result_mismatches : int;
+    t_journal_lines : int;
+    t_journal_mismatches : int;
+    t_journal_missing : int;
+  }
+
+  let create ~capacity ~reserved ~reference =
+    let capacity = max 1 capacity in
+    let reserved = min (max 0 reserved) (capacity - 1) in
+    {
+      mutex = Mutex.create ();
+      capacity;
+      reserved;
+      reference;
+      by_id = Hashtbl.create 1024;
+      sent_flow = Hashtbl.create 64;
+      ok_flow = Hashtbl.create 64;
+      h_latency =
+        List.map
+          (fun tier ->
+            (tier, Obs.Histogram.make ("load.latency_s." ^ Tier.label tier)))
+          Tier.all;
+      outstanding = 0;
+      completions = 0;
+      drain_initiated = false;
+      sent = 0;
+      ok = 0;
+      overloaded = 0;
+      draining = 0;
+      cancelled = 0;
+      errors = 0;
+      aborted = 0;
+      lost = 0;
+      duplicates = 0;
+      unknown = 0;
+      connect_failures = 0;
+      spurious_draining = 0;
+      overload_violations = 0;
+      result_mismatches = 0;
+      journal_lines = 0;
+      journal_mismatches = 0;
+      journal_missing = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+  let register_send t (req : Workload.req) =
+    locked t @@ fun () ->
+    t.sent <- t.sent + 1;
+    t.outstanding <- t.outstanding + 1;
+    (match (req.Workload.verb, req.Workload.case) with
+    | "flow", Some c -> bump t.sent_flow c
+    | _ -> ());
+    Hashtbl.replace t.by_id req.Workload.id
+      {
+        req;
+        comp_at_send = t.completions;
+        sent_at = Unix.gettimeofday ();
+        answered = false;
+      }
+
+  let connect_failed t =
+    locked t @@ fun () -> t.connect_failures <- t.connect_failures + 1
+
+  let initiate_drain t = locked t @@ fun () -> t.drain_initiated <- true
+  let drain_initiated t = locked t @@ fun () -> t.drain_initiated
+
+  (* Canonical re-encoding of the response's result object; the daemon
+     and the reference both emit via [Obs.Json.to_compact_string], so
+     byte comparison is exact. *)
+  let result_string j =
+    Option.map Json.to_compact_string (Json.member "result" j)
+
+  let record_response t line =
+    let at = Unix.gettimeofday () in
+    locked t @@ fun () ->
+    match Json.parse line with
+    | Error _ ->
+        t.unknown <- t.unknown + 1;
+        None
+    | Ok j -> (
+        let id =
+          match Json.member "id" j with
+          | Some (Json.String id) -> Some id
+          | _ -> None
+        in
+        let status =
+          match Json.member "status" j with
+          | Some (Json.String s) -> s
+          | _ -> "?"
+        in
+        match Option.bind id (Hashtbl.find_opt t.by_id) with
+        | None ->
+            t.unknown <- t.unknown + 1;
+            None
+        | Some slot when slot.answered ->
+            t.duplicates <- t.duplicates + 1;
+            id
+        | Some slot ->
+            slot.answered <- true;
+            let others = t.outstanding - 1 in
+            let delta = t.completions - slot.comp_at_send in
+            t.outstanding <- t.outstanding - 1;
+            t.completions <- t.completions + 1;
+            (match status with
+            | "ok" ->
+                t.ok <- t.ok + 1;
+                Obs.Histogram.record
+                  (List.assq slot.req.Workload.tier t.h_latency)
+                  (at -. slot.sent_at);
+                if slot.req.Workload.verb = "flow" then begin
+                  (match slot.req.Workload.case with
+                  | Some c -> bump t.ok_flow c
+                  | None -> ());
+                  match
+                    ( result_string j,
+                      Option.bind slot.req.Workload.case
+                        (Hashtbl.find_opt t.reference) )
+                  with
+                  | Some got, Some want when got = want -> ()
+                  | _ -> t.result_mismatches <- t.result_mismatches + 1
+                end
+            | "overloaded" ->
+                t.overloaded <- t.overloaded + 1;
+                (* Sound fullness witness: the server's in-flight set at
+                   the rejection instant is covered by our still-
+                   outstanding requests (minus this one) plus responses
+                   that completed during this request's lifetime. If even
+                   that over-approximation is below the tier's admission
+                   threshold, the window provably had room — a
+                   violation. Once the drain is initiated the witness is
+                   void (aborted connections retire requests without a
+                   completion), so the check covers pre-drain rejections
+                   only. *)
+                let threshold =
+                  if slot.req.Workload.tier = Tier.Interactive then t.capacity
+                  else t.capacity - t.reserved
+                in
+                if (not t.drain_initiated) && others + delta < threshold then
+                  t.overload_violations <- t.overload_violations + 1
+            | "draining" ->
+                t.draining <- t.draining + 1;
+                if not t.drain_initiated then
+                  t.spurious_draining <- t.spurious_draining + 1
+            | "cancelled" -> t.cancelled <- t.cancelled + 1
+            | _ -> t.errors <- t.errors + 1);
+            id)
+
+  (* A request the client never got an answer for: tolerable only once
+     the harness itself initiated the drain (the daemon stops reading
+     buffered input when it shuts down); before that it is a lost
+     response — the hard no-loss violation. *)
+  let mark_unanswered t id =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.by_id id with
+    | Some slot when not slot.answered ->
+        slot.answered <- true;
+        t.outstanding <- t.outstanding - 1;
+        if t.drain_initiated then t.aborted <- t.aborted + 1
+        else t.lost <- t.lost + 1
+    | _ -> ()
+
+  let check_journal t lines =
+    locked t @@ fun () ->
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun line ->
+        t.journal_lines <- t.journal_lines + 1;
+        let case =
+          match Json.parse line with
+          | Ok j -> (
+              match Json.member "case" j with
+              | Some (Json.String c) -> Some c
+              | _ -> None)
+          | Error _ -> None
+        in
+        match Option.bind case (Hashtbl.find_opt t.reference) with
+        | Some want when want = line -> bump seen (Option.get case)
+        | _ -> t.journal_mismatches <- t.journal_mismatches + 1)
+      lines;
+    (* Prefix-completeness: every ok flow response has its journal line;
+       the journal never exceeds what was sent. *)
+    Hashtbl.iter
+      (fun case n_ok ->
+        let logged = Option.value ~default:0 (Hashtbl.find_opt seen case) in
+        if logged < n_ok then
+          t.journal_missing <- t.journal_missing + (n_ok - logged))
+      t.ok_flow;
+    Hashtbl.iter
+      (fun case logged ->
+        let sent = Option.value ~default:0 (Hashtbl.find_opt t.sent_flow case) in
+        if logged > sent then
+          t.journal_mismatches <- t.journal_mismatches + (logged - sent))
+      seen
+
+  let totals t =
+    locked t @@ fun () ->
+    {
+      t_sent = t.sent;
+      t_ok = t.ok;
+      t_overloaded = t.overloaded;
+      t_draining = t.draining;
+      t_cancelled = t.cancelled;
+      t_errors = t.errors;
+      t_aborted = t.aborted;
+      t_lost = t.lost;
+      t_duplicates = t.duplicates;
+      t_unknown = t.unknown;
+      t_connect_failures = t.connect_failures;
+      t_spurious_draining = t.spurious_draining;
+      t_overload_violations = t.overload_violations;
+      t_result_mismatches = t.result_mismatches;
+      t_journal_lines = t.journal_lines;
+      t_journal_mismatches = t.journal_mismatches;
+      t_journal_missing = t.journal_missing;
+    }
+
+  let no_loss_pass tt =
+    tt.t_lost = 0 && tt.t_duplicates = 0 && tt.t_unknown = 0
+    && tt.t_connect_failures = 0 && tt.t_errors = 0
+    && tt.t_spurious_draining = 0
+
+  let overload_pass tt = tt.t_overload_violations = 0
+
+  let journal_pass tt =
+    tt.t_journal_mismatches = 0 && tt.t_journal_missing = 0
+    && tt.t_result_mismatches = 0
+end
+
+(* The sequential oracle: re-run every case's allocation in-process with
+   an uncapped budget — the same computation [sdf3_batch] performs — and
+   keep the journal line it would write. Batch-tier daemon work runs
+   under the same uncapped budget, so every served flow result and every
+   daemon journal line must be byte-identical to this reference. *)
+let reference_lines ~root cases =
+  let arch = Gen.Benchsets.architecture 0 in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun case ->
+      let app = Appmodel.Sdf3_xml.read_app_file (Filename.concat root case) in
+      let budget = Budget.make () in
+      let r = Core.Flow.allocate_with_retry ~budget app arch in
+      Hashtbl.replace tbl case
+        (Server.Journal.to_line (Server.Journal.of_flow_result ~case r)))
+    cases;
+  tbl
+
+module Driver = struct
+  type mode = Closed | Open
+
+  type config = {
+    serve_bin : string;
+    root : string option;
+    socket : string option;
+    journal : string option;
+    daemon_log : string option;
+    report : string option;
+    clients : int;
+    requests : int;
+    seed : int;
+    mode : mode;
+    rps : float;
+    think_ms : float;
+    pipeline : int;
+    drain_after_s : float option;
+    max_inflight : int;
+    reserved_slots : int;
+    workers : int;
+    timeout_s : float;
+    latency_check : bool;
+    tcp : int option;
+    mix : Workload.mix;
+    cases_count : int;
+  }
+
+  let default_config ~serve_bin =
+    {
+      serve_bin;
+      root = None;
+      socket = None;
+      journal = None;
+      daemon_log = None;
+      report = None;
+      clients = 50;
+      requests = 10;
+      seed = 1;
+      mode = Closed;
+      rps = 200.;
+      think_ms = 5.;
+      pipeline = 4;
+      drain_after_s = None;
+      max_inflight = 8;
+      reserved_slots = 1;
+      workers = 0;
+      timeout_s = 120.;
+      latency_check = true;
+      tcp = None;
+      mix = Workload.default_mix;
+      cases_count = 6;
+    }
+
+  type t = {
+    cfg : config;
+    oracle : Oracle.t;
+    addr : Unix.sockaddr;
+    cases : string array;
+    start : float;
+  }
+
+  let temp_dir () =
+    let path = Filename.temp_file "sdf3-loadtest" "" in
+    Sys.remove path;
+    Unix.mkdir path 0o755;
+    path
+
+  let ensure_corpus cfg workdir =
+    match cfg.root with
+    | Some root ->
+        let cases =
+          Sys.readdir root |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".xml")
+          |> List.sort compare |> Array.of_list
+        in
+        if Array.length cases = 0 then
+          failwith (Printf.sprintf "no .xml cases under %s" root);
+        (root, cases)
+    | None ->
+        let root = Filename.concat workdir "cases" in
+        Unix.mkdir root 0o755;
+        let apps =
+          Gen.Benchsets.sequence ~set:1 ~seq:0 ~count:cfg.cases_count
+        in
+        let cases =
+          List.map
+            (fun app ->
+              let name = app.Appmodel.Appgraph.app_name ^ ".xml" in
+              Appmodel.Sdf3_xml.write_app_file (Filename.concat root name) app;
+              name)
+            apps
+        in
+        (root, Array.of_list (List.sort compare cases))
+
+  let fork_daemon cfg ~socket ~root ~journal ~log ~metrics =
+    let fd = Unix.openfile log [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    let argv =
+      [
+        cfg.serve_bin;
+        "--socket";
+        socket;
+        "--root";
+        root;
+        "--journal";
+        journal;
+        "--max-inflight";
+        string_of_int cfg.max_inflight;
+        "--reserved-slots";
+        string_of_int cfg.reserved_slots;
+        "--workers";
+        string_of_int cfg.workers;
+        (* Telemetry is opt-in; the stats verb serves zeros without it. *)
+        "--metrics";
+        metrics;
+      ]
+      @
+      match cfg.tcp with
+      | Some p -> [ "--tcp"; string_of_int p ]
+      | None -> []
+    in
+    let pid =
+      Unix.create_process cfg.serve_bin (Array.of_list argv) Unix.stdin fd fd
+    in
+    Unix.close fd;
+    pid
+
+  (* One blocking request/response exchange on the control connection. *)
+  let control_exchange fd buf line =
+    write_all fd (line ^ "\n");
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+          Buffer.clear buf;
+          Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+          Some (String.sub s 0 i)
+      | None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+
+  let run_client d c =
+    let cfg = d.cfg in
+    let reqs =
+      Array.init cfg.requests (fun k ->
+          Workload.request ~seed:cfg.seed ~cases:d.cases ~mix:cfg.mix ~client:c
+            ~k)
+    in
+    match connect_retry ~addr:d.addr ~timeout_s:cfg.timeout_s with
+    | None -> Oracle.connect_failed d.oracle
+    | Some fd ->
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 8192 in
+        let pending = Hashtbl.create 16 in
+        let sent = ref 0 in
+        let eof = ref false in
+        (* Stagger client start so a thousand clients do not send their
+           first byte in the same microsecond. *)
+        let think_until = ref (d.start +. (float_of_int c *. 0.002)) in
+        let interval =
+          if cfg.mode = Open then float_of_int cfg.clients /. cfg.rps else 0.
+        in
+        let open_due k =
+          d.start
+          +. (float_of_int c /. cfg.rps)
+          +. (float_of_int k *. interval)
+        in
+        let hard_deadline = d.start +. cfg.timeout_s in
+        let drain_lines on_line =
+          let rec go () =
+            let s = Buffer.contents buf in
+            match String.index_opt s '\n' with
+            | Some i ->
+                let line = String.sub s 0 i in
+                Buffer.clear buf;
+                Buffer.add_string buf
+                  (String.sub s (i + 1) (String.length s - i - 1));
+                on_line line;
+                go ()
+            | None -> ()
+          in
+          go ()
+        in
+        (try
+           while
+             (not !eof)
+             && (Hashtbl.length pending > 0
+                || (!sent < cfg.requests
+                   && not (Oracle.drain_initiated d.oracle)))
+             && Unix.gettimeofday () < hard_deadline
+           do
+             let now = Unix.gettimeofday () in
+             let due =
+               match cfg.mode with
+               | Open -> open_due !sent
+               | Closed -> !think_until
+             in
+             let can_send =
+               !sent < cfg.requests
+               && (not (Oracle.drain_initiated d.oracle))
+               && Hashtbl.length pending < cfg.pipeline
+               && now >= due
+             in
+             if can_send then begin
+               let req = reqs.(!sent) in
+               incr sent;
+               Oracle.register_send d.oracle req;
+               Hashtbl.replace pending req.Workload.id ();
+               try write_all fd (req.Workload.line ^ "\n")
+               with Unix.Unix_error _ -> eof := true
+             end
+             else begin
+               let wait =
+                 if !sent < cfg.requests && Hashtbl.length pending < cfg.pipeline
+                 then Float.max 0.001 (Float.min 0.05 (due -. now))
+                 else 0.05
+               in
+               match Unix.select [ fd ] [] [] wait with
+               | [], _, _ -> ()
+               | _ -> (
+                   match Unix.read fd chunk 0 (Bytes.length chunk) with
+                   | 0 -> eof := true
+                   | n ->
+                       Buffer.add_subbytes buf chunk 0 n;
+                       drain_lines (fun line ->
+                           match Oracle.record_response d.oracle line with
+                           | Some id ->
+                               Hashtbl.remove pending id;
+                               if cfg.mode = Closed then
+                                 think_until :=
+                                   Unix.gettimeofday ()
+                                   +. (cfg.think_ms /. 1000.)
+                           | None -> ())
+                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             end
+           done
+         with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Hashtbl.iter (fun id () -> Oracle.mark_unanswered d.oracle id) pending
+
+  let read_lines path =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    end
+
+  let histo_json (s : Obs.Histogram.snapshot) =
+    Json.Assoc
+      [
+        ("count", Json.Int s.Obs.Histogram.count);
+        ("p50", Json.Float s.Obs.Histogram.p50);
+        ("p90", Json.Float s.Obs.Histogram.p90);
+        ("p99", Json.Float s.Obs.Histogram.p99);
+        ("min", Json.Float s.Obs.Histogram.min);
+        ("max", Json.Float s.Obs.Histogram.max);
+      ]
+
+  let write_report path ~(tt : Oracle.totals) ~server_stats ~verdicts =
+    let latencies =
+      Obs.Histogram.all ()
+      |> List.filter (fun (k, _) -> String.starts_with ~prefix:"load." k)
+      |> List.map (fun (k, s) -> (k, histo_json s))
+    in
+    let doc =
+      Json.Assoc
+        [
+          ( "totals",
+            Json.Assoc
+              [
+                ("sent", Json.Int tt.Oracle.t_sent);
+                ("ok", Json.Int tt.Oracle.t_ok);
+                ("overloaded", Json.Int tt.Oracle.t_overloaded);
+                ("draining", Json.Int tt.Oracle.t_draining);
+                ("cancelled", Json.Int tt.Oracle.t_cancelled);
+                ("errors", Json.Int tt.Oracle.t_errors);
+                ("aborted", Json.Int tt.Oracle.t_aborted);
+                ("lost", Json.Int tt.Oracle.t_lost);
+                ("duplicates", Json.Int tt.Oracle.t_duplicates);
+                ("unknown", Json.Int tt.Oracle.t_unknown);
+                ("connect_failures", Json.Int tt.Oracle.t_connect_failures);
+                ("journal_lines", Json.Int tt.Oracle.t_journal_lines);
+              ] );
+          ("latency_s", Json.Assoc latencies);
+          ( "oracles",
+            Json.Assoc
+              (List.map (fun (k, v) -> (k, Json.Bool v)) verdicts) );
+          ( "server_stats",
+            Option.value ~default:Json.Null server_stats );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string doc);
+    close_out oc
+
+  let run cfg =
+    Obs.set_enabled true;
+    let workdir = temp_dir () in
+    let root, cases = ensure_corpus cfg workdir in
+    let socket =
+      Option.value cfg.socket ~default:(Filename.concat workdir "load.sock")
+    in
+    let journal =
+      Option.value cfg.journal
+        ~default:(Filename.concat workdir "journal.jsonl")
+    in
+    let daemon_log =
+      Option.value cfg.daemon_log
+        ~default:(Filename.concat workdir "daemon.log")
+    in
+    Printf.printf "loadtest: %d client(s) x %d request(s), seed %d, %s mode\n%!"
+      cfg.clients cfg.requests cfg.seed
+      (match cfg.mode with Closed -> "closed" | Open -> "open");
+    let reference = reference_lines ~root cases in
+    let oracle =
+      Oracle.create ~capacity:cfg.max_inflight ~reserved:cfg.reserved_slots
+        ~reference
+    in
+    let pid =
+      fork_daemon cfg ~socket ~root ~journal ~log:daemon_log
+        ~metrics:(Filename.concat workdir "daemon-metrics.json")
+    in
+    let addr =
+      match cfg.tcp with
+      | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+      | None -> Unix.ADDR_UNIX socket
+    in
+    let fail_boot msg =
+      Printf.printf "loadtest: %s\n" msg;
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      List.iter print_endline (read_lines daemon_log);
+      1
+    in
+    (* Boot probe: short connect attempts interleaved with a liveness
+       check, so a daemon that dies on startup (bad flag, bound socket)
+       fails the run immediately instead of after the full timeout. *)
+    let boot_connect () =
+      let deadline = Unix.gettimeofday () +. Float.min cfg.timeout_s 30. in
+      let rec go () =
+        match connect_retry ~addr ~timeout_s:0.2 with
+        | Some fd -> Some fd
+        | None ->
+            if fst (Unix.waitpid [ Unix.WNOHANG ] pid) <> 0 then None
+            else if Unix.gettimeofday () > deadline then None
+            else go ()
+      in
+      go ()
+    in
+    match boot_connect () with
+    | None -> fail_boot "daemon did not come up"
+    | Some control ->
+        let cbuf = Buffer.create 1024 in
+        (match control_exchange control cbuf {|{"id":"boot","verb":"ping"}|} with
+        | Some _ -> ()
+        | None -> ());
+        (* Warm the daemon's memo caches before the clock starts: one
+           analyze per case (batch tier, unjournaled), so the measured
+           interactive latencies reflect the steady state, not the first
+           cold computation of each graph. *)
+        Array.iteri
+          (fun i case ->
+            ignore
+              (control_exchange control cbuf
+                 (Printf.sprintf
+                    {|{"id":"warm%d","verb":"analyze","file":"%s","tier":"batch"}|}
+                    i case)))
+          cases;
+        let d = { cfg; oracle; addr; cases; start = Unix.gettimeofday () } in
+        let server_stats = ref None in
+        (* Pull the daemon's telemetry registry over the wire (counters
+           incl. server.preempt.*, per-tier histograms), then drain. The
+           drain flag is raised strictly before the drain request is
+           sent, so any connection the shutdown cuts is classified as
+           aborted, never lost. *)
+        let initiate_drain () =
+          (match
+             control_exchange control cbuf {|{"id":"stats","verb":"stats"}|}
+           with
+          | Some line -> (
+              match Json.parse line with
+              | Ok j -> server_stats := Json.member "result" j
+              | Error _ -> ())
+          | None -> ());
+          Oracle.initiate_drain oracle;
+          ignore
+            (control_exchange control cbuf {|{"id":"drain","verb":"drain"}|})
+        in
+        let drain_timer =
+          Option.map
+            (fun s ->
+              Thread.create
+                (fun () ->
+                  Unix.sleepf s;
+                  initiate_drain ())
+                ())
+            cfg.drain_after_s
+        in
+        let threads =
+          List.init cfg.clients (fun c -> Thread.create (run_client d) c)
+        in
+        List.iter Thread.join threads;
+        (match drain_timer with
+        | Some th -> Thread.join th
+        | None -> initiate_drain ());
+        (try Unix.close control with Unix.Unix_error _ -> ());
+        (* The daemon must now drain and exit 0 on its own. *)
+        let exit_status = ref None in
+        let deadline = Unix.gettimeofday () +. 60. in
+        while !exit_status = None && Unix.gettimeofday () < deadline do
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> Unix.sleepf 0.05
+          | _, status -> exit_status := Some status
+        done;
+        let drain_ok =
+          match !exit_status with
+          | Some (Unix.WEXITED 0) -> true
+          | Some _ -> false
+          | None ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid);
+              false
+        in
+        let socket_gone = not (Sys.file_exists socket) in
+        Oracle.check_journal oracle (read_lines journal);
+        let tt = Oracle.totals oracle in
+        let snap name = Obs.Histogram.snapshot ("load.latency_s." ^ name) in
+        let interactive = snap "interactive" in
+        let batch = snap "batch" in
+        (* The latency oracle reads the daemon's own per-tier service-time
+           histograms (admission to response written), not the harness's
+           end-to-end measurements: with hundreds of client threads on
+           one runtime, harness-side scheduling delay would drown the
+           signal the oracle is about — that admitted interactive work is
+           served fast while batch work is slow. *)
+        let server_histo name =
+          let ( >>= ) o f = Option.bind o f in
+          !server_stats
+          >>= Json.member "histograms"
+          >>= Json.member name
+          >>= fun h ->
+          let num k =
+            match Json.member k h with
+            | Some (Json.Float x) -> Some x
+            | Some (Json.Int n) -> Some (float_of_int n)
+            | _ -> None
+          in
+          match (Json.member "count" h, num "p50", num "p99") with
+          | Some (Json.Int count), Some p50, Some p99 ->
+              Some (count, p50, p99)
+          | _ -> None
+        in
+        let srv_interactive = server_histo "server.request_s.interactive" in
+        let srv_batch = server_histo "server.request_s.batch" in
+        let saturated = tt.Oracle.t_overloaded > 0 in
+        let latency_applicable =
+          cfg.latency_check && saturated
+          && (match srv_interactive with
+             | Some (n, _, _) -> n >= 20
+             | None -> false)
+          && match srv_batch with Some (n, _, _) -> n >= 20 | None -> false
+        in
+        let latency_ok =
+          (not latency_applicable)
+          ||
+          match (srv_interactive, srv_batch) with
+          | Some (_, _, i_p99), Some (_, b_p50, _) -> i_p99 < b_p50
+          | _ -> false
+        in
+        let no_loss = Oracle.no_loss_pass tt in
+        let overload = Oracle.overload_pass tt in
+        let journal_ok = Oracle.journal_pass tt in
+        let drain_pass = drain_ok && socket_gone in
+        Printf.printf
+          "loadtest: sent=%d ok=%d overloaded=%d draining=%d aborted=%d\n"
+          tt.Oracle.t_sent tt.Oracle.t_ok tt.Oracle.t_overloaded
+          tt.Oracle.t_draining tt.Oracle.t_aborted;
+        Printf.printf
+          "loadtest: lost=%d duplicates=%d unknown=%d errors=%d \
+           connect_failures=%d\n"
+          tt.Oracle.t_lost tt.Oracle.t_duplicates tt.Oracle.t_unknown
+          tt.Oracle.t_errors tt.Oracle.t_connect_failures;
+        (match (interactive, batch) with
+        | Some i, Some b ->
+            Printf.printf
+              "loadtest: client latency interactive p50=%.1fms p99=%.1fms \
+               (n=%d) | batch p50=%.1fms p99=%.1fms (n=%d)\n"
+              (1000. *. i.Obs.Histogram.p50)
+              (1000. *. i.Obs.Histogram.p99)
+              i.Obs.Histogram.count
+              (1000. *. b.Obs.Histogram.p50)
+              (1000. *. b.Obs.Histogram.p99)
+              b.Obs.Histogram.count
+        | _ -> ());
+        (match (srv_interactive, srv_batch) with
+        | Some (ni, ip50, ip99), Some (nb, bp50, bp99) ->
+            Printf.printf
+              "loadtest: server latency interactive p50=%.1fms p99=%.1fms \
+               (n=%d) | batch p50=%.1fms p99=%.1fms (n=%d)\n"
+              (1000. *. ip50) (1000. *. ip99) ni (1000. *. bp50)
+              (1000. *. bp99) nb
+        | _ -> ());
+        (match !server_stats with
+        | Some stats -> (
+            match Json.member "counters" stats with
+            | Some counters ->
+                let c name =
+                  match Json.member name counters with
+                  | Some (Json.Int n) -> n
+                  | _ -> 0
+                in
+                Printf.printf
+                  "loadtest: server preempt reserved_admits=%d \
+                   normal_blocked=%d\n"
+                  (c "server.preempt.reserved_admits")
+                  (c "server.preempt.normal_blocked")
+            | None -> ())
+        | None -> ());
+        let verdict name ok =
+          Printf.printf "loadtest: oracle %s: %s\n" name
+            (if ok then "PASS" else "FAIL");
+          (name, ok)
+        in
+        let verdicts =
+          [
+            verdict "no-loss" no_loss;
+            verdict "overload-window" overload;
+            verdict "journal" journal_ok;
+            verdict
+              (if latency_applicable then "latency" else "latency (not applicable)")
+              latency_ok;
+            verdict "drain" drain_pass;
+          ]
+        in
+        Option.iter
+          (fun path -> write_report path ~tt ~server_stats:!server_stats ~verdicts)
+          cfg.report;
+        let all = List.for_all snd verdicts in
+        Printf.printf "loadtest: %s\n%!" (if all then "PASS" else "FAIL");
+        if not all then List.iter print_endline (read_lines daemon_log);
+        if all then 0 else 1
+end

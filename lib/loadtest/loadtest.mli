@@ -1,0 +1,154 @@
+(** Load-test harness for the allocation daemon: a seeded deterministic
+    workload generator, invariant oracles checked online and at teardown,
+    and a driver that forks the daemon, swarms it with thread clients and
+    verdicts every oracle.
+
+    The oracles (see DESIGN.md §11 for the precise statements):
+    - {b no-loss}: exactly one response per request id — no lost, dropped,
+      duplicated or unattributable responses, no connect failures, no
+      ["draining"] before the harness initiated the drain.
+    - {b overload-window}: every ["overloaded"] rejection is witnessed by
+      a provably full admission window (computed from the harness's own
+      outstanding/completion accounting, a sound over-approximation of
+      the server's in-flight set).
+    - {b journal}: after the drain, every daemon journal line is
+      byte-identical to an in-process sequential re-run of the same case,
+      with per-case counts bounded by [ok-flow-responses <= journal <=
+      flow-requests-sent]; every ok [flow] response's [result] object
+      matches the same reference.
+    - {b latency}: under observed saturation with enough samples,
+      interactive p99 < batch p50 (the reserved-slot admission working).
+    - {b drain}: the daemon exits 0 on its own after [drain] and unlinks
+      its socket. *)
+
+module Workload : sig
+  type req = {
+    id : string;  (** ["c<client>-<k>"] — unique across the run *)
+    tier : Server.Tier.t;
+    verb : string;
+    case : string option;  (** input file for [analyze]/[flow] *)
+    line : string;  (** the wire line, without trailing newline *)
+  }
+
+  (** Tier weights; they need not sum to 1. *)
+  type mix = { interactive : float; standard : float; batch : float }
+
+  val default_mix : mix
+  (** 0.3 / 0.3 / 0.4. *)
+
+  val request :
+    seed:int -> cases:string array -> mix:mix -> client:int -> k:int -> req
+  (** Request [k] of client [client]: a pure function of [(seed, client,
+      k)], so a run is reproducible from its seed. Interactive requests
+      are pings or analyzes, standard are analyzes, batch mixes
+      journaled [flow] allocations with 25-60 ms [sleep] ballast that
+      holds admission slots like uncached allocations would. *)
+end
+
+module Oracle : sig
+  type t
+
+  type totals = {
+    t_sent : int;
+    t_ok : int;
+    t_overloaded : int;
+    t_draining : int;
+    t_cancelled : int;
+    t_errors : int;
+    t_aborted : int;  (** unanswered after the harness initiated drain *)
+    t_lost : int;  (** unanswered before drain — a violation *)
+    t_duplicates : int;
+    t_unknown : int;  (** unparsable or unattributable response lines *)
+    t_connect_failures : int;
+    t_spurious_draining : int;  (** ["draining"] before drain initiated *)
+    t_overload_violations : int;
+    t_result_mismatches : int;
+    t_journal_lines : int;
+    t_journal_mismatches : int;
+    t_journal_missing : int;
+  }
+
+  val create :
+    capacity:int ->
+    reserved:int ->
+    reference:(string, string) Hashtbl.t ->
+    t
+  (** [capacity]/[reserved] mirror the daemon's admission configuration
+      (same clamping); [reference] maps each case to its expected journal
+      line (see {!reference_lines}). *)
+
+  val register_send : t -> Workload.req -> unit
+  (** Record a request the instant before its bytes go out. *)
+
+  val record_response : t -> string -> string option
+  (** Account one response line; returns the echoed id when the line was
+      attributed to an outstanding request (so the client can retire it).
+      Classifies the status, checks the overload window witness, records
+      the ["load.latency_s.<tier>"] histogram, and byte-compares [flow]
+      results against the reference. *)
+
+  val mark_unanswered : t -> string -> unit
+  (** The client gave up on this id (connection closed): aborted if the
+      drain was already initiated, lost — a violation — otherwise. *)
+
+  val connect_failed : t -> unit
+  val initiate_drain : t -> unit
+  (** Must be called strictly {e before} the drain request is sent. *)
+
+  val drain_initiated : t -> bool
+
+  val check_journal : t -> string list -> unit
+  (** Fold the daemon's journal into the per-case byte/count checks. Call
+      once, after the daemon has exited. *)
+
+  val totals : t -> totals
+
+  val no_loss_pass : totals -> bool
+  val overload_pass : totals -> bool
+  val journal_pass : totals -> bool
+end
+
+val reference_lines : root:string -> string array -> (string, string) Hashtbl.t
+(** Sequentially re-run every case's allocation in-process under an
+    uncapped budget — the same computation [sdf3_batch] performs — and
+    return case -> expected journal line. The daemon's batch-tier [flow]
+    budget is also uncapped, so served results and journal lines must be
+    byte-identical to these. *)
+
+module Driver : sig
+  type mode = Closed  (** [clients] loops with think time *)
+            | Open  (** target aggregate RPS schedule *)
+
+  type config = {
+    serve_bin : string;  (** the [sdf3_serve] executable to fork *)
+    root : string option;  (** case corpus; [None] = generate one *)
+    socket : string option;  (** [None] = private socket in a temp dir *)
+    journal : string option;
+    daemon_log : string option;
+    report : string option;  (** write a JSON latency/verdict report *)
+    clients : int;
+    requests : int;  (** per client *)
+    seed : int;
+    mode : mode;
+    rps : float;  (** open mode: target aggregate requests/second *)
+    think_ms : float;  (** closed mode: pause after each response *)
+    pipeline : int;  (** max outstanding requests per connection *)
+    drain_after_s : float option;  (** initiate drain mid-flight *)
+    max_inflight : int;
+    reserved_slots : int;
+    workers : int;
+    timeout_s : float;  (** hard wall-clock cap on the client phase *)
+    latency_check : bool;
+    tcp : int option;
+    mix : Workload.mix;
+    cases_count : int;  (** generated corpus size when [root] is [None] *)
+  }
+
+  val default_config : serve_bin:string -> config
+
+  val run : config -> int
+  (** Fork the daemon, run the workload, drain, check every oracle.
+      Prints one greppable ["loadtest: oracle <name>: PASS|FAIL"] line
+      per oracle and a final ["loadtest: PASS|FAIL"]; returns 0 iff all
+      oracles passed. On failure the daemon's log is echoed. *)
+end

@@ -302,20 +302,27 @@ module Histogram = struct
     max : float;
   }
 
+  let snap_locked h =
+    {
+      count = h.h_count;
+      p50 = quantile_locked h 0.50;
+      p90 = quantile_locked h 0.90;
+      p99 = quantile_locked h 0.99;
+      min = h.h_min;
+      max = h.h_max;
+    }
+
   let snapshot name =
     locked (fun () ->
-        Option.map
-          (fun h ->
-            {
-              count = h.h_count;
-              p50 = quantile_locked h 0.50;
-              p90 = quantile_locked h 0.90;
-              p99 = quantile_locked h 0.99;
-              min = h.h_min;
-              max = h.h_max;
-            })
-          (Hashtbl.find_opt histograms name))
+        Option.map snap_locked (Hashtbl.find_opt histograms name))
+
+  let all () =
+    locked (fun () ->
+        Hashtbl.fold (fun k h acc -> (k, snap_locked h) :: acc) histograms []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : string) b))
 end
+
+let counters_snapshot () = locked (fun () -> sorted_tbl counters (fun r -> !r))
 
 module Json = struct
   type t =

@@ -143,7 +143,16 @@ module Histogram : sig
   }
 
   val snapshot : string -> snapshot option
+
+  val all : unit -> (string * snapshot) list
+  (** Every registered histogram with its current snapshot, sorted by
+      name — the histogram section of {!snapshot_json} as an association
+      list (what the daemon's [stats] verb serves over the wire). *)
 end
+
+val counters_snapshot : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name —
+    the counter section of {!snapshot_json} as an association list. *)
 
 (** Hierarchical timing scopes. [Span.with_ "strategy.bind" f] runs [f]
     and records its duration in a {!Timer} keyed by the ["/"]-joined path

@@ -96,46 +96,81 @@ module Journal = struct
 end
 
 module Admission = struct
+  (* Two occupancy classes: [normal] (standard/batch) may only use the
+     general slots (capacity - reserved); [privileged] (interactive) may
+     use the whole window, so [reserved] slots are always available to it
+     no matter how much batch traffic is in flight. *)
   type t = {
     mutex : Mutex.t;
     idle : Condition.t;
     capacity : int;
-    mutable work : int;
+    reserved : int;
+    mutable normal : int;
+    mutable privileged : int;
     mutable control : int;
     mutable draining : bool;
+    c_reserved_admits : Obs.Counter.t;
+    c_normal_blocked : Obs.Counter.t;
   }
 
   type decision = Admitted | Overloaded | Draining
 
-  let create ~capacity =
+  let create ?(reserved = 0) ~capacity () =
+    let capacity = max 1 capacity in
+    let reserved = min (max 0 reserved) (capacity - 1) in
     {
       mutex = Mutex.create ();
       idle = Condition.create ();
-      capacity = max 1 capacity;
-      work = 0;
+      capacity;
+      reserved;
+      normal = 0;
+      privileged = 0;
       control = 0;
       draining = false;
+      c_reserved_admits = Obs.Counter.make "server.preempt.reserved_admits";
+      c_normal_blocked = Obs.Counter.make "server.preempt.normal_blocked";
     }
 
   let capacity t = t.capacity
+  let reserved t = t.reserved
 
-  let try_admit t =
+  let try_admit ?(privileged = false) t =
     Mutex.lock t.mutex;
     let d =
       if t.draining then Draining
-      else if t.work >= t.capacity then Overloaded
       else begin
-        t.work <- t.work + 1;
-        Admitted
+        let total = t.normal + t.privileged in
+        if privileged then
+          if total >= t.capacity then Overloaded
+          else begin
+            (* The general pool was full: this admission went through on
+               the strength of the reserve. *)
+            if total >= t.capacity - t.reserved then
+              Obs.Counter.incr t.c_reserved_admits;
+            t.privileged <- t.privileged + 1;
+            Admitted
+          end
+        else if t.normal >= t.capacity - t.reserved || total >= t.capacity
+        then begin
+          (* Slots were free but they are reserved for interactive. *)
+          if total < t.capacity then Obs.Counter.incr t.c_normal_blocked;
+          Overloaded
+        end
+        else begin
+          t.normal <- t.normal + 1;
+          Admitted
+        end
       end
     in
     Mutex.unlock t.mutex;
     d
 
-  let release t =
+  let release ?(privileged = false) t =
     Mutex.lock t.mutex;
-    t.work <- t.work - 1;
-    if t.work = 0 && t.control = 0 then Condition.broadcast t.idle;
+    if privileged then t.privileged <- t.privileged - 1
+    else t.normal <- t.normal - 1;
+    if t.normal + t.privileged = 0 && t.control = 0 then
+      Condition.broadcast t.idle;
     Mutex.unlock t.mutex
 
   let enter_control t =
@@ -146,12 +181,25 @@ module Admission = struct
   let exit_control t =
     Mutex.lock t.mutex;
     t.control <- t.control - 1;
-    if t.work = 0 && t.control = 0 then Condition.broadcast t.idle;
+    if t.normal + t.privileged = 0 && t.control = 0 then
+      Condition.broadcast t.idle;
     Mutex.unlock t.mutex
 
   let in_flight t =
     Mutex.lock t.mutex;
-    let n = t.work in
+    let n = t.normal + t.privileged in
+    Mutex.unlock t.mutex;
+    n
+
+  let normal_in_flight t =
+    Mutex.lock t.mutex;
+    let n = t.normal in
+    Mutex.unlock t.mutex;
+    n
+
+  let privileged_in_flight t =
+    Mutex.lock t.mutex;
+    let n = t.privileged in
     Mutex.unlock t.mutex;
     n
 
@@ -168,9 +216,87 @@ module Admission = struct
 
   let wait_idle t =
     Mutex.lock t.mutex;
-    while t.work > 0 || t.control > 0 do
+    while t.normal + t.privileged > 0 || t.control > 0 do
       Condition.wait t.idle t.mutex
     done;
+    Mutex.unlock t.mutex
+end
+
+(* The execution queue behind per-connection pipelining: reader threads
+   submit admitted work here, a fixed pool of worker threads drains it.
+   Two FIFO classes — privileged (interactive) jobs always dequeue before
+   normal ones, and arrival order is preserved within each class. The
+   admission window bounds the queue (a job is only submitted after
+   [Admission.try_admit]), so the queue cannot grow past [capacity]. *)
+module Workqueue = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    priv : (unit -> unit) Queue.t;
+    norm : (unit -> unit) Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      priv = Queue.create ();
+      norm = Queue.create ();
+      closed = false;
+    }
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.priv + Queue.length t.norm in
+    Mutex.unlock t.mutex;
+    n
+
+  let submit t ~privileged f =
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      (* Shutdown fallback: run in the caller so no admitted request is
+         ever dropped on the floor. *)
+      Mutex.unlock t.mutex;
+      f ()
+    end
+    else begin
+      Queue.push f (if privileged then t.priv else t.norm);
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex
+    end
+
+  let pop_locked t =
+    if not (Queue.is_empty t.priv) then Some (Queue.pop t.priv)
+    else if not (Queue.is_empty t.norm) then Some (Queue.pop t.norm)
+    else None
+
+  let try_take t =
+    Mutex.lock t.mutex;
+    let r = pop_locked t in
+    Mutex.unlock t.mutex;
+    r
+
+  let take t =
+    Mutex.lock t.mutex;
+    let rec go () =
+      match pop_locked t with
+      | Some _ as r -> r
+      | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            go ()
+          end
+    in
+    let r = go () in
+    Mutex.unlock t.mutex;
+    r
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
     Mutex.unlock t.mutex
 end
 
@@ -178,6 +304,7 @@ module Request = struct
   type verb =
     | Ping
     | Status
+    | Stats
     | Drain
     | Sleep of { ms : int }
     | Analyze of { file : string }
@@ -188,6 +315,7 @@ module Request = struct
   let verb_label = function
     | Ping -> "ping"
     | Status -> "status"
+    | Stats -> "stats"
     | Drain -> "drain"
     | Sleep _ -> "sleep"
     | Analyze _ -> "analyze"
@@ -232,6 +360,7 @@ module Request = struct
           match verb_name with
           | "ping" -> Ok Ping
           | "status" -> Ok Status
+          | "stats" -> Ok Stats
           | "drain" -> Ok Drain
           | "sleep" -> (
               match Json.member "ms" j with
@@ -282,6 +411,7 @@ module Handler = struct
     c_requests : Obs.Counter.t;
     c_malformed : Obs.Counter.t;
     h_request_s : Obs.Histogram.t;
+    h_tier_s : (Tier.t * Obs.Histogram.t) list;
   }
 
   let create ?(root = ".") ?journal ?cancel ~admission () =
@@ -289,7 +419,7 @@ module Handler = struct
        appears (at 0) in any --metrics document the daemon writes. *)
     List.iter
       (fun v -> ignore (Obs.Counter.make ("server.verb." ^ v)))
-      [ "ping"; "status"; "drain"; "sleep"; "analyze"; "flow" ];
+      [ "ping"; "status"; "stats"; "drain"; "sleep"; "analyze"; "flow" ];
     List.iter
       (fun t -> ignore (Obs.Counter.make ("server.tier." ^ Tier.label t)))
       Tier.all;
@@ -311,6 +441,12 @@ module Handler = struct
       c_requests = Obs.Counter.make "server.requests";
       c_malformed = Obs.Counter.make "server.malformed";
       h_request_s = Obs.Histogram.make "server.request_s";
+      h_tier_s =
+        List.map
+          (fun tier ->
+            ( tier,
+              Obs.Histogram.make ("server.request_s." ^ Tier.label tier) ))
+          Tier.all;
     }
 
   let admission t = t.admission
@@ -479,7 +615,8 @@ module Handler = struct
             end
           in
           napping ()
-      | Request.Ping | Request.Status | Request.Drain -> assert false
+      | Request.Ping | Request.Status | Request.Stats | Request.Drain ->
+          assert false
     in
     let case_of_verb () =
       match req.Request.verb with
@@ -508,79 +645,143 @@ module Handler = struct
       [
         ("in_flight", Json.Int (Admission.in_flight t.admission));
         ("capacity", Json.Int (Admission.capacity t.admission));
+        ("reserved", Json.Int (Admission.reserved t.admission));
         ("draining", Json.Bool (Admission.draining t.admission));
         ("served", Json.Int (requests_served t));
         ("rejected", Json.Int (requests_rejected t));
       ]
 
-  let handle t line =
+  (* Wire export of the telemetry registry: every counter and histogram
+     snapshot, so a load harness can read [server.preempt.*] and the
+     per-tier latency distributions without a metrics file. *)
+  let stats_result () =
+    let histo (s : Obs.Histogram.snapshot) =
+      Json.Assoc
+        [
+          ("count", Json.Int s.Obs.Histogram.count);
+          ("p50", Json.Float s.Obs.Histogram.p50);
+          ("p90", Json.Float s.Obs.Histogram.p90);
+          ("p99", Json.Float s.Obs.Histogram.p99);
+          ("min", Json.Float s.Obs.Histogram.min);
+          ("max", Json.Float s.Obs.Histogram.max);
+        ]
+    in
+    Json.Assoc
+      [
+        ( "counters",
+          Json.Assoc
+            (List.map
+               (fun (k, v) -> (k, Json.Int v))
+               (Obs.counters_snapshot ())) );
+        ( "histograms",
+          Json.Assoc
+            (List.map (fun (k, s) -> (k, histo s)) (Obs.Histogram.all ())) );
+      ]
+
+  let tier_privileged = function
+    | Tier.Interactive -> true
+    | Tier.Standard | Tier.Batch -> false
+
+  let tier_histogram t tier = List.assq tier t.h_tier_s
+
+  let rejection ~id ~status ~error =
+    Json.to_compact_string
+      (Json.Assoc
+         [
+           ("id", id_json id);
+           ("status", Json.String status);
+           ("error", Json.String error);
+         ])
+
+  (* The daemon-facing entry point. Control verbs (ping/status/stats/
+     drain), parse errors and admission rejections are answered inline
+     via [write] on the calling (reader) thread; admitted work verbs are
+     handed to [submit] as a self-contained job that executes the work
+     and writes its own response — the daemon routes jobs to the worker
+     pool so one connection can have many requests in flight
+     (pipelining). [privileged] on submit mirrors the admission class so
+     the queue can let interactive work jump ahead of batch. The job
+     releases its admission slot only after the response write, which
+     keeps the worker queue bounded by the admission capacity. *)
+  let dispatch t ~write ~submit line =
     Obs.Counter.incr t.c_requests;
-    Obs.Histogram.time t.h_request_s @@ fun () ->
+    let t0 = Unix.gettimeofday () in
     match Request.of_line line with
     | Error msg ->
         Obs.Counter.incr t.c_malformed;
         outcome "error";
-        respond_error ~id:None msg
+        write (respond_error ~id:None msg)
     | Ok req -> (
         let id = req.Request.id in
+        let tier = req.Request.tier in
         let verb = Request.verb_label req.Request.verb in
         Obs.Counter.add ("server.verb." ^ verb) 1;
-        Obs.Counter.add ("server.tier." ^ Tier.label req.Request.tier) 1;
+        Obs.Counter.add ("server.tier." ^ Tier.label tier) 1;
         match req.Request.verb with
         | Request.Ping ->
             outcome "ok";
-            respond ~id ~status:"ok" ~verb ()
+            write (respond ~id ~status:"ok" ~verb ())
         | Request.Status ->
             outcome "ok";
-            respond ~id ~status:"ok" ~verb ~result:(status_result t) ()
+            write (respond ~id ~status:"ok" ~verb ~result:(status_result t) ())
+        | Request.Stats ->
+            outcome "ok";
+            write (respond ~id ~status:"ok" ~verb ~result:(stats_result ()) ())
         | Request.Drain ->
             Admission.begin_drain t.admission;
             outcome "ok";
-            respond ~id ~status:"ok" ~verb ()
+            write (respond ~id ~status:"ok" ~verb ())
         | Request.Sleep _ | Request.Analyze _ | Request.Flow _ -> (
-            match Admission.try_admit t.admission with
+            let privileged = tier_privileged tier in
+            match Admission.try_admit ~privileged t.admission with
             | Admission.Overloaded ->
                 bump_rejected t;
                 outcome "overloaded";
-                Json.to_compact_string
-                  (Json.Assoc
-                     [
-                       ("id", id_json id);
-                       ("status", Json.String "overloaded");
-                       ("error", Json.String "server at capacity");
-                     ])
+                write (rejection ~id ~status:"overloaded" ~error:"server at capacity")
             | Admission.Draining ->
                 bump_rejected t;
                 outcome "draining";
-                Json.to_compact_string
-                  (Json.Assoc
-                     [
-                       ("id", id_json id);
-                       ("status", Json.String "draining");
-                       ("error", Json.String "server is draining");
-                     ])
+                write (rejection ~id ~status:"draining" ~error:"server is draining")
             | Admission.Admitted ->
                 Obs.Gauge.set_int "server.queue_depth"
                   (Admission.in_flight t.admission);
-                Fun.protect
-                  ~finally:(fun () ->
-                    Admission.release t.admission;
-                    Obs.Gauge.set_int "server.queue_depth"
-                      (Admission.in_flight t.admission))
-                  (fun () ->
-                    match run_work t req with
-                    | `Result r ->
-                        bump_served t;
-                        outcome "ok";
-                        respond ~id ~status:"ok" ~verb ~result:r ()
-                    | `Cancelled ->
-                        bump_served t;
-                        outcome "cancelled";
-                        respond ~id ~status:"cancelled" ~verb ()
-                    | `Error msg ->
-                        bump_served t;
-                        outcome "error";
-                        respond_error ~id msg)))
+                submit ~privileged (fun () ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        Admission.release ~privileged t.admission;
+                        Obs.Gauge.set_int "server.queue_depth"
+                          (Admission.in_flight t.admission))
+                      (fun () ->
+                        let response =
+                          match run_work t req with
+                          | `Result r ->
+                              bump_served t;
+                              outcome "ok";
+                              respond ~id ~status:"ok" ~verb ~result:r ()
+                          | `Cancelled ->
+                              bump_served t;
+                              outcome "cancelled";
+                              respond ~id ~status:"cancelled" ~verb ()
+                          | `Error msg ->
+                              bump_served t;
+                              outcome "error";
+                              respond_error ~id msg
+                        in
+                        let dt = Unix.gettimeofday () -. t0 in
+                        Obs.Histogram.record t.h_request_s dt;
+                        Obs.Histogram.record (tier_histogram t tier) dt;
+                        write response))))
+
+  (* Synchronous single-line entry point (unit tests, one-shot client
+     tooling): work runs inline on the calling thread and the response
+     line is returned. *)
+  let handle t line =
+    let out = ref (respond_error ~id:None "no response") in
+    dispatch t
+      ~write:(fun s -> out := s)
+      ~submit:(fun ~privileged:_ job -> job ())
+      line;
+    !out
 end
 
 module Daemon = struct
@@ -590,6 +791,7 @@ module Daemon = struct
     read_timeout_s : float;
     idle_timeout_s : float;
     max_line_bytes : int;
+    workers : int;
   }
 
   let default_config ~socket_path =
@@ -599,6 +801,7 @@ module Daemon = struct
       read_timeout_s = 30.;
       idle_timeout_s = 300.;
       max_line_bytes = 1 lsl 20;
+      workers = 0;
     }
 
   let write_all fd s =
@@ -611,20 +814,65 @@ module Daemon = struct
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
 
+  (* Per-connection write-side state. All response writes — inline
+     control answers from the reader thread and work results from worker
+     threads — serialize on [wmutex], so pipelined completions never
+     interleave bytes on the wire. [pending] counts admitted jobs whose
+     response has not been written yet; the reader only closes the fd
+     once it reaches zero, and since a job's pending decrement happens
+     after its response write (under the same mutex), the close decision
+     can never race a write on a stale fd. *)
+  type conn = {
+    fd : Unix.file_descr;
+    wmutex : Mutex.t;
+    wcond : Condition.t;
+    mutable pending : int;
+    mutable closed : bool;
+  }
+
   (* One reader thread per connection: assemble newline-delimited
-     requests, answer each in order, close on end-of-stream, timeout or
-     an oversized line. Everything a peer can do wrong ends this
-     connection, not the daemon. *)
-  let connection cfg handler fd =
+     requests, dispatch each (control verbs answered inline, work verbs
+     queued to the worker pool), close on end-of-stream, timeout,
+     oversized line or daemon shutdown. Everything a peer can do wrong
+     ends this connection, not the daemon. *)
+  let connection cfg handler queue ~shutdown fd =
     let adm = Handler.admission handler in
-    let buf = Buffer.create 1024 in
-    let chunk = Bytes.create 4096 in
-    let respond line =
+    let conn =
+      {
+        fd;
+        wmutex = Mutex.create ();
+        wcond = Condition.create ();
+        pending = 0;
+        closed = false;
+      }
+    in
+    let write_line s =
+      Mutex.lock conn.wmutex;
+      (if not conn.closed then
+         try write_all conn.fd (s ^ "\n") with Unix.Unix_error _ -> ());
+      Mutex.unlock conn.wmutex
+    in
+    let submit ~privileged job =
+      Mutex.lock conn.wmutex;
+      conn.pending <- conn.pending + 1;
+      Mutex.unlock conn.wmutex;
+      Workqueue.submit queue ~privileged (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock conn.wmutex;
+              conn.pending <- conn.pending - 1;
+              Condition.broadcast conn.wcond;
+              Mutex.unlock conn.wmutex)
+            job)
+    in
+    let dispatch line =
       Admission.enter_control adm;
       Fun.protect
         ~finally:(fun () -> Admission.exit_control adm)
-        (fun () -> write_all fd (Handler.handle handler line ^ "\n"))
+        (fun () -> Handler.dispatch handler ~write:write_line ~submit line)
     in
+    let buf = Buffer.create 1024 in
+    let chunk = Bytes.create 4096 in
     let rec serve_lines () =
       let s = Buffer.contents buf in
       match String.index_opt s '\n' with
@@ -633,44 +881,66 @@ module Daemon = struct
           Buffer.clear buf;
           Buffer.add_string buf
             (String.sub s (i + 1) (String.length s - i - 1));
-          respond line;
+          dispatch line;
           serve_lines ()
       | None ->
           if Buffer.length buf > cfg.max_line_bytes then begin
-            Admission.enter_control adm;
-            Fun.protect
-              ~finally:(fun () -> Admission.exit_control adm)
-              (fun () ->
-                write_all fd
-                  (Handler.respond_error ~id:None "request line too long"
-                  ^ "\n"));
+            write_line (Handler.respond_error ~id:None "request line too long");
             `Close
           end
           else `More
     in
-    let rec read_loop () =
-      let timeout =
-        if Buffer.length buf = 0 then cfg.idle_timeout_s
-        else cfg.read_timeout_s
-      in
-      match Unix.select [ fd ] [] [] timeout with
-      | [], _, _ ->
-          Obs.Counter.add
-            (if Buffer.length buf = 0 then "server.timeouts.idle"
-             else "server.timeouts.read")
-            1
-      | _ -> (
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 -> ()
-          | n -> (
-              Buffer.add_subbytes buf chunk 0 n;
-              match serve_lines () with
-              | `More -> read_loop ()
-              | `Close -> ())
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop ()
+    (* Select in short slices so the reader notices the daemon's
+       shutdown signal within ~0.2 s. During a drain it keeps reading
+       (new work is answered "draining"); once the admission window has
+       emptied and the daemon flips [shutdown], it stops reading, lets
+       queued responses flush (pending drains to zero) and closes — no
+       request that was already admitted loses its response. *)
+    let rec read_loop ~deadline ~kind =
+      if Atomic.get shutdown then ()
+      else begin
+        let now = Unix.gettimeofday () in
+        if now >= deadline then Obs.Counter.add ("server.timeouts." ^ kind) 1
+        else begin
+          let slice = Float.min 0.2 (deadline -. now) in
+          match Unix.select [ fd ] [] [] slice with
+          | [], _, _ -> read_loop ~deadline ~kind
+          | _ -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n -> (
+                  Buffer.add_subbytes buf chunk 0 n;
+                  match serve_lines () with
+                  | `More ->
+                      let kind, timeout =
+                        if Buffer.length buf = 0 then
+                          ("idle", cfg.idle_timeout_s)
+                        else ("read", cfg.read_timeout_s)
+                      in
+                      read_loop
+                        ~deadline:(Unix.gettimeofday () +. timeout)
+                        ~kind
+                  | `Close -> ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                  read_loop ~deadline ~kind)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              read_loop ~deadline ~kind
+        end
+      end
     in
-    (try read_loop () with _ -> ());
+    (try
+       read_loop
+         ~deadline:(Unix.gettimeofday () +. cfg.idle_timeout_s)
+         ~kind:"idle"
+     with _ -> ());
+    (* Flush: wait for every admitted-but-unanswered request on this
+       connection before closing the stream. *)
+    Mutex.lock conn.wmutex;
+    while conn.pending > 0 do
+      Condition.wait conn.wcond conn.wmutex
+    done;
+    conn.closed <- true;
+    Mutex.unlock conn.wmutex;
     try Unix.close fd with Unix.Unix_error _ -> ()
 
   let unix_listener path =
@@ -693,6 +963,26 @@ module Daemon = struct
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ());
     let adm = Handler.admission handler in
+    let queue = Workqueue.create () in
+    let nworkers =
+      if cfg.workers > 0 then cfg.workers else Admission.capacity adm
+    in
+    let workers =
+      List.init nworkers (fun _ ->
+          Thread.create
+            (fun () ->
+              let rec loop () =
+                match Workqueue.take queue with
+                | Some job ->
+                    (try job () with _ -> ());
+                    loop ()
+                | None -> ()
+              in
+              loop ())
+            ())
+    in
+    let live = Atomic.make 0 in
+    let shutdown = Atomic.make false in
     let listeners =
       unix_listener cfg.socket_path
       :: (match cfg.tcp_port with
@@ -709,8 +999,15 @@ module Daemon = struct
               match Unix.accept lfd with
               | fd, _ ->
                   Obs.Counter.add "server.connections" 1;
+                  Atomic.incr live;
                   ignore
-                    (Thread.create (fun () -> connection cfg handler fd) ())
+                    (Thread.create
+                       (fun () ->
+                         Fun.protect
+                           ~finally:(fun () -> Atomic.decr live)
+                           (fun () ->
+                             connection cfg handler queue ~shutdown fd))
+                       ())
               | exception Unix.Unix_error (_, _, _) -> ())
             ready
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -724,10 +1021,20 @@ module Daemon = struct
       if Admission.draining adm && Admission.in_flight adm = 0 then
         stopping := true
     done;
-    (* Let in-flight work and response writes finish before tearing the
-       sockets down: wait_idle covers both admitted work and control
-       sections (response writes are bracketed as control). *)
+    (* Admitted work holds its slot until after the response write, so
+       wait_idle returning means every accepted request has been
+       answered; control sections cover the inline answers. *)
     Admission.wait_idle adm;
+    (* Readers notice the shutdown flag within a poll slice, flush and
+       close their connections; give them a bounded moment so every
+       client sees a clean end-of-stream before the listeners go away. *)
+    Atomic.set shutdown true;
+    let patience = Unix.gettimeofday () +. 5.0 in
+    while Atomic.get live > 0 && Unix.gettimeofday () < patience do
+      Unix.sleepf 0.01
+    done;
+    Workqueue.close queue;
+    List.iter Thread.join workers;
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
     (try Sys.remove cfg.socket_path with Sys_error _ -> ());
     0

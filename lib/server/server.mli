@@ -8,7 +8,7 @@
     ([analyze], [flow], [sleep]) pass admission control — a bounded
     in-flight window rejected with ["overloaded"] when full — and run
     under a per-request {!Budget.t} derived from the request's QoS tier.
-    Control verbs ([ping], [status], [drain]) always run.
+    Control verbs ([ping], [status], [stats], [drain]) always run.
 
     Requests:
     {v
@@ -73,23 +73,43 @@ module Journal : sig
   (** Compact one-line encoding, no trailing newline. *)
 end
 
-(** The bounded in-flight window. Work verbs [try_admit] and are rejected
-    when the window is full or the server is draining; control verbs
-    [enter_control] unconditionally. Both must [release]. [wait_idle]
-    blocks until nothing is in flight — the drain path. *)
+(** The bounded in-flight window with priority admission. Work verbs
+    [try_admit] and are rejected when their class's share of the window
+    is full or the server is draining; control verbs [enter_control]
+    unconditionally. Both must [release]. [wait_idle] blocks until
+    nothing is in flight — the drain path.
+
+    Two admission classes: [reserved] slots are held back for
+    {e privileged} (interactive-tier) requests. Normal work admits only
+    while fewer than [capacity - reserved] normal requests are in
+    flight; privileged work may fill the whole window. Two counters
+    record the mechanism working: ["server.preempt.reserved_admits"]
+    (privileged admissions that landed on the reserve while the general
+    pool was full) and ["server.preempt.normal_blocked"] (normal
+    rejections issued while free-but-reserved slots existed). *)
 module Admission : sig
   type t
 
   type decision = Admitted | Overloaded | Draining
 
-  val create : capacity:int -> t
-  (** [capacity] is clamped to at least 1. *)
+  val create : ?reserved:int -> capacity:int -> unit -> t
+  (** [capacity] is clamped to at least 1; [reserved] (default 0) to
+      [0 <= reserved <= capacity - 1], so at least one general slot
+      always exists. *)
 
   val capacity : t -> int
 
-  val try_admit : t -> decision
-  val release : t -> unit
-  (** End one admitted work request. *)
+  val reserved : t -> int
+  (** Slots held back for privileged admissions (after clamping). *)
+
+  val try_admit : ?privileged:bool -> t -> decision
+  (** [privileged] (default false) requests may use reserved slots;
+      normal requests are [Overloaded] once the general pool
+      ([capacity - reserved]) is occupied. *)
+
+  val release : ?privileged:bool -> t -> unit
+  (** End one admitted work request. [privileged] must match the
+      admission call. *)
 
   val enter_control : t -> unit
   val exit_control : t -> unit
@@ -100,6 +120,10 @@ module Admission : sig
   val in_flight : t -> int
   (** Admitted {e work} requests currently executing (control sections are
       tracked separately and excluded — [status] does not count itself). *)
+
+  val normal_in_flight : t -> int
+  val privileged_in_flight : t -> int
+  (** Per-class occupancy, for tests and the status verb. *)
 
   val begin_drain : t -> unit
   (** Stop admitting work (idempotent). Already-admitted requests run to
@@ -112,11 +136,45 @@ module Admission : sig
       immediately when idle. *)
 end
 
+(** The two-class FIFO queue feeding the daemon's worker pool. Reader
+    threads [submit] admitted jobs; workers [take] them — privileged
+    jobs always dequeue before normal ones, arrival order is preserved
+    within each class. Bounded implicitly: jobs are only submitted after
+    {!Admission.try_admit}, so the queue never exceeds the admission
+    capacity. *)
+module Workqueue : sig
+  type t
+
+  val create : unit -> t
+
+  val submit : t -> privileged:bool -> (unit -> unit) -> unit
+  (** Enqueue a job. After {!close}, runs the job inline in the caller
+      instead — an admitted request is never dropped. *)
+
+  val take : t -> (unit -> unit) option
+  (** Block for the next job (privileged first, FIFO within class);
+      [None] once the queue is closed and empty — the worker exit
+      signal. *)
+
+  val try_take : t -> (unit -> unit) option
+  (** Non-blocking {!take} ([None] when empty, closed or not). *)
+
+  val length : t -> int
+
+  val close : t -> unit
+  (** Wake all blocked workers; [take] returns [None] once empty. *)
+end
+
 (** One parsed request. *)
 module Request : sig
   type verb =
     | Ping
     | Status
+    | Stats
+        (** Wire export of the telemetry registry: all [Obs] counters and
+            histogram snapshots, so a load harness can poll
+            ["server.preempt.*"] and per-tier latency quantiles without a
+            metrics file. *)
     | Drain
     | Sleep of { ms : int }
         (** Hold an admission slot for [ms] milliseconds — an operational
@@ -151,10 +209,27 @@ module Handler : sig
       [cancel] is the shared drain token threaded into every request
       budget. *)
 
+  val dispatch :
+    t ->
+    write:(string -> unit) ->
+    submit:(privileged:bool -> (unit -> unit) -> unit) ->
+    string ->
+    unit
+  (** The pipelining entry point. Control verbs, parse errors and
+      admission rejections are answered inline via [write] on the
+      calling thread; each admitted work verb is handed to [submit] as a
+      self-contained job that executes the work and calls [write] with
+      its own response. [privileged] mirrors the admission class
+      (interactive tier) so the daemon's {!Workqueue} can order jobs.
+      The job releases its admission slot only {e after} its response
+      write, so a drain that waits for the admission window to empty has
+      also waited for every response byte. *)
+
   val handle : t -> string -> string
-  (** One request line to one response line (no trailing newline). Never
-      raises: internal failures become this request's ["error"] response
-      (and journal line), not the daemon's crash. *)
+  (** One request line to one response line (no trailing newline):
+      {!dispatch} with inline execution. Never raises: internal failures
+      become this request's ["error"] response (and journal line), not
+      the daemon's crash. *)
 
   val requests_served : t -> int
   val requests_rejected : t -> int
@@ -168,7 +243,9 @@ val platform_of_string :
     names. *)
 
 (** The socket front-end: listeners, per-connection reader threads with
-    idle/read timeouts, and the drain-aware accept loop. *)
+    idle/read timeouts, a bounded worker pool executing admitted work
+    off the reader threads (per-connection pipelining), and the
+    drain-aware accept loop. *)
 module Daemon : sig
   type config = {
     socket_path : string;  (** Unix-domain listener (always on) *)
@@ -176,6 +253,10 @@ module Daemon : sig
     read_timeout_s : float;  (** mid-line stall allowance *)
     idle_timeout_s : float;  (** between-requests allowance *)
     max_line_bytes : int;
+    workers : int;
+        (** Worker-pool size; [0] (the default) means one worker per
+            admission slot, so an admitted request never waits behind the
+            queue for longer than the window already implies. *)
   }
 
   val default_config : socket_path:string -> config
@@ -188,10 +269,13 @@ module Daemon : sig
     cancel:Budget.Cancel.t ->
     int
   (** Serve until drained: accept connections, one reader thread per
-      connection, each request answered in arrival order per connection.
-      Returns 0 after a graceful drain ([drain] verb, or [external_stop]
-      returning true — the SIGTERM flag — which additionally triggers
-      [cancel] so in-flight budgeted work stops at its next probe).
-      In-flight requests finish (or observe the token) before the
-      listener closes; the socket file is unlinked on exit. *)
+      connection, admitted work executed by the worker pool with
+      responses serialized per connection (a client may pipeline many
+      requests on one socket; responses may arrive out of request order,
+      matched by [id]). Returns 0 after a graceful drain ([drain] verb,
+      or [external_stop] returning true — the SIGTERM flag — which
+      additionally triggers [cancel] so in-flight budgeted work stops at
+      its next probe). On drain, readers stop consuming input, every
+      admitted request's response is written, connections see a clean
+      end-of-stream, and the socket file is unlinked on exit. *)
 end

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# ~30 s load smoke: a few hundred concurrent clients against a freshly
+# forked daemon, seeded, with the drain landing while requests are still
+# in flight. Asserts every invariant oracle passed (no lost or duplicated
+# responses, honest overload rejections, byte-checked journal, tiered
+# latency, clean exit-0 drain), that the priority-admission counters
+# actually fired under the load, and — belt and braces on top of the
+# harness's own byte-check — that the journal is a sub-multiset of a
+# sequential sdf3_batch re-run over the same corpus.
+#
+# `make load-smoke` runs this; CI's load-smoke job is the same scenario
+# plus the latency-report artifact upload.
+set -euo pipefail
+
+BIN=${BIN:-_build/install/default/bin}
+OUT=${OUT:-load-smoke-out}
+rm -rf "$OUT"
+mkdir -p "$OUT/cases"
+
+"$BIN/sdf3_generate" --set 1 -n 4 -o "$OUT/cases" --xml >/dev/null
+
+timeout 240 "$BIN/sdf3_loadtest" --serve-bin "$BIN/sdf3_serve" \
+  --root "$OUT/cases" --socket "$OUT/load.sock" \
+  --journal "$OUT/load.jsonl" --daemon-log "$OUT/daemon.log" \
+  --report "$OUT/load-report.json" \
+  --clients 300 --requests 30 --seed 42 --think-ms 20 \
+  --drain-after-s 0.5 | tee "$OUT/load.out"
+
+# Every oracle green (the harness exits nonzero otherwise; assert the
+# verdict lines anyway so a reporting regression cannot slip through).
+test "$(grep -c "oracle .*: PASS" "$OUT/load.out")" -eq 5
+! grep -q "FAIL" "$OUT/load.out"
+
+# The reserved-slot admission must actually have fired: privileged
+# admissions into the reserve, and normal work blocked while reserved
+# slots were free.
+grep -Eq 'reserved_admits=[1-9][0-9]* normal_blocked=[1-9][0-9]*' \
+  "$OUT/load.out"
+
+# Journal sub-multiset check against the one-shot batch driver.
+"$BIN/sdf3_batch" "$OUT/cases" --platform mesh3x3 \
+  --journal "$OUT/reference.jsonl" >/dev/null
+sort -u "$OUT/load.jsonl" > "$OUT/load.sorted"
+sort -u "$OUT/reference.jsonl" > "$OUT/reference.sorted"
+test -z "$(comm -23 "$OUT/load.sorted" "$OUT/reference.sorted")"
+
+echo "load-smoke: ok"

@@ -1,0 +1,49 @@
+The load-test harness forks the daemon itself, swarms it with seeded
+deterministic clients, initiates the drain mid-flight, and checks its
+invariant oracles. A passing run exits 0.
+
+  $ mkdir cases
+  $ sdf3_generate --set 1 -n 3 -o cases --xml >/dev/null
+
+A seeded closed-loop burst with the drain landing while requests are
+still in flight. The absolute counts vary with machine speed; the
+invariants do not. (The latency oracle is exercised by the CI load-smoke
+job instead — this cram test races the rest of the suite, which would
+make a latency assertion flaky.)
+
+  $ sdf3_loadtest --root cases --socket load.sock --journal load.jsonl \
+  >   --clients 25 --requests 40 --seed 42 --think-ms 20 \
+  >   --drain-after-s 0.5 --no-latency-check \
+  >   --report load-report.json > load.out 2>&1
+  $ grep "lost=" load.out
+  loadtest: lost=0 duplicates=0 unknown=0 errors=0 connect_failures=0
+  $ grep "FAIL" load.out
+  [1]
+  $ grep -c "oracle .*: PASS" load.out
+  5
+  $ grep "^loadtest: PASS" load.out
+  loadtest: PASS
+
+The daemon exited on its own and unlinked its socket (the drain oracle
+already asserted this; the file system agrees):
+
+  $ test -e load.sock || echo "socket removed"
+  socket removed
+
+The harness wrote its JSON report with the oracle verdicts and per-tier
+latency histograms:
+
+  $ grep -o '"no-loss": true' load-report.json
+  "no-loss": true
+  $ grep -c 'load.latency_s.interactive' load-report.json
+  1
+
+Every line the daemon journaled under load is byte-identical to what a
+sequential sdf3_batch re-run over the same corpus produces — the journal
+is a multiset over the batch journal's lines, nothing more:
+
+  $ sort -u load.jsonl > load.sorted
+  $ sdf3_batch cases --platform mesh3x3 --journal batch.jsonl
+  3 cases done (0 skipped via resume), journal batch.jsonl
+  $ sort -u batch.jsonl > batch.sorted
+  $ comm -23 load.sorted batch.sorted

@@ -48,6 +48,17 @@ work request bounces with "overloaded":
   $ sdf3_serve --socket serve.sock \
   >   --request '{"id":"r4","verb":"flow","file":"s1q0g0.xml"}'
   {"id":"r4","status":"overloaded","error":"server at capacity"}
+  [3]
+
+A rejection exits 3 ("busy"), distinct from a transport failure's 1.
+--retry N resends with capped exponential backoff; one retry (50 ms)
+still lands inside the sleeper's 3-second window, so the final reply is
+the rejection and the exit code is still 3:
+
+  $ sdf3_serve --socket serve.sock --retry 1 \
+  >   --request '{"id":"r6","verb":"flow","file":"s1q0g0.xml"}'
+  {"id":"r6","status":"overloaded","error":"server at capacity"}
+  [3]
 
 Graceful drain: new work is rejected with "draining", but the in-flight
 sleeper finishes and gets its reply before the daemon exits 0 and removes
@@ -58,13 +69,14 @@ its socket:
   $ sdf3_serve --socket serve.sock \
   >   --request '{"id":"r5","verb":"flow","file":"s1q0g0.xml"}'
   {"id":"r5","status":"draining","error":"server is draining"}
+  [3]
   $ wait $SLEEPER
   $ cat sleeper.out
   {"id":"z","status":"ok","verb":"sleep","result":{"slept_ms":3000}}
   $ wait $DAEMON
   $ cat daemon.log
   sdf3_serve: listening on serve.sock
-  sdf3_serve: drained after 4 request(s), 2 rejected
+  sdf3_serve: drained after 4 request(s), 4 rejected
   $ test -e serve.sock || echo "socket removed"
   socket removed
 
@@ -74,3 +86,23 @@ format:
   $ cat serve.jsonl
   {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}
   {"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}
+
+--retry also rides out a transient overload: against a fresh daemon whose
+single slot is pinned by a 600 ms sleeper, the backoff schedule outlives
+the sleeper and the retrying client eventually gets the slot (exit 0):
+
+  $ sdf3_serve --socket retry.sock --root cases --max-inflight 1 \
+  >   > retry-daemon.log 2>&1 &
+  $ DAEMON=$!
+  $ sdf3_serve --socket retry.sock \
+  >   --request '{"id":"s","verb":"sleep","ms":600}' > sleeper2.out &
+  $ SLEEPER=$!
+  $ until sdf3_serve --socket retry.sock --request '{"id":"q2","verb":"status"}' \
+  >   | grep -q '"in_flight":1'; do sleep 0.05; done
+  $ sdf3_serve --socket retry.sock --retry 8 \
+  >   --request '{"id":"r7","verb":"flow","file":"s1q0g0.xml","platform":"mesh3x3"}'
+  {"id":"r7","status":"ok","verb":"flow","result":{"case":"s1q0g0.xml","status":"allocated","throughput":"1/4020"}}
+  $ wait $SLEEPER
+  $ sdf3_serve --socket retry.sock --request '{"id":"d2","verb":"drain"}'
+  {"id":"d2","status":"ok","verb":"drain"}
+  $ wait $DAEMON

@@ -43,6 +43,7 @@ let () =
       ("par", Test_par.suite);
       ("budget", Test_budget.suite);
       ("server", Test_server.suite);
+      ("loadtest", Test_loadtest.suite);
       ("props", Test_props.suite);
       ("latency", Test_latency.suite);
       ("sensitivity", Test_sensitivity.suite);

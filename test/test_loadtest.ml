@@ -1,0 +1,340 @@
+(* The load-test harness's own moving parts: the seeded workload
+   generator and the invariant-oracle accounting. The full harness
+   (forked daemon, thread clients) is exercised end-to-end by
+   test/cli/loadtest.t and the CI load-smoke job; these tests pin the
+   pieces a failing load run's diagnosis depends on. *)
+
+module W = Loadtest.Workload
+module O = Loadtest.Oracle
+module Json = Obs.Json
+
+let cases = [| "a.xml"; "b.xml"; "c.xml" |]
+
+let test_workload_deterministic () =
+  for client = 0 to 5 do
+    for k = 0 to 20 do
+      let r1 = W.request ~seed:42 ~cases ~mix:W.default_mix ~client ~k in
+      let r2 = W.request ~seed:42 ~cases ~mix:W.default_mix ~client ~k in
+      Alcotest.(check string) "same id" r1.W.id r2.W.id;
+      Alcotest.(check string) "same line" r1.W.line r2.W.line
+    done
+  done;
+  let r = W.request ~seed:42 ~cases ~mix:W.default_mix ~client:3 ~k:7 in
+  let r' = W.request ~seed:43 ~cases ~mix:W.default_mix ~client:3 ~k:7 in
+  Alcotest.(check string) "id ignores seed" r.W.id r'.W.id;
+  Alcotest.(check string) "id scheme" "c3-7" r.W.id
+
+let test_workload_ids_unique () =
+  let seen = Hashtbl.create 512 in
+  for client = 0 to 9 do
+    for k = 0 to 49 do
+      let r = W.request ~seed:1 ~cases ~mix:W.default_mix ~client ~k in
+      Alcotest.(check bool)
+        ("fresh id " ^ r.W.id)
+        false
+        (Hashtbl.mem seen r.W.id);
+      Hashtbl.replace seen r.W.id ()
+    done
+  done
+
+let test_workload_lines_wellformed () =
+  for k = 0 to 99 do
+    let r = W.request ~seed:7 ~cases ~mix:W.default_mix ~client:0 ~k in
+    match Json.parse r.W.line with
+    | Error e -> Alcotest.failf "unparsable line %s: %s" r.W.line e
+    | Ok j ->
+        Alcotest.(check (option string))
+          "id echoed"
+          (Some r.W.id)
+          (match Json.member "id" j with
+          | Some (Json.String s) -> Some s
+          | _ -> None);
+        Alcotest.(check (option string))
+          "verb field"
+          (Some r.W.verb)
+          (match Json.member "verb" j with
+          | Some (Json.String s) -> Some s
+          | _ -> None);
+        Alcotest.(check (option string))
+          "tier field"
+          (Some (Server.Tier.label r.W.tier))
+          (match Json.member "tier" j with
+          | Some (Json.String s) -> Some s
+          | _ -> None);
+        (match r.W.case with
+        | Some c ->
+            Alcotest.(check (option string))
+              "file field" (Some c)
+              (match Json.member "file" j with
+              | Some (Json.String s) -> Some s
+              | _ -> None)
+        | None -> ())
+  done
+
+let test_workload_mix_extremes () =
+  let all_tier mix tier =
+    for k = 0 to 49 do
+      let r = W.request ~seed:3 ~cases ~mix ~client:1 ~k in
+      Alcotest.(check string)
+        "tier forced" (Server.Tier.label tier)
+        (Server.Tier.label r.W.tier)
+    done
+  in
+  all_tier
+    { W.interactive = 1.; standard = 0.; batch = 0. }
+    Server.Tier.Interactive;
+  all_tier { W.interactive = 0.; standard = 1.; batch = 0. } Server.Tier.Standard;
+  all_tier { W.interactive = 0.; standard = 0.; batch = 1. } Server.Tier.Batch
+
+let test_workload_mix_proportions () =
+  let n = 2000 in
+  let count = Hashtbl.create 3 in
+  for k = 0 to n - 1 do
+    let r = W.request ~seed:11 ~cases ~mix:W.default_mix ~client:0 ~k in
+    let key = Server.Tier.label r.W.tier in
+    Hashtbl.replace count key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt count key))
+  done;
+  let frac key = float_of_int (Hashtbl.find count key) /. float_of_int n in
+  (* Default mix is 0.3/0.3/0.4; allow generous sampling slack. *)
+  Alcotest.(check bool) "interactive ~0.3" true (abs_float (frac "interactive" -. 0.3) < 0.05);
+  Alcotest.(check bool) "standard ~0.3" true (abs_float (frac "standard" -. 0.3) < 0.05);
+  Alcotest.(check bool) "batch ~0.4" true (abs_float (frac "batch" -. 0.4) < 0.05)
+
+(* Handcrafted requests with known tiers, so the oracle arithmetic is
+   pinned without workload randomness. *)
+let req ?(tier = Server.Tier.Standard) ?(verb = "sleep") ?case id =
+  { W.id; tier; verb; case; line = "{}" }
+
+let empty_reference () : (string, string) Hashtbl.t = Hashtbl.create 4
+
+let test_oracle_exactly_once () =
+  let o = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  O.register_send o (req "r1");
+  Alcotest.(check (option string))
+    "ok attributed" (Some "r1")
+    (O.record_response o {|{"id":"r1","status":"ok","verb":"sleep"}|});
+  Alcotest.(check (option string))
+    "duplicate still attributed" (Some "r1")
+    (O.record_response o {|{"id":"r1","status":"ok","verb":"sleep"}|});
+  Alcotest.(check (option string))
+    "unknown id unattributed" None
+    (O.record_response o {|{"id":"ghost","status":"ok"}|});
+  Alcotest.(check (option string))
+    "garbage unattributed" None
+    (O.record_response o "not json");
+  let tt = O.totals o in
+  Alcotest.(check int) "sent" 1 tt.O.t_sent;
+  Alcotest.(check int) "ok" 1 tt.O.t_ok;
+  Alcotest.(check int) "duplicates" 1 tt.O.t_duplicates;
+  Alcotest.(check int) "unknown" 2 tt.O.t_unknown;
+  Alcotest.(check bool) "no-loss fails on dup/unknown" false (O.no_loss_pass tt)
+
+let test_oracle_lost_vs_aborted () =
+  let o = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  O.register_send o (req "r1");
+  O.register_send o (req "r2");
+  (* Unanswered before the drain: a lost response, the hard violation. *)
+  O.mark_unanswered o "r1";
+  O.initiate_drain o;
+  (* Unanswered after: the shutdown legitimately cut it off. *)
+  O.mark_unanswered o "r2";
+  let tt = O.totals o in
+  Alcotest.(check int) "lost" 1 tt.O.t_lost;
+  Alcotest.(check int) "aborted" 1 tt.O.t_aborted;
+  Alcotest.(check bool) "no-loss fails on lost" false (O.no_loss_pass tt)
+
+let test_oracle_spurious_draining () =
+  let o = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  O.register_send o (req "r1");
+  ignore (O.record_response o {|{"id":"r1","status":"draining"}|});
+  let tt = O.totals o in
+  Alcotest.(check int) "spurious draining" 1 tt.O.t_spurious_draining;
+  Alcotest.(check bool) "no-loss fails" false (O.no_loss_pass tt);
+  (* After the harness initiates the drain, "draining" is expected. *)
+  let o2 = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  O.register_send o2 (req "r1");
+  O.initiate_drain o2;
+  ignore (O.record_response o2 {|{"id":"r1","status":"draining"}|});
+  let tt2 = O.totals o2 in
+  Alcotest.(check int) "no spurious after drain" 0 tt2.O.t_spurious_draining;
+  Alcotest.(check bool) "no-loss passes" true (O.no_loss_pass tt2)
+
+let test_oracle_overload_witness () =
+  (* capacity 4, reserved 1: normal threshold 3, interactive 4. *)
+  let overloaded id = Printf.sprintf {|{"id":"%s","status":"overloaded"}|} id in
+  (* Window provably full: 3 other requests outstanding when the normal
+     rejection arrives — a correct rejection. *)
+  let o = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  List.iter (fun id -> O.register_send o (req id)) [ "a"; "b"; "c"; "r" ];
+  ignore (O.record_response o (overloaded "r"));
+  Alcotest.(check int)
+    "full window: no violation" 0 (O.totals o).O.t_overload_violations;
+  (* Only 1 other request outstanding: the window had room — violation. *)
+  let o2 = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  List.iter (fun id -> O.register_send o2 (req id)) [ "a"; "r" ];
+  ignore (O.record_response o2 (overloaded "r"));
+  Alcotest.(check int)
+    "empty window: violation" 1 (O.totals o2).O.t_overload_violations;
+  Alcotest.(check bool)
+    "overload oracle fails" false
+    (O.overload_pass (O.totals o2));
+  (* Completions since send count toward the witness: 3 requests answered
+     after r was sent cover the window r was rejected against. *)
+  let o3 = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  List.iter (fun id -> O.register_send o3 (req id)) [ "a"; "b"; "c"; "r" ];
+  List.iter
+    (fun id ->
+      ignore
+        (O.record_response o3
+           (Printf.sprintf {|{"id":"%s","status":"ok","verb":"sleep"}|} id)))
+    [ "a"; "b"; "c" ];
+  ignore (O.record_response o3 (overloaded "r"));
+  Alcotest.(check int)
+    "completions cover window" 0 (O.totals o3).O.t_overload_violations;
+  (* An interactive rejection needs the full capacity occupied: 3 others
+     is below 4 — a reserved-slot violation the normal tier would pass. *)
+  let o4 = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  List.iter
+    (fun id ->
+      O.register_send o4 (req ~tier:Server.Tier.Interactive id))
+    [ "a"; "b"; "c"; "r" ];
+  ignore (O.record_response o4 (overloaded "r"));
+  Alcotest.(check int)
+    "interactive threshold is capacity" 1
+    (O.totals o4).O.t_overload_violations;
+  (* Post-drain rejections are exempt: aborts void the witness. *)
+  let o5 = O.create ~capacity:4 ~reserved:1 ~reference:(empty_reference ()) in
+  List.iter (fun id -> O.register_send o5 (req id)) [ "a"; "r" ];
+  O.initiate_drain o5;
+  ignore (O.record_response o5 (overloaded "r"));
+  Alcotest.(check int)
+    "post-drain exempt" 0 (O.totals o5).O.t_overload_violations
+
+let flow_reference () =
+  let reference = empty_reference () in
+  Hashtbl.replace reference "a.xml"
+    {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|};
+  Hashtbl.replace reference "b.xml"
+    {|{"case":"b.xml","status":"allocated","throughput":"1/7"}|};
+  reference
+
+let flow_ok id result =
+  Printf.sprintf {|{"id":"%s","status":"ok","verb":"flow","result":%s}|} id
+    result
+
+let test_oracle_journal_checks () =
+  (* Matching journal: one line per ok flow, byte-equal to the
+     reference. *)
+  let o = O.create ~capacity:4 ~reserved:0 ~reference:(flow_reference ()) in
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f1");
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f2");
+  ignore
+    (O.record_response o
+       (flow_ok "f1"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|}));
+  ignore
+    (O.record_response o
+       (flow_ok "f2"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|}));
+  O.check_journal o
+    [
+      {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|};
+      {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|};
+    ];
+  let tt = O.totals o in
+  Alcotest.(check int) "journal lines" 2 tt.O.t_journal_lines;
+  Alcotest.(check bool) "journal passes" true (O.journal_pass tt)
+
+let test_oracle_journal_missing () =
+  (* Two ok flow responses but only one journal line: prefix broken. *)
+  let o = O.create ~capacity:4 ~reserved:0 ~reference:(flow_reference ()) in
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f1");
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f2");
+  ignore
+    (O.record_response o
+       (flow_ok "f1"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|}));
+  ignore
+    (O.record_response o
+       (flow_ok "f2"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|}));
+  O.check_journal o
+    [ {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|} ];
+  let tt = O.totals o in
+  Alcotest.(check int) "one missing" 1 tt.O.t_journal_missing;
+  Alcotest.(check bool) "journal fails" false (O.journal_pass tt)
+
+let test_oracle_journal_corruption () =
+  let o = O.create ~capacity:4 ~reserved:0 ~reference:(flow_reference ()) in
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f1");
+  ignore
+    (O.record_response o
+       (flow_ok "f1"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|}));
+  (* A journal line that differs from the sequential reference by one
+     byte is a mismatch, not a match. *)
+  O.check_journal o
+    [
+      {|{"case":"a.xml","status":"allocated","throughput":"1/6"}|};
+      {|{"case":"a.xml","status":"allocated","throughput":"1/5"}|};
+    ];
+  let tt = O.totals o in
+  Alcotest.(check int) "one mismatch" 1 tt.O.t_journal_mismatches;
+  (* More journal lines for a case than flow requests sent is also a
+     mismatch (the daemon invented work). *)
+  let o2 = O.create ~capacity:4 ~reserved:0 ~reference:(flow_reference ()) in
+  O.register_send o2 (req ~verb:"flow" ~case:"b.xml" "f1");
+  ignore
+    (O.record_response o2
+       (flow_ok "f1"
+          {|{"case":"b.xml","status":"allocated","throughput":"1/7"}|}));
+  O.check_journal o2
+    [
+      {|{"case":"b.xml","status":"allocated","throughput":"1/7"}|};
+      {|{"case":"b.xml","status":"allocated","throughput":"1/7"}|};
+    ];
+  Alcotest.(check bool)
+    "overcounted journal fails" false
+    (O.journal_pass (O.totals o2))
+
+let test_oracle_result_mismatch () =
+  let o = O.create ~capacity:4 ~reserved:0 ~reference:(flow_reference ()) in
+  O.register_send o (req ~verb:"flow" ~case:"a.xml" "f1");
+  (* Served result disagrees with the sequential reference. *)
+  ignore
+    (O.record_response o
+       (flow_ok "f1"
+          {|{"case":"a.xml","status":"allocated","throughput":"1/9"}|}));
+  let tt = O.totals o in
+  Alcotest.(check int) "result mismatch" 1 tt.O.t_result_mismatches;
+  Alcotest.(check bool) "journal oracle fails" false (O.journal_pass tt)
+
+let suite =
+  [
+    Alcotest.test_case "workload deterministic in (seed,client,k)" `Quick
+      test_workload_deterministic;
+    Alcotest.test_case "workload ids unique" `Quick test_workload_ids_unique;
+    Alcotest.test_case "workload lines well-formed" `Quick
+      test_workload_lines_wellformed;
+    Alcotest.test_case "workload mix extremes" `Quick
+      test_workload_mix_extremes;
+    Alcotest.test_case "workload mix proportions" `Quick
+      test_workload_mix_proportions;
+    Alcotest.test_case "oracle: exactly-one response accounting" `Quick
+      test_oracle_exactly_once;
+    Alcotest.test_case "oracle: lost vs aborted" `Quick
+      test_oracle_lost_vs_aborted;
+    Alcotest.test_case "oracle: spurious draining" `Quick
+      test_oracle_spurious_draining;
+    Alcotest.test_case "oracle: overload window witness" `Quick
+      test_oracle_overload_witness;
+    Alcotest.test_case "oracle: journal byte-check" `Quick
+      test_oracle_journal_checks;
+    Alcotest.test_case "oracle: journal missing line" `Quick
+      test_oracle_journal_missing;
+    Alcotest.test_case "oracle: journal corruption" `Quick
+      test_oracle_journal_corruption;
+    Alcotest.test_case "oracle: served result mismatch" `Quick
+      test_oracle_result_mismatch;
+  ]

@@ -65,7 +65,7 @@ let test_tier_budgets () =
 (* -- admission -- *)
 
 let test_admission_window () =
-  let a = Admission.create ~capacity:2 in
+  let a = Admission.create ~capacity:2 () in
   Alcotest.(check int) "capacity" 2 (Admission.capacity a);
   Alcotest.(check bool) "first admitted" true
     (Admission.try_admit a = Admission.Admitted);
@@ -82,7 +82,7 @@ let test_admission_window () =
   Alcotest.(check int) "idle" 0 (Admission.in_flight a)
 
 let test_admission_drain () =
-  let a = Admission.create ~capacity:4 in
+  let a = Admission.create ~capacity:4 () in
   Alcotest.(check bool) "not draining" false (Admission.draining a);
   Admission.begin_drain a;
   Admission.begin_drain a;
@@ -97,8 +97,173 @@ let test_admission_drain () =
   Admission.wait_idle a
 
 let test_admission_capacity_clamp () =
-  let a = Admission.create ~capacity:0 in
-  Alcotest.(check int) "clamped to 1" 1 (Admission.capacity a)
+  let a = Admission.create ~capacity:0 () in
+  Alcotest.(check int) "clamped to 1" 1 (Admission.capacity a);
+  (* The reserve always leaves at least one general slot. *)
+  let b = Admission.create ~reserved:9 ~capacity:3 () in
+  Alcotest.(check int) "reserved clamped" 2 (Admission.reserved b);
+  let c = Admission.create ~reserved:(-2) ~capacity:1 () in
+  Alcotest.(check int) "negative reserved clamped" 0 (Admission.reserved c)
+
+let test_admission_reserved () =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  let a = Admission.create ~reserved:2 ~capacity:4 () in
+  let value = Obs.Counter.value in
+  (* Normal work fills the general pool (capacity - reserved = 2). *)
+  Alcotest.(check bool) "normal 1" true (Admission.try_admit a = Admission.Admitted);
+  Alcotest.(check bool) "normal 2" true (Admission.try_admit a = Admission.Admitted);
+  Alcotest.(check bool) "normal blocked by reserve" true
+    (Admission.try_admit a = Admission.Overloaded);
+  Alcotest.(check int) "blocked while slots were free" 1
+    (value "server.preempt.normal_blocked");
+  (* Interactive rides the reserve all the way to capacity. *)
+  Alcotest.(check bool) "privileged 1" true
+    (Admission.try_admit ~privileged:true a = Admission.Admitted);
+  Alcotest.(check bool) "privileged 2" true
+    (Admission.try_admit ~privileged:true a = Admission.Admitted);
+  Alcotest.(check int) "both admissions used the reserve" 2
+    (value "server.preempt.reserved_admits");
+  (* The window is genuinely full now: even privileged bounces, and a
+     normal rejection no longer counts as "blocked by the reserve". *)
+  Alcotest.(check bool) "privileged overloaded at capacity" true
+    (Admission.try_admit ~privileged:true a = Admission.Overloaded);
+  Alcotest.(check bool) "normal overloaded at capacity" true
+    (Admission.try_admit a = Admission.Overloaded);
+  Alcotest.(check int) "full-window rejection not counted" 1
+    (value "server.preempt.normal_blocked");
+  Alcotest.(check int) "normal occupancy" 2 (Admission.normal_in_flight a);
+  Alcotest.(check int) "privileged occupancy" 2
+    (Admission.privileged_in_flight a);
+  (* Releasing a privileged slot reopens the reserve for privileged
+     work only. *)
+  Admission.release ~privileged:true a;
+  Alcotest.(check bool) "reserve reopens for privileged" true
+    (Admission.try_admit ~privileged:true a = Admission.Admitted);
+  Admission.release ~privileged:true a;
+  Admission.release ~privileged:true a;
+  Admission.release a;
+  Admission.release a;
+  Alcotest.(check int) "idle" 0 (Admission.in_flight a);
+  Admission.wait_idle a
+
+(* Model-based property: replay an arbitrary admit/release sequence
+   against pen-and-paper occupancy counts. The invariants under test:
+   a privileged (interactive) request is admitted whenever the window
+   is not completely full — in particular it is NEVER rejected while a
+   normal (batch) request occupies a slot the reserve should have held
+   back — and a normal request is admitted exactly while the general
+   pool (capacity - reserved) has room. *)
+let admission_model_prop (capacity, reserved, ops) =
+  let a = Admission.create ~reserved ~capacity () in
+  let capacity = Admission.capacity a in
+  let reserved = Admission.reserved a in
+  let norm = ref 0 and priv = ref 0 in
+  List.for_all
+    (fun op ->
+      match op land 3 with
+      | 0 | 1 ->
+          let privileged = op land 1 = 1 in
+          let d = Admission.try_admit ~privileged a in
+          let expect =
+            if privileged then
+              if !norm + !priv < capacity then Admission.Admitted
+              else Admission.Overloaded
+            else if !norm < capacity - reserved && !norm + !priv < capacity
+            then Admission.Admitted
+            else Admission.Overloaded
+          in
+          if d = Admission.Admitted then
+            if privileged then incr priv else incr norm;
+          d = expect
+          && Admission.normal_in_flight a = !norm
+          && Admission.privileged_in_flight a = !priv
+      | 2 ->
+          if !norm > 0 then begin
+            Admission.release a;
+            decr norm
+          end;
+          true
+      | _ ->
+          if !priv > 0 then begin
+            Admission.release ~privileged:true a;
+            decr priv
+          end;
+          true)
+    ops
+
+(* -- workqueue -- *)
+
+let test_workqueue_priority_fifo () =
+  let q = Server.Workqueue.create () in
+  let order = ref [] in
+  let job tag () = order := tag :: !order in
+  Server.Workqueue.submit q ~privileged:false (job "n1");
+  Server.Workqueue.submit q ~privileged:false (job "n2");
+  Server.Workqueue.submit q ~privileged:true (job "p1");
+  Server.Workqueue.submit q ~privileged:false (job "n3");
+  Server.Workqueue.submit q ~privileged:true (job "p2");
+  Alcotest.(check int) "queued" 5 (Server.Workqueue.length q);
+  let rec drain () =
+    match Server.Workqueue.try_take q with
+    | Some j ->
+        j ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "privileged first, FIFO within class"
+    [ "p1"; "p2"; "n1"; "n2"; "n3" ]
+    (List.rev !order)
+
+let test_workqueue_close () =
+  let q = Server.Workqueue.create () in
+  let hit = ref false in
+  Server.Workqueue.submit q ~privileged:false (fun () -> hit := true);
+  Server.Workqueue.close q;
+  (* Queued-before-close jobs still drain... *)
+  (match Server.Workqueue.take q with
+  | Some j -> j ()
+  | None -> Alcotest.fail "expected the queued job");
+  Alcotest.(check bool) "queued job ran" true !hit;
+  (* ...then take signals worker exit... *)
+  Alcotest.(check bool) "take after close" true
+    (Server.Workqueue.take q = None);
+  (* ...and a post-close submit runs inline rather than vanishing. *)
+  let inline = ref false in
+  Server.Workqueue.submit q ~privileged:true (fun () -> inline := true);
+  Alcotest.(check bool) "post-close submit ran inline" true !inline
+
+(* FIFO-within-class under an arbitrary submit sequence: draining the
+   queue yields every privileged job (in submit order) before every
+   normal job (in submit order). *)
+let workqueue_fifo_prop classes =
+  let q = Server.Workqueue.create () in
+  let order = ref [] in
+  List.iteri
+    (fun i privileged ->
+      Server.Workqueue.submit q ~privileged (fun () ->
+          order := (privileged, i) :: !order))
+    classes;
+  let rec drain () =
+    match Server.Workqueue.try_take q with
+    | Some j ->
+        j ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let indexed = List.mapi (fun i c -> (c, i)) classes in
+  let expect =
+    List.filter (fun (c, _) -> c) indexed
+    @ List.filter (fun (c, _) -> not c) indexed
+  in
+  List.rev !order = expect
 
 (* -- protocol parsing -- *)
 
@@ -175,7 +340,7 @@ let with_handler ?(capacity = 4) f =
   Appmodel.Sdf3_xml.write_app_file (Filename.concat root "app.xml") app;
   let journal_path = Filename.concat root "journal.jsonl" in
   let journal = open_out journal_path in
-  let admission = Admission.create ~capacity in
+  let admission = Admission.create ~capacity () in
   let cancel = Budget.Cancel.create () in
   let h = Handler.create ~root ~journal ~cancel ~admission () in
   Fun.protect
@@ -307,6 +472,124 @@ let test_handler_sleep_cancel () =
   Alcotest.(check bool) "cancelled promptly" true
     (Unix.gettimeofday () -. t0 < 5.)
 
+(* -- daemon pipelining over a real socket -- *)
+
+let write_all_fd fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    match Unix.write fd b !off (Bytes.length b - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Regression for concurrent completions on one connection: hammer a
+   single socket with pipelined work requests (they run concurrently on
+   the worker pool and complete in arbitrary order) and assert every
+   response line parses cleanly with the right id exactly once — the
+   per-connection write mutex is what keeps response bytes from
+   interleaving. *)
+let test_daemon_pipelined_socket () =
+  fresh @@ fun () ->
+  let sock = Filename.temp_file "serve_pipe" ".sock" in
+  Sys.remove sock;
+  let admission = Admission.create ~reserved:2 ~capacity:32 () in
+  let cancel = Budget.Cancel.create () in
+  let h = Handler.create ~admission ~cancel () in
+  let cfg =
+    {
+      (Server.Daemon.default_config ~socket_path:sock) with
+      Server.Daemon.idle_timeout_s = 30.;
+      read_timeout_s = 30.;
+    }
+  in
+  let ready_m = Mutex.create () in
+  let ready_c = Condition.create () in
+  let ready = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        ignore
+          (Server.Daemon.run
+             ~on_ready:(fun () ->
+               Mutex.lock ready_m;
+               ready := true;
+               Condition.signal ready_c;
+               Mutex.unlock ready_m)
+             cfg h ~cancel))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec read_line () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read_line ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ())
+  in
+  let n = 24 in
+  let reqs =
+    List.init n (fun i ->
+        let tier =
+          match i mod 3 with
+          | 0 -> "interactive"
+          | 1 -> "standard"
+          | _ -> "batch"
+        in
+        Printf.sprintf {|{"id":"h%d","verb":"sleep","ms":%d,"tier":"%s"}|} i
+          (5 + (i mod 7))
+          tier)
+  in
+  write_all_fd fd (String.concat "\n" reqs ^ "\n");
+  let ids = Hashtbl.create 32 in
+  for _ = 1 to n do
+    match read_line () with
+    | None -> Alcotest.fail "connection closed before all responses"
+    | Some line -> (
+        match Obs.Json.parse line with
+        | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+        | Ok j ->
+            (match Obs.Json.member "status" j with
+            | Some (Obs.Json.String "ok") -> ()
+            | _ -> Alcotest.failf "unexpected status in %s" line);
+            (match Obs.Json.member "id" j with
+            | Some (Obs.Json.String id) ->
+                if Hashtbl.mem ids id then
+                  Alcotest.failf "duplicate response id %s" id;
+                Hashtbl.add ids id ()
+            | _ -> Alcotest.failf "missing id in %s" line))
+  done;
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem ids (Printf.sprintf "h%d" i)) then
+      Alcotest.failf "no response for id h%d" i
+  done;
+  write_all_fd fd ({|{"id":"d","verb":"drain"}|} ^ "\n");
+  (match read_line () with
+  | Some line ->
+      Alcotest.(check bool)
+        "drain acknowledged" true
+        (String.starts_with ~prefix:{|{"id":"d","status":"ok"|} line)
+  | None -> Alcotest.fail "no drain ack");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join daemon;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
+
 let suite =
   [
     Alcotest.test_case "tier names" `Quick test_tier_names;
@@ -315,6 +598,20 @@ let suite =
     Alcotest.test_case "admission drain" `Quick test_admission_drain;
     Alcotest.test_case "admission capacity clamp" `Quick
       test_admission_capacity_clamp;
+    Alcotest.test_case "admission reserved slots" `Quick
+      test_admission_reserved;
+    Helpers.qcheck ~count:300
+      "admission model: interactive never starved by batch"
+      QCheck2.Gen.(
+        triple (int_range 1 6) (int_range 0 6)
+          (list_size (int_range 0 60) (int_range 0 1000)))
+      admission_model_prop;
+    Alcotest.test_case "workqueue priority + FIFO" `Quick
+      test_workqueue_priority_fifo;
+    Alcotest.test_case "workqueue close" `Quick test_workqueue_close;
+    Helpers.qcheck ~count:200 "workqueue FIFO within class"
+      QCheck2.Gen.(list_size (int_range 0 40) bool)
+      workqueue_fifo_prop;
     Alcotest.test_case "request parsing" `Quick test_request_parsing;
     Alcotest.test_case "journal lines" `Quick test_journal_lines;
     Alcotest.test_case "handler flow + journal" `Quick
@@ -325,4 +622,6 @@ let suite =
       test_handler_drain_rejection;
     Alcotest.test_case "handler overload" `Quick test_handler_overload;
     Alcotest.test_case "handler sleep cancel" `Quick test_handler_sleep_cancel;
+    Alcotest.test_case "daemon pipelined socket" `Quick
+      test_daemon_pipelined_socket;
   ]
