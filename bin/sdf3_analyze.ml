@@ -31,9 +31,11 @@ let load file =
         Printf.eprintf "%s:%d: %s\n" file line message;
         exit 1
 
-let analyze file show_hsdf show_dot show_trace log_level metrics_file
+let analyze file show_hsdf show_dot show_trace jobs log_level metrics_file
     metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
+  (* The sweep spawns its own shard domains — the Par pool stays down. *)
+  let domains = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
   Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
     ~to_stderr:metrics_stderr ();
   (match load file with
@@ -86,7 +88,7 @@ let analyze file show_hsdf show_dot show_trace log_level metrics_file
                   Printf.printf "state-space trace written to %s\n" path);
               let r =
                 Obs.Span.with_ "analyze.selftimed" (fun () ->
-                    Analysis.Selftimed.analyze graph taus)
+                    Analysis.Selftimed.analyze_parallel ~domains graph taus)
               in
               Array.iteri
                 (fun a thr ->
@@ -144,8 +146,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sdf3_analyze" ~doc:"Analyse a synchronous dataflow graph")
     Term.(
-      const analyze $ file $ hsdf $ dot $ state_trace $ Cli_common.log_level
-      $ Cli_common.metrics_file $ Cli_common.metrics_stderr
-      $ Cli_common.trace_file)
+      const analyze $ file $ hsdf $ dot $ state_trace $ Cli_common.jobs
+      $ Cli_common.log_level $ Cli_common.metrics_file
+      $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -182,6 +182,188 @@ let analyze_reference ?observer ?(max_states = 2_000_000) g exec_times =
   in
   explore ()
 
+(* ------------------------------------------------------------------ *)
+(* The shared simulator core of the packed engines.
+
+   Self-timed execution is deterministic (maximal progress), so the state
+   space is a single chain: every explorer — sequential or sharded —
+   drives the same simulator and differs only in how it checks states for
+   recurrence. The simulator keeps the token vector, the per-actor FIFO
+   completion rings (for state packing) and a completion-event min-heap
+   (for time advance), plus a worklist of fire candidates so an instant's
+   firing fixpoint touches only actors that received tokens instead of
+   rescanning the whole graph.
+
+   The worklist order differs from the reference engine's
+   actor-index-order scan, which is sound for everything but observers:
+   within one instant each channel has exactly one consumer, so distinct
+   actors' firings consume from disjoint channels and only ever add
+   tokens for each other — the fired multiset, the fixpoint token vector
+   and the per-actor completion rings are order-independent (DESIGN §12).
+   Observer runs must replay the reference firing order exactly, so they
+   use the legacy scan ([sim_fixpoint_obs]). *)
+
+type sim = {
+  ops : Engine.Ops.t;
+  tokens : int array;
+  rings : Engine.Rings.t;
+  evq : Engine.Eventq.t;
+  counts : int array;
+  exec : int array;
+  cand : int array;  (* worklist stack of fire candidates *)
+  in_cand : bool array;
+  mutable ncand : int;
+  mutable time : int;
+}
+
+let sim_create g exec_times =
+  let n = Sdfg.num_actors g in
+  {
+    ops = Engine.Ops.of_graph g;
+    tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g);
+    rings = Engine.Rings.create n;
+    evq = Engine.Eventq.create ();
+    counts = Array.make n 0;
+    exec = exec_times;
+    cand = Array.init n (fun i -> n - 1 - i);
+    in_cand = Array.make n true;
+    ncand = n;
+    time = 0;
+  }
+
+let push_cand s a =
+  if not s.in_cand.(a) then begin
+    s.in_cand.(a) <- true;
+    s.cand.(s.ncand) <- a;
+    s.ncand <- s.ncand + 1
+  end
+
+let push_successors s a =
+  let su = Engine.Ops.successors s.ops a in
+  for i = 0 to Array.length su - 1 do
+    push_cand s su.(i)
+  done
+
+let livelock () = invalid_arg "Selftimed.analyze: zero-time livelock"
+
+let sim_fixpoint s =
+  let instant_guard = ref 0 in
+  while s.ncand > 0 do
+    s.ncand <- s.ncand - 1;
+    let a = s.cand.(s.ncand) in
+    s.in_cand.(a) <- false;
+    while Engine.Ops.enabled s.ops s.tokens a do
+      incr instant_guard;
+      if !instant_guard > 10_000_000 then livelock ();
+      Engine.Ops.consume s.ops s.tokens a;
+      s.counts.(a) <- s.counts.(a) + 1;
+      if s.exec.(a) = 0 then begin
+        Engine.Ops.produce s.ops s.tokens a;
+        push_successors s a
+      end
+      else begin
+        let c = s.time + s.exec.(a) in
+        Engine.Rings.push s.rings a c;
+        Engine.Eventq.push s.evq c a
+      end
+    done
+  done
+
+(* Reference-order fixpoint for observer runs: fires in actor index
+   order, round-robin to a fixpoint, exactly like [analyze_reference] —
+   the observer sequence is part of the engine≡reference contract. *)
+let sim_fixpoint_obs s observe =
+  let n = Array.length s.counts in
+  let instant_guard = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for a = 0 to n - 1 do
+      while Engine.Ops.enabled s.ops s.tokens a do
+        progress := true;
+        incr instant_guard;
+        if !instant_guard > 10_000_000 then livelock ();
+        Engine.Ops.consume s.ops s.tokens a;
+        s.counts.(a) <- s.counts.(a) + 1;
+        observe s.time a;
+        if s.exec.(a) = 0 then Engine.Ops.produce s.ops s.tokens a
+        else begin
+          let c = s.time + s.exec.(a) in
+          Engine.Rings.push s.rings a c;
+          Engine.Eventq.push s.evq c a
+        end
+      done
+    done
+  done
+
+(* Advance to the next instant and complete everything due then.
+   [false] when no firing is outstanding: deadlock. Heap pops at one
+   instant may interleave actors arbitrarily; completions commute (they
+   only add tokens), so the resulting state is the reference one. *)
+let sim_advance s =
+  if Engine.Eventq.is_empty s.evq then false
+  else begin
+    let t = Engine.Eventq.min_time s.evq in
+    s.time <- t;
+    while
+      (not (Engine.Eventq.is_empty s.evq)) && Engine.Eventq.min_time s.evq = t
+    do
+      let a = Engine.Eventq.pop_min s.evq in
+      ignore (Engine.Rings.pop_front s.rings a : int);
+      Engine.Ops.produce s.ops s.tokens a;
+      push_successors s a
+    done;
+    true
+  end
+
+let sum_counts counts = Array.fold_left ( + ) 0 counts
+
+(* The anytime information a budget-stopped exploration still has,
+   shared by the sequential explorer and the parallel sweep. *)
+let make_partial ~reason ~explored ~time_reached ~counts g exec_times gamma =
+  let n = Array.length counts in
+  if Obs.enabled () then begin
+    Obs.Counter.add "budget.partials" 1;
+    Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
+  end;
+  Obs.Trace.instant "budget.trip"
+    ~args:
+      [
+        ("reason", Obs.Event.String (Budget.reason_label reason));
+        ("states", Obs.Event.Int explored);
+      ];
+  let iteration_upper_bound =
+    cycle_upper_bound ~durations:(fun a -> exec_times.(a)) g
+  in
+  let provably_dead = Rat.equal iteration_upper_bound Rat.zero in
+  (* A firing, once started, always completes; so if every actor has
+     already started a full iteration's worth of firings, a complete
+     iteration is executable and self-timed execution cannot deadlock. *)
+  let dead_ruled_out =
+    (not provably_dead)
+    &&
+    let ok = ref true in
+    for a = 0 to n - 1 do
+      if counts.(a) < gamma.(a) then ok := false
+    done;
+    !ok
+  in
+  let upper_bound =
+    Array.init n (fun a ->
+        if Rat.is_infinite iteration_upper_bound then Rat.infinity
+        else Rat.mul_int iteration_upper_bound gamma.(a))
+  in
+  {
+    reason;
+    explored;
+    time_reached;
+    firings = sum_counts counts;
+    iteration_upper_bound;
+    upper_bound;
+    provably_dead;
+    dead_ruled_out;
+  }
+
 (* The packed engine: states stream through one reusable {!Engine.Pack}
    writer (channel token counts, then per-actor length-prefixed rings of
    time-relative completions) into an open-addressing {!Engine.Stateset}
@@ -194,35 +376,18 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
   let gamma = Repetition.vector_exn g in
   let n = Sdfg.num_actors g in
   let nc = Sdfg.num_channels g in
-  let ops = Engine.Ops.of_graph g in
-  let tokens = Array.map (fun c -> c.Sdfg.tokens) (Sdfg.channels g) in
-  let rings = Engine.Rings.create n in
-  let counts = Array.make n 0 in
-  let time = ref 0 in
+  let s = sim_create g exec_times in
+  let tokens = s.tokens in
+  let rings = s.rings in
+  let counts = s.counts in
   let seen = Engine.Stateset.create () in
   let pack = Engine.Pack.create () in
-  let produce_completed a = Engine.Ops.produce ops tokens a in
-  let start_fixpoint () =
-    let instant_guard = ref 0 in
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      for a = 0 to n - 1 do
-        while Engine.Ops.enabled ops tokens a do
-          progress := true;
-          incr instant_guard;
-          if !instant_guard > 10_000_000 then
-            invalid_arg "Selftimed.analyze: zero-time livelock";
-          Engine.Ops.consume ops tokens a;
-          counts.(a) <- counts.(a) + 1;
-          (match observer with Some f -> f !time a | None -> ());
-          if exec_times.(a) = 0 then Engine.Ops.produce ops tokens a
-          else Engine.Rings.push rings a (!time + exec_times.(a))
-        done
-      done
-    done
+  let fixpoint =
+    match observer with
+    | None -> fun () -> sim_fixpoint s
+    | Some f -> fun () -> sim_fixpoint_obs s f
   in
-  let pack_rel c = Engine.Pack.add_uint pack (c - !time) in
+  let pack_rel c = Engine.Pack.add_uint pack (c - s.time) in
   let pack_state () =
     Engine.Pack.reset pack;
     for ci = 0 to nc - 1 do
@@ -241,7 +406,7 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
       Obs.Counter.add "selftimed.states" r.states;
       Obs.Counter.add "selftimed.transient" r.transient;
       Obs.Counter.add "selftimed.period" r.period;
-      Obs.Counter.add "selftimed.firings" (Array.fold_left ( + ) 0 counts);
+      Obs.Counter.add "selftimed.firings" (sum_counts counts);
       let s = Engine.Stateset.stats seen in
       Obs.Gauge.set_int "engine.arena_bytes" s.Engine.Stateset.arena_bytes;
       Obs.Gauge.set "engine.bytes_per_state"
@@ -257,13 +422,13 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
     r
   in
   let rec explore () =
-    start_fixpoint ();
+    fixpoint ();
     pack_state ();
     let revisit, t0, c0 =
-      Engine.Stateset.find_or_add seen pack ~p0:!time ~p1:counts.(0)
+      Engine.Stateset.find_or_add seen pack ~p0:s.time ~p1:counts.(0)
     in
     if revisit then begin
-      let period = !time - t0 in
+      let period = s.time - t0 in
       let iterations = (counts.(0) - c0) / gamma.(0) in
       assert (counts.(0) - c0 = iterations * gamma.(0));
       let throughput =
@@ -298,10 +463,7 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
         | Some reason -> raise (Budget_stop reason)
         | None -> ()
       end;
-      let next = Engine.Rings.min_head rings in
-      if next = max_int then raise Deadlocked;
-      time := next;
-      Engine.Rings.pop_due rings ~now:next produce_completed;
+      if not (sim_advance s) then raise Deadlocked;
       explore ()
     end
   in
@@ -314,49 +476,9 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
       Obs.Counter.add "selftimed.cap_aborts" 1;
       raise (State_space_exceeded n)
   | exception Budget_stop reason ->
-      if Obs.enabled () then begin
-        Obs.Counter.add "budget.partials" 1;
-        Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
-      end;
-      Obs.Trace.instant "budget.trip"
-        ~args:
-          [
-            ("reason", Obs.Event.String (Budget.reason_label reason));
-            ("states", Obs.Event.Int (Engine.Stateset.length seen));
-          ];
-      let iteration_upper_bound =
-        cycle_upper_bound ~durations:(fun a -> exec_times.(a)) g
-      in
-      let provably_dead = Rat.equal iteration_upper_bound Rat.zero in
-      (* A firing, once started, always completes; so if every actor has
-         already started a full iteration's worth of firings, a complete
-         iteration is executable and self-timed execution cannot
-         deadlock. *)
-      let dead_ruled_out =
-        (not provably_dead)
-        &&
-        let ok = ref true in
-        for a = 0 to n - 1 do
-          if counts.(a) < gamma.(a) then ok := false
-        done;
-        !ok
-      in
-      let upper_bound =
-        Array.init n (fun a ->
-            if Rat.is_infinite iteration_upper_bound then Rat.infinity
-            else Rat.mul_int iteration_upper_bound gamma.(a))
-      in
       Error
-        {
-          reason;
-          explored = Engine.Stateset.length seen;
-          time_reached = !time;
-          firings = Array.fold_left ( + ) 0 counts;
-          iteration_upper_bound;
-          upper_bound;
-          provably_dead;
-          dead_ruled_out;
-        }
+        (make_partial ~reason ~explored:(Engine.Stateset.length seen)
+           ~time_reached:s.time ~counts g exec_times gamma)
 
 let analyze_uncached ?observer ?max_states g exec_times =
   match analyze_raw ?observer ?max_states ~budget:Budget.infinite g exec_times with
@@ -442,6 +564,551 @@ let analyze_budgeted ?observer ?(max_states = 2_000_000) ~budget g exec_times =
           | exception State_space_exceeded n ->
               Memo.add cache ~key (Exceeded n);
               raise (State_space_exceeded n)))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel frontier sweep.
+
+   Maximal-progress execution is deterministic, so the state space is a
+   ρ-shaped chain — the "frontier" is always one state wide. What costs
+   per state is not branching but membership: packing the state and
+   probing/inserting the seen-set dominate the step. The sweep therefore
+   pipelines the chain across domains instead of partitioning a tree:
+
+   - the coordinating domain runs the simulator, emits each state as a
+     raw word snapshot into the current chunk (a cheap array blit), folds
+     a word-level route hash on the way and stamps the owning shard
+     (hash-prefix → shard, {!Engine.Sharded_stateset.owner_of_hash});
+   - every published chunk is scanned by all shard domains; each shard
+     varint-packs and [find_or_add]s only the records it owns, into its
+     private arena — lock-free by ownership;
+   - recurrence: a shard's first owned revisit is its minimal one (it
+     processes owned records in chain order), and the global head h* is
+     the CAS-min over shards ({!atomic_min}) — the smallest chain index
+     whose state was seen before, resolved identically under every
+     interleaving, so the result is bit-identical to the sequential
+     engine's;
+   - budgets: the simulator runs the exact per-state [Budget.check] the
+     sequential engine runs (with the shard-published arena sizes), and
+     every shard polls [Budget.exceeded] once per chunk, so cancel and
+     deadline trips are observed by all domains.
+
+   Chunks are recycled through a freelist under one mutex with a
+   per-chunk atomic refcount (initialised to the shard count; the last
+   shard to finish returns it), which both bounds memory and provides
+   backpressure on the simulator. See DESIGN §12. *)
+
+let chunk_recs = 512
+let chunk_words_soft = 24 * 1024
+
+type chunk = {
+  mutable words : int array;  (* raw snapshots, back to back *)
+  mutable used : int;
+  recs : int array;  (* word offset of record j; recs.(nrec) = used *)
+  rec_owner : int array;
+  rec_time : int array;  (* simulator clock when the state was reached *)
+  rec_c0 : int array;  (* firing count of actor 0 there *)
+  mutable nrec : int;
+  mutable base : int;  (* chain index of record 0 *)
+  refcnt : int Atomic.t;  (* shards still to scan this chunk *)
+}
+
+let make_chunk () =
+  {
+    words = Array.make 4096 0;
+    used = 0;
+    recs = Array.make (chunk_recs + 1) 0;
+    rec_owner = Array.make chunk_recs 0;
+    rec_time = Array.make chunk_recs 0;
+    rec_c0 = Array.make chunk_recs 0;
+    nrec = 0;
+    base = 0;
+    refcnt = Atomic.make 0;
+  }
+
+type squeue = {
+  m : Mutex.t;
+  can_consume : Condition.t;
+  can_produce : Condition.t;
+  mutable pub : chunk array;  (* published log, indexed by publish order *)
+  mutable npub : int;
+  free : chunk Queue.t;
+  mutable producing : bool;
+}
+
+let publish_chunk q ~shards ch =
+  Atomic.set ch.refcnt shards;
+  Mutex.lock q.m;
+  if q.npub = Array.length q.pub then begin
+    let np = Array.make (2 * q.npub) ch in
+    Array.blit q.pub 0 np 0 q.npub;
+    q.pub <- np
+  end;
+  q.pub.(q.npub) <- ch;
+  q.npub <- q.npub + 1;
+  Condition.broadcast q.can_consume;
+  Mutex.unlock q.m
+
+let acquire_chunk q ~base =
+  Mutex.lock q.m;
+  while Queue.is_empty q.free do
+    Condition.wait q.can_produce q.m
+  done;
+  let ch = Queue.pop q.free in
+  Mutex.unlock q.m;
+  ch.used <- 0;
+  ch.nrec <- 0;
+  ch.base <- base;
+  ch
+
+let release_chunk q ch =
+  if Atomic.fetch_and_add ch.refcnt (-1) = 1 then begin
+    Mutex.lock q.m;
+    Queue.push ch q.free;
+    Condition.signal q.can_produce;
+    Mutex.unlock q.m
+  end
+
+(* Written by exactly one shard domain; read by the coordinator after
+   [Domain.join] (which synchronises). *)
+type shard_res = {
+  mutable hit_idx : int;  (* this shard's first owned revisit; max_int *)
+  mutable hit_t0 : int;  (* payload stored at the state's first visit *)
+  mutable hit_c0 : int;
+  mutable hit_time : int;  (* the revisit record's clock and count *)
+  mutable hit_cnt : int;
+  mutable frontier : int;  (* owned records below this index were checked *)
+  mutable owned : int;  (* records this shard owned and processed *)
+  mutable err : exn option;
+}
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let reason_code = function
+  | Budget.Deadline -> 1
+  | Budget.States -> 2
+  | Budget.Memory -> 3
+  | Budget.Cancelled -> 4
+
+let reason_of_code = function
+  | 1 -> Budget.Deadline
+  | 2 -> Budget.States
+  | 3 -> Budget.Memory
+  | _ -> Budget.Cancelled
+
+let err_code = -1
+
+let shard_worker q ss budget min_hit stop res sid =
+  let pack = Engine.Pack.create () in
+  let active = ref true in
+  let qi = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock q.m;
+    while !qi >= q.npub && q.producing do
+      Condition.wait q.can_consume q.m
+    done;
+    if !qi >= q.npub then begin
+      Mutex.unlock q.m;
+      running := false
+    end
+    else begin
+      let ch = q.pub.(!qi) in
+      Mutex.unlock q.m;
+      incr qi;
+      if !active then begin
+        (* Records at or past the confirmed minimum hit cannot yield a
+           smaller one (owned records arrive in chain order); a stale
+           [mh] only wastes work, never soundness. *)
+        let mh = Atomic.get min_hit in
+        let words = ch.words in
+        (try
+           (try
+              for j = 0 to ch.nrec - 1 do
+                if ch.rec_owner.(j) = sid then begin
+                  let idx = ch.base + j in
+                  if idx < mh then begin
+                    res.owned <- res.owned + 1;
+                    Engine.Pack.reset pack;
+                    for w = ch.recs.(j) to ch.recs.(j + 1) - 1 do
+                      Engine.Pack.add_uint pack words.(w)
+                    done;
+                    let revisit, q0, q1 =
+                      Engine.Sharded_stateset.find_or_add ss ~shard:sid pack
+                        ~p0:ch.rec_time.(j) ~p1:ch.rec_c0.(j)
+                    in
+                    if revisit then begin
+                      res.hit_idx <- idx;
+                      res.hit_t0 <- q0;
+                      res.hit_c0 <- q1;
+                      res.hit_time <- ch.rec_time.(j);
+                      res.hit_cnt <- ch.rec_c0.(j);
+                      (* Everything this shard owns below its own first
+                         hit has been checked; nothing it would process
+                         later can lower the global minimum below it. *)
+                      res.frontier <- max_int;
+                      atomic_min min_hit idx;
+                      active := false;
+                      raise_notrace Exit
+                    end
+                  end
+                end
+              done;
+              res.frontier <- ch.base + ch.nrec
+            with Exit -> ());
+           if !active then begin
+             Engine.Sharded_stateset.publish ss sid;
+             if not (Budget.is_infinite budget) then
+               match Budget.exceeded budget with
+               | Some r ->
+                   ignore
+                     (Atomic.compare_and_set stop 0 (reason_code r) : bool);
+                   active := false
+               | None -> ()
+           end
+         with e ->
+           res.err <- Some e;
+           active := false;
+           ignore (Atomic.compare_and_set stop 0 err_code : bool))
+      end;
+      (* Even a stopped shard keeps draining the queue so refcounts reach
+         zero and the coordinator is never starved of free chunks. *)
+      release_chunk q ch
+    end
+  done
+
+(* Spawn-slot accounting: sweeps create their own short-lived domains
+   (never Par pool workers — a sweep must be safe to run while the pool
+   is busy), bounded globally so stacked sweeps cannot exhaust the
+   runtime's domain limit. Doubles as the leak oracle for tests: outside
+   a sweep the count is 0. *)
+let live_domains = Atomic.make 0
+let max_sweep_shards = 63
+let live_sweep_domains () = Atomic.get live_domains
+
+let try_reserve_shards k =
+  let rec go k =
+    if k <= 0 then 0
+    else
+      let cur = Atomic.get live_domains in
+      if cur + k > max_sweep_shards then go (k - 1)
+      else if Atomic.compare_and_set live_domains cur (cur + k) then k
+      else go k
+  in
+  go k
+
+let release_shards k = ignore (Atomic.fetch_and_add live_domains (-k) : int)
+
+type sweep_stop =
+  | Sw_confirmed  (* a shard confirmed a revisit *)
+  | Sw_cap  (* max_states emitted without confirmation *)
+  | Sw_budget of Budget.reason  (* the simulator's own budget check *)
+  | Sw_stopped of int  (* a shard raised the stop flag *)
+  | Sw_deadlock
+
+let sweep_raw ~shards ~max_states ~budget g exec_times =
+  let gamma = Repetition.vector_exn g in
+  let n = Sdfg.num_actors g in
+  let nc = Sdfg.num_channels g in
+  let s = sim_create g exec_times in
+  let ss = Engine.Sharded_stateset.create ~shards () in
+  let q =
+    {
+      m = Mutex.create ();
+      can_consume = Condition.create ();
+      can_produce = Condition.create ();
+      pub = Array.make 16 (make_chunk ());
+      npub = 0;
+      free = Queue.create ();
+      producing = true;
+    }
+  in
+  for _ = 1 to (2 * shards) + 2 do
+    Queue.push (make_chunk ()) q.free
+  done;
+  let min_hit = Atomic.make max_int in
+  let stop = Atomic.make 0 in
+  let results =
+    Array.init shards (fun _ ->
+        {
+          hit_idx = max_int;
+          hit_t0 = 0;
+          hit_c0 = 0;
+          hit_time = 0;
+          hit_cnt = 0;
+          frontier = 0;
+          owned = 0;
+          err = None;
+        })
+  in
+  let domains = ref [] in
+  let stop_producing () =
+    Mutex.lock q.m;
+    q.producing <- false;
+    Condition.broadcast q.can_consume;
+    Mutex.unlock q.m
+  in
+  (try
+     for sid = 0 to shards - 1 do
+       domains :=
+         Domain.spawn (fun () ->
+             shard_worker q ss budget min_hit stop results.(sid) sid)
+         :: !domains
+     done
+   with e ->
+     (* Could not spawn the full fleet (domain limit): wind down the
+        part that did start and re-raise; the caller falls back. *)
+     stop_producing ();
+     List.iter Domain.join !domains;
+     raise e);
+  let emit ch =
+    let off = ch.used in
+    let words = ch.words in
+    for ci = 0 to nc - 1 do
+      words.(off + ci) <- s.tokens.(ci)
+    done;
+    let pos = Engine.Rings.snapshot_into s.rings ~now:s.time words (off + nc) in
+    let h = ref Engine.Sharded_stateset.word_hash_seed in
+    for i = off to pos - 1 do
+      h := Engine.Sharded_stateset.word_hash_mix !h words.(i)
+    done;
+    let j = ch.nrec in
+    ch.recs.(j) <- off;
+    ch.recs.(j + 1) <- pos;
+    ch.rec_owner.(j) <- Engine.Sharded_stateset.owner_of_hash ss !h;
+    ch.rec_time.(j) <- s.time;
+    ch.rec_c0.(j) <- s.counts.(0);
+    ch.nrec <- j + 1;
+    ch.used <- pos
+  in
+  let produced = ref 0 in
+  let run_simulator () =
+    let cur = ref (acquire_chunk q ~base:0) in
+    let verdict = ref None in
+    while !verdict = None do
+      sim_fixpoint s;
+      let ch0 = !cur in
+      if ch0.nrec = chunk_recs || ch0.used >= chunk_words_soft then begin
+        publish_chunk q ~shards ch0;
+        cur := acquire_chunk q ~base:!produced
+      end;
+      let ch = !cur in
+      let need = nc + n + Engine.Rings.total s.rings in
+      if ch.used + need > Array.length ch.words then begin
+        let nw =
+          Array.make (max (2 * Array.length ch.words) (ch.used + need)) 0
+        in
+        Array.blit ch.words 0 nw 0 ch.used;
+        ch.words <- nw
+      end;
+      emit ch;
+      incr produced;
+      (* Decision order per chain index mirrors the sequential engine:
+         revisit (confirmed asynchronously, resolved post-join), then the
+         state cap, then the budget, then deadlock on advance. *)
+      if Atomic.get min_hit < max_int then verdict := Some Sw_confirmed
+      else if !produced > max_states then verdict := Some Sw_cap
+      else begin
+        (if not (Budget.is_infinite budget) then
+           let arena_bytes =
+             if Budget.arena_limited budget then
+               Engine.Sharded_stateset.published_arena_bytes ss
+             else 0
+           in
+           match Budget.check budget ~states:!produced ~arena_bytes with
+           | Some r -> verdict := Some (Sw_budget r)
+           | None -> ());
+        if !verdict = None then begin
+          let sc = Atomic.get stop in
+          if sc <> 0 then verdict := Some (Sw_stopped sc)
+          else if not (sim_advance s) then verdict := Some Sw_deadlock
+        end
+      end
+    done;
+    let ch = !cur in
+    if ch.nrec > 0 then publish_chunk q ~shards ch
+    else begin
+      Mutex.lock q.m;
+      Queue.push ch q.free;
+      Mutex.unlock q.m
+    end;
+    match !verdict with Some v -> v | None -> assert false
+  in
+  let verdict =
+    Fun.protect
+      ~finally:(fun () ->
+        stop_producing ();
+        List.iter Domain.join !domains)
+      run_simulator
+  in
+  (* Joined: shard results and tables are plainly readable now. *)
+  Array.iter
+    (fun r -> match r.err with Some e -> raise e | None -> ())
+    results;
+  let record_sweep_metrics r =
+    if Obs.enabled () then begin
+      Obs.Counter.add "selftimed.runs" 1;
+      Obs.Counter.add "selftimed.states" r.states;
+      Obs.Counter.add "selftimed.transient" r.transient;
+      Obs.Counter.add "selftimed.period" r.period;
+      Obs.Counter.add "selftimed.firings" (sum_counts s.counts);
+      Obs.Counter.add "selftimed.sweep.runs" 1;
+      Obs.Gauge.set_int "selftimed.sweep.domains" (shards + 1);
+      let agg = Engine.Sharded_stateset.stats ss in
+      Obs.Gauge.set_int "engine.arena_bytes" agg.Engine.Stateset.arena_bytes;
+      Obs.Gauge.set "engine.bytes_per_state"
+        (float_of_int agg.Engine.Stateset.arena_bytes
+        /. float_of_int (max 1 agg.Engine.Stateset.states));
+      Obs.Gauge.set "engine.occupancy"
+        (float_of_int agg.Engine.Stateset.states
+        /. float_of_int (max 1 agg.Engine.Stateset.slots));
+      Obs.Gauge.set_int "engine.max_probe" agg.Engine.Stateset.max_probe;
+      Obs.Histogram.record probe_len_hist
+        (float_of_int agg.Engine.Stateset.max_probe);
+      let max_owned = ref 0 and total_owned = ref 0 in
+      for i = 0 to shards - 1 do
+        let st = Engine.Sharded_stateset.shard_stats ss i in
+        let p = Printf.sprintf "engine.shard.%d." i in
+        Obs.Gauge.set (p ^ "occupancy")
+          (float_of_int st.Engine.Stateset.states
+          /. float_of_int (max 1 st.Engine.Stateset.slots));
+        Obs.Gauge.set_int (p ^ "max_probe") st.Engine.Stateset.max_probe;
+        Obs.Gauge.set_int (p ^ "arena_bytes") st.Engine.Stateset.arena_bytes;
+        if results.(i).owned > !max_owned then max_owned := results.(i).owned;
+        total_owned := !total_owned + results.(i).owned
+      done;
+      let mean = float_of_int !total_owned /. float_of_int shards in
+      Obs.Gauge.set "engine.shard_imbalance"
+        (if !total_owned = 0 then 1.0 else float_of_int !max_owned /. mean)
+    end;
+    r
+  in
+  (* Resolve the recurrence head: the smallest confirmed hit index, valid
+     only if every shard checked all its owned records below it (a shard
+     stopped by the budget freezes its frontier early). *)
+  let h_star = ref max_int and winner = ref None in
+  Array.iter
+    (fun r ->
+      if r.hit_idx < !h_star then begin
+        h_star := r.hit_idx;
+        winner := Some r
+      end)
+    results;
+  let hit_valid =
+    !h_star < max_int
+    && Array.for_all (fun r -> r.frontier >= !h_star) results
+  in
+  match (hit_valid, !winner) with
+  | true, Some w ->
+      let period = w.hit_time - w.hit_t0 in
+      let iterations = (w.hit_cnt - w.hit_c0) / gamma.(0) in
+      assert (w.hit_cnt - w.hit_c0 = iterations * gamma.(0));
+      let throughput =
+        Array.init n (fun a -> Rat.make (iterations * gamma.(a)) period)
+      in
+      Ok
+        (record_sweep_metrics
+           {
+             throughput;
+             period;
+             iterations_per_period = iterations;
+             transient = w.hit_t0;
+             states = !h_star;
+           })
+  | _ -> (
+      let explored = (Engine.Sharded_stateset.stats ss).Engine.Stateset.states in
+      let partial reason =
+        Error
+          (make_partial ~reason ~explored ~time_reached:s.time ~counts:s.counts
+             g exec_times gamma)
+      in
+      match verdict with
+      | Sw_budget r -> partial r
+      | Sw_stopped c when c <> err_code -> partial (reason_of_code c)
+      | Sw_deadlock ->
+          Obs.Counter.add "selftimed.deadlocks" 1;
+          raise Deadlocked
+      | Sw_cap ->
+          Obs.Counter.add "selftimed.cap_aborts" 1;
+          raise (State_space_exceeded max_states)
+      | Sw_confirmed | Sw_stopped _ ->
+          (* A hit was flagged but some budget-frozen shard might own a
+             smaller one: the only stop reasons that freeze frontiers are
+             budget trips, reported via the stop flag. *)
+          let sc = Atomic.get stop in
+          if sc <> 0 && sc <> err_code then partial (reason_of_code sc)
+          else assert false)
+
+(* Parallel entry points. [domains = k] uses the coordinator plus
+   [k - 1] shard domains; [k <= 1], a saturated spawn budget, or a call
+   from inside a Par pool task (the daemon's worker pool) all degrade to
+   the sequential engine — same result, no nested fan-out, no deadlock. *)
+let sweep_or_seq ~domains ~max_states ~budget g exec_times =
+  validate g exec_times;
+  let want = min (domains - 1) max_sweep_shards in
+  if want < 1 then analyze_raw ~max_states ~budget g exec_times
+  else if Par.inside_task () then begin
+    Obs.Counter.add "selftimed.sweep.degraded" 1;
+    analyze_raw ~max_states ~budget g exec_times
+  end
+  else begin
+    let shards = try_reserve_shards want in
+    if shards < 1 then begin
+      Obs.Counter.add "selftimed.sweep.degraded" 1;
+      analyze_raw ~max_states ~budget g exec_times
+    end
+    else
+      Fun.protect
+        ~finally:(fun () -> release_shards shards)
+        (fun () -> sweep_raw ~shards ~max_states ~budget g exec_times)
+  end
+
+let analyze_parallel ?(domains = 1) ?(max_states = 2_000_000) g exec_times =
+  if domains <= 1 then analyze ~max_states g exec_times
+  else begin
+    validate g exec_times;
+    let key = cache_key ~max_states g exec_times in
+    let outcome =
+      Memo.find_or_compute cache ~key (fun () ->
+          match
+            sweep_or_seq ~domains ~max_states ~budget:Budget.infinite g
+              exec_times
+          with
+          | Ok r -> Res r
+          | Error _ -> assert false (* infinite budget never trips *)
+          | exception Deadlocked -> Dead
+          | exception State_space_exceeded n -> Exceeded n)
+    in
+    match outcome with
+    | Res r -> r
+    | Dead -> raise Deadlocked
+    | Exceeded n -> raise (State_space_exceeded n)
+  end
+
+let analyze_parallel_budgeted ?(domains = 1) ?(max_states = 2_000_000) ~budget
+    g exec_times =
+  if domains <= 1 then analyze_budgeted ~max_states ~budget g exec_times
+  else begin
+    validate g exec_times;
+    let key = cache_key ~max_states g exec_times in
+    match Memo.find cache ~key with
+    | Some (Res r) -> Ok r
+    | Some Dead -> raise Deadlocked
+    | Some (Exceeded n) -> raise (State_space_exceeded n)
+    | None -> (
+        match sweep_or_seq ~domains ~max_states ~budget g exec_times with
+        | Ok r as ok ->
+            Memo.add cache ~key (Res r);
+            ok
+        | Error _ as partial -> partial
+        | exception Deadlocked ->
+            Memo.add cache ~key Dead;
+            raise Deadlocked
+        | exception State_space_exceeded n ->
+            Memo.add cache ~key (Exceeded n);
+            raise (State_space_exceeded n))
+  end
 
 let throughput ?max_states g exec_times a =
   (analyze ?max_states g exec_times).throughput.(a)

@@ -1,0 +1,69 @@
+type t = {
+  mutable ts : int array;  (* heap-ordered completion times *)
+  mutable ac : int array;  (* actor of each entry, aligned with ts *)
+  mutable len : int;
+}
+
+let create () = { ts = Array.make 64 0; ac = Array.make 64 0; len = 0 }
+
+let is_empty t = t.len = 0
+let length t = t.len
+
+let min_time t = if t.len = 0 then max_int else t.ts.(0)
+
+let grow t =
+  let cap = Array.length t.ts in
+  let nts = Array.make (cap * 2) 0 and nac = Array.make (cap * 2) 0 in
+  Array.blit t.ts 0 nts 0 cap;
+  Array.blit t.ac 0 nac 0 cap;
+  t.ts <- nts;
+  t.ac <- nac
+
+let push t time a =
+  if t.len = Array.length t.ts then grow t;
+  let ts = t.ts and ac = t.ac in
+  (* Sift up. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if ts.(parent) > time then begin
+      ts.(!i) <- ts.(parent);
+      ac.(!i) <- ac.(parent);
+      i := parent
+    end
+    else continue_ := false
+  done;
+  ts.(!i) <- time;
+  ac.(!i) <- a
+
+let pop_min t =
+  let ts = t.ts and ac = t.ac in
+  let actor = ac.(0) in
+  t.len <- t.len - 1;
+  let n = t.len in
+  if n > 0 then begin
+    let time = ts.(n) and a = ac.(n) in
+    (* Sift the former last entry down from the root. *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        let c = if l + 1 < n && ts.(l + 1) < ts.(l) then l + 1 else l in
+        if ts.(c) < time then begin
+          ts.(!i) <- ts.(c);
+          ac.(!i) <- ac.(c);
+          i := c
+        end
+        else continue_ := false
+      end
+    done;
+    ts.(!i) <- time;
+    ac.(!i) <- a
+  end;
+  actor
+
+let clear t = t.len <- 0

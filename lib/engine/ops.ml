@@ -5,6 +5,7 @@ type t = {
   in_q : int array array;  (* consumption rate, aligned with in_ch *)
   out_ch : int array array;
   out_p : int array array;  (* production rate, aligned with out_ch *)
+  succ : int array array;  (* sorted unique consumers of each actor's output *)
 }
 
 let of_graph g =
@@ -15,6 +16,15 @@ let of_graph g =
   let out_ch =
     Array.init n (fun a -> Array.of_list (Sdfg.out_channels g a))
   in
+  let succ =
+    Array.map
+      (fun chs ->
+        Array.of_list
+          (List.sort_uniq compare
+             (Array.to_list
+                (Array.map (fun ci -> (Sdfg.channel g ci).Sdfg.dst) chs))))
+      out_ch
+  in
   {
     in_ch;
     in_q =
@@ -22,7 +32,10 @@ let of_graph g =
     out_ch;
     out_p =
       Array.map (Array.map (fun ci -> (Sdfg.channel g ci).Sdfg.prod)) out_ch;
+    succ;
   }
+
+let successors t a = t.succ.(a)
 
 let enabled t tokens a =
   let ch = t.in_ch.(a) and q = t.in_q.(a) in

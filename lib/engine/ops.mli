@@ -19,6 +19,12 @@ val enabled : t -> int array -> int -> bool
 val consume : t -> int array -> int -> unit
 val produce : t -> int array -> int -> unit
 
+val successors : t -> int -> int array
+(** [successors ops a]: the sorted, duplicate-free consumers of [a]'s
+    output channels — the only actors a firing of [a] can newly enable.
+    Worklist-style fixpoints push these instead of rescanning every
+    actor. *)
+
 val insert_sorted : int -> int list -> int list
 (** Insert into an ascending sorted list. Used by the retained reference
     engines ([analyze_reference]) and the schedulers/simulators that keep

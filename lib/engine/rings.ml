@@ -64,6 +64,31 @@ let pop_due t ~now f =
   done;
   t.min_valid <- false
 
+let pop_front t a =
+  let b = t.buf.(a) in
+  let c = b.(t.head.(a)) in
+  t.head.(a) <- (t.head.(a) + 1) mod Array.length b;
+  t.len.(a) <- t.len.(a) - 1;
+  t.outstanding <- t.outstanding - 1;
+  t.min_valid <- false;
+  c
+
+let snapshot_into t ~now buf pos0 =
+  let pos = ref pos0 in
+  for a = 0 to Array.length t.len - 1 do
+    let la = t.len.(a) in
+    buf.(!pos) <- la;
+    incr pos;
+    let b = t.buf.(a) in
+    let cap = Array.length b in
+    let h = t.head.(a) in
+    for i = 0 to la - 1 do
+      buf.(!pos) <- b.((h + i) mod cap) - now;
+      incr pos
+    done
+  done;
+  !pos
+
 let iter t a f =
   let b = t.buf.(a) in
   let cap = Array.length b in

@@ -37,6 +37,21 @@ val pop_due : t -> now:int -> (int -> unit) -> unit
     ring, calling [f actor] once per popped completion, actors in index
     order. *)
 
+val pop_front : t -> int -> int
+(** [pop_front t a] removes and returns actor [a]'s oldest outstanding
+    completion time. Actor [a]'s ring must be non-empty. Used by the
+    {!Eventq}-driven explorers, which learn the due actor from the heap
+    and only need the matching FIFO entry dropped. *)
+
+val snapshot_into : t -> now:int -> int array -> int -> int
+(** [snapshot_into t ~now buf pos] writes, for every actor in index
+    order, its outstanding-completion count followed by its completion
+    times relative to [now] (FIFO order), starting at [buf.(pos)];
+    returns the position one past the last word written. The caller must
+    have reserved [total t + actors] words. The word sequence is exactly
+    the field sequence the packed-state encoding varint-encodes, so two
+    equal snapshots pack to equal bytes and vice versa. *)
+
 val iter : t -> int -> (int -> unit) -> unit
 (** [iter t a f] applies [f] to actor [a]'s outstanding completion times
     in FIFO (ascending) order. *)

@@ -1,0 +1,62 @@
+type t = {
+  sets : Stateset.t array;
+  pub_states : int Atomic.t array;
+  pub_arena : int Atomic.t array;
+}
+
+let create ?initial_slots ~shards () =
+  if shards < 1 then invalid_arg "Sharded_stateset.create: shards < 1";
+  {
+    sets = Array.init shards (fun _ -> Stateset.create ?initial_slots ());
+    pub_states = Array.init shards (fun _ -> Atomic.make 0);
+    pub_arena = Array.init shards (fun _ -> Atomic.make 0);
+  }
+
+let shards t = Array.length t.sets
+
+(* FNV-1a over native int words. The route hash feeds only shard
+   selection, so it trades avalanche quality for one xor and one multiply
+   per word; identical word sequences (hence identical states) always
+   land on the same shard, which is the property ownership routing
+   needs. *)
+let word_hash_seed = 0x4bf29ce484222325
+let word_hash_mix h w = (h lxor w) * 0x100000001b3
+
+(* Hash-prefix routing: the top bits of the (sign-cleared) hash pick the
+   owner, so the shard index is a contiguous prefix range — independent
+   of the low bits the per-shard open-addressing tables probe with. *)
+let owner_of_hash t h =
+  let h = h land max_int in
+  ((h lsr 41) * Array.length t.sets) lsr 21
+
+let find_or_add t ~shard pack ~p0 ~p1 =
+  Stateset.find_or_add t.sets.(shard) pack ~p0 ~p1
+
+let publish t shard =
+  Atomic.set t.pub_states.(shard) (Stateset.length t.sets.(shard));
+  Atomic.set t.pub_arena.(shard) (Stateset.arena_bytes t.sets.(shard))
+
+let published_states t =
+  let s = ref 0 in
+  Array.iter (fun a -> s := !s + Atomic.get a) t.pub_states;
+  !s
+
+let published_arena_bytes t =
+  let s = ref 0 in
+  Array.iter (fun a -> s := !s + Atomic.get a) t.pub_arena;
+  !s
+
+let shard_stats t i = Stateset.stats t.sets.(i)
+
+let stats t =
+  Array.fold_left
+    (fun acc set ->
+      let s = Stateset.stats set in
+      {
+        Stateset.states = acc.Stateset.states + s.Stateset.states;
+        slots = acc.Stateset.slots + s.Stateset.slots;
+        arena_bytes = acc.Stateset.arena_bytes + s.Stateset.arena_bytes;
+        max_probe = max acc.Stateset.max_probe s.Stateset.max_probe;
+      })
+    { Stateset.states = 0; slots = 0; arena_bytes = 0; max_probe = 0 }
+    t.sets

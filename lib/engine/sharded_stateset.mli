@@ -1,0 +1,49 @@
+(** A {!Stateset} sharded across domains by ownership hashing.
+
+    Each shard is a private open-addressing {!Stateset} arena written by
+    exactly one domain — lock-free by ownership rather than by striped
+    locks: a state is routed to the shard named by the top bits of a
+    cheap word-level hash of its raw snapshot (hash-prefix → shard, see
+    {!owner_of_hash}), and only that shard ever probes or inserts it.
+    Identical states hash identically and therefore always meet in the
+    same shard, so a per-shard [find_or_add] detects revisits exactly as
+    the single-domain table does.
+
+    Cross-domain visibility is limited to the published counters
+    ({!publish} / {!published_arena_bytes}): the coordinating domain
+    reads them for budget accounting while shards are live, and reads
+    the full tables ({!stats}) only after joining the shard domains. *)
+
+type t
+
+val create : ?initial_slots:int -> shards:int -> unit -> t
+val shards : t -> int
+
+val word_hash_seed : int
+
+val word_hash_mix : int -> int -> int
+(** Fold one snapshot word into the route hash (FNV-1a over native
+    words). The fold must cover every word of the snapshot so that
+    word-sequence equality implies route equality. *)
+
+val owner_of_hash : t -> int -> int
+(** Owning shard of a route hash: the top hash bits scaled into
+    [0, shards) — states are partitioned by hash prefix. *)
+
+val find_or_add : t -> shard:int -> Pack.t -> p0:int -> p1:int -> bool * int * int
+(** As {!Stateset.find_or_add} on the given shard's table. Must only be
+    called by the domain owning [shard]. *)
+
+val publish : t -> int -> unit
+(** Publish shard [i]'s current size counters for cross-domain readers.
+    Called by the owning domain between batches. *)
+
+val published_states : t -> int
+val published_arena_bytes : t -> int
+(** Sums of the last published per-shard counters; safe from any domain,
+    may lag the owning domains' tables. *)
+
+val shard_stats : t -> int -> Stateset.stats
+val stats : t -> Stateset.stats
+(** Aggregate stats (states/slots/arena summed, [max_probe] maxed). Only
+    meaningful after the shard domains have been joined. *)

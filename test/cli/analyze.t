@@ -36,3 +36,18 @@ Inconsistent graphs are detected:
   graph x: 2 actors, 2 channels
   INCONSISTENT (witness channel d2)
   [2]
+
+A parallel sweep (--jobs 4) is byte-identical to the sequential engine
+(--jobs 1) — the sharded exploration resolves the same recurrence point:
+
+  $ sdf3_analyze example.sdf --jobs 1 > seq.out
+  $ sdf3_analyze example.sdf --jobs 4 > par.out
+  $ cmp seq.out par.out
+
+The same holds on a generated graph with a deeper state space:
+
+  $ mkdir gen
+  $ sdf3_generate --set 3 --seq 1 --count 1 --out gen > /dev/null
+  $ sdf3_analyze gen/*.sdf --jobs 1 > gseq.out
+  $ sdf3_analyze gen/*.sdf --jobs 4 > gpar.out
+  $ cmp gseq.out gpar.out

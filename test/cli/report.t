@@ -46,3 +46,35 @@ The report is deterministic for fixed inputs:
   >   --trace trace.json -o report2.html
   wrote report2.html
   $ cmp report.html report2.html
+
+A parallel-sweep analysis run contributes per-shard gauges; the report
+renders them as a dedicated shard-balance table with the imbalance
+summary:
+
+  $ cat > ring.sdf <<'SDF'
+  > sdfg ring
+  > actor a1 2
+  > actor a2 3
+  > actor a3 4
+  > channel c1 a1 -> a2 rates 1 1
+  > channel c2 a2 -> a3 rates 1 1
+  > channel c3 a3 -> a1 rates 1 1 tokens 2
+  > SDF
+  $ sdf3_analyze ring.sdf --jobs 4 --metrics par_metrics.json >/dev/null
+  $ sdf3_report --metrics par_metrics.json -o par_report.html
+  wrote par_report.html
+  $ grep -o 'Shard balance' par_report.html
+  Shard balance
+  $ grep -c '<table id="shards">' par_report.html
+  1
+  $ grep -o 'imbalance (max/mean)' par_report.html
+  imbalance (max/mean)
+
+A sequential run has no shard gauges and no shard-balance section:
+
+  $ sdf3_analyze ring.sdf --jobs 1 --metrics seq_metrics.json >/dev/null
+  $ sdf3_report --metrics seq_metrics.json -o seq_report.html
+  wrote seq_report.html
+  $ grep -c 'Shard balance' seq_report.html
+  0
+  [1]
