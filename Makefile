@@ -1,7 +1,7 @@
 # Developer / CI entry points. `make ci` is what the workflow runs.
 
 .PHONY: all build test fmt-check bench-quick bench-smoke explore-bench \
-  fuzz fuzz-mutant soak serve-smoke load-smoke ci
+  fuzz fuzz-mutant scenario-fuzz soak serve-smoke load-smoke ci
 
 all: build
 
@@ -35,6 +35,8 @@ bench-smoke:
 	grep -Eq '"cache\.hits": [1-9]' bench-metrics.json
 	grep -Eq '"pool\.tasks": [1-9]' bench-metrics.json
 	grep -Eq '"engine\.arena_bytes": [1-9]' bench-metrics.json
+	grep -Eq '"scenario\.runs": [1-9]' bench-metrics.json
+	grep -Eq '"scenario\.product_states": [1-9]' bench-metrics.json
 	grep -q '"engine.bytes_per_state"' bench-metrics.json
 	grep -q '"engine.occupancy"' bench-metrics.json
 	grep -q '"engine.max_probe"' bench-metrics.json
@@ -73,6 +75,13 @@ fuzz:
 fuzz-mutant:
 	dune exec bin/sdf3_fuzz.exe -- --count 200 --seed 9 --inject-mutant \
 	  --no-corpus; test $$? -eq 1
+
+# Self-check of the scenario-vs-enumeration oracle: the injected mutant
+# drops every mode-transition delay on the engine side only, which the
+# brute-force product enumeration must catch (exit 1 = detected).
+scenario-fuzz:
+	dune exec bin/sdf3_fuzz.exe -- --count 200 --seed 9 \
+	  --inject-scenario-mutant --no-corpus; test $$? -eq 1
 
 # 60-second soak of the full oracle catalogue — including the
 # budget.partial-soundness anytime-bound oracle — under a hard 90-second

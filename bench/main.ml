@@ -650,6 +650,7 @@ let () =
   Tables.e20_criticality_validation ();
   Tables.e22_guarantee_validation ();
   Tables.e23_composition ();
+  Tables.e24_scenario ();
   Tables.e11_multimedia ();
   Tables.e8_e9_e10 ~seqs ~archs ();
   (match metrics_file with

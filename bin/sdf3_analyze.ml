@@ -31,8 +31,38 @@ let load file =
         Printf.eprintf "%s:%d: %s\n" file line message;
         exit 1
 
-let analyze file show_hsdf show_dot show_trace jobs log_level metrics_file
-    metrics_stderr trace_file =
+let analyze_scenario graph taus path =
+  match Scenario.Fsm.parse_file ~graph ~taus path with
+  | exception Scenario.Fsm.Parse_error { line; message } ->
+      if line > 0 then Printf.eprintf "%s:%d: %s\n" path line message
+      else Printf.eprintf "%s: %s\n" path message;
+      exit 1
+  | fsm -> (
+      Printf.printf "scenario %s: %d modes, %d transitions (initial %s)\n"
+        fsm.Scenario.Fsm.name
+        (Array.length fsm.Scenario.Fsm.modes)
+        (Array.length fsm.Scenario.Fsm.transitions)
+        fsm.Scenario.Fsm.modes.(fsm.Scenario.Fsm.initial).Scenario.Fsm.m_name;
+      match
+        Obs.Span.with_ "analyze.scenario" (fun () ->
+            Scenario.Product.analyze fsm)
+      with
+      | r ->
+          Printf.printf
+            "scenario worst-case rate = %s iteration(s)/time unit\n"
+            (Rat.to_string r.Scenario.Product.worst_rate);
+          Printf.printf "scenario product: %d states, %d edges\n"
+            r.Scenario.Product.product_states
+            r.Scenario.Product.product_edges
+      | exception Scenario.Product.Deadlocked ->
+          Printf.printf "scenario DEADLOCKS (some mode sequence jams)\n";
+          exit 3
+      | exception Scenario.Product.State_space_exceeded n ->
+          Printf.printf "scenario product state space exceeds %d states\n" n;
+          exit 4)
+
+let analyze file show_hsdf show_dot show_trace scenario jobs log_level
+    metrics_file metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
   (* The sweep spawns its own shard domains — the Par pool stays down. *)
   let domains = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
@@ -71,6 +101,11 @@ let analyze file show_hsdf show_dot show_trace jobs log_level metrics_file
           end;
           match exec_times with
           | None ->
+              if scenario <> None then begin
+                Printf.eprintf
+                  "--scenario requires execution times in the graph file\n";
+                exit 1
+              end;
               print_endline
                 "no execution times in file; skipping throughput analysis"
           | Some taus ->
@@ -114,7 +149,8 @@ let analyze file show_hsdf show_dot show_trace jobs log_level metrics_file
                   Printf.printf "hsdf max cycle ratio = %s\n" (Rat.to_string r)
               | Analysis.Mcr.Acyclic -> print_endline "hsdf: acyclic"
               | Analysis.Mcr.Zero_token_cycle _ ->
-                  print_endline "hsdf: zero-token cycle")));
+                  print_endline "hsdf: zero-token cycle");
+              Option.iter (analyze_scenario graph taus) scenario));
       match show_dot with
       | None -> ()
       | Some path ->
@@ -142,11 +178,24 @@ let state_trace =
     & info [ "state-trace" ] ~docv:"OUT"
         ~doc:"Write the self-timed state-space trace (Fig.-5 style) to $(docv)")
 
+let scenario =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Scenario FSM over the graph (text format, see lib/scenario):\n\
+          \ modes with their own rates and execution times, transitions\n\
+          \ with rebinding delays. Reports the worst-case throughput over\n\
+          \ all scenario sequences by product-state-space exploration.\n\
+          \ Requires execution times in $(i,FILE)'s base graph.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sdf3_analyze" ~doc:"Analyse a synchronous dataflow graph")
     Term.(
-      const analyze $ file $ hsdf $ dot $ state_trace $ Cli_common.jobs
+      const analyze $ file $ hsdf $ dot $ state_trace $ scenario
+      $ Cli_common.jobs
       $ Cli_common.log_level $ Cli_common.metrics_file
       $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 

@@ -38,9 +38,72 @@ let parse_weights s =
 
 open Core
 
+(* Necessary-condition gate: even a perfect allocation cannot beat the
+   scenario worst case, so an application whose worst-case output rate
+   (over all mode sequences, with worst-case execution times) already
+   misses lambda is excluded before any binding work is spent. The gate
+   is conservative the other way — passing it does not promise the
+   allocated (slice-throttled) graph meets lambda; the flow still
+   verifies that per allocation. *)
+let scenario_gate path apps =
+  List.filter
+    (fun (app : Appgraph.t) ->
+      let g = app.Appgraph.graph in
+      let taus =
+        Array.init (Sdf.Sdfg.num_actors g) (fun a ->
+            Appgraph.max_exec_time app a)
+      in
+      match Scenario.Fsm.parse_file ~graph:g ~taus path with
+      | exception Scenario.Fsm.Parse_error { line; message } ->
+          if line > 0 then Printf.eprintf "%s:%d: %s\n" path line message
+          else
+            Printf.eprintf "%s (%s): %s\n" path app.Appgraph.app_name message;
+          exit 1
+      | fsm -> (
+          match
+            Obs.Span.with_ "flow.scenario_gate" (fun () ->
+                Scenario.Product.analyze fsm)
+          with
+          | exception Scenario.Product.Deadlocked ->
+              Printf.printf
+                "%s: excluded by scenario gate (a mode sequence deadlocks)\n"
+                app.Appgraph.app_name;
+              false
+          | exception Scenario.Product.State_space_exceeded _ ->
+              Printf.printf
+                "%s: scenario gate inconclusive (state cap); keeping\n"
+                app.Appgraph.app_name;
+              true
+          | r ->
+              let rate = r.Scenario.Product.worst_rate in
+              if Sdf.Rat.is_infinite rate then true
+              else begin
+                (* Worst-case firings of the output actor per time unit:
+                   the product rate is in iterations, the slowest mode
+                   bounds the output firings one iteration yields. *)
+                let out = app.Appgraph.output_actor in
+                let gmin =
+                  Array.fold_left
+                    (fun acc gamma -> min acc gamma.(out))
+                    max_int fsm.Scenario.Fsm.gamma
+                in
+                let out_rate = Sdf.Rat.mul_int rate gmin in
+                if Sdf.Rat.compare out_rate app.Appgraph.lambda >= 0 then true
+                else begin
+                  Printf.printf
+                    "%s: excluded by scenario gate (worst-case output rate \
+                     %s < lambda %s)\n"
+                    app.Appgraph.app_name
+                    (Sdf.Rat.to_string out_rate)
+                    (Sdf.Rat.to_string app.Appgraph.lambda);
+                  false
+                end
+              end))
+    apps
+
 let flow apps_spec files set count platform_spec weights_spec verbose skip
-    ordering deploy gantt jobs log_level metrics_file metrics_stderr trace_file
-    =
+    ordering scenario deploy gantt jobs log_level metrics_file metrics_stderr
+    trace_file =
   Cli_common.setup_logs log_level;
   Cli_common.init_jobs jobs;
   Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
@@ -61,6 +124,9 @@ let flow apps_spec files set count platform_spec weights_spec verbose skip
           files
     | [], Some set -> Gen.Benchsets.sequence ~set ~seq:0 ~count
     | [], None -> parse_apps apps_spec
+  in
+  let apps =
+    match scenario with None -> apps | Some path -> scenario_gate path apps
   in
   let weights = parse_weights weights_spec in
   let policy =
@@ -207,6 +273,17 @@ let deploy =
         ~doc:"Write one XML deployment descriptor per allocated application \
               into $(docv)")
 
+let scenario =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Scenario FSM applied to every application as an admission gate:\n\
+          \ an application whose worst-case scenario output rate misses its\n\
+          \ lambda (a necessary condition no allocation can repair) is\n\
+          \ excluded before binding")
+
 let ordering =
   Arg.(
     value
@@ -224,7 +301,7 @@ let cmd =
     (Cmd.info "sdf3_flow" ~doc:"Throughput-constrained resource allocation for SDFGs")
     Term.(
       const flow $ apps $ files $ set $ count $ platform $ weights $ verbose
-      $ skip $ ordering $ deploy $ gantt $ Cli_common.jobs
+      $ skip $ ordering $ scenario $ deploy $ gantt $ Cli_common.jobs
       $ Cli_common.log_level $ Cli_common.metrics_file
       $ Cli_common.metrics_stderr $ Cli_common.trace_file)
 

@@ -3,8 +3,8 @@
    from lib/check on each, and on the first disagreement shrinks the case
    and persists it into the regression corpus. *)
 
-let run count time seed max_states corpus no_corpus mutant app_every verbose
-    log_level metrics_file metrics_stderr trace_file =
+let run count time seed max_states corpus no_corpus mutant scenario_mutant
+    app_every verbose log_level metrics_file metrics_stderr trace_file =
   Cli_common.setup_logs log_level;
   Cli_common.init_metrics ~trace:trace_file ~file:metrics_file
     ~to_stderr:metrics_stderr ();
@@ -23,19 +23,22 @@ let run count time seed max_states corpus no_corpus mutant app_every verbose
       time_budget = time;
       max_states;
       mutant;
+      scenario_mutant;
       corpus_dir = (if no_corpus then None else Some corpus);
       app_every;
       log;
     }
   in
   if mutant then log "fuzz: mutant injection enabled (self-test mode)";
+  if scenario_mutant then
+    log "fuzz: scenario mutant injection enabled (self-test mode)";
   let s = Check.Harness.run cfg in
   match s.Check.Harness.counterexample with
   | None ->
       Printf.printf "fuzz: seed %d, %d cases, %d oracle checks, %d skips, 0 failures\n"
         seed s.Check.Harness.cases s.Check.Harness.checks
         s.Check.Harness.skips;
-      if mutant then begin
+      if mutant || scenario_mutant then begin
         (* A mutant run that finds nothing means the oracles are blind. *)
         Printf.printf "fuzz: ERROR: injected mutant was not detected\n";
         finish 2
@@ -102,6 +105,16 @@ let mutant =
           \ MCR replay and expect the differential oracle to catch and\n\
           \ shrink it (exit 2 if it does not)")
 
+let scenario_mutant =
+  Arg.(
+    value & flag
+    & info [ "inject-scenario-mutant" ]
+        ~doc:
+          "Self-test: make the scenario product engine drop every\n\
+          \ mode-transition delay while the brute-force enumeration keeps\n\
+          \ them, and expect diff.scenario-vs-enumeration to catch and\n\
+          \ shrink the divergence (exit 2 if it does not)")
+
 let app_every =
   Arg.(
     value & opt int 10
@@ -118,7 +131,7 @@ let cmd =
        ~doc:"Differential and metamorphic fuzzing of the analysis stack")
     Term.(
       const run $ count $ time $ seed $ max_states $ corpus $ no_corpus
-      $ mutant $ app_every $ verbose $ Cli_common.log_level
+      $ mutant $ scenario_mutant $ app_every $ verbose $ Cli_common.log_level
       $ Cli_common.metrics_file $ Cli_common.metrics_stderr
       $ Cli_common.trace_file)
 

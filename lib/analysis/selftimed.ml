@@ -25,14 +25,6 @@ type partial = {
 exception Deadlocked
 exception State_space_exceeded of int
 
-exception Budget_stop of Budget.reason
-(* Internal: unwinds the exploration when the budget runs out. *)
-
-(* One sample per run: the seen-set's longest probe sequence. The gauge of
-   the same name only keeps the last run; the histogram shows whether long
-   probe chains are an outlier or the norm across a batch. *)
-let probe_len_hist = Obs.Histogram.make "engine.probe_len"
-
 (* Anytime upper bound on the iteration rate, from the simple cycles of the
    graph alone — no exploration needed, so it is available no matter how
    early a budgeted run stops.
@@ -364,13 +356,14 @@ let make_partial ~reason ~explored ~time_reached ~counts g exec_times gamma =
     dead_ruled_out;
   }
 
-(* The packed engine: states stream through one reusable {!Engine.Pack}
-   writer (channel token counts, then per-actor length-prefixed rings of
-   time-relative completions) into an open-addressing {!Engine.Stateset}
-   whose payload words carry the recurrence data (visit time, firing count
-   of actor 0) — no Marshal, no string keys, no per-state boxed values.
-   Outstanding firings live in {!Engine.Rings} (FIFO: equal execution
-   times make completion order follow start order). *)
+(* The packed engine, as an instance of the generic driver: states stream
+   through {!Engine.Explore}'s reusable {!Engine.Pack} writer (channel
+   token counts, then per-actor length-prefixed rings of time-relative
+   completions) into its open-addressing {!Engine.Stateset} whose payload
+   words carry the recurrence data (visit time, firing count of actor 0)
+   — no Marshal, no string keys, no per-state boxed values. Outstanding
+   firings live in {!Engine.Rings} (FIFO: equal execution times make
+   completion order follow start order). *)
 let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
   validate g exec_times;
   let gamma = Repetition.vector_exn g in
@@ -380,16 +373,15 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
   let tokens = s.tokens in
   let rings = s.rings in
   let counts = s.counts in
-  let seen = Engine.Stateset.create () in
-  let pack = Engine.Pack.create () in
-  let fixpoint =
+  let ex = Engine.Explore.create () in
+  let pack = Engine.Explore.pack ex in
+  let fire =
     match observer with
     | None -> fun () -> sim_fixpoint s
     | Some f -> fun () -> sim_fixpoint_obs s f
   in
   let pack_rel c = Engine.Pack.add_uint pack (c - s.time) in
-  let pack_state () =
-    Engine.Pack.reset pack;
+  let encode () =
     for ci = 0 to nc - 1 do
       Engine.Pack.add_uint pack tokens.(ci)
     done;
@@ -407,77 +399,46 @@ let analyze_raw ?observer ?(max_states = 2_000_000) ~budget g exec_times =
       Obs.Counter.add "selftimed.transient" r.transient;
       Obs.Counter.add "selftimed.period" r.period;
       Obs.Counter.add "selftimed.firings" (sum_counts counts);
-      let s = Engine.Stateset.stats seen in
-      Obs.Gauge.set_int "engine.arena_bytes" s.Engine.Stateset.arena_bytes;
-      Obs.Gauge.set "engine.bytes_per_state"
-        (float_of_int s.Engine.Stateset.arena_bytes
-        /. float_of_int (max 1 s.Engine.Stateset.states));
-      Obs.Gauge.set "engine.occupancy"
-        (float_of_int s.Engine.Stateset.states
-        /. float_of_int (max 1 s.Engine.Stateset.slots));
-      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe;
-      Obs.Histogram.record probe_len_hist
-        (float_of_int s.Engine.Stateset.max_probe)
+      Engine.Explore.record_gauges (Engine.Explore.stats ex)
     end;
     r
   in
-  let rec explore () =
-    fixpoint ();
-    pack_state ();
-    let revisit, t0, c0 =
-      Engine.Stateset.find_or_add seen pack ~p0:s.time ~p1:counts.(0)
-    in
-    if revisit then begin
+  let rel =
+    Engine.Explore.
+      {
+        fire;
+        encode;
+        payload0 = (fun () -> s.time);
+        payload1 = (fun () -> counts.(0));
+        advance = (fun () -> sim_advance s);
+      }
+  in
+  match Engine.Explore.run ex ~max_states ~budget rel with
+  | Engine.Explore.Recurred { p0 = t0; p1 = c0 } ->
       let period = s.time - t0 in
       let iterations = (counts.(0) - c0) / gamma.(0) in
       assert (counts.(0) - c0 = iterations * gamma.(0));
       let throughput =
         Array.init n (fun a -> Rat.make (iterations * gamma.(a)) period)
       in
-      {
-        throughput;
-        period;
-        iterations_per_period = iterations;
-        transient = t0;
-        states = Engine.Stateset.length seen;
-      }
-    end
-    else begin
-      (* The reference engine checks the cap before storing; the stateset
-         stores first, so "stored one too many" is the same condition. *)
-      if Engine.Stateset.length seen > max_states then
-        raise (State_space_exceeded max_states);
-      (* Budget probe: one load and one branch per state when infinite;
-         state/arena caps are exact, clock and token amortised inside
-         [Budget.check]. *)
-      if not (Budget.is_infinite budget) then begin
-        let arena_bytes =
-          if Budget.arena_limited budget then Engine.Stateset.arena_bytes seen
-          else 0
-        in
-        match
-          Budget.check budget
-            ~states:(Engine.Stateset.length seen)
-            ~arena_bytes
-        with
-        | Some reason -> raise (Budget_stop reason)
-        | None -> ()
-      end;
-      if not (sim_advance s) then raise Deadlocked;
-      explore ()
-    end
-  in
-  match explore () with
-  | r -> Ok (record_metrics r)
-  | exception Deadlocked ->
+      Ok
+        (record_metrics
+           {
+             throughput;
+             period;
+             iterations_per_period = iterations;
+             transient = t0;
+             states = Engine.Explore.length ex;
+           })
+  | Engine.Explore.Deadlocked ->
       Obs.Counter.add "selftimed.deadlocks" 1;
       raise Deadlocked
-  | exception State_space_exceeded n ->
+  | Engine.Explore.Cap_exceeded ->
       Obs.Counter.add "selftimed.cap_aborts" 1;
-      raise (State_space_exceeded n)
-  | exception Budget_stop reason ->
+      raise (State_space_exceeded max_states)
+  | Engine.Explore.Budget_stop reason ->
       Error
-        (make_partial ~reason ~explored:(Engine.Stateset.length seen)
+        (make_partial ~reason ~explored:(Engine.Explore.length ex)
            ~time_reached:s.time ~counts g exec_times gamma)
 
 let analyze_uncached ?observer ?max_states g exec_times =
@@ -955,17 +916,7 @@ let sweep_raw ~shards ~max_states ~budget g exec_times =
       Obs.Counter.add "selftimed.firings" (sum_counts s.counts);
       Obs.Counter.add "selftimed.sweep.runs" 1;
       Obs.Gauge.set_int "selftimed.sweep.domains" (shards + 1);
-      let agg = Engine.Sharded_stateset.stats ss in
-      Obs.Gauge.set_int "engine.arena_bytes" agg.Engine.Stateset.arena_bytes;
-      Obs.Gauge.set "engine.bytes_per_state"
-        (float_of_int agg.Engine.Stateset.arena_bytes
-        /. float_of_int (max 1 agg.Engine.Stateset.states));
-      Obs.Gauge.set "engine.occupancy"
-        (float_of_int agg.Engine.Stateset.states
-        /. float_of_int (max 1 agg.Engine.Stateset.slots));
-      Obs.Gauge.set_int "engine.max_probe" agg.Engine.Stateset.max_probe;
-      Obs.Histogram.record probe_len_hist
-        (float_of_int agg.Engine.Stateset.max_probe);
+      Engine.Explore.record_gauges (Engine.Sharded_stateset.stats ss);
       let max_owned = ref 0 and total_owned = ref 0 in
       for i = 0 to shards - 1 do
         let st = Engine.Sharded_stateset.shard_stats ss i in

@@ -4,6 +4,7 @@ module Selftimed = Analysis.Selftimed
 module Mcr = Analysis.Mcr
 
 let mutant = ref false
+let scenario_mutant = ref false
 
 (* The self-timed route, with blow-ups and deadlocks reified. *)
 type st_outcome =
@@ -264,6 +265,248 @@ let budget_partial_soundness ~max_states ~rng (c : Case.t) =
         in
         verify 0
 
+(* ------------------------------------------------------------------ *)
+(* Scenario product vs. brute-force enumeration: derive a small scenario
+   FSM from the case, build the product automaton a second time with a
+   deliberately naive, structurally independent implementation (unsorted
+   token lists, chronological one-firing-at-a-time simulation, Hashtbl
+   interning), enumerate ALL its simple cycles, and check that the
+   engine's Karp-based worst-case rate equals the enumeration's exactly.
+   The hidden scenario mutant drops every mode-transition delay on the
+   engine's side only; the enumeration keeps them, so any positive delay
+   on a critical cycle is a detected divergence. *)
+
+module Sfsm = Scenario.Fsm
+module Product = Scenario.Product
+
+(* One mode occurrence, chronological: among the firings still owed to
+   the iteration, always perform one with the earliest possible start.
+   Kahn determinism makes the result equal to the engine's actor-scan
+   fixpoint; nothing else is shared with it. *)
+let naive_iteration (fsm : Sfsm.t) m queues =
+  let g = fsm.Sfsm.graph in
+  let md = fsm.Sfsm.modes.(m) in
+  let q = Array.map (fun l -> l) queues in
+  let remaining = Array.copy fsm.Sfsm.gamma.(m) in
+  let total = ref (Array.fold_left ( + ) 0 remaining) in
+  let fmax = ref 0 in
+  let start_of a =
+    (* None when not enabled; otherwise the earliest possible start *)
+    let rec go acc = function
+      | [] -> Some acc
+      | ci :: rest ->
+          let cons = snd md.Sfsm.rates.(ci) in
+          let sorted = List.sort compare q.(ci) in
+          if List.length sorted < cons then None
+          else go (max acc (List.nth sorted (cons - 1))) rest
+    in
+    go 0 (Sdfg.in_channels g a)
+  in
+  let fire a start =
+    List.iter
+      (fun ci ->
+        let cons = snd md.Sfsm.rates.(ci) in
+        let sorted = List.sort compare q.(ci) in
+        q.(ci) <- List.filteri (fun i _ -> i >= cons) sorted)
+      (Sdfg.in_channels g a);
+    let fin = start + md.Sfsm.taus.(a) in
+    if fin > !fmax then fmax := fin;
+    List.iter
+      (fun ci ->
+        let prod = fst md.Sfsm.rates.(ci) in
+        q.(ci) <- List.init prod (fun _ -> fin) @ q.(ci))
+      (Sdfg.out_channels g a)
+  in
+  let n = Sdfg.num_actors g in
+  let rec run () =
+    if !total = 0 then Some (Array.map (List.sort compare) q, !fmax)
+    else begin
+      let best = ref None in
+      for a = 0 to n - 1 do
+        if remaining.(a) > 0 then
+          match start_of a with
+          | None -> ()
+          | Some s -> (
+              match !best with
+              | Some (_, s') when s' <= s -> ()
+              | _ -> best := Some (a, s))
+      done;
+      match !best with
+      | None -> None (* the iteration is stuck: deadlock *)
+      | Some (a, s) ->
+          fire a s;
+          remaining.(a) <- remaining.(a) - 1;
+          decr total;
+          run ()
+    end
+  in
+  run ()
+
+type naive_product =
+  | Np_too_big
+  | Np_dead
+  | Np_graph of int * (int * int * int) list  (** states, (src,dst,weight) *)
+
+let naive_product (fsm : Sfsm.t) ~cap =
+  let tbl = Hashtbl.create 64 in
+  let next = ref 0 in
+  let edges = ref [] in
+  let work = Queue.create () in
+  let intern key =
+    match Hashtbl.find_opt tbl key with
+    | Some id -> (id, false)
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add tbl key id;
+        (id, true)
+  in
+  let initial =
+    ( fsm.Sfsm.initial,
+      Array.map
+        (fun (c : Sdfg.channel) -> List.init c.Sdfg.tokens (fun _ -> 0))
+        (Sdfg.channels fsm.Sfsm.graph) )
+  in
+  let id0, _ = intern initial in
+  Queue.add (id0, initial) work;
+  let exception Dead in
+  let exception Too_big in
+  match
+    while not (Queue.is_empty work) do
+      let id, (m, queues) = Queue.pop work in
+      match naive_iteration fsm m queues with
+      | None -> raise Dead
+      | Some (q, f) ->
+          Array.iter
+            (fun (dst, delay) ->
+              let clamped =
+                if delay = 0 then q
+                else Array.map (List.map (max (f + delay))) q
+              in
+              let mn =
+                Array.fold_left (List.fold_left min) max_int clamped
+              in
+              let shift = if mn = max_int then 0 else mn in
+              let norm =
+                if shift = 0 then clamped
+                else Array.map (List.map (fun ts -> ts - shift)) clamped
+              in
+              let sid, fresh = intern (dst, norm) in
+              edges := (id, sid, shift) :: !edges;
+              if fresh then begin
+                if !next > cap then raise Too_big;
+                Queue.add (sid, (dst, norm)) work
+              end)
+            fsm.Sfsm.out.(m)
+    done
+  with
+  | () -> Np_graph (!next, !edges)
+  | exception Dead -> Np_dead
+  | exception Too_big -> Np_too_big
+
+(* Every simple cycle, rooted at its minimal vertex so each is found
+   exactly once; [`Best (weight, length)] maximises weight/length. *)
+let enumerate_cycles n edges ~cap =
+  let adj = Array.make n [] in
+  List.iter (fun (s, d, w) -> adj.(s) <- (d, w) :: adj.(s)) edges;
+  let count = ref 0 in
+  let best = ref None in
+  let onpath = Array.make n false in
+  let exception Too_many in
+  let rec dfs root v wsum len =
+    List.iter
+      (fun (u, w) ->
+        if u = root then begin
+          incr count;
+          if !count > cap then raise Too_many;
+          let w' = wsum + w and l' = len + 1 in
+          match !best with
+          | None -> best := Some (w', l')
+          | Some (bw, bl) -> if w' * bl > bw * l' then best := Some (w', l')
+        end
+        else if u > root && not onpath.(u) then begin
+          onpath.(u) <- true;
+          dfs root u (wsum + w) (len + 1);
+          onpath.(u) <- false
+        end)
+      adj.(v)
+  in
+  match
+    for root = 0 to n - 1 do
+      onpath.(root) <- true;
+      dfs root root 0 0;
+      onpath.(root) <- false
+    done
+  with
+  | () -> `Best (!best, !count)
+  | exception Too_many -> `Too_many
+
+let scenario_vs_enumeration ~max_states:_ ~rng (c : Case.t) =
+  match Gen.Scenariogen.derive rng c.Case.graph c.Case.taus with
+  | exception Invalid_argument _ -> Oracle.Skip "scenario derivation rejected"
+  | fsm -> (
+      let fsm_engine =
+        if !scenario_mutant then
+          Sfsm.make ~name:fsm.Sfsm.name ~graph:fsm.Sfsm.graph
+            ~modes:fsm.Sfsm.modes
+            ~transitions:
+              (Array.map
+                 (fun tr -> { tr with Sfsm.delay = 0 })
+                 fsm.Sfsm.transitions)
+            ~initial:fsm.Sfsm.initial
+        else fsm
+      in
+      let engine =
+        match Product.analyze ~max_states:5_000 fsm_engine with
+        | r -> `Res r
+        | exception Product.Deadlocked -> `Dead
+        | exception Product.State_space_exceeded _ -> `Exceeded
+      in
+      match naive_product fsm ~cap:400 with
+      | Np_too_big -> Oracle.Skip "product automaton too large to enumerate"
+      | Np_dead -> (
+          match engine with
+          | `Dead -> Oracle.Pass
+          | _ ->
+              Oracle.Fail
+                "enumeration finds a reachable deadlock but the product \
+                 engine does not")
+      | Np_graph (nstates, edges) -> (
+          match engine with
+          | `Dead ->
+              Oracle.Fail
+                "product engine deadlocks but the enumeration explores the \
+                 full automaton"
+          | `Exceeded ->
+              Oracle.failf
+                "product engine exceeds its state cap but the enumeration \
+                 stores only %d states"
+                nstates
+          | `Res r ->
+              if r.Product.product_states <> nstates then
+                Oracle.failf
+                  "product engine stores %d states but the enumeration %d"
+                  r.Product.product_states nstates
+              else (
+                match enumerate_cycles nstates edges ~cap:20_000 with
+                | `Too_many -> Oracle.Skip "too many simple cycles"
+                | `Best (None, _) ->
+                    Oracle.Fail
+                      "complete product automaton has no cycle (impossible: \
+                       every state has a successor)"
+                | `Best (Some (w, l), ncycles) ->
+                    let naive_rate =
+                      if w = 0 then Rat.infinity else Rat.make l w
+                    in
+                    if Rat.equal r.Product.worst_rate naive_rate then
+                      Oracle.Pass
+                    else
+                      Oracle.failf
+                        "worst-case rate %s (Karp on the product) but %s \
+                         (max mean over %d enumerated simple cycles)"
+                        (Rat.to_string r.Product.worst_rate)
+                        (Rat.to_string naive_rate) ncycles)))
+
 let oracles =
   [
     Oracle.{ name = "diff.engine-vs-reference"; run = engine_vs_reference };
@@ -273,4 +516,6 @@ let oracles =
     Oracle.{ name = "diff.memo-agreement"; run = memo_agreement };
     Oracle.
       { name = "budget.partial-soundness"; run = budget_partial_soundness };
+    Oracle.
+      { name = "diff.scenario-vs-enumeration"; run = scenario_vs_enumeration };
   ]

@@ -24,13 +24,28 @@
       [dead_ruled_out]) agree with reality, and a budgeted run that
       completes matches the unbudgeted reference.
 
+    - [diff.scenario-vs-enumeration]: a small scenario FSM derived from
+      the case ({!Gen.Scenariogen.derive}) is analysed twice — by
+      {!Scenario.Product.analyze} (packed product space, Karp) and by a
+      structurally independent naive route (Hashtbl-interned product
+      automaton, every simple cycle enumerated) — and the worst-case
+      rates, state counts and deadlock verdicts must agree exactly.
+      Skipped when the product automaton or its cycle set outgrows the
+      enumeration caps.
+
     The hidden mutant switch corrupts the MCR replay by an off-by-one in
     the initial tokens of the first HSDF channel; the fuzz driver's
     self-check flips it to prove the harness actually detects (and
-    shrinks) such divergence. *)
+    shrinks) such divergence. The scenario mutant does the same for the
+    scenario route: it drops every mode-transition delay on the engine
+    side only, so a positive delay on a critical product cycle becomes a
+    detectable (and shrinkable) rate divergence. *)
 
 val mutant : bool ref
 (** Off by default; enabled by [sdf3_fuzz --inject-mutant] only. *)
+
+val scenario_mutant : bool ref
+(** Off by default; enabled by [sdf3_fuzz --inject-scenario-mutant] only. *)
 
 val engine_vs_reference :
   max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
@@ -53,5 +68,10 @@ val budget_partial_soundness :
     [rng] and checks the anytime contract of
     {!Analysis.Selftimed.analyze_budgeted} against
     [Selftimed.analyze_reference]. *)
+
+val scenario_vs_enumeration :
+  max_states:int -> rng:Gen.Rng.t -> Case.t -> Oracle.outcome
+(** [diff.scenario-vs-enumeration]: see above. Draws the scenario FSM
+    from [rng]; honours {!scenario_mutant}. *)
 
 val oracles : Oracle.t list

@@ -7,6 +7,7 @@ type config = {
   time_budget : float option;
   max_states : int;
   mutant : bool;
+  scenario_mutant : bool;
   corpus_dir : string option;
   app_every : int;
   log : string -> unit;
@@ -19,6 +20,7 @@ let default =
     time_budget = None;
     max_states = 50_000;
     mutant = false;
+    scenario_mutant = false;
     corpus_dir = None;
     app_every = 10;
     log = ignore;
@@ -69,7 +71,11 @@ let sanitize name =
 
 let run cfg =
   Differential.mutant := cfg.mutant;
-  Fun.protect ~finally:(fun () -> Differential.mutant := false) @@ fun () ->
+  Differential.scenario_mutant := cfg.scenario_mutant;
+  Fun.protect ~finally:(fun () ->
+      Differential.mutant := false;
+      Differential.scenario_mutant := false)
+  @@ fun () ->
   let master = Gen.Rng.create ~seed:cfg.seed in
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) cfg.time_budget

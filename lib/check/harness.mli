@@ -12,6 +12,11 @@ type config = {
       (** when set, {!Differential.mutant} is enabled for the whole run:
           the MCR replay sees an off-by-one initial-token count, and the
           differential oracle is expected to catch it *)
+  scenario_mutant : bool;
+      (** when set, {!Differential.scenario_mutant} is enabled: the
+          scenario product engine sees every mode-transition delay as 0
+          while the enumeration keeps the real delays, and
+          [diff.scenario-vs-enumeration] is expected to catch it *)
   corpus_dir : string option;
       (** where to write the shrunk counterexample, if anywhere *)
   app_every : int;
@@ -22,7 +27,7 @@ type config = {
 }
 
 val default : config
-(** seed 1, 200 cases, no time budget, 50k states, no mutant, no corpus
+(** seed 1, 200 cases, no time budget, 50k states, no mutants, no corpus
     writing, app checks every 10th case, silent. *)
 
 val fuzz_profile : Gen.Sdfgen.profile

@@ -16,13 +16,6 @@ type partial = {
 exception Deadlocked
 exception State_space_exceeded of int
 
-exception Budget_stop of Budget.reason
-(* Internal: unwinds the exploration when the budget runs out. *)
-
-(* One sample per run, mirroring Analysis.Selftimed: the distribution of
-   longest probe sequences across a batch of constrained runs. *)
-let probe_len_hist = Obs.Histogram.make "engine.probe_len"
-
 let idle = max_int
 
 (* Completion time of a firing of [tau] work started at absolute time [t] on
@@ -388,10 +381,10 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
         schedules
     done
   in
-  let pack = Engine.Pack.create () in
+  let ex = Engine.Explore.create () in
+  let pack = Engine.Explore.pack ex in
   let pack_rel c = Engine.Pack.add_uint pack (c - !time) in
   let pack_state () =
-    Engine.Pack.reset pack;
     for ci = 0 to nc - 1 do
       Engine.Pack.add_uint pack tokens.(ci)
     done;
@@ -417,7 +410,6 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
       Engine.Pack.add_fixed pack ~width:phase_width.(t) phase
     done
   in
-  let seen = Engine.Stateset.create () in
   (* Telemetry: recorded once per run (never inside the exploration loop),
      so disabled telemetry costs one branch per analysis. *)
   let record_metrics r =
@@ -427,63 +419,20 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
       Obs.Counter.add "constrained.transient" r.transient;
       Obs.Counter.add "constrained.period" r.period;
       Obs.Counter.add "constrained.firings" !fired;
-      let s = Engine.Stateset.stats seen in
-      Obs.Gauge.set_int "engine.arena_bytes" s.Engine.Stateset.arena_bytes;
-      Obs.Gauge.set "engine.bytes_per_state"
-        (float_of_int s.Engine.Stateset.arena_bytes
-        /. float_of_int (max 1 s.Engine.Stateset.states));
-      Obs.Gauge.set "engine.occupancy"
-        (float_of_int s.Engine.Stateset.states
-        /. float_of_int (max 1 s.Engine.Stateset.slots));
-      Obs.Gauge.set_int "engine.max_probe" s.Engine.Stateset.max_probe;
-      Obs.Histogram.record probe_len_hist
-        (float_of_int s.Engine.Stateset.max_probe)
+      Engine.Explore.record_gauges (Engine.Explore.stats ex)
     end;
     r
   in
   let produce_completed a = Engine.Ops.produce ops tokens a in
-  let rec explore () =
-    start_fixpoint ();
-    pack_state ();
-    let revisit, t0, out0 =
-      Engine.Stateset.find_or_add seen pack ~p0:!time ~p1:!out_count
-    in
-    if revisit then begin
-      let period = !time - t0 in
-      let fired = !out_count - out0 in
-      {
-        throughput = Rat.make fired period;
-        period;
-        transient = t0;
-        states = Engine.Stateset.length seen;
-      }
-    end
+  let advance () =
+    let next = ref (Engine.Rings.min_head pending) in
+    for t = 0 to nt - 1 do
+      if tile_busy.(t) < !next then next := tile_busy.(t);
+      if tile_wake.(t) < !next then next := tile_wake.(t)
+    done;
+    let next = !next in
+    if next = idle then false
     else begin
-      (* The reference engine checks the cap before storing; the stateset
-         stores first, so "stored one too many" is the same condition. *)
-      if Engine.Stateset.length seen > max_states then
-        raise (State_space_exceeded max_states);
-      (* Budget probe: one load and one branch per state when infinite. *)
-      if not (Budget.is_infinite budget) then begin
-        let arena_bytes =
-          if Budget.arena_limited budget then Engine.Stateset.arena_bytes seen
-          else 0
-        in
-        match
-          Budget.check budget
-            ~states:(Engine.Stateset.length seen)
-            ~arena_bytes
-        with
-        | Some reason -> raise (Budget_stop reason)
-        | None -> ()
-      end;
-      let next = ref (Engine.Rings.min_head pending) in
-      for t = 0 to nt - 1 do
-        if tile_busy.(t) < !next then next := tile_busy.(t);
-        if tile_wake.(t) < !next then next := tile_wake.(t)
-      done;
-      let next = !next in
-      if next = idle then raise Deadlocked;
       time := next;
       for t = 0 to nt - 1 do
         if tile_busy.(t) = next then begin
@@ -493,15 +442,35 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
         end
       done;
       Engine.Rings.pop_due pending ~now:next produce_completed;
-      explore ()
+      true
     end
   in
-  match explore () with
-  | r -> Ok (record_metrics r)
-  | exception Deadlocked ->
+  let rel =
+    Engine.Explore.
+      {
+        fire = start_fixpoint;
+        encode = pack_state;
+        payload0 = (fun () -> !time);
+        payload1 = (fun () -> !out_count);
+        advance;
+      }
+  in
+  match Engine.Explore.run ex ~max_states ~budget rel with
+  | Engine.Explore.Recurred { p0 = t0; p1 = out0 } ->
+      let period = !time - t0 in
+      let fired = !out_count - out0 in
+      Ok
+        (record_metrics
+           {
+             throughput = Rat.make fired period;
+             period;
+             transient = t0;
+             states = Engine.Explore.length ex;
+           })
+  | Engine.Explore.Deadlocked ->
       Obs.Counter.add "constrained.deadlocks" 1;
       raise Deadlocked
-  | exception State_space_exceeded cap ->
+  | Engine.Explore.Cap_exceeded ->
       Obs.Counter.add "constrained.cap_aborts" 1;
       (* Both the configured cap and the states actually stored: tooling
          sizing a retry needs the real exploration depth, not just the
@@ -509,11 +478,11 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
       if Obs.enabled () then
         Obs.Event.emit "constrained.abort"
           [
-            ("cap", Obs.Event.Int cap);
-            ("states", Obs.Event.Int (Engine.Stateset.length seen));
+            ("cap", Obs.Event.Int max_states);
+            ("states", Obs.Event.Int (Engine.Explore.length ex));
           ];
-      raise (State_space_exceeded cap)
-  | exception Budget_stop reason ->
+      raise (State_space_exceeded max_states)
+  | Engine.Explore.Budget_stop reason ->
       if Obs.enabled () then begin
         Obs.Counter.add "budget.partials" 1;
         Obs.Counter.add ("budget." ^ Budget.reason_label reason) 1
@@ -522,7 +491,7 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
         ~args:
           [
             ("reason", Obs.Event.String (Budget.reason_label reason));
-            ("states", Obs.Event.Int (Engine.Stateset.length seen));
+            ("states", Obs.Event.Int (Engine.Explore.length ex));
           ];
       (* Anytime bound: every firing occupies its actor for at least its
          TDMA-inflated minimum duration, and static-order serialization can
@@ -542,7 +511,7 @@ let analyze_raw ?observer ?offsets ?(max_states = 500_000) ~budget
       Error
         {
           reason;
-          explored = Engine.Stateset.length seen;
+          explored = Engine.Explore.length ex;
           time_reached = !time;
           upper_bound;
           provably_dead;

@@ -26,9 +26,18 @@ exception State_space_exceeded of int
 
 val analyze : ?max_states:int -> Graph.t -> int array array -> result
 (** [analyze g taus] with [taus.(a).(p)] the execution time of actor [a]'s
-    phase [p]. [max_states] defaults to [1_000_000].
+    phase [p]. [max_states] defaults to [1_000_000]. Runs on the generic
+    packed engine ({!Engine.Explore}).
     @raise Invalid_argument on inconsistent graphs, phase-count mismatches
     or negative times. *)
+
+val analyze_reference :
+  ?max_states:int -> Graph.t -> int array array -> result
+(** The pre-engine exploration (Marshal snapshots into a string-keyed
+    [Hashtbl]), retained as the independent half of the
+    [diff.csdf-engine-vs-reference] oracle. Same exceptions, validation
+    and results as {!analyze}; the two must agree exactly — result
+    fields, visited-state count, deadlock and cap outcomes. *)
 
 val throughput : ?max_states:int -> Graph.t -> int array array -> int -> Rat.t
 (** Full-cycle rate of one actor (phase rate / phase count). *)

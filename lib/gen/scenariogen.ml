@@ -1,0 +1,53 @@
+module Sdfg = Sdf.Sdfg
+module Fsm = Scenario.Fsm
+
+let base_rates g =
+  Array.map
+    (fun (c : Sdfg.channel) -> (c.Sdfg.prod, c.Sdfg.cons))
+    (Sdfg.channels g)
+
+let derive rng g taus =
+  let nm = 1 + Rng.int rng 3 in
+  let nc = Sdfg.num_channels g in
+  let mode i =
+    if i = 0 then
+      { Fsm.m_name = "m0"; rates = base_rates g; taus = Array.copy taus }
+    else begin
+      let rates = base_rates g in
+      (* Scaling both ends of one channel by a common factor keeps the
+         balance equations (and hence gamma) intact, but changes the
+         timing structure — and can introduce a mode that deadlocks on
+         the initial tokens, which the product exploration must report
+         identically on both routes. *)
+      if nc > 0 && Rng.bool rng 0.3 then begin
+        let ci = Rng.int rng nc in
+        let k = Rng.range rng 2 3 in
+        let p, c = rates.(ci) in
+        rates.(ci) <- (p * k, c * k)
+      end;
+      let taus =
+        Array.map
+          (fun tau -> if Rng.bool rng 0.5 then Rng.range rng 1 6 else tau)
+          taus
+      in
+      { Fsm.m_name = Printf.sprintf "m%d" i; rates; taus }
+    end
+  in
+  let modes = Array.init nm mode in
+  let delay () = if Rng.bool rng 0.5 then 0 else Rng.range rng 1 6 in
+  let cycle =
+    List.init nm (fun i ->
+        { Fsm.t_src = i; t_dst = (i + 1) mod nm; delay = delay () })
+  in
+  let extras =
+    List.concat_map
+      (fun i ->
+        if Rng.bool rng 0.4 then
+          [ { Fsm.t_src = i; t_dst = Rng.int rng nm; delay = delay () } ]
+        else [])
+      (List.init nm Fun.id)
+  in
+  Fsm.make ~name:"derived" ~graph:g
+    ~modes
+    ~transitions:(Array.of_list (cycle @ extras))
+    ~initial:0

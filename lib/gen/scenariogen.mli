@@ -1,0 +1,15 @@
+(** Random scenario FSMs over a generated case, for the fuzz harness.
+
+    [derive rng g taus] wraps a (consistent, connected, every-actor-fed)
+    graph in a 1–3 mode scenario FSM: mode 0 is the base graph with the
+    given execution times; extra modes redraw execution times and may
+    scale one channel's (prod, cons) pair by a common factor — which
+    preserves the repetition vector, so every mode stays consistent by
+    construction. Transitions form the cycle [m0 -> m1 -> ... -> m0] plus
+    occasional extra edges; delays are biased towards positive values so
+    the delay-dropping mutant ([sdf3_fuzz --inject-scenario-mutant]) has
+    something to corrupt.
+    @raise Invalid_argument when the base graph violates a {!Scenario.Fsm.make}
+    precondition (not the case for {!Sdfgen} output). *)
+
+val derive : Rng.t -> Sdf.Sdfg.t -> int array -> Scenario.Fsm.t

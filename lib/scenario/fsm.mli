@@ -1,0 +1,99 @@
+module Sdfg := Sdf.Sdfg
+
+(** Scenario FSMs over one SDFG topology (after Skelin/Geilen's
+    scenario-aware dataflow and Jung/Oh/Ha's multi-mode scheduling).
+
+    A scenario FSM is a finite automaton whose states are {e modes} of one
+    shared graph topology: every mode keeps the actors, channels and
+    initial-token distribution of the base graph but carries its own
+    per-channel rates and per-actor execution times. An infinite run of
+    the automaton is a {e scenario sequence}; each visit to a mode
+    executes exactly one iteration of the graph under that mode's rates
+    and times (consistency restores the token distribution, so mode
+    switches compose). A transition carries a {e mode-transition delay}:
+    the occupancy-holding rebinding cost of reconfiguring the platform,
+    which holds every token back until the outgoing occupancy has drained
+    (see {!Product} for the exact semantics).
+
+    Worst-case throughput over all scenario sequences is computed by
+    {!Product.analyze}. *)
+
+type mode = {
+  m_name : string;
+  rates : (int * int) array;
+      (** per channel, aligned with the base graph: (prod, cons) *)
+  taus : int array;  (** per actor: execution time in this mode *)
+}
+
+type transition = {
+  t_src : int;  (** mode index *)
+  t_dst : int;  (** mode index *)
+  delay : int;  (** occupancy-holding rebinding cost, [>= 0] *)
+}
+
+type t = private {
+  name : string;
+  graph : Sdfg.t;  (** the shared topology, with the initial tokens *)
+  modes : mode array;
+  transitions : transition array;
+  initial : int;  (** starting mode *)
+  gamma : int array array;  (** per mode: its repetition vector *)
+  out : (int * int) array array;
+      (** per mode: outgoing [(dst, delay)] pairs, in declaration order *)
+}
+
+val make :
+  name:string ->
+  graph:Sdfg.t ->
+  modes:mode array ->
+  transitions:transition array ->
+  initial:int ->
+  t
+(** Validates and freezes a scenario FSM: at least one mode, unique mode
+    names, array lengths matching the topology, positive rates,
+    non-negative times and delays, in-range transition endpoints, every
+    mode with at least one outgoing transition (runs are infinite), every
+    actor with at least one input channel, and every mode individually
+    consistent and connected (each mode's repetition vector is computed
+    here and cached in [gamma]).
+    @raise Invalid_argument when any of it fails. *)
+
+val single : ?name:string -> Sdfg.t -> int array -> t
+(** [single g taus] is the one-mode FSM: the base graph's own rates and
+    the given execution times, with a single zero-delay self-loop — the
+    scenario view of a plain self-timed execution, and {!Product.analyze}
+    on it agrees exactly with [Analysis.Selftimed.analyze]. *)
+
+val mode_graph : t -> int -> Sdfg.t
+(** The base topology with mode [m]'s rates substituted (names and
+    initial tokens preserved). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : graph:Sdfg.t -> taus:int array -> ?name:string -> string -> t
+(** Parse the scenario text format against a base graph and its baseline
+    execution times:
+    {v
+    scenario NAME
+    mode M1
+      actor a2 7          # execution time of a2 in M1
+      channel d1 rates 2 1
+    mode M2
+    initial M1
+    edge M1 -> M2 delay 4
+    edge M2 -> M1
+    v}
+    Unlisted actors keep the baseline time, unlisted channels the base
+    rates; [delay] defaults to 0, [initial] to the first mode. When no
+    [edge] line is given and there is exactly one mode, a zero-delay
+    self-loop is added. [#] starts a comment.
+    @raise Parse_error on malformed input, unknown names or a failed
+    {!make} validation (reported at the offending line when known). *)
+
+val parse_file : graph:Sdfg.t -> taus:int array -> string -> t
+(** {!parse} on a file's contents, named after the scenario header. *)
+
+val to_text : t -> string
+(** Canonical text form (every actor, channel and edge explicit);
+    [parse]d back against the same base graph it yields an identical
+    FSM. *)

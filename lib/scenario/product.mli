@@ -1,0 +1,78 @@
+(** Worst-case throughput of a scenario FSM by product-state-space
+    exploration.
+
+    {b Semantics.} A channel's state is the multiset of its tokens'
+    {e ready times}. A mode occurrence executes exactly one iteration of
+    the graph under the mode's rates and times, in token-timestamp
+    (max-plus) dataflow semantics: a firing of actor [a] starts at the
+    maximum over its input channels of the [cons]-th earliest ready time
+    (consuming those tokens), completes [tau a] later and produces tokens
+    ready at its completion. Firings of one actor may overlap
+    (auto-concurrency, bounded only by self-loops), exactly as in the
+    self-timed execution. Consistency restores the token counts, so
+    occurrences compose.
+
+    A transition with delay [d > 0] is an occupancy-holding rebinding
+    barrier (the [Multi_app] commit idiom, after Jung/Oh/Ha): the switch
+    holds the platform until the outgoing occurrence's last completion
+    [F], then reconfigures for [d], so every token's ready time is
+    clamped to at least [F + d] before the next occurrence. A zero delay
+    is a seamless switch — no clamp, the modes pipeline freely — which
+    makes the single-mode zero-delay FSM {e exactly} the free-running
+    self-timed execution.
+
+    {b Product space.} A product state is a mode paired with the
+    min-normalized ready-time vector; the edge weight is the
+    normalization shift (non-negative), so the weight of a cycle is the
+    real time it takes. States are packed ({!Engine.Pack}) into the
+    engine's seen-set ({!Engine.Stateset}); the adversary (the scenario
+    sequence) branches, so exploration is a BFS over FSM transitions
+    rather than the deterministic chain {!Engine.Explore} drives. The
+    worst case over all infinite scenario sequences is governed by the
+    maximum cycle mean (time per occurrence) of the explored product
+    digraph, computed exactly with Karp's algorithm per SCC:
+    [worst_rate = 1 / MCM] in occurrences (graph iterations) per time
+    unit — {!Sdf.Rat.infinity} when every reachable cycle takes zero
+    time. *)
+
+type result = {
+  worst_rate : Sdf.Rat.t;
+      (** worst-case throughput over all scenario sequences, in graph
+          iterations per time unit; actor [a]'s firing rate in mode [m]
+          is [worst_rate * gamma.(m).(a)] *)
+  product_states : int;
+  product_edges : int;
+}
+
+type partial = {
+  reason : Budget.reason;
+  explored : int;  (** product states stored before the stop *)
+  upper_bound : Sdf.Rat.t;
+      (** sound upper bound on [worst_rate]: the best rate over the
+          cycles explored so far (any reachable cycle can be ridden
+          forever by an adversarial sequence), {!Sdf.Rat.infinity} when
+          none was found yet *)
+}
+
+exception Deadlocked
+(** Some reachable scenario prefix reaches a configuration in which a
+    mode occurrence cannot complete its iteration. *)
+
+exception State_space_exceeded of int
+(** More product states than the allowed maximum were stored. *)
+
+val analyze : ?max_states:int -> Fsm.t -> result
+(** [analyze fsm] explores the product space. [max_states] defaults to
+    [200_000]. Memoized on {!cache_key} (table ["scenario"]), negative
+    outcomes included.
+    @raise Deadlocked / State_space_exceeded as above. *)
+
+val analyze_budgeted :
+  ?max_states:int -> budget:Budget.t -> Fsm.t -> (result, partial) Stdlib.result
+(** {!analyze} under a resource budget; [Error partial] when it runs out.
+    Probes the memo first; partial outcomes are never cached. *)
+
+val cache_key : ?max_states:int -> Fsm.t -> string
+(** Canonical structural serialization (topology, per-mode rates and
+    times, transitions with delays, initial mode, state cap); mode and
+    actor names excluded. *)

@@ -2,12 +2,12 @@ A clean differential/metamorphic fuzz run over 100 random graphs: every
 oracle agrees, nothing is written.
 
   $ sdf3_fuzz --count 100 --seed 5 --no-corpus
-  fuzz: seed 5, 100 cases, 922 oracle checks, 21 skips, 0 failures
+  fuzz: seed 5, 100 cases, 1022 oracle checks, 23 skips, 0 failures
 
 Fuzzing is deterministic for a fixed seed:
 
   $ sdf3_fuzz --count 100 --seed 5 --no-corpus
-  fuzz: seed 5, 100 cases, 922 oracle checks, 21 skips, 0 failures
+  fuzz: seed 5, 100 cases, 1022 oracle checks, 23 skips, 0 failures
 
 The self-test mutant (an off-by-one initial token in the MCR replay of the
 differential oracle) is detected, shrunk to a minimal ring, and persisted:

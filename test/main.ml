@@ -14,6 +14,7 @@ let () =
       ("dot", Test_dot.suite);
       ("selftimed", Test_selftimed.suite);
       ("engine", Test_engine.suite);
+      ("generic_engine", Test_generic_engine.suite);
       ("trace", Test_trace.suite);
       ("buffer_sizing", Test_buffer_sizing.suite);
       ("mcr", Test_mcr.suite);
@@ -34,6 +35,7 @@ let () =
       ("gen", Test_gen.suite);
       ("baseline", Test_baseline.suite);
       ("csdf", Test_csdf.suite);
+      ("scenario", Test_scenario.suite);
       ("extensions", Test_extensions.suite);
       ("regressions", Test_regressions.suite);
       ("composition", Test_composition.suite);

@@ -1,0 +1,274 @@
+(* Scenario FSM dataflow (lib/scenario): FSM validation and text format,
+   product-space worst-case throughput, and the regression that a
+   single-mode zero-delay FSM is exactly the plain self-timed analysis. *)
+
+module Sdfg = Sdf.Sdfg
+module Rat = Sdf.Rat
+module Fsm = Scenario.Fsm
+module Product = Scenario.Product
+module Selftimed = Analysis.Selftimed
+open Helpers
+
+let selfloop () =
+  Sdfg.of_lists ~actors:[ "a" ] ~channels:[ ("a", "a", 1, 1, 1) ]
+
+let two_modes ~d_ab ~d_ba =
+  (* One self-looped actor; mode A runs it in 2, mode B in 5. The only
+     product cycle is A -> B -> A, whose duration is 2 + 5 + both delays
+     (a delay pushes the token past the occurrence's completion). *)
+  let g = selfloop () in
+  Fsm.make ~name:"two" ~graph:g
+    ~modes:
+      [|
+        { Fsm.m_name = "A"; rates = [| (1, 1) |]; taus = [| 2 |] };
+        { Fsm.m_name = "B"; rates = [| (1, 1) |]; taus = [| 5 |] };
+      |]
+    ~transitions:
+      [|
+        { Fsm.t_src = 0; t_dst = 1; delay = d_ab };
+        { Fsm.t_src = 1; t_dst = 0; delay = d_ba };
+      |]
+    ~initial:0
+
+let test_two_mode_hand_computed () =
+  let r = Product.analyze (two_modes ~d_ab:0 ~d_ba:3) in
+  (* cycle weight 2 + (5 + 3), length 2 occurrences *)
+  check_rat "worst rate" (Rat.make 2 10) r.Product.worst_rate;
+  Alcotest.(check int) "product states" 2 r.Product.product_states;
+  Alcotest.(check int) "product edges" 2 r.Product.product_edges
+
+let test_delay_matters () =
+  (* Dropping the delays must change the verdict — the property the
+     scenario mutant self-check relies on. *)
+  let with_d = Product.analyze (two_modes ~d_ab:0 ~d_ba:3) in
+  let without = Product.analyze (two_modes ~d_ab:0 ~d_ba:0) in
+  check_rat "no delay" (Rat.make 2 7) without.Product.worst_rate;
+  Alcotest.(check bool) "delay slows the worst case" true
+    (Rat.compare with_d.Product.worst_rate without.Product.worst_rate < 0)
+
+let test_deadlocking_mode () =
+  (* Mode B needs 2 tokens per firing but the loop holds only 1. *)
+  let g = selfloop () in
+  let fsm =
+    Fsm.make ~name:"dead" ~graph:g
+      ~modes:
+        [|
+          { Fsm.m_name = "A"; rates = [| (1, 1) |]; taus = [| 1 |] };
+          { Fsm.m_name = "B"; rates = [| (2, 2) |]; taus = [| 1 |] };
+        |]
+      ~transitions:
+        [|
+          { Fsm.t_src = 0; t_dst = 1; delay = 0 };
+          { Fsm.t_src = 1; t_dst = 0; delay = 0 };
+        |]
+      ~initial:0
+  in
+  Alcotest.check_raises "deadlocks" Product.Deadlocked (fun () ->
+      ignore (Product.analyze fsm))
+
+let test_state_cap () =
+  Alcotest.check_raises "state cap" (Product.State_space_exceeded 1)
+    (fun () -> ignore (Product.analyze ~max_states:1 (two_modes ~d_ab:0 ~d_ba:3)))
+
+let test_make_validation () =
+  let g = selfloop () in
+  let mode = { Fsm.m_name = "A"; rates = [| (1, 1) |]; taus = [| 1 |] } in
+  let self = { Fsm.t_src = 0; t_dst = 0; delay = 0 } in
+  let expect_invalid name f =
+    match f () with
+    | (_ : Fsm.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "no modes" (fun () ->
+      Fsm.make ~name:"x" ~graph:g ~modes:[||] ~transitions:[||] ~initial:0);
+  expect_invalid "no outgoing" (fun () ->
+      Fsm.make ~name:"x" ~graph:g ~modes:[| mode |] ~transitions:[||]
+        ~initial:0);
+  expect_invalid "negative delay" (fun () ->
+      Fsm.make ~name:"x" ~graph:g ~modes:[| mode |]
+        ~transitions:[| { self with Fsm.delay = -1 } |]
+        ~initial:0);
+  expect_invalid "duplicate mode names" (fun () ->
+      Fsm.make ~name:"x" ~graph:g ~modes:[| mode; mode |]
+        ~transitions:[| self |] ~initial:0);
+  expect_invalid "initial out of range" (fun () ->
+      Fsm.make ~name:"x" ~graph:g ~modes:[| mode |] ~transitions:[| self |]
+        ~initial:1);
+  expect_invalid "actor without input" (fun () ->
+      let g2 =
+        Sdfg.of_lists ~actors:[ "a"; "b" ] ~channels:[ ("a", "b", 1, 1, 0) ]
+      in
+      Fsm.single g2 [| 1; 1 |])
+
+let test_parse_roundtrip () =
+  let g = example_graph () in
+  let text =
+    "scenario demo\n\
+     mode fast\n\
+    \  actor a3 1\n\
+     mode slow\n\
+    \  actor a3 9\n\
+    \  channel d1 rates 2 2\n\
+     initial fast\n\
+     edge fast -> slow delay 4\n\
+     edge slow -> fast\n"
+  in
+  let fsm = Fsm.parse ~graph:g ~taus:Gen.Examples.example_taus text in
+  Alcotest.(check string) "name" "demo" fsm.Fsm.name;
+  Alcotest.(check int) "modes" 2 (Array.length fsm.Fsm.modes);
+  Alcotest.(check int) "delay" 4 fsm.Fsm.transitions.(0).Fsm.delay;
+  Alcotest.(check int) "default delay" 0 fsm.Fsm.transitions.(1).Fsm.delay;
+  (* Canonical text parses back to an FSM with the same analysis. *)
+  let fsm2 = Fsm.parse ~graph:g ~taus:Gen.Examples.example_taus (Fsm.to_text fsm) in
+  Alcotest.(check string) "canonical text is stable" (Fsm.to_text fsm)
+    (Fsm.to_text fsm2);
+  let r1 = Product.analyze fsm and r2 = Product.analyze fsm2 in
+  check_rat "same worst rate" r1.Product.worst_rate r2.Product.worst_rate
+
+let test_parse_errors () =
+  let g = selfloop () in
+  let expect_err text =
+    match Fsm.parse ~graph:g ~taus:[| 1 |] text with
+    | (_ : Fsm.t) -> Alcotest.fail "expected Parse_error"
+    | exception Fsm.Parse_error _ -> ()
+  in
+  expect_err "mode m\n  actor nosuch 3\n";
+  expect_err "mode m\n  channel nosuch rates 1 1\n";
+  expect_err "actor a 3\n";
+  expect_err "mode m\nedge m -> other\n";
+  expect_err "frobnicate\n"
+
+(* The satellite regression: a single-state zero-delay scenario FSM is
+   the self-timed execution, bit for bit — same rational rate and same
+   per-actor throughputs, on examples and on random graphs. *)
+
+let single_agrees g taus =
+  let st = Selftimed.analyze g taus in
+  let r = Product.analyze (Fsm.single g taus) in
+  let expected =
+    Rat.make st.Selftimed.iterations_per_period st.Selftimed.period
+  in
+  Rat.equal r.Product.worst_rate expected
+  && Array.for_all2
+       (fun thr gamma_a ->
+         Rat.equal thr (Rat.mul_int r.Product.worst_rate gamma_a))
+       st.Selftimed.throughput
+       (Sdf.Repetition.vector_exn g)
+
+let test_single_mode_examples () =
+  Alcotest.(check bool) "fig5a" true
+    (single_agrees (example_graph ()) Gen.Examples.example_taus);
+  Alcotest.(check bool) "ring3" true
+    (single_agrees (ring3 ()) Gen.Examples.ring3_taus);
+  Alcotest.(check bool) "prodcons" true
+    (single_agrees (prodcons ()) Gen.Examples.prodcons_taus)
+
+let gen_seed = QCheck2.Gen.int_range 0 1_000_000
+
+let random_case seed =
+  let rng = Gen.Rng.create ~seed in
+  let app =
+    Gen.Sdfgen.generate rng Check.Harness.fuzz_profile
+      ~proc_types:Gen.Benchsets.proc_types
+      ~name:(Printf.sprintf "sc%d" seed)
+  in
+  let g = app.Appmodel.Appgraph.graph in
+  let taus =
+    Array.init (Sdfg.num_actors g) (fun a ->
+        Appmodel.Appgraph.max_exec_time app a)
+  in
+  (g, taus)
+
+let prop_single_mode_is_selftimed =
+  qcheck ~count:60 "single-mode zero-delay FSM == Selftimed.analyze" gen_seed
+    (fun seed ->
+      let g, taus = random_case seed in
+      match Selftimed.analyze ~max_states:50_000 g taus with
+      | exception Selftimed.State_space_exceeded _ -> true
+      | exception Selftimed.Deadlocked -> (
+          match Product.analyze (Fsm.single g taus) with
+          | (_ : Product.result) -> false
+          | exception Product.Deadlocked -> true)
+      | _ -> single_agrees g taus)
+
+let prop_budget_partial_sound =
+  qcheck ~count:40 "scenario budget partial is a sound upper bound" gen_seed
+    (fun seed ->
+      let g, taus = random_case seed in
+      let rng = Gen.Rng.create ~seed:(seed + 17) in
+      match Gen.Scenariogen.derive rng g taus with
+      | exception Invalid_argument _ -> true
+      | fsm -> (
+          let full =
+            match Product.analyze ~max_states:2_000 fsm with
+            | r -> Some r
+            | exception Product.Deadlocked -> None
+            | exception Product.State_space_exceeded _ -> None
+          in
+          let budget = Budget.make ~max_states:(1 + (seed mod 16)) () in
+          match Product.analyze_budgeted ~max_states:2_000 ~budget fsm with
+          | Ok r -> (
+              match full with
+              | Some f -> Rat.equal r.Product.worst_rate f.Product.worst_rate
+              | None -> false)
+          | Error p -> (
+              p.Product.explored > 0
+              &&
+              match full with
+              | None -> true
+              | Some f ->
+                  Rat.is_infinite p.Product.upper_bound
+                  || Rat.compare p.Product.upper_bound f.Product.worst_rate
+                     >= 0)
+          | exception Product.Deadlocked -> full = None
+          | exception Product.State_space_exceeded _ -> full = None))
+
+let prop_memo_agreement =
+  qcheck ~count:30 "scenario memo replay agrees" gen_seed (fun seed ->
+      let g, taus = random_case seed in
+      let rng = Gen.Rng.create ~seed:(seed + 23) in
+      match Gen.Scenariogen.derive rng g taus with
+      | exception Invalid_argument _ -> true
+      | fsm ->
+          let was = Analysis.Memo.enabled () in
+          Fun.protect
+            ~finally:(fun () -> Analysis.Memo.set_enabled was)
+            (fun () ->
+              Analysis.Memo.set_enabled true;
+              Analysis.Memo.clear_all ();
+              let run () =
+                match Product.analyze ~max_states:2_000 fsm with
+                | r -> `Res r.Product.worst_rate
+                | exception Product.Deadlocked -> `Dead
+                | exception Product.State_space_exceeded _ -> `Exceeded
+              in
+              let cold = run () in
+              let warm = run () in
+              Analysis.Memo.set_enabled false;
+              let off = run () in
+              let agree a b =
+                match (a, b) with
+                | `Res x, `Res y -> Rat.equal x y
+                | `Dead, `Dead | `Exceeded, `Exceeded -> true
+                | _ -> false
+              in
+              agree cold warm && agree cold off))
+
+let suite =
+  [
+    Alcotest.test_case "two-mode hand-computed rate" `Quick
+      test_two_mode_hand_computed;
+    Alcotest.test_case "transition delay slows the worst case" `Quick
+      test_delay_matters;
+    Alcotest.test_case "reachable deadlocking mode" `Quick
+      test_deadlocking_mode;
+    Alcotest.test_case "state cap" `Quick test_state_cap;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "single mode on the examples" `Quick
+      test_single_mode_examples;
+    prop_single_mode_is_selftimed;
+    prop_budget_partial_sound;
+    prop_memo_agreement;
+  ]
